@@ -1,0 +1,50 @@
+"""Experiment T33: acceptance is polynomial (Theorem 3.3).
+
+Benchmarks ``accepts`` for a fixed machine over growing inputs, and
+records the configuration-graph size — the quantity Theorem 3.3 bounds
+by ``|Q|·Π(|uᵢ|+2)``.  The shape claim: runtime and configuration
+count grow polynomially (here: near-linearly for the lock-step
+equality machine), not exponentially.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts, reachable_configurations
+
+
+@pytest.fixture(scope="module")
+def equality_machine():
+    return compile_string_formula(sh.equals("x", "y"), AB).fsa
+
+
+@pytest.mark.parametrize("length", [8, 16, 32, 64])
+def test_acceptance_scaling(benchmark, equality_machine, length):
+    word = "ab" * (length // 2)
+    result = benchmark(accepts, equality_machine, (word, word))
+    assert result
+
+
+def test_configuration_graph_grows_linearly(equality_machine):
+    """The paper's polynomial bound, measured."""
+    counts = []
+    for length in (8, 16, 32):
+        word = "a" * length
+        counts.append(
+            len(reachable_configurations(equality_machine, (word, word)))
+        )
+    # doubling the input roughly doubles the configurations
+    assert counts[1] / counts[0] < 3.0
+    assert counts[2] / counts[1] < 3.0
+    assert counts[2] <= equality_machine.size * (32 + 2) * 2
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_two_way_acceptance_scaling(benchmark, length):
+    """A bidirectional machine stays polynomial too."""
+    fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+    word = "ab" * length
+    result = benchmark(accepts, fsa, (word, "ab"))
+    assert result

@@ -1,0 +1,63 @@
+"""Experiments T31/T32/F6: compiler and decompiler costs.
+
+Times the Theorem 3.1 compilation of every Section 2 predicate,
+records the machine sizes (the Figure 6 reproduction in numbers), and
+times a Theorem 3.2 decompilation round trip.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import _Compiler, compile_string_formula
+from repro.fsa.decompile import decompile
+from repro.fsa.minimize import bisimulation_quotient
+
+PREDICATES = {
+    "equality": sh.equals("x", "y"),
+    "concatenation": sh.concatenation("x", "y", "z"),
+    "shuffle": sh.shuffle("x", "y", "z"),
+    "manifold": sh.manifold("x", "y"),
+    "edit_distance_2": sh.edit_distance_at_most("x", "y", 2),
+    "occurrence": sh.occurs_in("x", "y"),
+}
+
+
+@pytest.mark.parametrize("name", list(PREDICATES))
+def test_compile_cost(benchmark, name):
+    from repro.core.syntax import string_variables
+
+    formula = PREDICATES[name]
+    variables = tuple(sorted(string_variables(formula)))
+
+    def compile_fresh():
+        compiler = _Compiler(variables, AB)
+        return compiler.concatenate(
+            compiler.initial_guard(), compiler.build(formula)
+        )
+
+    fragment = benchmark(compile_fresh)
+    assert fragment.final is not None
+
+
+def test_machine_sizes_are_modest():
+    """Figure 6 in numbers: compiled machines stay small."""
+    for name, formula in PREDICATES.items():
+        fsa = compile_string_formula(formula, AB).fsa
+        assert fsa.size < 600, (name, fsa.size)
+        assert len(fsa.states) < 120, (name, len(fsa.states))
+
+
+def test_minimization_shrinks_machines(benchmark):
+    fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+    smaller = benchmark(bisimulation_quotient, fsa)
+    assert len(smaller.states) <= len(fsa.states)
+
+
+def test_decompile_round_trip(benchmark):
+    fsa = compile_string_formula(sh.constant("x", "ab"), AB).fsa
+    formula = benchmark(decompile, fsa, ("x",))
+    from repro.core.semantics import check_string_formula
+
+    assert check_string_formula(formula, {"x": "ab"})
+    assert not check_string_formula(formula, {"x": "ba"})

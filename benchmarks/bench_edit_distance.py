@@ -1,0 +1,78 @@
+"""Experiment X1: Example 8 vs the Wagner-Fischer baseline.
+
+The paper's edit-distance formula compiles to a machine whose
+acceptance check competes with the classical dynamic program.  Shape
+claim: both are polynomial; the DP wins on raw speed (it is the
+specialized algorithm), while the formula wins on composability —
+and both always agree.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import DNA
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+from repro.workloads import generators, oracles
+
+BUDGET = 2
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return compile_string_formula(
+        sh.edit_distance_at_most("x", "y", BUDGET), DNA
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    reference = "acgtacgt"
+    candidates = generators.near_duplicates(
+        DNA, reference, count=10, max_edits=4, seed=5
+    )
+    return reference, candidates
+
+
+def test_agreement(machine, workload):
+    reference, candidates = workload
+    for candidate in candidates:
+        values = {"x": reference, "y": candidate}
+        ordered = tuple(values[v] for v in machine.variables)
+        assert accepts(machine.fsa, ordered) == oracles.edit_distance_at_most(
+            reference, candidate, BUDGET
+        ), candidate
+
+
+def test_formula_machine(benchmark, machine, workload):
+    reference, candidates = workload
+
+    def run():
+        return sum(
+            1
+            for candidate in candidates
+            if accepts(machine.fsa, (reference, candidate))
+        )
+
+    hits = benchmark(run)
+    assert hits >= 1
+
+
+def test_wagner_fischer_baseline(benchmark, workload):
+    reference, candidates = workload
+
+    def run():
+        return sum(
+            1
+            for candidate in candidates
+            if oracles.edit_distance(reference, candidate) <= BUDGET
+        )
+
+    hits = benchmark(run)
+    assert hits >= 1
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_machine_scaling(benchmark, machine, length):
+    word = ("acgt" * ((length + 3) // 4))[:length]
+    assert benchmark(accepts, machine.fsa, (word, word))

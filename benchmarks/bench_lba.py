@@ -1,0 +1,67 @@
+"""Experiment T66: the LBA/PSPACE encoding (Theorem 6.6).
+
+Measures the size of the formula ``φ`` as the input grows — the
+theorem claims ``|φ| = O(n · t · |Γ|)`` — and times acceptance
+decisions through the encoding against the direct configuration-space
+simulation baseline.
+"""
+
+import pytest
+
+from repro.expressive.lba import (
+    LBA,
+    LBATransition,
+    formula_size,
+    lba_formula,
+    verify_acceptance_via_formula,
+)
+
+
+@pytest.fixture(scope="module")
+def parity_machine():
+    return LBA(
+        states=frozenset({"e", "o", "f"}),
+        tape_alphabet=frozenset({"a"}),
+        start="e",
+        accept="f",
+        transitions=(
+            LBATransition("e", "a", "o", "a", +1),
+            LBATransition("o", "a", "e", "a", +1),
+            LBATransition("e", ">", "f", ">", 0),
+        ),
+    )
+
+
+def test_formula_size_is_linear_in_n(parity_machine):
+    sizes = {
+        n: formula_size(lba_formula(parity_machine, "a" * n))
+        for n in (4, 8, 16, 32)
+    }
+    # |φ| = O(n · t · |Γ|): doubling n at most ~doubles the size.
+    assert sizes[8] < 2.5 * sizes[4]
+    assert sizes[16] < 2.5 * sizes[8]
+    assert sizes[32] < 2.5 * sizes[16]
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_formula_construction_cost(benchmark, parity_machine, length):
+    formula = benchmark(lba_formula, parity_machine, "a" * length)
+    assert formula_size(formula) > 0
+
+
+@pytest.mark.parametrize("length", [2, 4])
+def test_acceptance_via_formula(benchmark, parity_machine, length):
+    word = "a" * length
+    result = benchmark.pedantic(
+        verify_acceptance_via_formula,
+        args=(parity_machine, word),
+        rounds=2,
+        iterations=1,
+    )
+    assert result is (length % 2 == 0)
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_direct_simulation_baseline(benchmark, parity_machine, length):
+    word = "a" * length
+    assert benchmark(parity_machine.accepts, word)

@@ -1,0 +1,130 @@
+"""Experiment T52: the limitation decision and its bound shapes.
+
+Times the Theorem 5.2 decision procedure on unidirectional and
+right-restricted machines, and reproduces the bound-attainment claims
+with the paper's witness machines: ``B_s`` reaches the linear bound
+``s·ρ(n)`` exactly; ``B'_s`` grows with the product of its two input
+dimensions (the quadratic shape).
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.generate import accepted_tuples
+from repro.safety.limitation import decide_limitation, formula_limitation
+from repro.safety.witnesses import linear_bound_witness, quadratic_bound_witness
+
+
+class TestDecisionTiming:
+    def test_unidirectional_decision(self, benchmark):
+        fsa = compile_string_formula(sh.concatenation("x", "y", "z"), AB).fsa
+        report = benchmark(decide_limitation, fsa, [1, 2], [0])
+        assert report.limited
+
+    def test_right_restricted_decision(self, benchmark):
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        report = benchmark(decide_limitation, fsa, [0], [1])
+        assert report.limited
+        assert report.limit.quadratic
+
+    def test_violation_detection(self, benchmark):
+        report = benchmark(
+            formula_limitation, sh.manifold("y", "x"), ["x"], ["y"], AB
+        )
+        assert not report.limited
+
+
+class TestLinearBoundAttainment:
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    def test_bs_reaches_s_rho(self, s):
+        machine = linear_bound_witness(s, 1, AB)
+        for n in (0, 2, 4):
+            outputs = accepted_tuples(
+                machine, max_length=s * (n + 1) + 2, fixed={0: "a" * n}
+            )
+            lengths = {len(o) for (o,) in outputs}
+            assert lengths == {s * (n + 1)}, (s, n)
+
+    def test_certified_bound_dominates_attained(self):
+        machine = linear_bound_witness(3, 1, AB)
+        report = decide_limitation(machine, [0], [1])
+        for n in (0, 3, 6):
+            assert report.bound(n) >= 3 * (n + 1)
+
+
+class TestQuadraticBoundAttainment:
+    def test_bprime_grows_with_the_product(self):
+        machine = quadratic_bound_witness(2, 2, AB)
+
+        def longest(w1: str, wound: str) -> int:
+            outputs = accepted_tuples(
+                machine, max_length=128, fixed={0: w1, 1: wound}
+            )
+            return max(len(o) for (o,) in outputs)
+
+        table = {
+            (m, n): longest("a" * m, "a" * n)
+            for m in (1, 3)
+            for n in (1, 4)
+        }
+        # Growth in each dimension alone is mild; together it compounds.
+        gain_read = table[(3, 1)] - table[(1, 1)]
+        gain_wound = table[(1, 4)] - table[(1, 1)]
+        gain_both = table[(3, 4)] - table[(1, 1)]
+        assert gain_both > gain_read + gain_wound
+
+    def test_generation_timing(self, benchmark):
+        machine = quadratic_bound_witness(2, 2, AB)
+        outputs = benchmark(
+            accepted_tuples, machine, 96, {0: "aa", 1: "aaa"}
+        )
+        assert outputs
+
+
+class TestCrossingGrowth:
+    """The paper's remark that |A″| can grow exponentially in |A|."""
+
+    def test_crossing_size_grows_with_machine(self):
+        from repro.core import shorthands as sh
+        from repro.core.alphabet import AB
+        from repro.safety.crossing import build_crossing_automaton
+
+        from repro.core.alphabet import Alphabet
+
+        abc = Alphabet("abc")
+        sizes = {}
+        for name, formula, sigma in (
+            ("manifold", sh.manifold("x", "y"), AB),
+            ("anbncn", sh.anbncn_string_part("x", "y"), abc),
+            ("reverse", sh.reverse_of("x", "y"), AB),
+        ):
+            compiled = compile_string_formula(formula, sigma)
+            b = compiled.tape_of("y")
+            crossing = build_crossing_automaton(
+                compiled.fsa,
+                b,
+                {compiled.tape_of("x")},
+                {b},
+            )
+            sizes[name] = (compiled.fsa.size, crossing.size())
+        # |A″| is recorded for EXPERIMENTS.md; it varies widely across
+        # machines of comparable size — the exponential-potential shape.
+        assert all(arcs > 0 for _, arcs in sizes.values())
+
+    def test_crossing_construction_timing(self, benchmark):
+        from repro.core import shorthands as sh
+        from repro.core.alphabet import AB
+        from repro.safety.crossing import build_crossing_automaton
+
+        compiled = compile_string_formula(sh.reverse_of("x", "y"), AB)
+        b = compiled.tape_of("y")
+        crossing = benchmark(
+            build_crossing_automaton,
+            compiled.fsa,
+            b,
+            {compiled.tape_of("x")},
+            {b},
+        )
+        assert crossing.size() > 0

@@ -1,0 +1,71 @@
+"""Experiment T65: the polynomial hierarchy through QBF machines.
+
+Benchmarks the Theorem 6.5 evaluation pipeline against the recursive
+QBF oracle at hierarchy levels 1-3, and times the construction of the
+machine family per level.  Shape claims: both deciders always agree,
+and the machine-family construction grows with the level (the ``M^k``
+arity grows) while staying practical for the small levels the
+polynomial hierarchy is about.
+"""
+
+import pytest
+
+from repro.expressive.qbf import (
+    QBF,
+    build_matrix_machine,
+    encode_qbf,
+    evaluate_qbf_via_machines,
+    machines_for_level,
+)
+
+INSTANCES = {
+    1: QBF(
+        (("E", ("x", "y")),),
+        (((True, "x"), (False, "y")), ((False, "x"), (True, "y"))),
+    ),
+    2: QBF(
+        (("A", ("x",)), ("E", ("y",))),
+        (((True, "x"), (True, "y")), ((False, "x"), (False, "y"))),
+    ),
+    3: QBF(
+        (("E", ("x",)), ("A", ("y",)), ("E", ("z",))),
+        (
+            ((True, "x"), (True, "y"), (True, "z")),
+            ((False, "y"), (False, "z")),
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_machines_agree_with_oracle(level):
+    qbf = INSTANCES[level]
+    assert evaluate_qbf_via_machines(qbf) == qbf.evaluate()
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_evaluation_timing(benchmark, level):
+    qbf = INSTANCES[level]
+    result = benchmark.pedantic(
+        evaluate_qbf_via_machines, args=(qbf,), rounds=3, iterations=1
+    )
+    assert result == qbf.evaluate()
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_machine_family_construction(benchmark, level):
+    family = benchmark.pedantic(
+        machines_for_level,
+        args=(level, "E"),
+        rounds=3,
+        iterations=1,
+    )
+    assert family.interleaver.arity == 2 + level
+
+
+def test_matrix_machine_size_by_level():
+    sizes = [
+        build_matrix_machine(level, "E").size for level in (1, 2, 3)
+    ]
+    # The prefix checker grows linearly with the level.
+    assert sizes[0] < sizes[1] < sizes[2]

@@ -1,0 +1,72 @@
+"""Experiment Q1-Q12: the paper's twelve example queries.
+
+For each Section 2 example, benchmarks the compiled-machine acceptance
+check on representative inputs and asserts the answers match the
+classical baseline — the harness row behind EXPERIMENTS.md items
+Q1-Q12.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+from repro.workloads import oracles
+
+GCA = Alphabet("gca")
+ABC = Alphabet("abc")
+
+
+def machine_case(formula, alphabet, values):
+    compiled = compile_string_formula(formula, alphabet)
+    ordered = tuple(values[v] for v in compiled.variables)
+    return compiled.fsa, ordered
+
+
+CASES = [
+    ("q1_constant", sh.constant("x", "abab"), AB,
+     {"x": "abab"}, True, lambda v: v["x"] == "abab"),
+    ("q2_equality", sh.equals("x", "y"), AB,
+     {"x": "abab" * 2, "y": "abab" * 2}, True,
+     lambda v: oracles.equals(v["x"], v["y"])),
+    ("q3_concatenation", sh.concatenation("x", "y", "z"), AB,
+     {"x": "aabb", "y": "aa", "z": "bb"}, True,
+     lambda v: oracles.is_concatenation(v["x"], v["y"], v["z"])),
+    ("q4_manifold", sh.manifold("x", "y"), AB,
+     {"x": "ab" * 4, "y": "ab"}, True,
+     lambda v: oracles.is_manifold(v["x"], v["y"])),
+    ("q5_shuffle", sh.shuffle("x", "y", "z"), AB,
+     {"x": "abab", "y": "ab", "z": "ab"}, True,
+     lambda v: oracles.is_shuffle(v["x"], v["y"], v["z"])),
+    ("q6_pattern", sh.gc_plus_a_star("y"), GCA,
+     {"y": "gcagca"}, True,
+     lambda v: oracles.matches_gc_plus_a_star(v["y"])),
+    ("q7_occurrence", sh.occurs_in("x", "y"), AB,
+     {"x": "ba", "y": "aababab"}, True,
+     lambda v: oracles.occurs_in(v["x"], v["y"])),
+    ("q8_edit_distance", sh.edit_distance_at_most("x", "y", 2), AB,
+     {"x": "abba", "y": "baba"}, True,
+     lambda v: oracles.edit_distance_at_most(v["x"], v["y"], 2)),
+    ("q9_axbxa", sh.axbxa_string_part("x", "y", "z"), AB,
+     {"x": "aabbaba", "y": "ab", "z": "ab"}, True, None),
+    ("q10_equal_counts", sh.equal_count_string_parts("x", "y", "z")[0], AB,
+     {"x": "abab", "y": "aa", "z": "aa"}, True, None),
+    ("q11_anbncn", sh.anbncn_string_part("x", "y"), ABC,
+     {"x": "aabbcc", "y": "ab"}, True, None),
+    ("q12_copy_translation", sh.copy_translation_string_parts("x", "y", "z")[0],
+     AB, {"x": "abba", "y": "ab", "z": "ba"}, True, None),
+]
+
+
+@pytest.mark.parametrize(
+    "formula,alphabet,values,expected,oracle",
+    [case[1:] for case in CASES],
+    ids=[case[0] for case in CASES],
+)
+def test_query_machines(benchmark, formula, alphabet, values, expected, oracle):
+    fsa, ordered = machine_case(formula, alphabet, values)
+    result = benchmark(accepts, fsa, ordered)
+    assert result is expected
+    if oracle is not None:
+        assert oracle(values) is expected

@@ -1,0 +1,75 @@
+"""Experiments T51/T62: grammar reductions and r.e. membership.
+
+Times the φ_G verification of derivation chains (Theorem 5.1's
+construction) and the bounded membership semi-decision of Theorem 6.2,
+including the backward Turing machine simulation.
+"""
+
+import pytest
+
+from repro.core.semantics import check_string_formula
+from repro.expressive.grammars import (
+    TMTransition,
+    TuringMachine,
+    anbn_grammar,
+    backward_grammar,
+)
+from repro.expressive.recursively_enumerable import check_membership
+from repro.safety.reductions import derivation_encoding, phi_g
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return anbn_grammar()
+
+
+@pytest.fixture(scope="module")
+def phi(grammar):
+    return phi_g(grammar)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_phi_g_verification(benchmark, grammar, phi, n):
+    word = "a" * n + "b" * n
+    chain = grammar.derivation(word, max_steps=n + 2, max_length=4 * n)
+    encoded = derivation_encoding(chain)
+    result = benchmark.pedantic(
+        check_string_formula,
+        args=(phi, {"x1": word, "x2": encoded, "x3": encoded}),
+        rounds=2,
+        iterations=1,
+    )
+    assert result
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_membership_semi_decision(benchmark, grammar, n):
+    word = "a" * n + "b" * n
+    witness = benchmark.pedantic(
+        check_membership,
+        args=(grammar, word),
+        kwargs={"max_steps": n + 3},
+        rounds=2,
+        iterations=1,
+    )
+    assert witness is not None
+    assert witness.steps == n
+
+
+def test_backward_tm_grammar(benchmark):
+    machine = TuringMachine(
+        states=frozenset({"q0", "q1"}),
+        input_alphabet=frozenset({"a"}),
+        tape_alphabet=frozenset({"a", "b", "_"}),
+        blank="_",
+        start="q0",
+        transitions=(TMTransition("q0", "a", "q1", "b", +1),),
+    )
+    grammar = backward_grammar(machine)
+    found = benchmark.pedantic(
+        grammar.derives_in,
+        args=("aa", 14, 12),
+        rounds=2,
+        iterations=1,
+    )
+    assert found

@@ -1,0 +1,64 @@
+"""Experiment T61: the regular-language equivalence (Theorem 6.1).
+
+Benchmarks the three routes for deciding a regular property —
+our Thompson NFA, the stdlib ``re`` engine, and the alignment calculus
+machine obtained from the regex — and checks all three agree.  The
+shape claim: all routes decide the same language; the calculus adds a
+constant-factor overhead, not an asymptotic one.
+"""
+
+import re as stdlib_re
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.expressive.regular import (
+    one_tape_to_nfa,
+    parse_regex,
+    regex_to_formula,
+    regex_to_nfa,
+)
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+
+PATTERN = "(a|b)*abb(a|b)*"
+WORDS = ["ab" * 6 + "abb", "ba" * 8, "abb", "b" * 14]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    regex = parse_regex(PATTERN)
+    nfa = regex_to_nfa(regex)
+    compiled = compile_string_formula(regex_to_formula(regex, "x"), AB)
+    back = one_tape_to_nfa(compiled.fsa)
+    std = stdlib_re.compile(f"(?:{PATTERN})$")
+    return nfa, compiled.fsa, back, std
+
+
+def test_all_routes_agree(engines):
+    nfa, fsa, back, std = engines
+    for word in WORDS:
+        expected = bool(std.match(word))
+        assert nfa.matches(word) == expected
+        assert accepts(fsa, (word,)) == expected
+        assert back.matches(word) == expected
+
+
+def test_thompson_nfa(benchmark, engines):
+    nfa, _, _, _ = engines
+    assert benchmark(nfa.matches, WORDS[0])
+
+
+def test_calculus_machine(benchmark, engines):
+    _, fsa, _, _ = engines
+    assert benchmark(accepts, fsa, (WORDS[0],))
+
+
+def test_round_trip_nfa(benchmark, engines):
+    _, _, back, _ = engines
+    assert benchmark(back.matches, WORDS[0])
+
+
+def test_stdlib_re(benchmark, engines):
+    _, _, _, std = engines
+    assert benchmark(lambda: bool(std.match(WORDS[0])))

@@ -1,0 +1,84 @@
+"""Experiment T64: the Ginsburg-Wang embedding.
+
+Times the direct sequence-logic semantics against the translated
+alignment calculus formula (checked by the model checker and by the
+compiled machine), and asserts the three agree — the equivalence claim
+of Theorem 6.4 measured.
+"""
+
+import pytest
+
+from repro.core.alphabet import BINARY
+from repro.core.semantics import check_string_formula
+from repro.expressive.sequence_logic import (
+    AtomEncoding,
+    concatenation_predicate,
+    predicate_to_formula,
+    shuffle_predicate,
+)
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+
+ATOMS = tuple(f"atom{i}" for i in range(4))
+
+
+@pytest.fixture(scope="module")
+def shuffle_case():
+    predicate = shuffle_predicate()
+    formula = predicate_to_formula(predicate)
+    encoding = AtomEncoding(BINARY)
+    s1 = (ATOMS[0], ATOMS[1], ATOMS[2])
+    s2 = (ATOMS[3], ATOMS[0])
+    out = (ATOMS[0], ATOMS[3], ATOMS[1], ATOMS[0], ATOMS[2])
+    env = {
+        "x1": encoding.encode_sequence(s1),
+        "x2": encoding.encode_sequence(s2),
+        "x3": encoding.encode_sequence(out),
+    }
+    sigma = encoding.full_alphabet()
+    compiled = compile_string_formula(formula, sigma)
+    return predicate, formula, (s1, s2, out), env, compiled
+
+
+def test_three_routes_agree(shuffle_case):
+    predicate, formula, (s1, s2, out), env, compiled = shuffle_case
+    direct = predicate.holds((s1, s2), out)
+    checker = check_string_formula(formula, env)
+    machine = accepts(
+        compiled.fsa, tuple(env[v] for v in compiled.variables)
+    )
+    assert direct == checker == machine is True
+
+
+def test_direct_semantics(benchmark, shuffle_case):
+    predicate, _, (s1, s2, out), _, _ = shuffle_case
+    assert benchmark(predicate.holds, (s1, s2), out)
+
+
+def test_translated_formula_checker(benchmark, shuffle_case):
+    _, formula, _, env, _ = shuffle_case
+    assert benchmark(check_string_formula, formula, env)
+
+
+def test_translated_machine(benchmark, shuffle_case):
+    _, _, _, env, compiled = shuffle_case
+    ordered = tuple(env[v] for v in compiled.variables)
+    assert benchmark(accepts, compiled.fsa, ordered)
+
+
+def test_concatenation_predicate_agreement():
+    predicate = concatenation_predicate()
+    formula = predicate_to_formula(predicate)
+    encoding = AtomEncoding(BINARY)
+    cases = [
+        ((ATOMS[:2], ATOMS[2:3]), ATOMS[:3], True),
+        ((ATOMS[:2], ATOMS[2:3]), (ATOMS[2], *ATOMS[:2]), False),
+    ]
+    for (s1, s2), out, expected in cases:
+        env = {
+            "x1": encoding.encode_sequence(s1),
+            "x2": encoding.encode_sequence(s2),
+            "x3": encoding.encode_sequence(out),
+        }
+        assert predicate.holds((s1, s2), out) is expected
+        assert check_string_formula(formula, env) is expected

@@ -1,0 +1,42 @@
+"""Experiment L31: Lemma 3.1 specialization cost.
+
+The lemma promises an ``l``-FSA of size polynomial in
+``|A| · Π(|uᵢ| + 2)``.  The benchmark times the construction for
+growing constants and asserts the unpruned product meets the stated
+size exactly.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.specialize import specialize
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return compile_string_formula(sh.concatenation("x", "y", "z"), AB).fsa
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16])
+def test_specialization_scaling(benchmark, machine, length):
+    constant = "ab" * (length // 2)
+    fixed = benchmark(specialize, machine, {1: constant})
+    assert fixed.arity == 2
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_unpruned_size_matches_lemma(machine, length):
+    constant = "a" * length
+    full = specialize(machine, {1: constant}, prune=False)
+    assert len(full.states) == len(machine.states) * (length + 2)
+
+
+def test_double_specialization(benchmark, machine):
+    def run():
+        once = specialize(machine, {1: "ab"})
+        return specialize(once, {1: "ba"})  # tape 2 shifted to index 1
+
+    result = benchmark(run)
+    assert result.arity == 1

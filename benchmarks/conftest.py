@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one experiment of EXPERIMENTS.md; the
+fixtures provide deterministic workloads so runs are comparable.
+"""
+
+import pytest
+
+from repro.core.alphabet import AB, DNA
+from repro.core.database import Database
+from repro.workloads import generators
+
+
+@pytest.fixture(scope="session")
+def ab_database() -> Database:
+    """A small two-relation database over {a, b}."""
+    return generators.example_database(AB, seed=1, size=6, max_length=4)
+
+
+@pytest.fixture(scope="session")
+def dna_database() -> Database:
+    """A DNA-alphabet database with planted motifs."""
+    fragments = generators.with_planted_motif(
+        DNA, motif="gcgc", count=12, max_length=5, seed=2
+    )
+    pairs = generators.manifold_strings(
+        DNA, count=6, max_base_length=2, max_repeats=3, seed=3
+    )
+    return Database(
+        DNA,
+        {"R1": [tuple(p) for p in pairs], "R2": [(s,) for s in fragments]},
+    )

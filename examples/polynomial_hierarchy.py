@@ -1,0 +1,82 @@
+"""The polynomial hierarchy inside alignment calculus (Theorem 6.5).
+
+Builds the paper's machine family for a hierarchy level — the type
+qualifiers ``M_i``, the assignment interleaver ``M^k`` and the
+right-restricted matrix evaluator ``M^k_σ`` — and decides QBF
+instances through the quantifier-limited formula structure, comparing
+against the classical recursive evaluation.
+
+Run with:  python examples/polynomial_hierarchy.py
+"""
+
+from repro.expressive.qbf import (
+    QBF,
+    encode_assignment,
+    encode_qbf,
+    evaluate_qbf_via_machines,
+    machines_for_level,
+)
+from repro.safety.limitation import decide_limitation
+
+
+def main() -> None:
+    # ∀x ∃y: (x ∨ y) ∧ (¬x ∨ ¬y)  — "y can always be ¬x": true, Π₂.
+    qbf = QBF(
+        (("A", ("x",)), ("E", ("y",))),
+        (((True, "x"), (True, "y")), ((False, "x"), (False, "y"))),
+    )
+    instance = encode_qbf(qbf)
+    print("QBF:      ∀x ∃y. (x ∨ y) ∧ (¬x ∨ ¬y)")
+    print(f"encoded:  {instance}")
+    print(f"level:    Π^p_{qbf.level} (leading ∀, {qbf.level - 1} alternation)")
+    sample = encode_assignment(qbf, {"x": True, "y": False})
+    print(f"sample assignment string: {sample}")
+    print()
+
+    machines = machines_for_level(qbf.level, qbf.blocks[0][0])
+    print("The Theorem 6.5 machine family:")
+    for index, qualifier in enumerate(machines.block_machines, start=1):
+        report = decide_limitation(qualifier, [0], [1])
+        print(
+            f"  M_{index}: {qualifier}  — limitation [1]↝[2]: "
+            f"{report.limited} ({report.limit.describe()})"
+        )
+    print(f"  M^k: {machines.interleaver}")
+    print(f"  M^k_σ: {machines.matrix_machine}  "
+          f"(bidirectional tapes: {sorted(machines.matrix_machine.bidirectional_tapes())})")
+    print()
+
+    via_machines = evaluate_qbf_via_machines(qbf)
+    via_oracle = qbf.evaluate()
+    print(f"machine-pipeline verdict: {via_machines}")
+    print(f"recursive-oracle verdict: {via_oracle}")
+    assert via_machines == via_oracle
+
+    # A false sibling: ∀x ∃y: (x ∨ y) ∧ (x ∨ ¬y) — fails at x = 0.
+    false_qbf = QBF(
+        (("A", ("x",)), ("E", ("y",))),
+        (((True, "x"), (True, "y")), ((True, "x"), (False, "y"))),
+    )
+    print()
+    print("QBF:      ∀x ∃y. (x ∨ y) ∧ (x ∨ ¬y)")
+    verdict = evaluate_qbf_via_machines(false_qbf)
+    print(f"machine-pipeline verdict: {verdict}")
+    assert verdict == false_qbf.evaluate() is False
+
+    # One level up: ∃x ∀y ∃z — a Σ₃ instance.
+    sigma3 = QBF(
+        (("E", ("x",)), ("A", ("y",)), ("E", ("z",))),
+        (
+            ((True, "x"), (True, "y"), (True, "z")),
+            ((False, "y"), (False, "z")),
+        ),
+    )
+    print()
+    print("QBF:      ∃x ∀y ∃z. (x ∨ y ∨ z) ∧ (¬y ∨ ¬z)   [Σ^p_3]")
+    verdict = evaluate_qbf_via_machines(sigma3)
+    print(f"machine-pipeline verdict: {verdict}")
+    assert verdict == sigma3.evaluate() is True
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Reproduce the paper's Figures 1-3 and 6 as text.
+
+* Figure 1 — an alignment of abc / abb / cacd;
+* Figure 2 — four transposes of that alignment;
+* Figure 3 — the corresponding multitape configuration;
+* Figure 6 — a string formula compiled to a 3-FSA (rendered as a
+  machine summary and DOT graph source).
+
+Run with:  python examples/render_figures.py
+"""
+
+from repro.core.alignment import Alignment, Row
+from repro.core.alphabet import AB
+from repro.core.syntax import (
+    IsChar,
+    SameChar,
+    SStar,
+    atom,
+    concat,
+    left,
+    not_empty,
+    right,
+)
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.render import to_dot, to_text
+
+
+def figure_1() -> Alignment:
+    return Alignment.from_rows(
+        {0: Row("abc", 1), 1: Row("abb", 2), 2: Row("cacd", 2)}
+    )
+
+
+def main() -> None:
+    alignment = figure_1()
+    print("Figure 1 — an alignment of three strings:")
+    print(alignment.render())
+    print()
+
+    print("Figure 2 — transposing alignments:")
+    for label, moved in [
+        ("[0]_l", alignment.transpose_left([0])),
+        ("[1,2]_l", alignment.transpose_left([1, 2])),
+        ("[0]_r", alignment.transpose_right([0])),
+        ("[0,2]_r", alignment.transpose_right([0, 2])),
+    ]:
+        print(f"-- after {label}:")
+        print(moved.render())
+        print()
+
+    print("Figure 3 — the tape configuration corresponding to Figure 1:")
+    for index in alignment.set_rows:
+        row = alignment.row(index)
+        cells = ["⊢", *row.string, "⊣"]
+        rendered = " ".join(cells)
+        pointer = "  " * row.head + "^"
+        print(f"  tape {index}:  {rendered}")
+        print(f"           {pointer}")
+    print()
+
+    # Figure 6's machine: a formula mixing left/right transposes on
+    # three variables over {a, b}.
+    formula = concat(
+        SStar(atom(left("x", "y"), SameChar("x", "y"))),
+        atom(left("x"), IsChar("x", "a")),
+        SStar(atom(right("y"), not_empty("y"))),
+        atom(left("z"), SameChar("y", "z")),
+    )
+    compiled = compile_string_formula(formula, AB)
+    print("Figure 6 — a string formula and a corresponding 3-FSA:")
+    print(f"  formula: {formula}")
+    print(f"  tapes:   {compiled.variables}")
+    print(f"  machine: {compiled.fsa}")
+    print()
+    print("Machine listing (first lines):")
+    for line in to_text(compiled.fsa).splitlines()[:10]:
+        print("  " + line)
+    print("  ...")
+    print()
+    print("DOT source (first lines):")
+    for line in to_dot(compiled.fsa).splitlines()[:8]:
+        print("  " + line)
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

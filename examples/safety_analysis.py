@@ -1,0 +1,66 @@
+"""Safety analysis in action (Section 5).
+
+Shows the limitation analysis deciding which queries may safely
+*generate* strings: the paper's manifold pair — one direction safe,
+the mirrored one unsafe — plus the certified limit function a safe
+query uses to pick its truncation length automatically.
+
+Run with:  python examples/safety_analysis.py
+"""
+
+from repro.core import Database, Query
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.core.syntax import And, exists, lift, rel
+from repro.errors import SafetyError
+from repro.safety.domain_independence import limit_function
+from repro.safety.limitation import formula_limitation
+
+
+def main() -> None:
+    # -- The limitation question on the manifold predicate -------------
+    print("Limitation analysis of x ∈*_s y (x a manifold of y):")
+    safe = formula_limitation(sh.manifold("x", "y"), ["x"], ["y"], AB)
+    print(f"  [x] ↝ [y]:  limited={safe.limited}")
+    print(f"     reason: {safe.reason}")
+    print(f"     crossing automaton size |A″| = {safe.crossing_size}")
+    print(f"     certified limit: {safe.limit.describe()}")
+
+    unsafe = formula_limitation(sh.manifold("x", "y"), ["y"], ["x"], AB)
+    print(f"  [y] ↝ [x]:  limited={unsafe.limited}")
+    print(f"     reason: {unsafe.reason}")
+
+    # -- The paper's query pair -----------------------------------------
+    db = Database(AB, {"R": [("abab",), ("aa",)]})
+
+    safe_query = Query(
+        ("y",),
+        exists("x", And(rel("R", "x"), lift(sh.manifold("x", "y")))),
+        AB,
+    )
+    report = limit_function(safe_query.formula, AB)
+    print("Safe query  y | ∃x: R(x) ∧ x ∈*_s y")
+    print(f"  limit function: {report.describe()}")
+    print(f"  W(db) = {report.bound(db)}")
+    print(f"  answer: {sorted(safe_query.evaluate(db))}")
+
+    unsafe_query = Query(
+        ("y",),
+        exists("x", And(rel("R", "x"), lift(sh.manifold("y", "x")))),
+        AB,
+    )
+    print("Unsafe query  y | ∃x: R(x) ∧ y ∈*_s x")
+    try:
+        unsafe_query.evaluate(db)
+    except SafetyError as error:
+        print(f"  rejected: {error}")
+    truncated = unsafe_query.evaluate(db, length=8)
+    print(
+        f"  truncated answer at l=8 has {len(truncated)} tuples "
+        "(and keeps growing with l — the query is unsafe)"
+    )
+    assert len(unsafe_query.evaluate(db, length=12)) > len(truncated)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim so `pip install -e .` works without wheel/PEP 517.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — Alignment calculus for reasoning about strings in databases.
+
+A full reimplementation of Grahne, Nykänen & Ukkonen, *Reasoning about
+Strings in Databases* (PODS 1994; JCSS 59, 1999):
+
+* :mod:`repro.core` — alignment calculus: alignments, transposes,
+  window/string/calculus formulae, direct semantics and queries.
+* :mod:`repro.fsa` — multitape two-way finite automata (k-FSAs), the
+  calculus' computational counterpart (Section 3).
+* :mod:`repro.algebra` — alignment algebra and the calculus⇄algebra
+  translations (Section 4).
+* :mod:`repro.safety` — limitation analysis and domain independence
+  (Section 5).
+* :mod:`repro.expressive` — the expressive-power constructions of
+  Section 6 (regular sets, r.e. sets, sequence logic, the polynomial
+  hierarchy, PSPACE).
+* :mod:`repro.workloads` — deterministic synthetic string workloads.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (  # noqa: F401  (re-exported convenience API)
+    Alignment,
+    Alphabet,
+    Database,
+    Query,
+)

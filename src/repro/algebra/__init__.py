@@ -1,0 +1,50 @@
+"""Alignment algebra: the procedural counterpart of the calculus."""
+
+from repro.algebra.expressions import (
+    Diff,
+    Expression,
+    Product,
+    Project,
+    Rel,
+    Select,
+    SigmaL,
+    SigmaStar,
+    Union,
+    intersect,
+    product_of,
+    relation_symbols,
+    sigma_power,
+    truncated,
+    uses_sigma_star,
+)
+from repro.algebra.evaluate import evaluate_exact, evaluate_expression
+from repro.algebra.translate import (
+    algebra_to_calculus,
+    calculus_to_algebra,
+    partition_formula,
+    partitioned,
+)
+
+__all__ = [
+    "Diff",
+    "Expression",
+    "Product",
+    "Project",
+    "Rel",
+    "Select",
+    "SigmaL",
+    "SigmaStar",
+    "Union",
+    "intersect",
+    "product_of",
+    "relation_symbols",
+    "sigma_power",
+    "truncated",
+    "uses_sigma_star",
+    "evaluate_exact",
+    "evaluate_expression",
+    "algebra_to_calculus",
+    "calculus_to_algebra",
+    "partition_formula",
+    "partitioned",
+]

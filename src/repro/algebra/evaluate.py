@@ -1,0 +1,164 @@
+"""Evaluating alignment algebra expressions.
+
+Two regimes, both from Section 4 of the paper:
+
+* **Truncated evaluation** ``db(E ↓ l)``: every ``Σ*`` is read as
+  ``Σ^{<=l}``, making all operators finitary (the second claim of
+  Theorem 4.2).
+* **Generative selection**: for the finitely evaluable pattern
+  ``σ_A(F × (Σ*)^n)`` the ``Σ*`` columns are never materialized —
+  the machine ``A`` is run as a generalized Mealy machine producing
+  the new strings from each tuple of ``F`` (Definition 3.1 /
+  :mod:`repro.fsa.generate`), still capped at the supplied bound so
+  evaluation always terminates.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.algebra.expressions import (
+    Diff,
+    Expression,
+    Product,
+    Project,
+    Rel,
+    Select,
+    SigmaL,
+    SigmaStar,
+    Union,
+)
+from repro.core.database import Database
+from repro.errors import EvaluationError, UnboundedQueryError
+from repro.fsa.generate import accepted_tuples
+from repro.fsa.simulate import accepts
+
+Relation = frozenset[tuple[str, ...]]
+
+
+def _flatten_product(expression: Expression) -> list[Expression]:
+    """Factors of a left/right-nested product, in column order."""
+    if isinstance(expression, Product):
+        return _flatten_product(expression.left) + _flatten_product(
+            expression.right
+        )
+    return [expression]
+
+
+def _evaluate_select(
+    select: Select, db: Database, length: int
+) -> Relation:
+    """Selection, generating ``Σ*`` columns instead of materializing them.
+
+    Factors that are ``Σ*`` become generated tapes; all other factors
+    are evaluated and iterated, their columns fixed in the machine via
+    Lemma 3.1.
+    """
+    factors = _flatten_product(select.inner)
+    if not any(isinstance(f, SigmaStar) for f in factors):
+        inner = _evaluate(select.inner, db, length)
+        return frozenset(
+            row for row in inner if accepts(select.machine, row)
+        )
+    generated_tapes: list[int] = []
+    concrete: list[tuple[int, ...]] = []  # column spans of concrete factors
+    concrete_values: list[Relation] = []
+    column = 0
+    for factor in factors:
+        span = tuple(range(column, column + factor.arity))
+        if isinstance(factor, SigmaStar):
+            generated_tapes.extend(span)
+        else:
+            concrete.append(span)
+            concrete_values.append(_evaluate(factor, db, length))
+        column += factor.arity
+    width = column
+    results: set[tuple[str, ...]] = set()
+    for rows in product(*concrete_values):
+        fixed: dict[int, str] = {}
+        for span, row in zip(concrete, rows):
+            for tape, value in zip(span, row):
+                fixed[tape] = value
+        for outputs in accepted_tuples(
+            select.machine, max_length=length, fixed=fixed
+        ):
+            merged = [""] * width
+            for tape, value in fixed.items():
+                merged[tape] = value
+            for tape, value in zip(generated_tapes, outputs):
+                merged[tape] = value
+            results.add(tuple(merged))
+    return frozenset(results)
+
+
+def _evaluate(expression: Expression, db: Database, length: int) -> Relation:
+    if isinstance(expression, Rel):
+        return db.relation(expression.name)
+    if isinstance(expression, SigmaStar):
+        # Bare Σ* outside a generative selection: truncate.
+        return frozenset((s,) for s in db.alphabet.strings(length))
+    if isinstance(expression, SigmaL):
+        bound = min(expression.bound, length) if length >= 0 else expression.bound
+        return frozenset((s,) for s in db.alphabet.strings(bound))
+    if isinstance(expression, Union):
+        return _evaluate(expression.left, db, length) | _evaluate(
+            expression.right, db, length
+        )
+    if isinstance(expression, Diff):
+        return _evaluate(expression.left, db, length) - _evaluate(
+            expression.right, db, length
+        )
+    if isinstance(expression, Product):
+        left = _evaluate(expression.left, db, length)
+        right = _evaluate(expression.right, db, length)
+        return frozenset(l + r for l in left for r in right)
+    if isinstance(expression, Project):
+        inner = _evaluate(expression.inner, db, length)
+        return frozenset(
+            tuple(row[i] for i in expression.columns) for row in inner
+        )
+    if isinstance(expression, Select):
+        return _evaluate_select(expression, db, length)
+    raise TypeError(f"not an algebra expression: {expression!r}")
+
+
+def evaluate_expression(
+    expression: Expression,
+    db: Database,
+    length: int,
+    domain: tuple[str, ...] | None = None,
+) -> Relation:
+    """``db(E ↓ length)`` — the truncated value of the expression.
+
+    ``domain`` is accepted for interface compatibility with the naive
+    engine; evaluation is always over ``Σ^{<=length}``, so a caller
+    passing a non-prefix-closed domain should compare against the
+    truncated semantics instead.
+    """
+    if length < 0:
+        raise EvaluationError("truncation length must be non-negative")
+    return _evaluate(expression, db, length)
+
+
+def evaluate_exact(
+    expression: Expression,
+    db: Database,
+    limit: int | None = None,
+) -> Relation:
+    """Exact evaluation for expressions certified finitely evaluable.
+
+    ``limit`` supplies the limit-function value ``W(db)``; when ``None``
+    it is derived by the safety analysis (Section 5), and
+    :class:`UnboundedQueryError` is raised if no bound can be
+    certified.
+    """
+    if limit is None:
+        from repro.safety.domain_independence import expression_limit
+
+        limit = expression_limit(expression, db)
+        if limit is None:
+            raise UnboundedQueryError(
+                "expression is not certifiably finitely evaluable; "
+                "pass an explicit limit"
+            )
+    return _evaluate(expression, db, limit)

@@ -1,0 +1,267 @@
+"""Alignment algebra expressions (paper, Section 4).
+
+The procedural counterpart of alignment calculus: classical relational
+algebra over string relations, extended with
+
+* explicit domain symbols ``Σ*`` (the infinite string universe) and
+  ``Σ^{<=l}`` (its finite truncations), which enable the generation of
+  new strings not present in the database; and
+* selection ``σ_A`` by a k-FSA ``A`` — the only data-dependent test.
+
+Expressions are immutable ASTs; evaluation lives in
+:mod:`repro.algebra.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArityError
+from repro.fsa.machine import FSA
+
+
+class Expression:
+    """Base class for alignment algebra expressions."""
+
+    __slots__ = ()
+
+    @property
+    def arity(self) -> int:
+        raise NotImplementedError
+
+    def __or__(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+    def __sub__(self, other: "Expression") -> "Diff":
+        return Diff(self, other)
+
+    def __mul__(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+
+@dataclass(frozen=True)
+class Rel(Expression):
+    """A relation symbol of known arity."""
+
+    name: str
+    relation_arity: int
+
+    @property
+    def arity(self) -> int:
+        return self.relation_arity
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SigmaStar(Expression):
+    """The domain symbol ``Σ*`` — arity 1, infinite value.
+
+    Only evaluable under truncation or inside the finitely evaluable
+    pattern ``σ_A(F × (Σ*)^n)`` (paper, end of Section 4).
+    """
+
+    @property
+    def arity(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "Σ*"
+
+
+@dataclass(frozen=True)
+class SigmaL(Expression):
+    """The truncated domain symbol ``Σ^{<=l}``."""
+
+    bound: int
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ArityError("Σ^{<=l} needs l >= 0")
+
+    @property
+    def arity(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"Σ^≤{self.bound}"
+
+
+def _require_same_arity(left: Expression, right: Expression, op: str) -> None:
+    if left.arity != right.arity:
+        raise ArityError(
+            f"{op} needs equal arities, got {left.arity} and {right.arity}"
+        )
+
+
+@dataclass(frozen=True)
+class Union(Expression):
+    """``E ∪ F``."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        _require_same_arity(self.left, self.right, "union")
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+    def __str__(self) -> str:
+        return f"({self.left} ∪ {self.right})"
+
+
+@dataclass(frozen=True)
+class Diff(Expression):
+    """``E \\ F``."""
+
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        _require_same_arity(self.left, self.right, "difference")
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity
+
+    def __str__(self) -> str:
+        return f"({self.left} \\ {self.right})"
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    """``E × F`` — arity is the sum of the factor arities."""
+
+    left: Expression
+    right: Expression
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+    def __str__(self) -> str:
+        return f"({self.left} × {self.right})"
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """``π_{i₁,…,i_u} E`` with distinct 0-based column indices.
+
+    ``u = 0`` is allowed: the result is the arity-0 relation that is
+    non-empty iff ``E`` is (the paper's ``π E``).
+    """
+
+    inner: Expression
+    columns: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ArityError(f"projection repeats a column: {self.columns!r}")
+        for column in self.columns:
+            if not 0 <= column < self.inner.arity:
+                raise ArityError(
+                    f"column {column} outside 0..{self.inner.arity - 1}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __str__(self) -> str:
+        return f"π_{{{','.join(map(str, self.columns))}}}{self.inner}"
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """``σ_A E``: keep the tuples of ``E`` that the FSA accepts."""
+
+    inner: Expression
+    machine: FSA
+
+    def __post_init__(self) -> None:
+        if self.machine.arity != self.inner.arity:
+            raise ArityError(
+                f"σ needs a {self.inner.arity}-FSA, got arity {self.machine.arity}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return self.inner.arity
+
+    def __str__(self) -> str:
+        return f"σ[{self.machine}]{self.inner}"
+
+
+def intersect(left: Expression, right: Expression) -> Expression:
+    """``E ∩ F`` as the paper's shorthand ``E \\ (E \\ F)``."""
+    return Diff(left, Diff(left, right))
+
+
+def sigma_power(count: int, bound: int | None = None) -> list[Expression]:
+    """``count`` copies of ``Σ*`` (or ``Σ^{<=bound}``) as product factors."""
+    factory = SigmaStar if bound is None else (lambda: SigmaL(bound))
+    return [factory() for _ in range(count)]
+
+
+def product_of(factors: list[Expression]) -> Expression:
+    """Left-nested product of one or more factors."""
+    if not factors:
+        raise ArityError("product needs at least one factor")
+    result = factors[0]
+    for factor in factors[1:]:
+        result = Product(result, factor)
+    return result
+
+
+def truncated(expression: Expression, bound: int) -> Expression:
+    """``E ↓ l``: replace every ``Σ*`` with ``Σ^{<=l}`` (Theorem 4.2)."""
+    if isinstance(expression, SigmaStar):
+        return SigmaL(bound)
+    if isinstance(expression, (Rel, SigmaL)):
+        return expression
+    if isinstance(expression, Union):
+        return Union(truncated(expression.left, bound), truncated(expression.right, bound))
+    if isinstance(expression, Diff):
+        return Diff(truncated(expression.left, bound), truncated(expression.right, bound))
+    if isinstance(expression, Product):
+        return Product(
+            truncated(expression.left, bound), truncated(expression.right, bound)
+        )
+    if isinstance(expression, Project):
+        return Project(truncated(expression.inner, bound), expression.columns)
+    if isinstance(expression, Select):
+        return Select(truncated(expression.inner, bound), expression.machine)
+    raise TypeError(f"not an algebra expression: {expression!r}")
+
+
+def uses_sigma_star(expression: Expression) -> bool:
+    """Does ``Σ*`` occur anywhere in the expression?"""
+    if isinstance(expression, SigmaStar):
+        return True
+    if isinstance(expression, (Rel, SigmaL)):
+        return False
+    if isinstance(expression, (Union, Diff, Product)):
+        return uses_sigma_star(expression.left) or uses_sigma_star(
+            expression.right
+        )
+    if isinstance(expression, (Project, Select)):
+        return uses_sigma_star(expression.inner)
+    raise TypeError(f"not an algebra expression: {expression!r}")
+
+
+def relation_symbols(expression: Expression) -> frozenset[str]:
+    """All relation names mentioned by the expression."""
+    if isinstance(expression, Rel):
+        return frozenset({expression.name})
+    if isinstance(expression, (SigmaStar, SigmaL)):
+        return frozenset()
+    if isinstance(expression, (Union, Diff, Product)):
+        return relation_symbols(expression.left) | relation_symbols(
+            expression.right
+        )
+    if isinstance(expression, (Project, Select)):
+        return relation_symbols(expression.inner)
+    raise TypeError(f"not an algebra expression: {expression!r}")

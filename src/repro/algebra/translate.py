@@ -1,0 +1,344 @@
+"""The calculus ⇄ algebra translations (Theorems 4.1 and 4.2).
+
+Both directions are implemented exactly along the paper's inductive
+proofs.  The algebra→calculus direction (Theorem 4.1) uses the
+Theorem 3.2 decompiler for selections; the calculus→algebra direction
+(Theorem 4.2) is built around the ``F ↑ B`` equivalence-partition
+operator, which realizes repeated-variable atoms and the natural join
+with a single FSA selection plus a projection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algebra.expressions import (
+    Diff,
+    Expression,
+    Product,
+    Project,
+    Rel,
+    Select,
+    SigmaL,
+    SigmaStar,
+    Union,
+    product_of,
+    sigma_power,
+)
+from repro.core.alphabet import Alphabet
+from repro.core.syntax import (
+    And,
+    Exists,
+    Formula,
+    IsEmpty,
+    Not,
+    RelAtom,
+    SameChar,
+    SStar,
+    StringAtom,
+    StringFormula,
+    Var,
+    WTrue,
+    all_empty,
+    atom,
+    concat,
+    exists,
+    f_or,
+    free_variables,
+    left,
+    lift,
+    rename_free,
+    string_variables,
+    w_and,
+)
+from repro.errors import ArityError, EvaluationError
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.decompile import decompile
+
+
+# ---------------------------------------------------------------------------
+# The partition operator F ↑ B
+# ---------------------------------------------------------------------------
+
+
+def partition_formula(width: int, parts: Sequence[Sequence[int]]) -> StringFormula:
+    """The string formula enforcing an equivalence partition of columns.
+
+    The paper's ``φ`` for ``F ↑ B``: repeatedly transpose all columns
+    checking that the columns of each part agree in the window, until
+    every column is exhausted simultaneously.  Clamped transposes make
+    the simultaneous-exhaustion test correct even for columns of
+    different lengths across parts.
+    """
+    variables = tuple(f"c{i}" for i in range(width))
+    group_tests = []
+    for part in parts:
+        representative = variables[min(part)]
+        for index in part:
+            if index != min(part):
+                group_tests.append(SameChar(variables[index], representative))
+    loop_test = w_and(*group_tests) if group_tests else WTrue()
+    return concat(
+        SStar(atom(left(*variables), loop_test)),
+        atom(left(*variables), all_empty(*variables)),
+    )
+
+
+def partition_machine(
+    width: int, parts: Sequence[Sequence[int]], alphabet: Alphabet
+) -> "FSA":
+    """The ``F ↑ B`` selection machine, built directly.
+
+    Semantically identical to compiling :func:`partition_formula`
+    (clamped lock-step scan, groups equal in every window, all columns
+    exhausted simultaneously), but the transition set is enumerated
+    *per group* — ``Π (|Σ| + 2^{|part|})`` combinations instead of
+    ``(|Σ|+2)^width`` — which keeps wide joins tractable.
+    """
+    from itertools import product as iproduct
+
+    from repro.core.alphabet import LEFT_END, RIGHT_END
+    from repro.fsa.machine import FSA, Transition
+
+    group_choices: list[list[tuple[str, ...]]] = []
+    for part in parts:
+        choices: list[tuple[str, ...]] = [
+            (char,) * len(part) for char in alphabet.symbols
+        ]
+        choices.extend(
+            combo
+            for combo in iproduct((LEFT_END, RIGHT_END), repeat=len(part))
+        )
+        group_choices.append(choices)
+    transitions: set[Transition] = set()
+    order = [index for part in parts for index in part]
+    for assignment in iproduct(*group_choices):
+        reads: list[str] = [""] * width
+        for part_values, part in zip(assignment, parts):
+            for value, index in zip(part_values, part):
+                reads[index] = value
+        moves = tuple(
+            0 if symbol == RIGHT_END else +1 for symbol in reads
+        )
+        if all(symbol == RIGHT_END for symbol in reads):
+            transitions.add(
+                Transition("go", tuple(reads), "ok", (0,) * width)
+            )
+        else:
+            transitions.add(Transition("go", tuple(reads), "go", moves))
+    del order
+    return FSA(
+        width,
+        frozenset({"go", "ok"}),
+        "go",
+        frozenset({"ok"}),
+        frozenset(transitions),
+        alphabet,
+    )
+
+
+def partitioned(
+    expression: Expression,
+    parts: Sequence[Sequence[int]],
+    alphabet: Alphabet,
+) -> Expression:
+    """``F ↑ B``: equate grouped columns, keep one representative each.
+
+    ``parts`` is an ordered partition of ``0 … arity-1``; the output's
+    column ``j`` is the representative (minimum index) of part ``j``.
+    """
+    width = expression.arity
+    covered = sorted(index for part in parts for index in part)
+    if covered != list(range(width)):
+        raise ArityError(f"{parts!r} is not a partition of 0..{width - 1}")
+    machine = partition_machine(width, parts, alphabet)
+    return Project(
+        Select(expression, machine), tuple(min(part) for part in parts)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.2: calculus → algebra
+# ---------------------------------------------------------------------------
+
+
+def _columns_invariant(formula: Formula) -> tuple[Var, ...]:
+    """The translation invariant: columns = free variables, ascending."""
+    return tuple(sorted(free_variables(formula)))
+
+
+def _translate(formula: Formula, alphabet: Alphabet) -> Expression:
+    if isinstance(formula, RelAtom):
+        occurring = tuple(sorted(set(formula.args)))
+        parts = [
+            [pos for pos, arg in enumerate(formula.args) if arg == var]
+            for var in occurring
+        ]
+        base = Rel(formula.name, len(formula.args))
+        if len(formula.args) == 0:
+            return base
+        return partitioned(base, parts, alphabet)
+    if isinstance(formula, StringAtom):
+        variables = tuple(sorted(string_variables(formula.formula)))
+        machine = compile_string_formula(
+            formula.formula, alphabet, variables=variables
+        ).fsa
+        if not variables:
+            # A variable-free string formula is a 0-ary condition: true
+            # or false uniformly over all databases.
+            if _zero_ary_truth(machine):
+                return Project(SigmaStar(), ())
+            return _empty_zero_ary()
+        return Select(product_of(sigma_power(len(variables))), machine)
+    if isinstance(formula, And):
+        left_expr = _translate(formula.left, alphabet)
+        right_expr = _translate(formula.right, alphabet)
+        left_vars = _columns_invariant(formula.left)
+        right_vars = _columns_invariant(formula.right)
+        sequence = list(left_vars) + list(right_vars)
+        union_vars = _columns_invariant(formula)
+        if not sequence:
+            return _zero_ary_and(left_expr, right_expr)
+        parts = [
+            [pos for pos, var in enumerate(sequence) if var == name]
+            for name in union_vars
+        ]
+        return partitioned(Product(left_expr, right_expr), parts, alphabet)
+    if isinstance(formula, Not):
+        inner = _translate(formula.inner, alphabet)
+        width = len(_columns_invariant(formula))
+        if width == 0:
+            return Diff(Project(SigmaStar(), ()), inner)
+        return Diff(product_of(sigma_power(width)), inner)
+    if isinstance(formula, Exists):
+        inner_vars = _columns_invariant(formula.inner)
+        inner = _translate(formula.inner, alphabet)
+        if formula.var not in inner_vars:
+            return inner
+        keep = tuple(
+            pos for pos, var in enumerate(inner_vars) if var != formula.var
+        )
+        return Project(inner, keep)
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+def _zero_ary_truth(machine) -> bool:
+    from repro.fsa.simulate import accepts
+
+    return accepts(machine, ())
+
+
+def _empty_zero_ary() -> Expression:
+    # π over the empty relation: Σ* minus Σ* has no tuples.
+    universe = SigmaStar()
+    return Project(Diff(universe, universe), ())
+
+
+def _zero_ary_and(left_expr: Expression, right_expr: Expression) -> Expression:
+    from repro.algebra.expressions import intersect
+
+    return intersect(left_expr, right_expr)
+
+
+def calculus_to_algebra(
+    formula: Formula,
+    head: Sequence[Var],
+    alphabet: Alphabet,
+) -> Expression:
+    """Theorem 4.2: an expression ``E_φ`` with ``⟦φ⟧_db = db(E_φ)``.
+
+    The expression's columns follow ``head`` (which must list exactly
+    the free variables); internally the translation keeps columns in
+    ascending variable order and reorders at the end.
+    """
+    free = free_variables(formula)
+    if set(head) != free or len(set(head)) != len(head):
+        raise EvaluationError(
+            f"head {head!r} must list the free variables {sorted(free)} exactly"
+        )
+    expression = _translate(formula, alphabet)
+    ordered = _columns_invariant(formula)
+    wanted = tuple(ordered.index(var) for var in head)
+    if wanted != tuple(range(len(ordered))):
+        expression = Project(expression, wanted)
+    return expression
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.1: algebra → calculus
+# ---------------------------------------------------------------------------
+
+
+def _variables_for(arity: int, offset: int = 0) -> tuple[Var, ...]:
+    return tuple(f"x{i + 1 + offset}" for i in range(arity))
+
+
+def algebra_to_calculus(expression: Expression) -> Formula:
+    """Theorem 4.1: a formula ``φ_E`` with ``db(E) = ⟦φ_E⟧_db``.
+
+    Free variables are ``x1 … x_{arity}``, matching columns in order.
+    Arity-0 expressions translate to closed formulae.
+    """
+    return _to_calculus(expression, 0, [0])
+
+
+def _to_calculus(expression: Expression, offset: int, counter: list[int]) -> Formula:
+    variables = _variables_for(expression.arity, offset)
+    if isinstance(expression, Rel):
+        return RelAtom(expression.name, variables)
+    if isinstance(expression, SigmaStar):
+        # Any identically-true formula in one free variable; the paper
+        # suggests []_l x = ε, which holds in every initial alignment.
+        return lift(atom(left(), IsEmpty(variables[0])))
+    if isinstance(expression, SigmaL):
+        guard = atom(left(variables[0]), WTrue())
+        return lift(
+            concat(
+                guard.times(expression.bound),
+                atom(left(variables[0]), IsEmpty(variables[0])),
+            )
+        )
+    if isinstance(expression, Union):
+        return f_or(
+            _to_calculus(expression.left, offset, counter),
+            _to_calculus(expression.right, offset, counter),
+        )
+    if isinstance(expression, Diff):
+        return And(
+            _to_calculus(expression.left, offset, counter),
+            Not(_to_calculus(expression.right, offset, counter)),
+        )
+    if isinstance(expression, Product):
+        return And(
+            _to_calculus(expression.left, offset, counter),
+            _to_calculus(
+                expression.right, offset + expression.left.arity, counter
+            ),
+        )
+    if isinstance(expression, Select):
+        inner = _to_calculus(expression.inner, offset, counter)
+        condition = decompile(expression.machine, variables)
+        return And(inner, lift(condition))
+    if isinstance(expression, Project):
+        # Quantify dropped columns, then rename kept ones into place.
+        # Scratch names are globally unique so renamings never capture.
+        inner_width = expression.inner.arity
+        counter[0] += 1
+        tag = counter[0]
+        scratch = tuple(f"q{tag}_{i + 1}" for i in range(inner_width))
+        inner = _to_calculus(expression.inner, 0, counter)
+        inner = rename_free(
+            inner, dict(zip(_variables_for(inner_width), scratch))
+        )
+        dropped = [
+            scratch[i]
+            for i in range(inner_width)
+            if i not in expression.columns
+        ]
+        body = exists(dropped, inner)
+        renaming = {
+            scratch[source]: variables[target]
+            for target, source in enumerate(expression.columns)
+        }
+        return rename_free(body, renaming)
+    raise TypeError(f"not an algebra expression: {expression!r}")

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro.cli <command> …``.
+
+Four subcommands expose the library's main workflows:
+
+* ``check``   — evaluate a string formula on explicit strings::
+
+      python -m repro.cli check --alphabet ab \\
+          "([x,y]l(x = y))* . [x,y]l(x = y = eps)" x=abab y=abab
+
+* ``query``   — run an alignment calculus query against a database
+  stored as JSON (``{"relation": [["col1", "col2"], …], …}``)::
+
+      python -m repro.cli query --alphabet acgt --db db.json \\
+          --head x "exists y: R1(y, x) & [y]l(y = 'a') . [y]l(y = eps)"
+
+* ``compile`` — show the Theorem 3.1 machine for a string formula
+  (text listing or Graphviz DOT);
+* ``limit``   — run the Theorem 5.2 limitation analysis.
+
+Formulas use the concrete syntax of :mod:`repro.core.parser`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+from repro.core.parser import parse_formula, parse_string_formula
+from repro.core.query import Query
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import string_variables
+from repro.errors import ReproError
+
+
+def _alphabet(text: str) -> Alphabet:
+    return Alphabet(text)
+
+
+def _comma_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_bindings(pairs: list[str]) -> dict[str, str]:
+    bindings: dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"binding {pair!r} must look like var=string")
+        name, _, value = pair.partition("=")
+        bindings[name] = value
+    return bindings
+
+
+def _load_database(path: str, alphabet: Alphabet) -> Database:
+    with open(path) as handle:
+        raw = json.load(handle)
+    return Database(
+        alphabet,
+        {name: [tuple(row) for row in rows] for name, rows in raw.items()},
+    )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    alphabet = _alphabet(args.alphabet)
+    formula = parse_string_formula(args.formula)
+    env = _parse_bindings(args.bindings)
+    missing = string_variables(formula) - set(env)
+    if missing:
+        raise ReproError(f"missing bindings for {sorted(missing)}")
+    for value in env.values():
+        alphabet.validate_string(value)
+    verdict = check_string_formula(formula, env)
+    print("satisfied" if verdict else "not satisfied")
+    return 0 if verdict else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    alphabet = _alphabet(args.alphabet)
+    database = _load_database(args.db, alphabet)
+    formula = parse_formula(args.formula)
+    query = Query(tuple(args.head), formula, alphabet)
+    answers = query.evaluate(
+        database,
+        length=args.length,
+        engine=args.engine,
+    )
+    for row in sorted(answers):
+        print("\t".join(value if value else "ε" for value in row))
+    print(f"-- {len(answers)} tuple(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.fsa.compile import compile_string_formula
+    from repro.fsa.render import to_dot, to_text
+
+    alphabet = _alphabet(args.alphabet)
+    formula = parse_string_formula(args.formula)
+    compiled = compile_string_formula(formula, alphabet)
+    if args.dot:
+        print(to_dot(compiled.fsa))
+    else:
+        print(f"tapes: {', '.join(compiled.variables)}")
+        print(to_text(compiled.fsa))
+    return 0
+
+
+def cmd_limit(args: argparse.Namespace) -> int:
+    from repro.safety.limitation import formula_limitation
+
+    alphabet = _alphabet(args.alphabet)
+    formula = parse_string_formula(args.formula)
+    report = formula_limitation(
+        formula, args.inputs, args.outputs, alphabet
+    )
+    print(f"limited: {report.limited}")
+    print(f"reason:  {report.reason}")
+    if report.crossing_size is not None:
+        print(f"|A″|:    {report.crossing_size}")
+    if report.limited:
+        print(f"bound:   {report.limit.describe()}")
+    return 0 if report.limited else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Alignment calculus for string databases "
+        "(Grahne, Nykänen & Ukkonen, PODS 1994).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="evaluate a string formula")
+    check.add_argument("--alphabet", required=True, help="e.g. 'acgt'")
+    check.add_argument("formula", help="string formula (concrete syntax)")
+    check.add_argument("bindings", nargs="+", help="var=string pairs")
+    check.set_defaults(handler=cmd_check)
+
+    query = sub.add_parser("query", help="run a query against a JSON database")
+    query.add_argument("--alphabet", required=True)
+    query.add_argument("--db", required=True, help="JSON file of relations")
+    query.add_argument(
+        "--head",
+        required=True,
+        type=_comma_list,
+        help="answer variables, comma separated, in order",
+    )
+    query.add_argument(
+        "--length",
+        type=int,
+        default=None,
+        help="truncation bound (default: certified by the safety analysis)",
+    )
+    query.add_argument(
+        "--engine",
+        choices=("naive", "planner", "algebra"),
+        default="naive",
+        help="evaluation engine (default: naive, with automatic planner "
+        "fallback when no --length is given)",
+    )
+    query.add_argument("formula")
+    query.set_defaults(handler=cmd_query)
+
+    compile_ = sub.add_parser("compile", help="show the Theorem 3.1 machine")
+    compile_.add_argument("--alphabet", required=True)
+    compile_.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    compile_.add_argument("formula")
+    compile_.set_defaults(handler=cmd_compile)
+
+    limit = sub.add_parser("limit", help="Theorem 5.2 limitation analysis")
+    limit.add_argument("--alphabet", required=True)
+    limit.add_argument(
+        "--inputs",
+        type=_comma_list,
+        default=[],
+        help="input variables, comma separated",
+    )
+    limit.add_argument(
+        "--outputs",
+        type=_comma_list,
+        required=True,
+        help="output variables, comma separated",
+    )
+    limit.add_argument("formula")
+    limit.set_defaults(handler=cmd_limit)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""Alignments: the states of alignment calculus.
+
+An *alignment* (paper, Section 2) is a partial function
+``A : N × Z → Σ`` placing, for each row ``i``, one finite string on a
+contiguous interval ``K_i`` of columns, such that the distinguished
+*window* column 0 at least touches the defined area
+(``K_i ∩ {-1, 0, 1} ≠ ∅``) unless the row is empty.
+
+Internally each row is stored in *head coordinates*: a pair
+``(string, head)`` with ``0 <= head <= len(string) + 1`` where the
+window column shows ``string[head - 1]`` when ``1 <= head <=
+len(string)`` and nothing otherwise.  ``head == 0`` means the window is
+just left of the string (the *initial* position, ``min K_i = 1``) and
+``head == len(string) + 1`` means it is just right of it.  The empty
+string always has ``head == 0``; as the paper notes, alignments — in
+contrast to FSA tapes — do not distinguish the two ends of ``ε``.
+
+The head-coordinate view is exactly the tape-configuration
+correspondence of Theorem 3.1 (Figure 3), which is why the same class
+doubles as the pedagogical rendering of Figures 1 and 2 and as the
+semantic substrate of the model checker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.errors import AssignmentError
+
+
+@dataclass(frozen=True)
+class Row:
+    """One row of an alignment: a string plus the window position.
+
+    ``head`` follows the conventions documented in the module
+    docstring.  Instances are immutable; the transpose operations on
+    :class:`Alignment` produce new rows.
+    """
+
+    string: str
+    head: int = 0
+
+    def __post_init__(self) -> None:
+        limit = len(self.string) + 1 if self.string else 0
+        if not 0 <= self.head <= limit:
+            raise ValueError(
+                f"head {self.head} out of range for string {self.string!r}"
+            )
+
+    @property
+    def window_char(self) -> str | None:
+        """Character in the window column, or ``None`` if undefined."""
+        if 1 <= self.head <= len(self.string):
+            return self.string[self.head - 1]
+        return None
+
+    def char_at(self, column: int) -> str | None:
+        """The partial function ``A(row, column)`` for this row.
+
+        With the string occupying columns ``1 - head … len - head``,
+        column ``j`` shows character index ``head - 1 + j``.
+        """
+        index = self.head - 1 + column
+        if 0 <= index < len(self.string):
+            return self.string[index]
+        return None
+
+    @property
+    def columns(self) -> range:
+        """The interval ``K_i`` of columns where this row is defined."""
+        if not self.string:
+            return range(0)
+        return range(1 - self.head, len(self.string) - self.head + 1)
+
+    def slid_left(self) -> "Row":
+        """Shift one position left unless the window passed the right end.
+
+        Implements the clamping in the paper's definition of a left
+        transpose: the row moves only while ``K_i ∩ {0, 1} ≠ ∅``, i.e.
+        while ``head <= len(string)``.
+        """
+        if self.string and self.head <= len(self.string):
+            return Row(self.string, self.head + 1)
+        return self
+
+    def slid_right(self) -> "Row":
+        """Shift one position right unless the window passed the left end."""
+        if self.string and self.head >= 1:
+            return Row(self.string, self.head - 1)
+        return self
+
+
+_EMPTY_ROW = Row("", 0)
+
+
+class Alignment:
+    """An immutable alignment of finitely many explicitly-set rows.
+
+    Rows that were never set behave as the empty string (``K_i = ∅``);
+    queries only ever inspect rows bound to variables, so the lazily
+    empty remainder is unobservable, exactly as in the paper's remark
+    that the structure of unused rows "can safely be ignored".
+
+    >>> a = Alignment.initial({0: "abc", 1: "abb", 2: "cacd"})
+    >>> a = a.transpose_left([0, 1, 2]).transpose_left([2])
+    >>> a.window_char(2)
+    'a'
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: Mapping[int, Row]) -> None:
+        for index in rows:
+            if index < 0:
+                raise AssignmentError(f"row indices must be natural, got {index}")
+        # Drop rows indistinguishable from the default so that equality
+        # of alignments is equality of observable behaviour.
+        self._rows: dict[int, Row] = {
+            i: row for i, row in rows.items() if row != _EMPTY_ROW
+        }
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def initial(cls, strings: Mapping[int, str]) -> "Alignment":
+        """The initial alignment ``A0``: every string starts at column 1.
+
+        This is the starting position the paper fixes for query
+        evaluation — the leftmost symbol of each row sits one position
+        to the right of the window.
+        """
+        return cls({i: Row(s, 0) for i, s in strings.items()})
+
+    @classmethod
+    def from_rows(cls, rows: Mapping[int, Row]) -> "Alignment":
+        """Build an alignment from explicit head-positioned rows."""
+        return cls(dict(rows))
+
+    # -- observation ----------------------------------------------------
+
+    def row(self, index: int) -> Row:
+        """The row at ``index`` (empty if never set)."""
+        return self._rows.get(index, _EMPTY_ROW)
+
+    def sigma(self, index: int) -> str:
+        """``σ_A(i)``: the string represented by row ``index``."""
+        return self.row(index).string
+
+    def window_char(self, index: int) -> str | None:
+        """``A(index, 0)`` — the window character, or ``None``."""
+        return self.row(index).window_char
+
+    def char_at(self, index: int, column: int) -> str | None:
+        """The partial function ``A(index, column)``."""
+        return self.row(index).char_at(column)
+
+    @property
+    def set_rows(self) -> tuple[int, ...]:
+        """Indices of rows that were explicitly set, ascending."""
+        return tuple(sorted(self._rows))
+
+    def is_initial(self) -> bool:
+        """True iff every row is at the starting position ``min K_i = 1``."""
+        return all(row.head == 0 for row in self._rows.values())
+
+    # -- state transitions ----------------------------------------------
+
+    def transpose_left(self, indices: Iterable[int]) -> "Alignment":
+        """The left transpose ``[i1, …, ik]_l`` applied to this alignment."""
+        rows = dict(self._rows)
+        for index in indices:
+            rows[index] = self.row(index).slid_left()
+        return Alignment(rows)
+
+    def transpose_right(self, indices: Iterable[int]) -> "Alignment":
+        """The right transpose ``[i1, …, ik]_r`` applied to this alignment."""
+        rows = dict(self._rows)
+        for index in indices:
+            rows[index] = self.row(index).slid_right()
+        return Alignment(rows)
+
+    def transpose(self, direction: str, indices: Iterable[int]) -> "Alignment":
+        """Apply a transpose by direction tag ``'l'`` or ``'r'``."""
+        if direction == "l":
+            return self.transpose_left(indices)
+        if direction == "r":
+            return self.transpose_right(indices)
+        raise ValueError(f"unknown transpose direction {direction!r}")
+
+    def with_row(self, index: int, string: str) -> "Alignment":
+        """Functional update: set row ``index`` to ``string`` at start."""
+        rows = dict(self._rows)
+        rows[index] = Row(string, 0)
+        return Alignment(rows)
+
+    def truncate(self, length: int) -> "Alignment":
+        """The truncation ``A^l``: keep only the first ``l`` characters.
+
+        Only meaningful for initial alignments, matching the paper's
+        definition of ``A0^l``.
+        """
+        return Alignment(
+            {i: Row(row.string[:length], 0) for i, row in self._rows.items()}
+        )
+
+    # -- comparison -----------------------------------------------------
+
+    def _key(self) -> tuple:
+        return tuple(sorted(self._rows.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alignment):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{i}: {row.string!r}@{row.head}" for i, row in sorted(self._rows.items())
+        )
+        return f"Alignment({{{inner}}})"
+
+    # -- rendering (Figures 1 and 2) ------------------------------------
+
+    def render(self, indices: Iterable[int] | None = None) -> str:
+        """ASCII rendering in the style of the paper's Figure 1.
+
+        Rows are drawn stacked with the window column marked by ``|``
+        guides above and below, e.g.::
+
+                |
+             a b c
+             a b b
+           c a c d
+                |
+        """
+        rows = list(indices) if indices is not None else list(self.set_rows)
+        if not rows:
+            return "|\n|"
+        columns = [self.row(i).columns for i in rows]
+        low = min((c.start for c in columns if len(c)), default=0)
+        high = max((c.stop - 1 for c in columns if len(c)), default=0)
+        low, high = min(low, 0), max(high, 0)
+        width = 2  # one char plus one space per column
+        lines = []
+        marker = " " * ((0 - low) * width) + "|"
+        lines.append(marker)
+        for index in rows:
+            cells = []
+            for col in range(low, high + 1):
+                char = self.char_at(index, col)
+                cells.append(char if char is not None else " ")
+            lines.append(" ".join(cells).rstrip())
+        lines.append(marker)
+        return "\n".join(lines)
+
+
+def initial_alignment_for(
+    strings: Iterable[str], alphabet: Alphabet | None = None
+) -> Alignment:
+    """Initial alignment with ``strings`` on rows ``0, 1, 2, …``.
+
+    If ``alphabet`` is given the strings are validated against it.
+    """
+    listed = list(strings)
+    if alphabet is not None:
+        for string in listed:
+            alphabet.validate_string(string)
+    return Alignment.initial(dict(enumerate(listed)))

@@ -1,0 +1,131 @@
+"""Fixed finite alphabets.
+
+The paper (Section 2) fixes a finite alphabet ``Σ`` with at least two
+characters before any database is designed; every string stored in a
+relation and every string quantified over is drawn from ``Σ*``.  This
+module provides the :class:`Alphabet` value object together with the
+two endmarker symbols used by the multitape automata of Section 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.errors import AlphabetError
+
+#: Left endmarker written on every FSA tape before the input (paper: ``⊢``).
+LEFT_END = "⊢"
+
+#: Right endmarker written on every FSA tape after the input (paper: ``⊣``).
+RIGHT_END = "⊣"
+
+#: Symbols that may never occur inside an alphabet.
+_RESERVED = frozenset({LEFT_END, RIGHT_END})
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """A fixed, finite, ordered alphabet of single-character symbols.
+
+    The paper requires ``|Σ| >= 2``.  Symbol order is the order given at
+    construction time; it only matters for deterministic enumeration.
+
+    >>> dna = Alphabet("acgt")
+    >>> "a" in dna, "x" in dna
+    (True, False)
+    >>> sorted(dna.strings(max_length=1))
+    ['', 'a', 'c', 'g', 't']
+    """
+
+    symbols: tuple[str, ...]
+    _index: dict[str, int] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __init__(self, symbols: Iterable[str]) -> None:
+        ordered = tuple(symbols)
+        if len(ordered) < 2:
+            raise AlphabetError(
+                f"alphabet needs at least two symbols, got {ordered!r}"
+            )
+        if len(set(ordered)) != len(ordered):
+            raise AlphabetError(f"duplicate symbols in alphabet {ordered!r}")
+        for sym in ordered:
+            if len(sym) != 1:
+                raise AlphabetError(
+                    f"alphabet symbols must be single characters, got {sym!r}"
+                )
+            if sym in _RESERVED:
+                raise AlphabetError(
+                    f"symbol {sym!r} is reserved for tape endmarkers"
+                )
+        object.__setattr__(self, "symbols", ordered)
+        object.__setattr__(
+            self, "_index", {sym: i for i, sym in enumerate(ordered)}
+        )
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def index(self, symbol: str) -> int:
+        """Position of ``symbol`` in the alphabet's fixed order."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise AlphabetError(f"{symbol!r} is not in alphabet {self}") from None
+
+    def validate_string(self, string: str) -> str:
+        """Return ``string`` unchanged if every character is in Σ.
+
+        Raises :class:`AlphabetError` otherwise.  Used at the database
+        boundary so that malformed data never reaches the automata.
+        """
+        for char in string:
+            if char not in self._index:
+                raise AlphabetError(
+                    f"character {char!r} of {string!r} is not in alphabet {self}"
+                )
+        return string
+
+    def strings(self, max_length: int, min_length: int = 0) -> Iterator[str]:
+        """Yield every string in ``Σ^{min_length} ∪ … ∪ Σ^{max_length}``.
+
+        Enumeration is by length, then lexicographically in alphabet
+        order, so it is deterministic.  This realizes the truncated
+        domains ``Σ^{<=l}`` of the paper's truncation semantics.
+        """
+        if max_length < 0:
+            return
+        for length in range(max(min_length, 0), max_length + 1):
+            for chars in product(self.symbols, repeat=length):
+                yield "".join(chars)
+
+    def count_strings(self, max_length: int) -> int:
+        """Number of strings in ``Σ^{<=max_length}``."""
+        size = len(self.symbols)
+        return sum(size**length for length in range(max_length + 1))
+
+    def tape_symbols(self) -> tuple[str, ...]:
+        """Σ extended with the two endmarkers (the FSA tape alphabet)."""
+        return self.symbols + (LEFT_END, RIGHT_END)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "{" + ",".join(self.symbols) + "}"
+
+
+#: The DNA alphabet used in the paper's motivating examples.
+DNA = Alphabet("acgt")
+
+#: The binary alphabet used for counter/encoding constructions.
+BINARY = Alphabet("01")
+
+#: A two-letter alphabet matching Figure 6 of the paper.
+AB = Alphabet("ab")

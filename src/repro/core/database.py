@@ -1,0 +1,144 @@
+"""String databases.
+
+A database (paper, Section 2) maps each relation symbol ``R_i`` of
+arity ``a(R_i)`` to a *finite* subset of ``(Σ*)^{a(R_i)}``: every
+column of every tuple holds a finite string over the fixed alphabet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.alphabet import Alphabet
+from repro.errors import ArityError, AlphabetError
+
+
+class Database:
+    """An immutable string database.
+
+    >>> from repro.core.alphabet import AB
+    >>> db = Database(AB, {"R1": [("ab", "ba")], "R2": [("a",), ("bb",)]})
+    >>> db.arity("R1"), len(db.relation("R2"))
+    (2, 2)
+    """
+
+    __slots__ = ("_alphabet", "_relations", "_arities")
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        relations: Mapping[str, Iterable[tuple[str, ...]]],
+    ) -> None:
+        self._alphabet = alphabet
+        self._relations: dict[str, frozenset[tuple[str, ...]]] = {}
+        self._arities: dict[str, int] = {}
+        for name, tuples in relations.items():
+            frozen = frozenset(tuple(t) for t in tuples)
+            arity = self._check_relation(name, frozen)
+            self._relations[name] = frozen
+            self._arities[name] = arity
+
+    def _check_relation(
+        self, name: str, tuples: frozenset[tuple[str, ...]]
+    ) -> int:
+        arities = {len(t) for t in tuples}
+        if len(arities) > 1:
+            raise ArityError(
+                f"relation {name!r} mixes tuple arities {sorted(arities)}"
+            )
+        for row in tuples:
+            for value in row:
+                if not isinstance(value, str):
+                    raise AlphabetError(
+                        f"relation {name!r} holds non-string value {value!r}"
+                    )
+                self._alphabet.validate_string(value)
+        return arities.pop() if arities else 0
+
+    # -- observation ----------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The fixed alphabet every stored string is drawn from."""
+        return self._alphabet
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation symbols with an assigned value, sorted."""
+        return tuple(sorted(self._relations))
+
+    def relation(self, name: str) -> frozenset[tuple[str, ...]]:
+        """The finite relation assigned to ``name``.
+
+        Unknown symbols denote the empty relation, mirroring the paper
+        where ``db`` is total on the infinite supply of symbols.
+        """
+        return self._relations.get(name, frozenset())
+
+    def arity(self, name: str) -> int:
+        """Arity of ``name``; raises for symbols never mentioned."""
+        try:
+            return self._arities[name]
+        except KeyError:
+            raise ArityError(f"relation {name!r} has no tuples and no known arity") from None
+
+    def contains(self, name: str, row: tuple[str, ...]) -> bool:
+        """Membership test ``row ∈ db(name)``."""
+        return row in self.relation(name)
+
+    def max_string_length(self, *names: str) -> int:
+        """``max(R, db)`` of the paper's Eq. (2), over the given relations.
+
+        With no arguments, ranges over every relation in the database.
+        Returns 0 for empty relations — the longest string in no tuples
+        is the empty one.
+        """
+        selected = names if names else self.relation_names
+        longest = 0
+        for name in selected:
+            for row in self.relation(name):
+                for value in row:
+                    longest = max(longest, len(value))
+        return longest
+
+    def active_strings(self, *names: str) -> frozenset[str]:
+        """Every string occurring in the selected relations."""
+        selected = names if names else self.relation_names
+        found: set[str] = set()
+        for name in selected:
+            for row in self.relation(name):
+                found.update(row)
+        return frozenset(found)
+
+    def with_relation(
+        self, name: str, tuples: Iterable[tuple[str, ...]]
+    ) -> "Database":
+        """Functional update returning a new database."""
+        relations: dict[str, Iterable[tuple[str, ...]]] = dict(self._relations)
+        relations[name] = tuples
+        return Database(self._alphabet, relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return (
+            self._alphabet == other._alphabet
+            and self._relations == other._relations
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._alphabet, tuple(sorted(self._relations.items())))
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{self._arities[name]}]:{len(rows)}"
+            for name, rows in sorted(self._relations.items())
+        )
+        return f"Database({parts})"
+
+
+def empty_database(alphabet: Alphabet) -> Database:
+    """A database assigning every symbol the empty relation."""
+    return Database(alphabet, {})

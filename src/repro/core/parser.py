@@ -1,0 +1,440 @@
+"""A concrete text syntax for alignment calculus.
+
+The paper writes formulae in LaTeX; a library needs a plain-text form
+that round-trips.  The grammar (ASCII throughout):
+
+Window formulae (inside an atom's parentheses)::
+
+    x = 'a'            character test
+    x = eps            the undefined-window test  (paper: x = ε)
+    x = y              window equality
+    x = y = eps        chains, as in the paper's shorthand
+    true               the tautology ⊤
+    !w, w & w, w | w   boolean structure, ( ) for grouping
+
+String formulae::
+
+    [x,y]l(x = y)      atomic: transpose then test
+    [x]r               test omitted: ⊤
+    []l(x = eps)       the empty transpose (identity)
+    a . b              concatenation
+    a + b              selection (union)
+    a*                 Kleene closure
+    _                  the empty formula word λ
+
+Calculus formulae::
+
+    R(x, y)            relational atom
+    [x,y]l(...) . ...  a string formula is an atom (starts with '[')
+    { ... }            any string formula, braced (for λ etc.)
+    f & g, f | g, !f   connectives (& binds tighter than |)
+    exists x, y: f     quantifiers
+    forall x: f
+
+``parse_formula`` / ``parse_string_formula`` / ``parse_window``
+produce the ASTs of :mod:`repro.core.syntax`; ``formula_to_text`` and
+friends render them back; parsing the rendering yields an equal AST
+(tested property).
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import (
+    And,
+    Exists,
+    Formula,
+    IsChar,
+    IsEmpty,
+    Lambda,
+    Not,
+    RelAtom,
+    SameChar,
+    SAtom,
+    SConcat,
+    SStar,
+    StringAtom,
+    StringFormula,
+    SUnion,
+    Transpose,
+    WAnd,
+    WindowFormula,
+    WNot,
+    WTrue,
+    atom,
+    concat,
+    exists,
+    f_or,
+    forall,
+    union,
+    w_and,
+    w_or,
+)
+from repro.errors import ParseError
+
+_KEYWORDS = {"exists", "forall", "true", "eps"}
+
+
+class _Tokens:
+    """A hand-rolled tokenizer with one-token lookahead."""
+
+    _PUNCT = "[](){}=&|!*+._:,~"
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.items: list[tuple[str, str]] = []
+        self.position = 0
+        self._scan()
+
+    def _scan(self) -> None:
+        i, text = 0, self.text
+        while i < len(text):
+            char = text[i]
+            if char.isspace():
+                i += 1
+            elif char == "'":
+                end = text.find("'", i + 1)
+                if end != i + 2:
+                    raise ParseError(
+                        f"expected a quoted single character at {i} in {text!r}"
+                    )
+                self.items.append(("char", text[i + 1]))
+                i = end + 1
+            elif char in self._PUNCT:
+                self.items.append(("punct", char))
+                i += 1
+            elif char.isalnum():
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                word = text[i:j]
+                kind = "keyword" if word in _KEYWORDS else "name"
+                self.items.append((kind, word))
+                i = j
+            else:
+                raise ParseError(f"unexpected character {char!r} in {text!r}")
+
+    def peek(self, offset: int = 0) -> tuple[str, str] | None:
+        index = self.position + offset
+        return self.items[index] if index < len(self.items) else None
+
+    def take(self, kind: str | None = None, value: str | None = None):
+        item = self.peek()
+        if item is None:
+            raise ParseError(f"unexpected end of input in {self.text!r}")
+        if kind is not None and item[0] != kind:
+            raise ParseError(f"expected {kind}, got {item} in {self.text!r}")
+        if value is not None and item[1] != value:
+            raise ParseError(f"expected {value!r}, got {item} in {self.text!r}")
+        self.position += 1
+        return item
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        item = self.peek()
+        if item is None or item[0] != kind:
+            return False
+        if value is not None and item[1] != value:
+            return False
+        self.position += 1
+        return True
+
+    def done(self) -> bool:
+        return self.position >= len(self.items)
+
+
+# ---------------------------------------------------------------------------
+# Window formulae
+# ---------------------------------------------------------------------------
+
+
+def _parse_window(tokens: _Tokens) -> WindowFormula:
+    return _window_or(tokens)
+
+
+def _window_or(tokens: _Tokens) -> WindowFormula:
+    parts = [_window_and(tokens)]
+    while tokens.accept("punct", "|"):
+        parts.append(_window_and(tokens))
+    return parts[0] if len(parts) == 1 else w_or(*parts)
+
+
+def _window_and(tokens: _Tokens) -> WindowFormula:
+    parts = [_window_unary(tokens)]
+    while tokens.accept("punct", "&"):
+        parts.append(_window_unary(tokens))
+    return parts[0] if len(parts) == 1 else w_and(*parts)
+
+
+def _window_unary(tokens: _Tokens) -> WindowFormula:
+    if tokens.accept("punct", "!"):
+        return WNot(_window_unary(tokens))
+    if tokens.accept("punct", "("):
+        inner = _parse_window(tokens)
+        tokens.take("punct", ")")
+        return inner
+    if tokens.accept("keyword", "true"):
+        return WTrue()
+    return _window_chain(tokens)
+
+
+def _window_chain(tokens: _Tokens) -> WindowFormula:
+    """``x = y = … = 'a'|eps`` chains, as the paper abbreviates them."""
+    variables = [tokens.take("name")[1]]
+    terminal: tuple[str, str] | None = None
+    tokens.take("punct", "=")
+    while True:
+        item = tokens.peek()
+        if item is None:
+            raise ParseError(f"dangling '=' in {tokens.text!r}")
+        if item[0] == "char" or item == ("keyword", "eps"):
+            terminal = tokens.take()
+            break
+        variables.append(tokens.take("name")[1])
+        if not tokens.accept("punct", "="):
+            break
+    pieces: list[WindowFormula] = []
+    for left_var, right_var in zip(variables, variables[1:]):
+        pieces.append(SameChar(left_var, right_var))
+    if terminal is not None:
+        # Pinning the last variable suffices: the pairwise chain
+        # propagates the constraint (undefined windows compare equal,
+        # so this also covers the paper's "x = y = eps").
+        if terminal[0] == "char":
+            pieces.append(IsChar(variables[-1], terminal[1]))
+        else:
+            pieces.append(IsEmpty(variables[-1]))
+    if not pieces:
+        raise ParseError(f"empty window test in {tokens.text!r}")
+    return pieces[0] if len(pieces) == 1 else w_and(*pieces)
+
+
+# ---------------------------------------------------------------------------
+# String formulae
+# ---------------------------------------------------------------------------
+
+
+def _parse_string(tokens: _Tokens) -> StringFormula:
+    parts = [_string_term(tokens)]
+    while tokens.accept("punct", "+"):
+        parts.append(_string_term(tokens))
+    return parts[0] if len(parts) == 1 else union(*parts)
+
+
+def _string_term(tokens: _Tokens) -> StringFormula:
+    parts = [_string_factor(tokens)]
+    while tokens.accept("punct", "."):
+        parts.append(_string_factor(tokens))
+    return parts[0] if len(parts) == 1 else concat(*parts)
+
+
+def _string_factor(tokens: _Tokens) -> StringFormula:
+    base = _string_base(tokens)
+    while tokens.accept("punct", "*"):
+        base = SStar(base)
+    return base
+
+
+def _string_base(tokens: _Tokens) -> StringFormula:
+    if tokens.accept("punct", "_"):
+        return Lambda()
+    if tokens.accept("punct", "("):
+        inner = _parse_string(tokens)
+        tokens.take("punct", ")")
+        return inner
+    return _string_atom(tokens)
+
+
+def _string_atom(tokens: _Tokens) -> SAtom:
+    tokens.take("punct", "[")
+    variables: list[str] = []
+    if not tokens.accept("punct", "]"):
+        variables.append(tokens.take("name")[1])
+        while tokens.accept("punct", ","):
+            variables.append(tokens.take("name")[1])
+        tokens.take("punct", "]")
+    direction = tokens.take("name")[1]
+    if direction not in ("l", "r"):
+        raise ParseError(
+            f"transpose direction must be l or r, got {direction!r}"
+        )
+    test: WindowFormula = WTrue()
+    if tokens.accept("punct", "("):
+        test = _parse_window(tokens)
+        tokens.take("punct", ")")
+    return atom(Transpose(direction, tuple(variables)), test)
+
+
+# ---------------------------------------------------------------------------
+# Calculus formulae
+# ---------------------------------------------------------------------------
+
+
+def _parse_calculus(tokens: _Tokens) -> Formula:
+    item = tokens.peek()
+    if item in (("keyword", "exists"), ("keyword", "forall")):
+        quantifier = tokens.take()[1]
+        names = [tokens.take("name")[1]]
+        while tokens.accept("punct", ","):
+            names.append(tokens.take("name")[1])
+        tokens.take("punct", ":")
+        body = _parse_calculus(tokens)
+        return exists(names, body) if quantifier == "exists" else forall(
+            names, body
+        )
+    return _calculus_or(tokens)
+
+
+def _calculus_or(tokens: _Tokens) -> Formula:
+    parts = [_calculus_and(tokens)]
+    while tokens.accept("punct", "|"):
+        parts.append(_calculus_and(tokens))
+    return parts[0] if len(parts) == 1 else f_or(*parts)
+
+
+def _calculus_and(tokens: _Tokens) -> Formula:
+    parts = [_calculus_unary(tokens)]
+    while tokens.accept("punct", "&"):
+        parts.append(_calculus_unary(tokens))
+    result = parts[0]
+    for part in parts[1:]:
+        result = And(result, part)
+    return result
+
+
+def _calculus_unary(tokens: _Tokens) -> Formula:
+    if tokens.accept("punct", "!"):
+        return Not(_calculus_unary(tokens))
+    item = tokens.peek()
+    if item == ("punct", "{"):
+        tokens.take()
+        inner = _parse_string(tokens)
+        tokens.take("punct", "}")
+        return StringAtom(inner)
+    if item == ("punct", "["):
+        return StringAtom(_parse_string(tokens))
+    if item == ("punct", "("):
+        # Ambiguous: both "(calculus)" and a parenthesized string
+        # formula start here.  Try the string-formula reading first
+        # (it only succeeds on transpose syntax) and fall back.
+        saved = tokens.position
+        try:
+            return StringAtom(_parse_string(tokens))
+        except ParseError:
+            tokens.position = saved
+        tokens.take()
+        inner = _parse_calculus(tokens)
+        tokens.take("punct", ")")
+        return inner
+    if item is not None and item[0] == "name":
+        name = tokens.take("name")[1]
+        tokens.take("punct", "(")
+        args: list[str] = []
+        if not tokens.accept("punct", ")"):
+            args.append(tokens.take("name")[1])
+            while tokens.accept("punct", ","):
+                args.append(tokens.take("name")[1])
+            tokens.take("punct", ")")
+        return RelAtom(name, tuple(args))
+    raise ParseError(f"unexpected {item} in {tokens.text!r}")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def parse_window(text: str) -> WindowFormula:
+    """Parse a window formula."""
+    tokens = _Tokens(text)
+    result = _parse_window(tokens)
+    if not tokens.done():
+        raise ParseError(f"trailing input after window formula: {text!r}")
+    return result
+
+
+def parse_string_formula(text: str) -> StringFormula:
+    """Parse a string formula."""
+    tokens = _Tokens(text)
+    result = _parse_string(tokens)
+    if not tokens.done():
+        raise ParseError(f"trailing input after string formula: {text!r}")
+    return result
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a full alignment calculus formula."""
+    tokens = _Tokens(text)
+    result = _parse_calculus(tokens)
+    if not tokens.done():
+        raise ParseError(f"trailing input after formula: {text!r}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Rendering (round-trips with the parsers)
+# ---------------------------------------------------------------------------
+
+
+def window_to_text(formula: WindowFormula) -> str:
+    """Render a window formula in the concrete syntax."""
+    if isinstance(formula, WTrue):
+        return "true"
+    if isinstance(formula, IsEmpty):
+        return f"{formula.var} = eps"
+    if isinstance(formula, IsChar):
+        return f"{formula.var} = '{formula.char}'"
+    if isinstance(formula, SameChar):
+        return f"{formula.left} = {formula.right}"
+    if isinstance(formula, WAnd):
+        return (
+            f"({window_to_text(formula.left)} & {window_to_text(formula.right)})"
+        )
+    if isinstance(formula, WNot):
+        return f"!({window_to_text(formula.inner)})"
+    raise TypeError(f"not a window formula: {formula!r}")
+
+
+def string_to_text(formula: StringFormula) -> str:
+    """Render a string formula in the concrete syntax."""
+    if isinstance(formula, SAtom):
+        variables = ",".join(formula.transpose.variables)
+        test = (
+            ""
+            if isinstance(formula.test, WTrue)
+            else f"({window_to_text(formula.test)})"
+        )
+        return f"[{variables}]{formula.transpose.direction}{test}"
+    if isinstance(formula, Lambda):
+        return "_"
+    if isinstance(formula, SConcat):
+        return " . ".join(
+            f"({string_to_text(p)})" if isinstance(p, (SUnion,)) else string_to_text(p)
+            for p in formula.parts
+        )
+    if isinstance(formula, SUnion):
+        return "(" + " + ".join(string_to_text(p) for p in formula.parts) + ")"
+    if isinstance(formula, SStar):
+        inner = string_to_text(formula.inner)
+        if isinstance(formula.inner, (SConcat, SUnion)):
+            return f"({inner})*"
+        return f"{inner}*"
+    raise TypeError(f"not a string formula: {formula!r}")
+
+
+def formula_to_text(formula: Formula) -> str:
+    """Render a calculus formula in the concrete syntax."""
+    if isinstance(formula, RelAtom):
+        return f"{formula.name}({', '.join(formula.args)})"
+    if isinstance(formula, StringAtom):
+        return "{" + string_to_text(formula.formula) + "}"
+    if isinstance(formula, And):
+        return f"({formula_to_text(formula.left)} & {formula_to_text(formula.right)})"
+    if isinstance(formula, Not):
+        return f"!({formula_to_text(formula.inner)})"
+    if isinstance(formula, Exists):
+        names = [formula.var]
+        inner = formula.inner
+        while isinstance(inner, Exists):
+            names.append(inner.var)
+            inner = inner.inner
+        return f"exists {', '.join(names)}: ({formula_to_text(inner)})"
+    raise TypeError(f"not a calculus formula: {formula!r}")

@@ -1,0 +1,230 @@
+"""A conjunctive query planner for alignment calculus.
+
+The theoretical evaluation routes — brute-force enumeration over
+``Σ^{<=l}`` (Section 2's truncation semantics) and the Theorem 4.2
+algebra translation — both materialize candidate strings per variable,
+which is hopeless once the certified truncation bound is loose.  This
+planner implements the evaluation strategy the paper's Eq. (6) hints
+at for the common query shape
+
+    ∃ y₁ … y_n . (L₁ ∧ L₂ ∧ … ∧ L_m)
+
+where each literal ``Lᵢ`` is a relational atom, a string formula, or a
+negation of either:
+
+1. relational atoms are joined first (they ground variables in
+   database strings);
+2. a string formula with unbound variables is turned into a
+   *generator*: its compiled machine runs as a generalized Mealy
+   machine (Definition 3.1), producing the unbound variables from the
+   bound ones — capped by the certified limit so unsafe generation
+   cannot run away;
+3. fully-bound literals (including negations) filter.
+
+Queries outside this shape fall back to the caller's naive engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+from repro.core.syntax import (
+    And,
+    Exists,
+    Formula,
+    Not,
+    RelAtom,
+    StringAtom,
+    Var,
+    string_variables,
+)
+
+Binding = dict[Var, str]
+
+
+@dataclass(frozen=True)
+class _Literal:
+    atom: Formula
+    negated: bool
+
+    def variables(self) -> frozenset[Var]:
+        if isinstance(self.atom, RelAtom):
+            return frozenset(self.atom.args)
+        return string_variables(self.atom.formula)
+
+
+def _decompose(formula: Formula) -> tuple[list[Var], list[_Literal]] | None:
+    """Strip the ∃-prefix and flatten the conjunction of literals.
+
+    Returns ``None`` when the formula does not have the supported
+    shape (e.g. nested quantifiers under negation, disjunctions).
+    """
+    quantified: list[Var] = []
+    body = formula
+    while isinstance(body, Exists):
+        quantified.append(body.var)
+        body = body.inner
+
+    literals: list[_Literal] = []
+
+    def flatten(node: Formula) -> bool:
+        if isinstance(node, And):
+            return flatten(node.left) and flatten(node.right)
+        if isinstance(node, (RelAtom, StringAtom)):
+            literals.append(_Literal(node, False))
+            return True
+        if isinstance(node, Not) and isinstance(
+            node.inner, (RelAtom, StringAtom)
+        ):
+            literals.append(_Literal(node.inner, True))
+            return True
+        return False
+
+    if not flatten(body):
+        return None
+    return quantified, literals
+
+
+def _join_relational(
+    bindings: list[Binding], literal: _Literal, db: Database
+) -> list[Binding]:
+    atom: RelAtom = literal.atom
+    out: list[Binding] = []
+    rows = db.relation(atom.name)
+    for binding in bindings:
+        for row in rows:
+            extended = dict(binding)
+            for var, value in zip(atom.args, row):
+                if extended.get(var, value) != value:
+                    break
+                extended[var] = value
+            else:
+                out.append(extended)
+    return out
+
+
+def _filter_bound(
+    bindings: list[Binding], literal: _Literal, db: Database
+) -> list[Binding]:
+    from repro.core.semantics import check_string_formula
+
+    out = []
+    for binding in bindings:
+        if isinstance(literal.atom, RelAtom):
+            held = db.contains(
+                literal.atom.name,
+                tuple(binding[v] for v in literal.atom.args),
+            )
+        else:
+            held = check_string_formula(literal.atom.formula, binding)
+        if held != literal.negated:
+            out.append(binding)
+    return out
+
+
+def _generate(
+    bindings: list[Binding],
+    literal: _Literal,
+    alphabet: Alphabet,
+    cap: int,
+) -> list[Binding]:
+    """Extend bindings with the literal's unbound variables via the
+    compiled machine's output generation."""
+    from repro.fsa.compile import compile_string_formula
+    from repro.fsa.generate import accepted_tuples
+
+    compiled = compile_string_formula(literal.atom.formula, alphabet)
+    out: list[Binding] = []
+    for binding in bindings:
+        fixed = {
+            compiled.tape_of(var): binding[var]
+            for var in compiled.variables
+            if var in binding
+        }
+        free_order = [
+            var for var in compiled.variables if var not in binding
+        ]
+        for values in accepted_tuples(
+            compiled.fsa, max_length=cap, fixed=fixed
+        ):
+            extended = dict(binding)
+            extended.update(zip(free_order, values))
+            out.append(extended)
+    return out
+
+
+def evaluate_conjunctive(
+    formula: Formula,
+    head: Sequence[Var],
+    db: Database,
+    alphabet: Alphabet,
+    cap: int,
+) -> frozenset[tuple[str, ...]] | None:
+    """Evaluate a conjunctive query, or ``None`` if unsupported.
+
+    ``cap`` bounds generated string lengths (supply the certified limit
+    function's value ``W(db)``; for safe queries generation halts long
+    before the cap is reached).
+    """
+    decomposed = _decompose(formula)
+    if decomposed is None:
+        return None
+    _, literals = decomposed
+    pending = list(literals)
+    bindings: list[Binding] = [{}]
+    progress = True
+    while pending and progress:
+        progress = False
+        bound_vars = set().union(*(set(b) for b in bindings)) if bindings else set()
+
+        def pick():
+            # 1. fully bound literals (cheap filters, incl. negations)
+            for item in pending:
+                if item.variables() <= bound_vars:
+                    return item, "filter"
+            # 2. positive relational atoms (ground new variables)
+            for item in pending:
+                if isinstance(item.atom, RelAtom) and not item.negated:
+                    return item, "join"
+            # 3. positive string formulae: generate, fewest unbound first
+            candidates = [
+                item
+                for item in pending
+                if isinstance(item.atom, StringAtom) and not item.negated
+            ]
+            if candidates:
+                best = min(
+                    candidates,
+                    key=lambda item: len(item.variables() - bound_vars),
+                )
+                return best, "generate"
+            return None, None
+
+        literal, action = pick()
+        if literal is None:
+            break
+        pending.remove(literal)
+        progress = True
+        if action == "filter":
+            bindings = _filter_bound(bindings, literal, db)
+        elif action == "join":
+            bindings = _join_relational(bindings, literal, db)
+        else:
+            bindings = _generate(bindings, literal, alphabet, cap)
+        if not bindings:
+            return frozenset()
+        # Joins and generators can produce duplicate bindings; dedupe
+        # to keep the intermediate result a relation.
+        unique = {tuple(sorted(b.items())): b for b in bindings}
+        bindings = list(unique.values())
+    if pending:
+        return None  # e.g. a negation with forever-unbound variables
+    answers = set()
+    for binding in bindings:
+        if any(var not in binding for var in head):
+            return None
+        answers.add(tuple(binding[var] for var in head))
+    return frozenset(answers)

@@ -1,0 +1,137 @@
+"""Queries over string databases.
+
+A query (paper, Section 2) is an expression ``x_{i1}, …, x_{ik} | φ``
+whose answer on a database ``db`` is the set of head-variable tuples
+for which ``φ`` holds in some full interpretation (Eq. 1).  Evaluation
+here follows the truncation semantics ``⟦φ⟧^l_db``: quantifiers and
+head variables range over ``Σ^{<=l}``.  For domain-independent queries
+the two agree once ``l`` reaches the limit function ``W_φ(db)``
+(Definition 3.2); the :mod:`repro.safety` package derives such bounds
+automatically where the paper's theory allows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+from repro.core.semantics import evaluate_naive
+from repro.core.syntax import Formula, Var, free_variables
+from repro.errors import EvaluationError, SafetyError
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query ``head | formula`` over a fixed alphabet.
+
+    >>> from repro.core.alphabet import AB
+    >>> from repro.core import shorthands as sh
+    >>> from repro.core.syntax import And, lift, rel
+    >>> q = Query(("x", "y"), And(rel("R1", "x", "y"), lift(sh.equals("x", "y"))), AB)
+    """
+
+    head: tuple[Var, ...]
+    formula: Formula
+    alphabet: Alphabet
+
+    def __post_init__(self) -> None:
+        free = free_variables(self.formula)
+        extra = set(self.head) - free
+        missing = free - set(self.head)
+        if missing:
+            raise EvaluationError(
+                f"free variables {sorted(missing)} missing from query head"
+            )
+        if extra:
+            raise EvaluationError(
+                f"head variables {sorted(extra)} are not free in the formula"
+            )
+        if len(set(self.head)) != len(self.head):
+            raise EvaluationError("query head repeats a variable")
+
+    def evaluate(
+        self,
+        db: Database,
+        length: int | None = None,
+        engine: str = "naive",
+        domain: Sequence[str] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        """The truncated answer ``⟦φ⟧^l_db``.
+
+        ``length`` fixes the truncation bound ``l``; when omitted, the
+        safety analysis of :mod:`repro.safety` is consulted for a limit
+        function and evaluation is exact (raises :class:`SafetyError`
+        when no bound can be certified).  ``domain`` may supply an
+        explicit candidate string pool instead, bypassing ``Σ^{<=l}``
+        enumeration.
+
+        ``engine`` selects the implementation:
+
+        * ``"naive"`` — the direct model checker of
+          :mod:`repro.core.semantics` (reference oracle).
+        * ``"algebra"`` — translate to alignment algebra (Theorem 4.2)
+          and evaluate the expression (the paper's procedural route).
+        * ``"planner"`` — the conjunctive planner of
+          :mod:`repro.core.planner` (joins, then machine generation).
+
+        When no ``length``/``domain`` is given, the safety analysis
+        certifies a bound and the planner is tried first — certified
+        bounds are sound but loose, and only generation-based
+        evaluation stays practical under them.
+        """
+        if domain is None:
+            if length is None:
+                length = self.certified_length(db)
+                if engine == "naive":
+                    planned = self._plan(db, length)
+                    if planned is not None:
+                        return planned
+            domain = tuple(self.alphabet.strings(length))
+        if engine == "planner":
+            bound = length
+            if bound is None:
+                bound = max((len(s) for s in domain), default=0)
+            planned = self._plan(db, bound)
+            if planned is None:
+                raise EvaluationError(
+                    "query shape not supported by the conjunctive planner"
+                )
+            return planned
+        if engine == "naive":
+            return evaluate_naive(self.formula, self.head, db, domain)
+        if engine == "algebra":
+            from repro.algebra.translate import calculus_to_algebra
+            from repro.algebra.evaluate import evaluate_expression
+
+            expression = calculus_to_algebra(
+                self.formula, self.head, self.alphabet
+            )
+            bound = max((len(s) for s in domain), default=0)
+            return evaluate_expression(
+                expression, db, length=bound, domain=tuple(domain)
+            )
+        raise EvaluationError(f"unknown engine {engine!r}")
+
+    def _plan(self, db: Database, cap: int) -> frozenset | None:
+        from repro.core.planner import evaluate_conjunctive
+
+        return evaluate_conjunctive(
+            self.formula, self.head, db, self.alphabet, cap
+        )
+
+    def certified_length(self, db: Database) -> int:
+        """A truncation bound from the safety analysis, if derivable."""
+        from repro.safety.domain_independence import limit_function
+
+        report = limit_function(self.formula, self.alphabet)
+        if report is None:
+            raise SafetyError(
+                "no limit function could be certified for this query; "
+                "pass an explicit length"
+            )
+        return report.bound(db)
+
+    def __str__(self) -> str:
+        return f"{', '.join(self.head)} | {self.formula}"

@@ -1,0 +1,353 @@
+"""Direct model-checking semantics of alignment calculus.
+
+This module implements the paper's truth definitions 1-13 *literally*:
+string formulae are checked by searching for a satisfying formula word
+over the actual alignment state space, and the relational layer
+recurses over ``∧``, ``¬`` and ``∃`` with quantifiers ranging over an
+explicitly supplied finite domain (the truncated interpretation
+``Σ^{<=l}`` of the paper's Section 2).
+
+It is deliberately independent of the FSA pipeline of Section 3, so the
+two engines can be cross-checked against each other — the library's
+main internal consistency property (Theorems 3.1/3.2 made executable).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.alignment import Alignment
+from repro.core.database import Database
+from repro.core.syntax import (
+    And,
+    Exists,
+    Formula,
+    Lambda,
+    Not,
+    RelAtom,
+    SAtom,
+    SConcat,
+    SStar,
+    SUnion,
+    StringAtom,
+    StringFormula,
+    Var,
+    evaluate_window,
+    free_variables,
+    string_variables,
+)
+from repro.errors import AssignmentError
+
+
+# ---------------------------------------------------------------------------
+# Assignments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """An injection from variables to alignment rows (paper, Section 2).
+
+    Injectivity guarantees no two distinct variables denote the same
+    row; it is checked at construction time.
+    """
+
+    mapping: tuple[tuple[Var, int], ...]
+
+    def __init__(self, mapping: Mapping[Var, int]) -> None:
+        items = tuple(sorted(mapping.items()))
+        rows = [row for _, row in items]
+        if len(set(rows)) != len(rows):
+            raise AssignmentError(f"assignment is not injective: {mapping!r}")
+        object.__setattr__(self, "mapping", items)
+
+    def __getitem__(self, var: Var) -> int:
+        for name, row in self.mapping:
+            if name == var:
+                return row
+        raise AssignmentError(f"variable {var!r} is unassigned")
+
+    def __contains__(self, var: Var) -> bool:
+        return any(name == var for name, _ in self.mapping)
+
+    def extended(self, var: Var, row: int) -> "Assignment":
+        """``θ[x = i]``: the assignment updated at ``var``."""
+        base = {name: r for name, r in self.mapping if name != var}
+        base[var] = row
+        return Assignment(base)
+
+    def rows(self) -> tuple[int, ...]:
+        return tuple(row for _, row in self.mapping)
+
+
+# ---------------------------------------------------------------------------
+# String-formula satisfaction (truth definitions 1-9)
+# ---------------------------------------------------------------------------
+
+
+class _RegexNFA:
+    """A Thompson NFA whose letters are atomic string formulae.
+
+    States are integers; ``edges[state]`` lists ``(atom-or-None, next)``
+    pairs where ``None`` marks an ε-edge.  Only used internally by the
+    direct checker; the full FSA machinery of Section 3 lives in
+    :mod:`repro.fsa`.
+    """
+
+    __slots__ = ("edges", "start", "final")
+
+    def __init__(self) -> None:
+        self.edges: list[list[tuple[SAtom | None, int]]] = []
+        self.start = self._new_state()
+        self.final = self._new_state()
+
+    def _new_state(self) -> int:
+        self.edges.append([])
+        return len(self.edges) - 1
+
+    def _add(self, src: int, label: SAtom | None, dst: int) -> None:
+        self.edges[src].append((label, dst))
+
+    def build(self, formula: StringFormula, src: int, dst: int) -> None:
+        """Wire ``formula`` between states ``src`` and ``dst``."""
+        if isinstance(formula, SAtom):
+            self._add(src, formula, dst)
+        elif isinstance(formula, Lambda):
+            self._add(src, None, dst)
+        elif isinstance(formula, SConcat):
+            current = src
+            for part in formula.parts[:-1]:
+                nxt = self._new_state()
+                self.build(part, current, nxt)
+                current = nxt
+            self.build(formula.parts[-1], current, dst)
+        elif isinstance(formula, SUnion):
+            for part in formula.parts:
+                self.build(part, src, dst)
+        elif isinstance(formula, SStar):
+            hub = self._new_state()
+            self._add(src, None, hub)
+            self._add(hub, None, dst)
+            self.build(formula.inner, hub, hub)
+        else:
+            raise TypeError(f"not a string formula: {formula!r}")
+
+    def closure(self, states: frozenset[int]) -> frozenset[int]:
+        """ε-closure of a state set."""
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for label, nxt in self.edges[state]:
+                if label is None and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+
+def _compile_regex(formula: StringFormula) -> _RegexNFA:
+    nfa = _RegexNFA()
+    nfa.build(formula, nfa.start, nfa.final)
+    return nfa
+
+
+_REGEX_CACHE: dict[StringFormula, _RegexNFA] = {}
+
+
+def _regex_for(formula: StringFormula) -> _RegexNFA:
+    nfa = _REGEX_CACHE.get(formula)
+    if nfa is None:
+        nfa = _compile_regex(formula)
+        _REGEX_CACHE[formula] = nfa
+    return nfa
+
+
+def _apply_atom(
+    alignment: Alignment, atom: SAtom, assignment: Assignment
+) -> Alignment | None:
+    """One step of truth definition 8: transpose, then test the window.
+
+    Returns the transposed alignment when the window test succeeds,
+    else ``None``.
+    """
+    rows = [assignment[v] for v in atom.transpose.variables]
+    moved = alignment.transpose(atom.transpose.direction, rows)
+    chars = {
+        var: moved.window_char(assignment[var])
+        for var in _test_variables(atom)
+    }
+    if evaluate_window(atom.test, chars):
+        return moved
+    return None
+
+
+def _test_variables(atom: SAtom) -> frozenset[Var]:
+    from repro.core.syntax import window_variables
+
+    return window_variables(atom.test)
+
+
+def satisfies_string(
+    alignment: Alignment,
+    formula: StringFormula,
+    assignment: Assignment,
+) -> bool:
+    """Truth definition 9: ``A ⊨ φθ`` for a string formula ``φ``.
+
+    Searches for a formula word in ``L(φ)`` that is true in
+    ``alignment`` under ``assignment``.  The search runs over pairs
+    (regex state, alignment); because every row's head is clamped to a
+    finite range, the reachable state space is finite and breadth-first
+    search terminates.
+    """
+    for var in string_variables(formula):
+        if var not in assignment:
+            raise AssignmentError(f"string formula uses unassigned {var!r}")
+    nfa = _regex_for(formula)
+    start = nfa.closure(frozenset({nfa.start}))
+    if nfa.final in start:
+        # λ ∈ L(φ): vacuously true in every alignment.
+        return True
+    frontier: list[tuple[int, Alignment]] = [
+        (state, alignment) for state in start
+    ]
+    visited: set[tuple[int, Alignment]] = set(frontier)
+    while frontier:
+        state, current = frontier.pop()
+        for label, nxt in nfa.edges[state]:
+            if label is None:
+                continue
+            moved = _apply_atom(current, label, assignment)
+            if moved is None:
+                continue
+            for closed in nfa.closure(frozenset({nxt})):
+                if closed == nfa.final:
+                    return True
+                key = (closed, moved)
+                if key not in visited:
+                    visited.add(key)
+                    frontier.append(key)
+    return False
+
+
+def satisfying_alignments(
+    alignment: Alignment,
+    formula: StringFormula,
+    assignment: Assignment,
+) -> frozenset[Alignment]:
+    """All alignments reachable at acceptance — used by tests.
+
+    Returns the set of final alignments ``τ_m(…(τ_1 A)…)`` over the
+    satisfying formula words of ``L(φ)``; empty iff ``A ⊭ φθ``.
+    """
+    nfa = _regex_for(formula)
+    start = nfa.closure(frozenset({nfa.start}))
+    results: set[Alignment] = set()
+    if nfa.final in start:
+        results.add(alignment)
+    frontier: list[tuple[int, Alignment]] = [
+        (state, alignment) for state in start
+    ]
+    visited: set[tuple[int, Alignment]] = set(frontier)
+    while frontier:
+        state, current = frontier.pop()
+        for label, nxt in nfa.edges[state]:
+            if label is None:
+                continue
+            moved = _apply_atom(current, label, assignment)
+            if moved is None:
+                continue
+            for closed in nfa.closure(frozenset({nxt})):
+                if closed == nfa.final:
+                    results.add(moved)
+                key = (closed, moved)
+                if key not in visited:
+                    visited.add(key)
+                    frontier.append(key)
+    return frozenset(results)
+
+
+# ---------------------------------------------------------------------------
+# Full calculus satisfaction (truth definitions 10-13, truncated domain)
+# ---------------------------------------------------------------------------
+
+
+def check_string_formula(
+    formula: StringFormula, env: Mapping[Var, str]
+) -> bool:
+    """Check a string formula from the *initial* alignment of ``env``.
+
+    Because the calculus layer (``∧``, ``¬``, ``∃``) never changes the
+    alignment, every embedded string formula of a query is evaluated
+    from the initial alignment — this helper builds that alignment with
+    one fresh row per variable.
+    """
+    variables = sorted(string_variables(formula))
+    alignment = Alignment.initial(
+        {row: env[var] for row, var in enumerate(variables)}
+    )
+    assignment = Assignment({var: row for row, var in enumerate(variables)})
+    return satisfies_string(alignment, formula, assignment)
+
+
+def satisfies(
+    formula: Formula,
+    env: Mapping[Var, str],
+    db: Database,
+    domain: Sequence[str],
+) -> bool:
+    """``(A0^l, db) ⊨ φθ`` with quantifiers ranging over ``domain``.
+
+    ``env`` supplies the strings bound to the free variables; the
+    fullness condition of the paper (every string available on
+    infinitely many rows) is realized by letting ``∃`` draw any string
+    from ``domain`` into a fresh row.
+    """
+    if isinstance(formula, RelAtom):
+        return db.contains(formula.name, tuple(env[v] for v in formula.args))
+    if isinstance(formula, StringAtom):
+        return check_string_formula(formula.formula, env)
+    if isinstance(formula, And):
+        return satisfies(formula.left, env, db, domain) and satisfies(
+            formula.right, env, db, domain
+        )
+    if isinstance(formula, Not):
+        return not satisfies(formula.inner, env, db, domain)
+    if isinstance(formula, Exists):
+        inner_env = dict(env)
+        for candidate in domain:
+            inner_env[formula.var] = candidate
+            if satisfies(formula.inner, inner_env, db, domain):
+                return True
+        return False
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+def evaluate_naive(
+    formula: Formula,
+    head: Sequence[Var],
+    db: Database,
+    domain: Sequence[str],
+) -> frozenset[tuple[str, ...]]:
+    """Brute-force query answer over a finite domain (Eq. 1 truncated).
+
+    Enumerates every assignment of ``domain`` strings to the head
+    variables and keeps those satisfying ``formula``.  Exponential in
+    the number of free variables — the reference oracle the efficient
+    engines are validated against.
+    """
+    from itertools import product
+
+    free = free_variables(formula)
+    missing = free - set(head)
+    if missing:
+        raise AssignmentError(
+            f"free variables {sorted(missing)} are not in the query head"
+        )
+    answers: set[tuple[str, ...]] = set()
+    for values in product(domain, repeat=len(head)):
+        env = dict(zip(head, values))
+        if satisfies(formula, env, db, domain):
+            answers.add(tuple(values))
+    return frozenset(answers)

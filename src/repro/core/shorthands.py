@@ -1,0 +1,456 @@
+"""The paper's derived string predicates and temporal modalities.
+
+Section 2 of the paper develops twelve example queries whose string
+parts became the de-facto standard library of alignment calculus:
+string equality ``x =_s y``, concatenation, manifolds ``x ∈*_s y``,
+shuffles, occurrence, bounded edit distance, the non-context-free
+languages ``aXbXa`` and ``aⁿbⁿcⁿ``, and the copy-with-translation
+language.  Section 6 adds temporal-logic style modalities.  This module
+builds each of them as a formula value, exactly following the paper's
+constructions (deviations are called out in the docstrings and in
+``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.syntax import (
+    And,
+    Formula,
+    IsChar,
+    IsEmpty,
+    SameChar,
+    SStar,
+    StringFormula,
+    Var,
+    WindowFormula,
+    WTrue,
+    all_empty,
+    atom,
+    concat,
+    exists,
+    left,
+    lift,
+    not_empty,
+    right,
+    union,
+    w_and,
+    w_or,
+)
+
+
+# ---------------------------------------------------------------------------
+# Core string predicates (Examples 1-7)
+# ---------------------------------------------------------------------------
+
+
+def constant(x: Var, word: str) -> StringFormula:
+    """``x`` holds exactly ``word`` (Example 1's first-component test).
+
+    Built as ``([x]_l x=w₁) . … . ([x]_l x=w_n) . ([x]_l x=ε)``.
+    """
+    steps = [atom(left(x), IsChar(x, char)) for char in word]
+    steps.append(atom(left(x), IsEmpty(x)))
+    return concat(*steps)
+
+
+def equals(x: Var, y: Var) -> StringFormula:
+    """String equality ``x =_s y`` (Example 2).
+
+    ``([x,y]_l x=y)* . ([x,y]_l x=y=ε)``.
+    """
+    return concat(
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x, y), all_empty(x, y)),
+    )
+
+
+def prefix_of(x: Var, y: Var) -> StringFormula:
+    """``x`` is a (not necessarily proper) prefix of ``y``.
+
+    Match character by character until ``x`` is exhausted.
+    """
+    return concat(
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x, y), IsEmpty(x)),
+    )
+
+
+def proper_prefix_of(x: Var, y: Var) -> StringFormula:
+    """``x`` is a proper prefix of ``y`` (the paper's unsafe ω example)."""
+    return concat(
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x, y), IsEmpty(x) & not_empty(y)),
+    )
+
+
+def concatenation(x: Var, y: Var, z: Var) -> StringFormula:
+    """``x = y · z`` (Example 3's string part).
+
+    ``([x,y]_l x=y)* . ([x,z]_l x=z)* . ([x,y,z]_l x=y=z=ε)``.
+    """
+    return concat(
+        SStar(atom(left(x, y), SameChar(x, y))),
+        SStar(atom(left(x, z), SameChar(x, z))),
+        atom(left(x, y, z), all_empty(x, y, z)),
+    )
+
+
+def rewind(vars: Sequence[Var]) -> StringFormula:
+    """Reset the listed rows to their initial alignment.
+
+    ``([vars]_r ⋀ vᵢ≠ε)* . ([vars]_r ⋀ vᵢ=ε)`` — the subformula (C) of
+    Theorem 5.1, generalized.  Makes every listed variable
+    bidirectional.
+    """
+    busy = w_and(*(not_empty(v) for v in vars))
+    return concat(
+        SStar(atom(right(*vars), busy)),
+        atom(right(*vars), all_empty(*vars)),
+    )
+
+
+def manifold(x: Var, y: Var) -> StringFormula:
+    """``x ∈*_s y``: ``x`` is a manifold ``y·y·…·y`` of ``y`` (Example 4).
+
+    Repeatedly checks that ``y`` is a prefix of the remaining part of
+    ``x``, rewinding ``y`` (which therefore becomes bidirectional)
+    after every full match, until ``x`` is exhausted.
+    """
+    one_round = concat(
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(y), IsEmpty(y)),
+        SStar(atom(right(y), not_empty(y))),
+        atom(right(y), IsEmpty(y)),
+    )
+    return concat(
+        SStar(one_round),
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x, y), all_empty(x, y)),
+    )
+
+
+def shuffle(x: Var, y: Var, z: Var) -> StringFormula:
+    """``x`` is a shuffle (interleaving) of ``y`` and ``z`` (Example 5).
+
+    ``(([x,y]_l x=y) + ([x,z]_l x=z))* . ([x,y,z]_l x=y=z=ε)``.
+    """
+    return concat(
+        SStar(
+            union(
+                atom(left(x, y), SameChar(x, y)),
+                atom(left(x, z), SameChar(x, z)),
+            )
+        ),
+        atom(left(x, y, z), all_empty(x, y, z)),
+    )
+
+
+def gc_plus_a_star(y: Var) -> StringFormula:
+    """``y ∈ (gc + a)*`` — the Section 1 motivating pattern (Example 6)."""
+    return concat(
+        SStar(
+            union(
+                concat(atom(left(y), IsChar(y, "g")), atom(left(y), IsChar(y, "c"))),
+                atom(left(y), IsChar(y, "a")),
+            )
+        ),
+        atom(left(y), IsEmpty(y)),
+    )
+
+
+def occurs_in(x: Var, y: Var) -> StringFormula:
+    """``x`` occurs in ``y`` as a contiguous substring (Example 7).
+
+    ``([y]_l ⊤)* . ([x,y]_l x=y)* . ([x]_l x=ε)``.
+    """
+    return concat(
+        SStar(atom(left(y), WTrue())),
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x), IsEmpty(x)),
+    )
+
+
+def suffix_of(x: Var, y: Var) -> StringFormula:
+    """``x`` is a suffix of ``y``: skip a prefix of ``y``, then match out."""
+    return concat(
+        SStar(atom(left(y), WTrue())),
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x, y), all_empty(x, y)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Edit distance (Example 8 and its counter variant)
+# ---------------------------------------------------------------------------
+
+
+def edit_distance_at_most(x: Var, y: Var, k: int) -> StringFormula:
+    """Edit distance between ``x`` and ``y`` is at most ``k`` (Example 8).
+
+    One block per allowed edit: a replacement relaxes the window test
+    to ``⊤``, an insertion into ``x`` transposes only ``x``, a deletion
+    transposes only ``y``.  ``k`` is a formula-level constant, not a
+    runtime parameter — exactly the limitation the paper points out
+    when comparing with similarity-query frameworks.
+    """
+    if k < 0:
+        raise ValueError("edit distance bound must be non-negative")
+    matches = SStar(atom(left(x, y), SameChar(x, y)))
+    edit_op = union(
+        atom(left(x, y), WTrue()),  # replace (or vacuously match)
+        atom(left(x), WTrue()),  # insert into x
+        atom(left(y), WTrue()),  # delete from x
+    )
+    block = concat(edit_op, matches)
+    return concat(matches, block.times(k), atom(left(x, y), all_empty(x, y)))
+
+
+def edit_distance_counter(
+    x: Var, y: Var, z: Var, counter_char: str = "a"
+) -> StringFormula:
+    """The counter variant of Example 8.
+
+    Lists alignments of ``(u, v, a^k)`` where the edit distance of
+    ``u`` and ``v`` is at most ``k`` — the paper's demonstration that
+    numerical degrees of similarity can be captured by counting with
+    strings.  Every edit operation consumes one ``counter_char`` from
+    ``z``.
+    """
+    matches = SStar(atom(left(x, y), SameChar(x, y)))
+    edit_op = union(
+        atom(left(x, y, z), IsChar(z, counter_char)),
+        atom(left(x, z), IsChar(z, counter_char)),
+        atom(left(y, z), IsChar(z, counter_char)),
+    )
+    return concat(
+        matches,
+        SStar(concat(edit_op, matches)),
+        atom(left(x, y, z), all_empty(x, y, z)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Non-regular languages (Examples 9-12)
+# ---------------------------------------------------------------------------
+
+
+def axbxa_string_part(
+    x: Var, y: Var, z: Var, first: str = "a", middle: str = "b"
+) -> StringFormula:
+    """String part of Example 9: ``x`` is of the form ``a y b y a``.
+
+    Uses an identical copy ``z`` of ``y`` to verify the second
+    occurrence instead of rewinding — the paper's illustration of
+    using ``∧`` to "reset" strings to their initial alignment.
+    """
+    return concat(
+        atom(left(x), IsChar(x, first)),
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(x, y), IsChar(x, middle) & IsEmpty(y)),
+        SStar(atom(left(x, z), SameChar(x, z))),
+        atom(left(x, z), IsChar(x, first) & IsEmpty(z)),
+        atom(left(x), IsEmpty(x)),
+    )
+
+
+def is_axbxa(
+    x: Var, y: Var, z: Var, first: str = "a", middle: str = "b"
+) -> Formula:
+    """Example 9 as a calculus formula with ``y``, ``z`` quantified."""
+    return exists(
+        [y, z],
+        And(lift(equals(y, z)), lift(axbxa_string_part(x, y, z, first, middle))),
+    )
+
+
+def equal_count_string_parts(
+    x: Var, y: Var, z: Var, char_a: str = "a", char_b: str = "b"
+) -> tuple[StringFormula, StringFormula]:
+    """The two string formulae of Example 10.
+
+    ``x`` consists of ``char_a``s and ``char_b``s in equal numbers:
+    every ``a`` consumes a position of witness ``y``, every ``b`` a
+    position of ``z``, and ``y`` and ``z`` are exhausted simultaneously.
+    """
+    count = concat(
+        SStar(
+            union(
+                atom(left(x, y), IsChar(x, char_a) & not_empty(y)),
+                atom(left(x, z), IsChar(x, char_b) & not_empty(z)),
+            )
+        ),
+        atom(left(x, y, z), all_empty(x, y, z)),
+    )
+    same_length = concat(
+        SStar(atom(left(y, z), not_empty(y) & not_empty(z))),
+        atom(left(y, z), all_empty(y, z)),
+    )
+    return count, same_length
+
+
+def has_equal_as_bs(x: Var, y: Var, z: Var) -> Formula:
+    """Example 10 as a calculus formula with the witnesses quantified."""
+    count, same_length = equal_count_string_parts(x, y, z)
+    return exists([y, z], And(lift(count), lift(same_length)))
+
+
+def anbncn_string_part(x: Var, y: Var) -> StringFormula:
+    """String part of Example 11: ``x ∈ {aⁿbⁿcⁿ}`` with counter ``y``.
+
+    The middle phase moves ``x`` forward while rewinding ``y`` — the
+    paper's illustration of simultaneous left and right transposition
+    (``y`` is bidirectional).
+    """
+    return concat(
+        SStar(atom(left(x, y), IsChar(x, "a") & not_empty(y))),
+        atom(left(y), IsEmpty(y)),
+        SStar(
+            concat(
+                atom(left(x), WTrue()),
+                atom(right(y), IsChar(x, "b") & not_empty(y)),
+            )
+        ),
+        atom(right(y), IsEmpty(y)),
+        SStar(atom(left(x, y), IsChar(x, "c") & not_empty(y))),
+        atom(left(x, y), all_empty(x, y)),
+    )
+
+
+def is_anbncn(x: Var, y: Var) -> Formula:
+    """Example 11 as a calculus formula (counter quantified)."""
+    return exists(y, lift(anbncn_string_part(x, y)))
+
+
+def copy_translation_string_parts(
+    x: Var, y: Var, z: Var, char_a: str = "a", char_b: str = "b"
+) -> tuple[StringFormula, StringFormula]:
+    """The two string formulae of Example 12.
+
+    ``x = y·z`` with ``z`` the a↔b translation of ``y``.  The paper's
+    printed first conjunct stops at ``([z]_l z=ε)`` without checking
+    that ``x`` is exhausted, which would also admit strings with an
+    uncovered suffix; we add the exhaustion test (see EXPERIMENTS.md,
+    item Q12).
+    """
+    split = concat(
+        SStar(atom(left(x, y), SameChar(x, y))),
+        atom(left(y), IsEmpty(y)),
+        SStar(atom(left(x, z), SameChar(x, z))),
+        atom(left(x, z), IsEmpty(x) & IsEmpty(z)),
+    )
+    translated = concat(
+        SStar(
+            atom(
+                left(y, z),
+                w_or(
+                    IsChar(y, char_a) & IsChar(z, char_b),
+                    IsChar(y, char_b) & IsChar(z, char_a),
+                ),
+            )
+        ),
+        atom(left(y, z), all_empty(y, z)),
+    )
+    return split, translated
+
+
+def is_copy_translation(x: Var, y: Var, z: Var) -> Formula:
+    """Example 12 as a calculus formula with the halves quantified."""
+    split, translated = copy_translation_string_parts(x, y, z)
+    return exists([y, z], And(lift(split), lift(translated)))
+
+
+# ---------------------------------------------------------------------------
+# Temporal modalities (Section 6)
+# ---------------------------------------------------------------------------
+
+
+def _as_string_formula(
+    vars: Sequence[Var], argument: WindowFormula | StringFormula
+) -> StringFormula:
+    if isinstance(argument, WindowFormula):
+        return atom(left(*vars), argument)
+    return argument
+
+
+def next_along(vars: Sequence[Var], test: WindowFormula) -> StringFormula:
+    """``next along x₁,…,x_k φ  ≝  [x₁,…,x_k]_l φ``."""
+    return atom(left(*vars), test)
+
+
+def until_along(
+    vars: Sequence[Var], hold: WindowFormula, goal: WindowFormula
+) -> StringFormula:
+    """``φ along … until ψ  ≝  ([…]_l φ)* . ([…]_l ψ)``."""
+    return concat(
+        SStar(atom(left(*vars), hold)), atom(left(*vars), goal)
+    )
+
+
+def eventually_along(
+    vars: Sequence[Var], argument: WindowFormula | StringFormula
+) -> StringFormula:
+    """``eventually along … φ  ≝  ([…]_l ⊤)* . ([…]_l φ)``.
+
+    Accepts a nested string formula as well, matching the paper's
+    composed example ``eventually along y (x=y along x,y until x=ε)``.
+    """
+    return concat(
+        SStar(atom(left(*vars), WTrue())), _as_string_formula(vars, argument)
+    )
+
+
+def henceforth_along(vars: Sequence[Var], hold: WindowFormula) -> StringFormula:
+    """``henceforth along … φ  ≝  ([…]_l φ)* . ([…]_l ⋀xᵢ=ε)``."""
+    return concat(
+        SStar(atom(left(*vars), hold)),
+        atom(left(*vars), all_empty(*vars)),
+    )
+
+
+def since_along(
+    vars: Sequence[Var], hold: WindowFormula, goal: WindowFormula
+) -> StringFormula:
+    """Past-tense ``until``: right transposes instead of left ones."""
+    return concat(
+        SStar(atom(right(*vars), hold)), atom(right(*vars), goal)
+    )
+
+
+def previous_along(vars: Sequence[Var], test: WindowFormula) -> StringFormula:
+    """Past-tense ``next``."""
+    return atom(right(*vars), test)
+
+
+def occurs_in_temporal(x: Var, y: Var) -> StringFormula:
+    """Example 7 rephrased with modalities, as printed in Section 6.
+
+    ``eventually along y (x=y along x,y until x=ε)``.
+    """
+    return eventually_along(
+        [y], until_along([x, y], SameChar(x, y), IsEmpty(x))
+    )
+
+
+def reverse_of(x: Var, y: Var) -> StringFormula:
+    """``x`` is the reversal of ``y``.
+
+    Winds ``y`` to its right end, then walks ``x`` forward while
+    walking ``y`` backward, comparing windows.  ``y`` is bidirectional;
+    the formula stays right-restricted, so — unlike in the
+    constant-limit safety notion the paper criticizes at the end of
+    Section 3 — reversal is certified safe here by Theorem 5.2.
+    """
+    return concat(
+        SStar(atom(left(y), not_empty(y))),
+        atom(left(y), IsEmpty(y)),
+        SStar(
+            concat(
+                atom(left(x), WTrue()),
+                atom(right(y), SameChar(x, y)),
+            )
+        ),
+        atom(left(x), IsEmpty(x)),
+        atom(right(y), IsEmpty(y)),
+    )

@@ -1,0 +1,714 @@
+"""Abstract syntax of alignment calculus.
+
+Three layers, mirroring Section 2 of the paper:
+
+* **Window formulae** — Boolean combinations of the atomic tests
+  ``x == ε``, ``x == a`` and ``x == y`` on the window column of an
+  alignment.
+* **String formulae** — regular expressions whose "letters" are atomic
+  string formulae ``τψ`` (a transpose ``τ`` followed by a window test
+  ``ψ``).  The regex operators are concatenation ``.``, selection
+  ``+`` and Kleene closure ``*``; ``λ`` is the empty formula word.
+* **Calculus formulae** — atomic relational formulae ``R(x₁,…,x_k)``
+  and string formulae, closed under ``∧``, ``¬`` and ``∃``.  The
+  shorthands ``∨``, ``→`` and ``∀`` are provided as constructor
+  functions that build the paper's encodings.
+
+All nodes are frozen dataclasses: formulae are immutable values that
+can be hashed, compared and shared freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import AssignmentError
+
+#: Variables are plain strings; the paper's ``x₁, x₂, …`` become "x1", "x2", …
+Var = str
+
+
+# ---------------------------------------------------------------------------
+# Window formulae
+# ---------------------------------------------------------------------------
+
+
+class WindowFormula:
+    """Base class for window formulae (paper, truth definitions 1-5)."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "WindowFormula") -> "WAnd":
+        return WAnd(self, other)
+
+    def __or__(self, other: "WindowFormula") -> "WindowFormula":
+        return w_or(self, other)
+
+    def __invert__(self) -> "WNot":
+        return WNot(self)
+
+
+@dataclass(frozen=True)
+class WTrue(WindowFormula):
+    """The tautological window formula ``⊤`` (paper shorthand ``x = x``)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class IsEmpty(WindowFormula):
+    """``x == ε``: the window position of row ``x`` is undefined."""
+
+    var: Var
+
+    def __str__(self) -> str:
+        return f"{self.var}=ε"
+
+
+@dataclass(frozen=True)
+class IsChar(WindowFormula):
+    """``x == a``: the window position of row ``x`` holds character ``a``."""
+
+    var: Var
+    char: str
+
+    def __str__(self) -> str:
+        return f"{self.var}={self.char!r}"
+
+
+@dataclass(frozen=True)
+class SameChar(WindowFormula):
+    """``x == y``: rows ``x`` and ``y`` agree in the window column.
+
+    Following the paper's use of ``x = y = ε`` in Example 2, two
+    *undefined* window positions compare equal.
+    """
+
+    left: Var
+    right: Var
+
+    def __str__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class WAnd(WindowFormula):
+    """Conjunction of window formulae."""
+
+    left: WindowFormula
+    right: WindowFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class WNot(WindowFormula):
+    """Negation of a window formula."""
+
+    inner: WindowFormula
+
+    def __str__(self) -> str:
+        return f"¬{self.inner}"
+
+
+def w_or(*parts: WindowFormula) -> WindowFormula:
+    """``φ ∨ ψ`` as the paper's shorthand ``¬(¬φ ∧ ¬ψ)``."""
+    if not parts:
+        raise ValueError("w_or needs at least one disjunct")
+    result = parts[0]
+    for part in parts[1:]:
+        result = WNot(WAnd(WNot(result), WNot(part)))
+    return result
+
+
+def w_and(*parts: WindowFormula) -> WindowFormula:
+    """N-ary conjunction (right-nested)."""
+    if not parts:
+        return WTrue()
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = WAnd(part, result)
+    return result
+
+
+def not_equal(left: Var, right: Var) -> WindowFormula:
+    """The shorthand ``x ≠ y`` for ``¬(x = y)``."""
+    return WNot(SameChar(left, right))
+
+
+def not_empty(var: Var) -> WindowFormula:
+    """The shorthand ``x ≠ ε``."""
+    return WNot(IsEmpty(var))
+
+
+def eq_chain(*vars: Var) -> WindowFormula:
+    """``x₁ = x₂ = … = x_m`` as the paper's chain of pairwise equalities."""
+    if len(vars) < 2:
+        return WTrue()
+    return w_and(*(SameChar(a, b) for a, b in zip(vars, vars[1:])))
+
+
+def all_empty(*vars: Var) -> WindowFormula:
+    """``x₁ = … = x_m = ε``: every listed row exhausted at the window."""
+    if not vars:
+        return WTrue()
+    return w_and(*(IsEmpty(v) for v in vars))
+
+
+def chain_equal_empty(*vars: Var) -> WindowFormula:
+    """The frequent pattern ``x₁ = … = x_m = ε`` from the paper's examples.
+
+    Semantically this both chains the equalities and requires
+    emptiness; since undefined windows compare equal, requiring each
+    variable empty is an equivalent, simpler rendering.
+    """
+    return all_empty(*vars)
+
+
+def evaluate_window(
+    formula: WindowFormula, chars: Mapping[Var, str | None]
+) -> bool:
+    """Evaluate a window formula on a character assignment.
+
+    ``chars`` maps each variable to the character in its window column,
+    or ``None`` when the window position is undefined (``= ε``).  This
+    single evaluator serves both the alignment semantics (definitions
+    1-5) and the FSA compiler, which evaluates window formulae on
+    endmarker-extended character combinations with ``⊢``/``⊣`` mapped
+    to ``None``.
+    """
+    if isinstance(formula, WTrue):
+        return True
+    if isinstance(formula, IsEmpty):
+        return chars[formula.var] is None
+    if isinstance(formula, IsChar):
+        return chars[formula.var] == formula.char
+    if isinstance(formula, SameChar):
+        return chars[formula.left] == chars[formula.right]
+    if isinstance(formula, WAnd):
+        return evaluate_window(formula.left, chars) and evaluate_window(
+            formula.right, chars
+        )
+    if isinstance(formula, WNot):
+        return not evaluate_window(formula.inner, chars)
+    raise TypeError(f"not a window formula: {formula!r}")
+
+
+def window_variables(formula: WindowFormula) -> frozenset[Var]:
+    """Variables mentioned by a window formula."""
+    if isinstance(formula, WTrue):
+        return frozenset()
+    if isinstance(formula, IsEmpty):
+        return frozenset({formula.var})
+    if isinstance(formula, IsChar):
+        return frozenset({formula.var})
+    if isinstance(formula, SameChar):
+        return frozenset({formula.left, formula.right})
+    if isinstance(formula, WAnd):
+        return window_variables(formula.left) | window_variables(formula.right)
+    if isinstance(formula, WNot):
+        return window_variables(formula.inner)
+    raise TypeError(f"not a window formula: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Transposes and string formulae
+# ---------------------------------------------------------------------------
+
+LEFT = "l"
+RIGHT = "r"
+
+
+@dataclass(frozen=True)
+class Transpose:
+    """A transpose ``[x₁, …, x_k]_l`` or ``[x₁, …, x_k]_r``.
+
+    The variable list may be empty: ``[]_l`` is the identity on
+    alignments (used by Theorem 3.2 to express stationary behaviour).
+    """
+
+    direction: str
+    variables: tuple[Var, ...]
+
+    def __post_init__(self) -> None:
+        if self.direction not in (LEFT, RIGHT):
+            raise ValueError(f"transpose direction must be 'l' or 'r'")
+        canonical = tuple(sorted(set(self.variables)))
+        object.__setattr__(self, "variables", canonical)
+
+    def __str__(self) -> str:
+        return f"[{','.join(self.variables)}]{self.direction}"
+
+
+def left(*variables: Var) -> Transpose:
+    """The left transpose ``[variables]_l`` (the *forward* direction)."""
+    return Transpose(LEFT, tuple(variables))
+
+
+def right(*variables: Var) -> Transpose:
+    """The right transpose ``[variables]_r`` (the *reverse* direction)."""
+    return Transpose(RIGHT, tuple(variables))
+
+
+class StringFormula:
+    """Base class for string formulae (regexes over atomic formulae)."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "StringFormula") -> "StringFormula":
+        """``φ + ψ``: selection (regex union)."""
+        return union(self, other)
+
+    def __mul__(self, other: "StringFormula") -> "StringFormula":
+        """``φ . ψ``: concatenation."""
+        return concat(self, other)
+
+    def star(self) -> "SStar":
+        """``φ*``: Kleene closure."""
+        return SStar(self)
+
+    def plus(self) -> "StringFormula":
+        """``φ⁺`` as the paper's shorthand ``φ . φ*``."""
+        return concat(self, SStar(self))
+
+    def times(self, n: int) -> "StringFormula":
+        """``φⁿ``: n-fold concatenation, with ``φ⁰ = λ``."""
+        if n < 0:
+            raise ValueError("power must be non-negative")
+        return concat(*([self] * n)) if n else Lambda()
+
+
+@dataclass(frozen=True)
+class SAtom(StringFormula):
+    """An atomic string formula ``τψ``: transpose then window test."""
+
+    transpose: Transpose
+    test: WindowFormula
+
+    def __str__(self) -> str:
+        return f"{self.transpose}({self.test})"
+
+
+@dataclass(frozen=True)
+class Lambda(StringFormula):
+    """``λ``: the empty formula word, vacuously true everywhere."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "λ"
+
+
+@dataclass(frozen=True)
+class SConcat(StringFormula):
+    """Concatenation ``φ₁ . φ₂ . … . φ_n`` of string formulae."""
+
+    parts: tuple[StringFormula, ...]
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class SUnion(StringFormula):
+    """Selection ``φ₁ + φ₂ + … + φ_n`` of string formulae."""
+
+    parts: tuple[StringFormula, ...]
+
+    def __str__(self) -> str:
+        return "(" + "+".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class SStar(StringFormula):
+    """Kleene closure ``φ*``."""
+
+    inner: StringFormula
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+def _wrap(formula: StringFormula) -> str:
+    if isinstance(formula, (SConcat, SUnion)):
+        return f"({formula})"
+    return str(formula)
+
+
+def atom(transpose: Transpose, test: WindowFormula | None = None) -> SAtom:
+    """Build an atomic string formula; the test defaults to ``⊤``."""
+    return SAtom(transpose, test if test is not None else WTrue())
+
+
+def concat(*parts: StringFormula) -> StringFormula:
+    """Flattening concatenation; drops ``λ`` units."""
+    flat: list[StringFormula] = []
+    for part in parts:
+        if isinstance(part, SConcat):
+            flat.extend(part.parts)
+        elif isinstance(part, Lambda):
+            continue
+        else:
+            flat.append(part)
+    if not flat:
+        return Lambda()
+    if len(flat) == 1:
+        return flat[0]
+    return SConcat(tuple(flat))
+
+
+def union(*parts: StringFormula) -> StringFormula:
+    """Flattening selection (regex union)."""
+    flat: list[StringFormula] = []
+    for part in parts:
+        if isinstance(part, SUnion):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        raise ValueError("union needs at least one alternative")
+    if len(flat) == 1:
+        return flat[0]
+    return SUnion(tuple(flat))
+
+
+def string_variables(formula: StringFormula) -> frozenset[Var]:
+    """All variables occurring in a string formula.
+
+    Includes variables that occur only in window tests as well as
+    variables that occur only in transposes — both denote rows.
+    """
+    if isinstance(formula, SAtom):
+        return frozenset(formula.transpose.variables) | window_variables(
+            formula.test
+        )
+    if isinstance(formula, Lambda):
+        return frozenset()
+    if isinstance(formula, (SConcat, SUnion)):
+        out: frozenset[Var] = frozenset()
+        for part in formula.parts:
+            out |= string_variables(part)
+        return out
+    if isinstance(formula, SStar):
+        return string_variables(formula.inner)
+    raise TypeError(f"not a string formula: {formula!r}")
+
+
+def bidirectional_variables(formula: StringFormula) -> frozenset[Var]:
+    """Variables that appear in at least one *right* transpose.
+
+    The paper calls these *bidirectional*; all others are
+    *unidirectional* (Section 2, end).
+    """
+    if isinstance(formula, SAtom):
+        if formula.transpose.direction == RIGHT:
+            return frozenset(formula.transpose.variables)
+        return frozenset()
+    if isinstance(formula, Lambda):
+        return frozenset()
+    if isinstance(formula, (SConcat, SUnion)):
+        out: frozenset[Var] = frozenset()
+        for part in formula.parts:
+            out |= bidirectional_variables(part)
+        return out
+    if isinstance(formula, SStar):
+        return bidirectional_variables(formula.inner)
+    raise TypeError(f"not a string formula: {formula!r}")
+
+
+def is_unidirectional(formula: StringFormula) -> bool:
+    """True iff no variable is ever transposed right."""
+    return not bidirectional_variables(formula)
+
+
+def is_right_restricted(formula: StringFormula) -> bool:
+    """True iff at most one variable is bidirectional.
+
+    Right-restricted formulae are the class for which the limitation
+    problem is decidable (Theorem 5.2) and which characterize the
+    polynomial-time hierarchy (Theorem 6.5).
+    """
+    return len(bidirectional_variables(formula)) <= 1
+
+
+def atoms_of(formula: StringFormula) -> tuple[SAtom, ...]:
+    """All atomic string formulae occurring in ``formula`` (in order)."""
+    if isinstance(formula, SAtom):
+        return (formula,)
+    if isinstance(formula, Lambda):
+        return ()
+    if isinstance(formula, (SConcat, SUnion)):
+        out: list[SAtom] = []
+        for part in formula.parts:
+            out.extend(atoms_of(part))
+        return tuple(out)
+    if isinstance(formula, SStar):
+        return atoms_of(formula.inner)
+    raise TypeError(f"not a string formula: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Calculus formulae
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for alignment calculus formulae (definitions 10-13)."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return f_or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """An atomic relational formula ``R(x₁, …, x_k)``."""
+
+    name: str
+    args: tuple[Var, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({','.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class StringAtom(Formula):
+    """A string formula used as an atomic calculus formula."""
+
+    formula: StringFormula
+
+    def __str__(self) -> str:
+        return str(self.formula)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction of calculus formulae."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation of a calculus formula."""
+
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"¬{self.inner}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one row variable."""
+
+    var: Var
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"∃{self.var}.{self.inner}"
+
+
+def rel(name: str, *args: Var) -> RelAtom:
+    """Convenience constructor for relational atoms."""
+    return RelAtom(name, tuple(args))
+
+
+def lift(formula: StringFormula) -> StringAtom:
+    """Lift a string formula to a calculus formula."""
+    return StringAtom(formula)
+
+
+def exists(variables: Iterable[Var] | Var, inner: Formula) -> Formula:
+    """``∃x₁, …, x_n . φ`` as nested single-variable quantifiers."""
+    if isinstance(variables, str):
+        variables = [variables]
+    result = inner
+    for var in reversed(list(variables)):
+        result = Exists(var, result)
+    return result
+
+
+def forall(variables: Iterable[Var] | Var, inner: Formula) -> Formula:
+    """``∀x.φ`` as the paper's shorthand ``¬∃x.¬φ``."""
+    if isinstance(variables, str):
+        variables = [variables]
+    result = inner
+    for var in reversed(list(variables)):
+        result = Not(Exists(var, Not(result)))
+    return result
+
+
+def f_or(*parts: Formula) -> Formula:
+    """``φ ∨ ψ`` as the shorthand ``¬(¬φ ∧ ¬ψ)``."""
+    if not parts:
+        raise ValueError("f_or needs at least one disjunct")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Not(And(Not(result), Not(part)))
+    return result
+
+
+def f_and(*parts: Formula) -> Formula:
+    """N-ary conjunction of calculus formulae."""
+    if not parts:
+        raise ValueError("f_and needs at least one conjunct")
+    result = parts[0]
+    for part in parts[1:]:
+        result = And(result, part)
+    return result
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """``φ → ψ`` as the shorthand ``¬φ ∨ ψ``."""
+    return f_or(Not(antecedent), consequent)
+
+
+def free_variables(formula: Formula) -> frozenset[Var]:
+    """The free variables of a calculus formula."""
+    if isinstance(formula, RelAtom):
+        return frozenset(formula.args)
+    if isinstance(formula, StringAtom):
+        return string_variables(formula.formula)
+    if isinstance(formula, And):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, Not):
+        return free_variables(formula.inner)
+    if isinstance(formula, Exists):
+        return free_variables(formula.inner) - {formula.var}
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+def relation_names(formula: Formula) -> frozenset[str]:
+    """All relation symbols mentioned by a formula.
+
+    Formulae mentioning no relation symbols constitute *pure* alignment
+    calculus: their truth does not depend on the database.
+    """
+    if isinstance(formula, RelAtom):
+        return frozenset({formula.name})
+    if isinstance(formula, StringAtom):
+        return frozenset()
+    if isinstance(formula, And):
+        return relation_names(formula.left) | relation_names(formula.right)
+    if isinstance(formula, (Not, Exists)):
+        return relation_names(formula.inner)
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+def string_atoms(formula: Formula) -> tuple[StringFormula, ...]:
+    """All string formulae embedded in a calculus formula (in order)."""
+    if isinstance(formula, RelAtom):
+        return ()
+    if isinstance(formula, StringAtom):
+        return (formula.formula,)
+    if isinstance(formula, And):
+        return string_atoms(formula.left) + string_atoms(formula.right)
+    if isinstance(formula, (Not, Exists)):
+        return string_atoms(formula.inner)
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Variable renaming
+# ---------------------------------------------------------------------------
+
+
+def rename_window(formula: WindowFormula, mapping: Mapping[Var, Var]) -> WindowFormula:
+    """Rename variables in a window formula."""
+    if isinstance(formula, WTrue):
+        return formula
+    if isinstance(formula, IsEmpty):
+        return IsEmpty(mapping.get(formula.var, formula.var))
+    if isinstance(formula, IsChar):
+        return IsChar(mapping.get(formula.var, formula.var), formula.char)
+    if isinstance(formula, SameChar):
+        return SameChar(
+            mapping.get(formula.left, formula.left),
+            mapping.get(formula.right, formula.right),
+        )
+    if isinstance(formula, WAnd):
+        return WAnd(
+            rename_window(formula.left, mapping),
+            rename_window(formula.right, mapping),
+        )
+    if isinstance(formula, WNot):
+        return WNot(rename_window(formula.inner, mapping))
+    raise TypeError(f"not a window formula: {formula!r}")
+
+
+def rename_string(formula: StringFormula, mapping: Mapping[Var, Var]) -> StringFormula:
+    """Rename variables in a string formula."""
+    if isinstance(formula, SAtom):
+        transpose = Transpose(
+            formula.transpose.direction,
+            tuple(mapping.get(v, v) for v in formula.transpose.variables),
+        )
+        return SAtom(transpose, rename_window(formula.test, mapping))
+    if isinstance(formula, Lambda):
+        return formula
+    if isinstance(formula, SConcat):
+        return SConcat(tuple(rename_string(p, mapping) for p in formula.parts))
+    if isinstance(formula, SUnion):
+        return SUnion(tuple(rename_string(p, mapping) for p in formula.parts))
+    if isinstance(formula, SStar):
+        return SStar(rename_string(formula.inner, mapping))
+    raise TypeError(f"not a string formula: {formula!r}")
+
+
+def rename_free(formula: Formula, mapping: Mapping[Var, Var]) -> Formula:
+    """Capture-avoiding renaming of the free variables of ``formula``.
+
+    Raises :class:`AssignmentError` if a renaming target would be
+    captured by a quantifier; callers (the translation theorems) always
+    rename into fresh variables, so capture indicates a bug.
+    """
+    if isinstance(formula, RelAtom):
+        return RelAtom(
+            formula.name, tuple(mapping.get(v, v) for v in formula.args)
+        )
+    if isinstance(formula, StringAtom):
+        return StringAtom(rename_string(formula.formula, mapping))
+    if isinstance(formula, And):
+        return And(
+            rename_free(formula.left, mapping), rename_free(formula.right, mapping)
+        )
+    if isinstance(formula, Not):
+        return Not(rename_free(formula.inner, mapping))
+    if isinstance(formula, Exists):
+        inner_map = {k: v for k, v in mapping.items() if k != formula.var}
+        if formula.var in inner_map.values():
+            raise AssignmentError(
+                f"renaming would capture {formula.var!r}; rename the bound "
+                "variable first"
+            )
+        return Exists(formula.var, rename_free(formula.inner, inner_map))
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+@lru_cache(maxsize=None)
+def fresh_variable(base: Var, taken: frozenset[Var]) -> Var:
+    """A variable named after ``base`` that avoids the ``taken`` set."""
+    if base not in taken:
+        return base
+    counter = 1
+    while f"{base}_{counter}" in taken:
+        counter += 1
+    return f"{base}_{counter}"

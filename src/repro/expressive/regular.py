@@ -1,0 +1,435 @@
+"""Regular languages and Theorem 6.1.
+
+A self-contained classical regular-expression engine (parser, Thompson
+NFA, matcher) serves as the independent baseline; the theorem's two
+directions are then:
+
+* ``regex_to_formula`` — replace every character ``c`` of the regex by
+  ``[x]_l x=c`` and append ``[x]_l x=ε`` (the paper's construction);
+* ``one_tape_to_nfa`` — a unidirectional 1-FSA is a classical NFA with
+  endmarkers; this converts it to a plain NFA (handling ``⊢``/``⊣``
+  reads and stationary "peek" transitions), witnessing that
+  unidirectional one-variable string formulae define only regular
+  sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import LEFT_END, RIGHT_END, Alphabet
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    Lambda,
+    SStar,
+    StringFormula,
+    Var,
+    atom,
+    concat,
+    left,
+    union,
+)
+from repro.errors import LimitationError, ParseError
+from repro.fsa.machine import FSA
+
+
+# ---------------------------------------------------------------------------
+# Regex AST and parser
+# ---------------------------------------------------------------------------
+
+
+class Regex:
+    """Base class for regular expressions over single characters."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RChar(Regex):
+    char: str
+
+    def __str__(self) -> str:
+        return self.char
+
+
+@dataclass(frozen=True)
+class REpsilon(Regex):
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class REmpty(Regex):
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class RConcat(Regex):
+    parts: tuple[Regex, ...]
+
+    def __str__(self) -> str:
+        return "".join(
+            f"({p})" if isinstance(p, RUnion) else str(p) for p in self.parts
+        )
+
+
+@dataclass(frozen=True)
+class RUnion(Regex):
+    parts: tuple[Regex, ...]
+
+    def __str__(self) -> str:
+        return "|".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class RStar(Regex):
+    inner: Regex
+
+    def __str__(self) -> str:
+        inner = str(self.inner)
+        if isinstance(self.inner, (RChar, REpsilon)):
+            return f"{inner}*"
+        return f"({inner})*"
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the usual concrete syntax: literals, ``|``, ``*``, ``+``,
+    ``?`` and parentheses.  The empty string parses to ``ε``."""
+    position = 0
+
+    def peek() -> str | None:
+        return text[position] if position < len(text) else None
+
+    def take() -> str:
+        nonlocal position
+        char = text[position]
+        position += 1
+        return char
+
+    def parse_union() -> Regex:
+        parts = [parse_concat()]
+        while peek() == "|":
+            take()
+            parts.append(parse_concat())
+        return parts[0] if len(parts) == 1 else RUnion(tuple(parts))
+
+    def parse_concat() -> Regex:
+        parts: list[Regex] = []
+        while peek() is not None and peek() not in "|)":
+            parts.append(parse_postfix())
+        if not parts:
+            return REpsilon()
+        return parts[0] if len(parts) == 1 else RConcat(tuple(parts))
+
+    def parse_postfix() -> Regex:
+        base = parse_atom()
+        while peek() in ("*", "+", "?"):
+            op = take()
+            if op == "*":
+                base = RStar(base)
+            elif op == "+":
+                base = RConcat((base, RStar(base)))
+            else:
+                base = RUnion((base, REpsilon()))
+        return base
+
+    def parse_atom() -> Regex:
+        char = peek()
+        if char is None:
+            raise ParseError(f"unexpected end of pattern in {text!r}")
+        if char == "(":
+            take()
+            inner = parse_union()
+            if peek() != ")":
+                raise ParseError(f"unbalanced parenthesis in {text!r}")
+            take()
+            return inner
+        if char in "*+?)|":
+            raise ParseError(f"unexpected {char!r} in {text!r}")
+        return RChar(take())
+
+    result = parse_union()
+    if position != len(text):
+        raise ParseError(f"trailing input in {text!r}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Thompson NFA matcher
+# ---------------------------------------------------------------------------
+
+
+class NFA:
+    """A classical ε-NFA over single characters."""
+
+    def __init__(self) -> None:
+        self.edges: list[list[tuple[str | None, int]]] = []
+        self.start = self.new_state()
+        self.final = self.new_state()
+
+    def new_state(self) -> int:
+        self.edges.append([])
+        return len(self.edges) - 1
+
+    def add(self, source: int, label: str | None, target: int) -> None:
+        self.edges[source].append((label, target))
+
+    def closure(self, states: frozenset[int]) -> frozenset[int]:
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for label, target in self.edges[state]:
+                if label is None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def matches(self, word: str) -> bool:
+        current = self.closure(frozenset({self.start}))
+        for char in word:
+            moved = {
+                target
+                for state in current
+                for label, target in self.edges[state]
+                if label == char
+            }
+            current = self.closure(frozenset(moved))
+            if not current:
+                return False
+        return self.final in current
+
+
+def regex_to_nfa(regex: Regex) -> NFA:
+    """Thompson construction."""
+    nfa = NFA()
+
+    def build(node: Regex, source: int, target: int) -> None:
+        if isinstance(node, RChar):
+            nfa.add(source, node.char, target)
+        elif isinstance(node, REpsilon):
+            nfa.add(source, None, target)
+        elif isinstance(node, REmpty):
+            pass
+        elif isinstance(node, RConcat):
+            current = source
+            for part in node.parts[:-1]:
+                nxt = nfa.new_state()
+                build(part, current, nxt)
+                current = nxt
+            build(node.parts[-1], current, target)
+        elif isinstance(node, RUnion):
+            for part in node.parts:
+                build(part, source, target)
+        elif isinstance(node, RStar):
+            hub = nfa.new_state()
+            nfa.add(source, None, hub)
+            nfa.add(hub, None, target)
+            build(node.inner, hub, hub)
+        else:
+            raise TypeError(f"not a regex: {node!r}")
+
+    build(regex, nfa.start, nfa.final)
+    return nfa
+
+
+def regex_matches(regex: Regex, word: str) -> bool:
+    """Full-match of ``word`` against ``regex`` (the baseline oracle)."""
+    return regex_to_nfa(regex).matches(word)
+
+
+def regex_language(
+    regex: Regex, alphabet: Alphabet, max_length: int
+) -> frozenset[str]:
+    """``L(regex) ∩ Σ^{<=max_length}`` by enumeration."""
+    nfa = regex_to_nfa(regex)
+    return frozenset(
+        word for word in alphabet.strings(max_length) if nfa.matches(word)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.1, direction 1: regex → string formula
+# ---------------------------------------------------------------------------
+
+
+def regex_to_formula(regex: Regex, var: Var = "x") -> StringFormula:
+    """The paper's translation: ``φ_A . []_l x=ε`` with characters
+    replaced by ``[x]_l x=c``.
+
+    The resulting formula is unidirectional, unquantified and uses one
+    variable — the exact class Theorem 6.1 equates with the regular
+    languages.
+    """
+    return concat(_regex_body(regex, var), atom(left(var), IsEmpty(var)))
+
+
+def _regex_body(regex: Regex, var: Var) -> StringFormula:
+    if isinstance(regex, RChar):
+        return atom(left(var), IsChar(var, regex.char))
+    if isinstance(regex, REpsilon):
+        return Lambda()
+    if isinstance(regex, REmpty):
+        from repro.fsa.decompile import unsatisfiable
+
+        return unsatisfiable()
+    if isinstance(regex, RConcat):
+        return concat(*(_regex_body(p, var) for p in regex.parts))
+    if isinstance(regex, RUnion):
+        return union(*(_regex_body(p, var) for p in regex.parts))
+    if isinstance(regex, RStar):
+        return SStar(_regex_body(regex.inner, var))
+    raise TypeError(f"not a regex: {regex!r}")
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.1, direction 2: unidirectional 1-FSA → classical NFA
+# ---------------------------------------------------------------------------
+
+
+def one_tape_to_nfa(fsa: FSA) -> NFA:
+    """Convert a unidirectional 1-FSA into an equivalent classical NFA.
+
+    Endmarker reads become ε-moves with positional bookkeeping: the NFA
+    state tracks whether the head sits on ``⊢``, over the next
+    unconsumed symbol, over a symbol already *peeked* by a stationary
+    transition, or on ``⊣``.  Because the machine accepts by halting in
+    a final state wherever its head is, acceptance mid-word lets the
+    remainder of the word be arbitrary (the tape beyond the head was
+    never inspected).
+    """
+    if fsa.arity != 1:
+        raise LimitationError("one_tape_to_nfa needs a 1-FSA")
+    if not fsa.is_unidirectional():
+        raise LimitationError("one_tape_to_nfa needs a unidirectional machine")
+    if any(fsa.outgoing(state) for state in fsa.finals):
+        from repro.fsa.decompile import normalize_for_decompile
+
+        fsa = normalize_for_decompile(fsa)
+    machine = fsa.pruned()
+    nfa = NFA()
+    ids: dict = {}
+
+    def state_of(key) -> int:
+        if key not in ids:
+            ids[key] = nfa.new_state()
+        return ids[key]
+
+    sink = state_of(("sink",))
+    for char in machine.alphabet.symbols:
+        nfa.add(sink, char, sink)
+    nfa.add(sink, None, nfa.final)
+
+    def accept_from(key) -> None:
+        q, mode = key
+        if q not in machine.finals:
+            return
+        if mode in ("L", "M"):
+            nfa.add(state_of(key), None, sink)
+        elif mode == "E":
+            nfa.add(state_of(key), None, nfa.final)
+        else:  # peeked character: it must still appear, then anything
+            nfa.add(state_of(key), mode[1], sink)
+
+    start_key = (machine.start, "L")
+    nfa.add(nfa.start, None, state_of(start_key))
+    frontier = [start_key]
+    seen = {start_key}
+
+    def push(key, edge_label, source_key):
+        nfa.add(state_of(source_key), edge_label, state_of(key))
+        if key not in seen:
+            seen.add(key)
+            frontier.append(key)
+
+    while frontier:
+        key = frontier.pop()
+        accept_from(key)
+        q, mode = key
+        for t in machine.outgoing(q):
+            (read,) = t.reads
+            (move,) = t.moves
+            if mode == "L":
+                if read != LEFT_END:
+                    continue
+                if move == +1:
+                    push((t.target, "M"), None, key)
+                else:
+                    push((t.target, "L"), None, key)
+            elif mode == "M":
+                if read in machine.alphabet:
+                    if move == +1:
+                        push((t.target, "M"), read, key)
+                    else:
+                        push((t.target, ("P", read)), None, key)
+                elif read == RIGHT_END:
+                    # The unconsumed symbol is the right endmarker.
+                    push((t.target, "E"), None, key)
+            elif mode == "E":
+                if read == RIGHT_END and move == 0:
+                    push((t.target, "E"), None, key)
+            else:  # ("P", char): the head sits on a peeked character
+                char = mode[1]
+                if read != char:
+                    continue
+                if move == +1:
+                    push((t.target, "M"), char, key)
+                else:
+                    push((t.target, ("P", char)), None, key)
+    return nfa
+
+
+def formula_language_via_nfa(
+    formula: StringFormula, alphabet: Alphabet, max_length: int, var: Var = "x"
+) -> frozenset[str]:
+    """``⟦φ⟧ ∩ Σ^{<=max_length}`` through the NFA route of Theorem 6.1."""
+    from repro.fsa.compile import compile_string_formula
+
+    compiled = compile_string_formula(formula, alphabet, variables=(var,))
+    nfa = one_tape_to_nfa(compiled.fsa)
+    return frozenset(
+        word for word in alphabet.strings(max_length) if nfa.matches(word)
+    )
+
+
+def one_variable_language(
+    formula: StringFormula,
+    alphabet: Alphabet,
+    max_length: int,
+    var: Var | None = None,
+) -> frozenset[str]:
+    """``⟦φ⟧ ∩ Σ^{<=max_length}`` for *any* one-variable string formula.
+
+    The paper notes after Theorem 6.1 that "moving the only tape back
+    and forth does not increase expressivity (as proved implicitly in
+    Theorem 5.2)": a bidirectional 1-FSA is a classical two-way NFA,
+    and its crossing automaton ``A″`` is an equivalent one-way NFA.
+    Unidirectional formulae take the direct NFA route instead.
+    """
+    from repro.core.syntax import string_variables
+    from repro.fsa.compile import compile_string_formula
+
+    if var is None:
+        variables = sorted(string_variables(formula))
+        if len(variables) != 1:
+            raise LimitationError(
+                f"one_variable_language needs one variable, got {variables}"
+            )
+        var = variables[0]
+    compiled = compile_string_formula(formula, alphabet, variables=(var,))
+    machine = compiled.fsa.pruned()
+    if machine.is_unidirectional():
+        nfa = one_tape_to_nfa(machine)
+        return frozenset(
+            word for word in alphabet.strings(max_length) if nfa.matches(word)
+        )
+    from repro.safety.crossing import build_crossing_automaton
+
+    crossing = build_crossing_automaton(machine, 0, set(), {0})
+    return frozenset(
+        word
+        for word in alphabet.strings(max_length)
+        if crossing.accepts(word)
+    )

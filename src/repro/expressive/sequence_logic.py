@@ -1,0 +1,266 @@
+"""Theorem 6.4: embedding Ginsburg-Wang sequence logic.
+
+Sequence logic works over an *infinite* universe ``U`` of atoms;
+its sequence predicates ``x_{n+1} ∈ A^n(x₁, …, x_n)`` declare the
+output sequence to be a "regular shuffle" of the inputs, following a
+pattern ``A`` — a regular expression over channel symbols
+``α₁ … α_n``.  The embedding chooses an injection ``e : U → Σ*`` and a
+separator ``> ∉ Σ``, encodes ``[a₁, …, a_m]`` as
+``e(a₁) > … > e(a_m) >``, and replaces every ``αᵢ`` of the pattern by
+the copy-one-atom subformula
+``([xᵢ, x_{n+1}]_l x_{n+1} = xᵢ ≠ >)* . [xᵢ, x_{n+1}]_l x_{n+1} = xᵢ = >``.
+
+Both the direct sequence-logic semantics and the translated alignment
+calculus formula are implemented, so the theorem's equivalence claim
+is executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.syntax import (
+    IsChar,
+    Lambda,
+    SameChar,
+    SStar,
+    StringFormula,
+    Var,
+    all_empty,
+    atom,
+    concat,
+    left,
+    union,
+    w_and,
+)
+from repro.errors import ReproError
+from repro.expressive.regular import (
+    NFA,
+    RChar,
+    RConcat,
+    REmpty,
+    REpsilon,
+    RStar,
+    RUnion,
+    Regex,
+    regex_to_nfa,
+)
+
+#: Sequences of atoms; atoms are arbitrary hashable values.
+Sequence = tuple[object, ...]
+
+
+class AtomEncoding:
+    """A stable injection ``e : U → Σ*`` built on demand.
+
+    Atoms are numbered in first-seen order and encoded as their index
+    in base ``|Σ|`` (fixed width grows as needed, so the encoding stays
+    injective).
+    """
+
+    def __init__(self, alphabet: Alphabet, separator: str = ">") -> None:
+        if separator in alphabet:
+            raise ReproError("separator must not belong to the alphabet")
+        self.alphabet = alphabet
+        self.separator = separator
+        self._codes: dict[object, str] = {}
+
+    def encode_atom(self, atom_value: object) -> str:
+        code = self._codes.get(atom_value)
+        if code is None:
+            index = len(self._codes)
+            code = self._to_base(index)
+            self._codes[atom_value] = code
+        return code
+
+    def _to_base(self, index: int) -> str:
+        symbols = self.alphabet.symbols
+        base = len(symbols)
+        digits = [symbols[index % base]]
+        index //= base
+        while index:
+            digits.append(symbols[index % base])
+            index //= base
+        # Prefix-free by construction is not needed — the separator
+        # delimits atoms — but a fixed first symbol keeps ε out.
+        return "".join(reversed(digits))
+
+    def encode_sequence(self, sequence: Sequence) -> str:
+        """``e([a₁, …, a_m]) = e(a₁) > … > e(a_m) >``."""
+        return "".join(
+            self.encode_atom(a) + self.separator for a in sequence
+        )
+
+    def full_alphabet(self) -> Alphabet:
+        """Σ extended with the separator (the formulas' alphabet)."""
+        return Alphabet(self.alphabet.symbols + (self.separator,))
+
+
+@dataclass(frozen=True)
+class SequencePredicate:
+    """``x_{n+1} ∈ A^n(x₁, …, x_n)`` with ``A`` over channel numbers.
+
+    ``pattern`` is a :class:`Regex` whose characters are the decimal
+    digits ``"1" … "9"`` naming input channels.
+    """
+
+    channels: int
+    pattern: Regex
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.channels <= 9:
+            raise ReproError("sequence predicates support 1-9 channels")
+        for char in _pattern_chars(self.pattern):
+            if not char.isdigit() or not 1 <= int(char) <= self.channels:
+                raise ReproError(
+                    f"pattern channel {char!r} outside 1..{self.channels}"
+                )
+
+    # -- direct Ginsburg-Wang semantics ---------------------------------
+
+    def holds(self, inputs: tuple[Sequence, ...], output: Sequence) -> bool:
+        """The paper's two conditions, decided by NFA search.
+
+        There must be ``β ∈ L(A)`` whose ``αᵢ`` occurrences count
+        ``len(inputs[i])`` and whose ``j``-th ``αᵢ`` occurrence sits at
+        the positions where ``output`` carries ``inputs[i][j]``.
+        """
+        if len(inputs) != self.channels:
+            raise ReproError(
+                f"predicate has {self.channels} channels, got {len(inputs)}"
+            )
+        nfa = regex_to_nfa(self.pattern)
+        start = (nfa.closure(frozenset({nfa.start})), (0,) * self.channels)
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            states, counts = frontier.pop()
+            position = sum(counts)
+            if position == len(output):
+                if nfa.final in states and all(
+                    counts[i] == len(inputs[i]) for i in range(self.channels)
+                ):
+                    return True
+                continue
+            for channel in range(self.channels):
+                count = counts[channel]
+                if count >= len(inputs[channel]):
+                    continue
+                if inputs[channel][count] != output[position]:
+                    continue
+                label = str(channel + 1)
+                moved = nfa.closure(
+                    frozenset(
+                        target
+                        for state in states
+                        for lab, target in nfa.edges[state]
+                        if lab == label
+                    )
+                )
+                if not moved:
+                    continue
+                nxt = (
+                    moved,
+                    counts[:channel] + (count + 1,) + counts[channel + 1 :],
+                )
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+
+def _pattern_chars(regex: Regex) -> frozenset[str]:
+    if isinstance(regex, RChar):
+        return frozenset({regex.char})
+    if isinstance(regex, (REpsilon, REmpty)):
+        return frozenset()
+    if isinstance(regex, (RConcat, RUnion)):
+        out: frozenset[str] = frozenset()
+        for part in regex.parts:
+            out |= _pattern_chars(part)
+        return out
+    if isinstance(regex, RStar):
+        return _pattern_chars(regex.inner)
+    raise TypeError(f"not a regex: {regex!r}")
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.4 translation
+# ---------------------------------------------------------------------------
+
+
+def copy_atom_formula(
+    source: Var, target: Var, separator: str
+) -> StringFormula:
+    """Copy one encoded atom (plus separator) from ``source`` to
+    ``target`` — the paper's replacement for one ``αᵢ``."""
+    inside = atom(
+        left(source, target),
+        w_and(SameChar(target, source), ~IsChar(target, separator)),
+    )
+    boundary = atom(
+        left(source, target),
+        w_and(SameChar(target, source), IsChar(target, separator)),
+    )
+    return concat(SStar(inside), boundary)
+
+
+def predicate_to_formula(
+    predicate: SequencePredicate,
+    variables: tuple[Var, ...] | None = None,
+    separator: str = ">",
+) -> StringFormula:
+    """Theorem 6.4: ``φ_P`` over ``x₁ … x_n, x_{n+1}``.
+
+    ``(e(s₁), …, e(s_{n+1})) ∈ ⟦φ_P⟧`` iff the predicate holds on the
+    original sequences.
+    """
+    if variables is None:
+        variables = tuple(f"x{i + 1}" for i in range(predicate.channels + 1))
+    if len(variables) != predicate.channels + 1:
+        raise ReproError(
+            f"need {predicate.channels + 1} variables, got {len(variables)}"
+        )
+    output = variables[-1]
+
+    def build(node: Regex) -> StringFormula:
+        if isinstance(node, RChar):
+            return copy_atom_formula(
+                variables[int(node.char) - 1], output, separator
+            )
+        if isinstance(node, REpsilon):
+            return Lambda()
+        if isinstance(node, REmpty):
+            from repro.fsa.decompile import unsatisfiable
+
+            return unsatisfiable()
+        if isinstance(node, RConcat):
+            return concat(*(build(p) for p in node.parts))
+        if isinstance(node, RUnion):
+            return union(*(build(p) for p in node.parts))
+        if isinstance(node, RStar):
+            return SStar(build(node.inner))
+        raise TypeError(f"not a regex: {node!r}")
+
+    return concat(
+        build(predicate.pattern),
+        atom(left(*variables), all_empty(*variables)),
+    )
+
+
+def concatenation_predicate() -> SequencePredicate:
+    """``x₃ ∈ α₁* α₂* (x₁, x₂)`` — sequence concatenation."""
+    return SequencePredicate(
+        2, RConcat((RStar(RChar("1")), RStar(RChar("2"))))
+    )
+
+
+def shuffle_predicate() -> SequencePredicate:
+    """``x₃ ∈ (α₁ | α₂)* (x₁, x₂)`` — arbitrary interleaving."""
+    return SequencePredicate(2, RStar(RUnion((RChar("1"), RChar("2")))))
+
+
+def alternation_predicate() -> SequencePredicate:
+    """``x₃ ∈ (α₁ α₂)* (x₁, x₂)`` — strict alternation."""
+    return SequencePredicate(2, RStar(RConcat((RChar("1"), RChar("2")))))

@@ -1,0 +1,72 @@
+"""Theorem 6.3: temporal logic inside alignment calculus.
+
+The modalities themselves live in :mod:`repro.core.shorthands`
+(``next/until/eventually/henceforth/since along``); this module adds
+the expressiveness landmarks the paper cites:
+
+* Wolper's *even-position* property — inexpressible with plain
+  ``next``/``until`` but a two-atom starred formula here;
+* the strict-subsumption witnesses of Theorem 6.3: string equality and
+  the manifold predicate, relations no (extended) temporal logic on a
+  single sequence can express.
+"""
+
+from __future__ import annotations
+
+from repro.core.shorthands import (
+    eventually_along,
+    henceforth_along,
+    next_along,
+    until_along,
+)
+from repro.core.syntax import (
+    IsEmpty,
+    SStar,
+    StringFormula,
+    Var,
+    WindowFormula,
+    WTrue,
+    atom,
+    concat,
+    left,
+)
+
+__all__ = [
+    "next_along",
+    "until_along",
+    "eventually_along",
+    "henceforth_along",
+    "every_even_position",
+    "every_odd_position",
+]
+
+
+def every_even_position(var: Var, test: WindowFormula) -> StringFormula:
+    """Wolper's example: ``test`` holds at every even position.
+
+    Positions are counted from 1, so the formula constrains positions
+    2, 4, 6, …: ``([x]_l ⊤ . [x]_l (test ∨ x=ε))* . [x]_l x=ε`` —
+    stepping two at a time, checking the second of each pair; the
+    trailing exhaustion test forces the loop to cover the whole string
+    (checks beyond the end are vacuous thanks to the ``∨ x=ε``).
+    Inexpressible in temporal logic with only ``next`` and ``until``
+    (Wolper 1983); a starred two-atom formula in alignment calculus.
+    """
+    from repro.core.syntax import w_or
+
+    pair = concat(
+        atom(left(var), WTrue()),
+        atom(left(var), w_or(test, IsEmpty(var))),
+    )
+    return concat(SStar(pair), atom(left(var), IsEmpty(var)))
+
+
+def every_odd_position(var: Var, test: WindowFormula) -> StringFormula:
+    """The mirrored property: ``test`` at positions 1, 3, 5, …"""
+    from repro.core.syntax import w_or
+
+    pair = concat(
+        atom(left(var), w_or(test, IsEmpty(var))),
+        atom(left(var), WTrue()),
+    )
+    return concat(SStar(pair), atom(left(var), IsEmpty(var)))

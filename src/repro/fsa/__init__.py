@@ -1,0 +1,38 @@
+"""Multitape two-way finite automata — the paper's Section 3 substrate."""
+
+from repro.fsa.compile import CompiledFormula, compile_string_formula
+from repro.fsa.decompile import decompile, normalize_for_decompile
+from repro.fsa.generate import accepted_tuples
+from repro.fsa.machine import FSA, State, Transition, make_fsa, tape_symbol
+from repro.fsa.ops import disregard_tape, drop_tape, permute_tapes, widen
+from repro.fsa.simulate import (
+    Configuration,
+    accepting_run,
+    accepts,
+    language,
+    reachable_configurations,
+)
+from repro.fsa.specialize import specialize
+
+__all__ = [
+    "CompiledFormula",
+    "compile_string_formula",
+    "decompile",
+    "normalize_for_decompile",
+    "accepted_tuples",
+    "FSA",
+    "State",
+    "Transition",
+    "make_fsa",
+    "tape_symbol",
+    "disregard_tape",
+    "drop_tape",
+    "permute_tapes",
+    "widen",
+    "Configuration",
+    "accepting_run",
+    "accepts",
+    "language",
+    "reachable_configurations",
+    "specialize",
+]

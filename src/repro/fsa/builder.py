@@ -1,0 +1,145 @@
+"""An ergonomic construction DSL for k-FSAs.
+
+The Section 6 machines (QBF verifiers, LBA simulators) are far too
+large to write as raw transition tuples.  :class:`MachineBuilder`
+provides named states, per-tape read/move specifications with
+wildcards, and small composable idioms (scan-until, copy-compare), all
+compiling down to the plain :class:`repro.fsa.machine.FSA`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.alphabet import LEFT_END, RIGHT_END, Alphabet
+from repro.errors import TransitionError
+from repro.fsa.machine import FSA, Transition
+
+#: Wildcard read specification: any symbol (endmarkers included).
+ANY = "*"
+
+#: Wildcard read specification: any alphabet character (no endmarkers).
+ANY_CHAR = "**"
+
+
+class MachineBuilder:
+    """Accumulates transitions for a k-FSA under construction.
+
+    Read specifications per tape may be a concrete symbol, the
+    wildcard :data:`ANY`, the character wildcard :data:`ANY_CHAR`, or
+    an iterable of symbols.  A wildcard expands to one transition per
+    matching symbol; illegal endmarker/move combinations are silently
+    skipped during expansion (e.g. ``ANY`` with move ``+1`` omits
+    ``⊣``), which is what hand constructions invariably want.
+    """
+
+    def __init__(self, arity: int, alphabet: Alphabet, start: str) -> None:
+        self.arity = arity
+        self.alphabet = alphabet
+        self.start = start
+        self.finals: set[str] = set()
+        self.transitions: set[Transition] = set()
+        self.extra_states: set[str] = {start}
+
+    # -- low-level -------------------------------------------------------
+
+    def _expand(self, spec) -> list[str]:
+        if spec == ANY:
+            return list(self.alphabet.tape_symbols())
+        if spec == ANY_CHAR:
+            return list(self.alphabet.symbols)
+        if isinstance(spec, str):
+            return [spec]
+        return list(spec)
+
+    def add(
+        self,
+        source: str,
+        reads,
+        target: str,
+        moves: Iterable[int],
+    ) -> "MachineBuilder":
+        """Add transitions for every combination matching ``reads``."""
+        moves = tuple(moves)
+        if len(reads) != self.arity or len(moves) != self.arity:
+            raise TransitionError(
+                f"specs must have arity {self.arity}: {reads!r} / {moves!r}"
+            )
+        from itertools import product
+
+        for combo in product(*(self._expand(spec) for spec in reads)):
+            legal = all(
+                not (symbol == LEFT_END and move == -1)
+                and not (symbol == RIGHT_END and move == +1)
+                for symbol, move in zip(combo, moves)
+            )
+            if legal:
+                self.transitions.add(
+                    Transition(source, combo, target, moves)
+                )
+        self.extra_states.update((source, target))
+        return self
+
+    def final(self, *states: str) -> "MachineBuilder":
+        self.finals.update(states)
+        self.extra_states.update(states)
+        return self
+
+    # -- idioms ------------------------------------------------------------
+
+    def scan_until(
+        self,
+        source: str,
+        tape: int,
+        stop_symbols,
+        target: str,
+        consume_stop: bool = True,
+    ) -> "MachineBuilder":
+        """Move ``tape`` rightward until one of ``stop_symbols``.
+
+        Other tapes stay put; the stop symbol is stepped over when
+        ``consume_stop`` (otherwise the head halts on it).
+        """
+        stops = set(self._expand(stop_symbols))
+        movers = [
+            s
+            for s in self.alphabet.tape_symbols()
+            if s not in stops and s != RIGHT_END
+        ]
+        reads: list = [ANY] * self.arity
+        moves = [0] * self.arity
+        reads[tape], moves[tape] = movers, +1
+        self.add(source, reads, source, moves)
+        stop_reads: list = [ANY] * self.arity
+        stop_moves = [0] * self.arity
+        stop_reads[tape] = [s for s in stops]
+        stop_moves[tape] = +1 if consume_stop else 0
+        if consume_stop:
+            stop_reads[tape] = [s for s in stops if s != RIGHT_END]
+        self.add(source, stop_reads, target, stop_moves)
+        return self
+
+    def rewind(self, source: str, tape: int, target: str) -> "MachineBuilder":
+        """Move ``tape`` leftward to its ``⊢`` (making it bidirectional)."""
+        reads: list = [ANY] * self.arity
+        moves = [0] * self.arity
+        reads[tape] = [
+            s for s in self.alphabet.tape_symbols() if s != LEFT_END
+        ]
+        moves[tape] = -1
+        self.add(source, reads, source, moves)
+        stop_reads: list = [ANY] * self.arity
+        stop_reads[tape] = LEFT_END
+        self.add(source, stop_reads, target, [0] * self.arity)
+        return self
+
+    def build(self) -> FSA:
+        """Produce the (pruned) machine."""
+        return FSA(
+            self.arity,
+            frozenset(self.extra_states),
+            self.start,
+            frozenset(self.finals),
+            frozenset(self.transitions),
+            self.alphabet,
+        ).pruned()

@@ -1,0 +1,423 @@
+"""Compiling string formulae into k-FSAs (Theorem 3.1).
+
+The construction follows the paper's proof:
+
+* an **atomic** string formula ``[x_{i1},…,x_{ip}]_d ψ`` becomes the
+  two-edge paths of Figure 4 — from the start through an intermediate
+  state indexed by the expected next character combination (the device
+  that enforces property 5), with the stationary-prefix paths bypassed
+  as in Figure 5;
+* **concatenation** merges the first machine's final state into the
+  second's start state and bypasses the resulting stationary
+  transitions, then deletes the merged state;
+* **Kleene closure** adds a fresh final state reachable by stationary
+  transitions on every character combination (the "do not enter the
+  loop" case) and loops the body by merging its final into its start;
+* **selection** merges start states and final states;
+* finally the whole machine is prefixed with the single-transition
+  guard ``((s, ⊢…⊢), (f, 0…0))`` so that computations only begin in
+  initial tape configurations.
+
+Tape ``i`` of the result corresponds to the ``i``-th variable of the
+formula in ascending name order (the paper's convention ``x_i ↦ row
+i``), unless an explicit variable layout is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.alphabet import LEFT_END, RIGHT_END, Alphabet
+from repro.core.syntax import (
+    Lambda,
+    SAtom,
+    SConcat,
+    SStar,
+    StringFormula,
+    SUnion,
+    Transpose,
+    Var,
+    WTrue,
+    evaluate_window,
+    string_variables,
+)
+from repro.errors import ArityError
+from repro.fsa.machine import FSA, STAY, Transition
+
+
+@dataclass(frozen=True)
+class CompiledFormula:
+    """A compiled string formula: the machine plus its tape layout."""
+
+    fsa: FSA
+    variables: tuple[Var, ...]
+
+    def tape_of(self, var: Var) -> int:
+        """The tape index carrying ``var``."""
+        try:
+            return self.variables.index(var)
+        except ValueError:
+            raise ArityError(f"{var!r} is not a tape of this machine") from None
+
+
+class _Fragment:
+    """A machine under construction: integer states, one optional final.
+
+    Invariants maintained (properties 1-4 of Theorem 3.1): the start
+    has no incoming transitions; the final — when present — is distinct
+    from the start, has no outgoing transitions, and all its incoming
+    transitions are stationary.
+    """
+
+    __slots__ = ("start", "final", "transitions", "_next_state")
+
+    def __init__(self) -> None:
+        self.start = 0
+        self.final: int | None = None
+        self.transitions: set[Transition] = set()
+        self._next_state = 1
+
+    def fresh(self) -> int:
+        state = self._next_state
+        self._next_state += 1
+        return state
+
+    def states(self) -> set[int]:
+        found = {self.start}
+        if self.final is not None:
+            found.add(self.final)
+        for transition in self.transitions:
+            found.add(transition.source)
+            found.add(transition.target)
+        return found
+
+    def shifted(self, offset: int) -> "_Fragment":
+        out = _Fragment()
+        out.start = self.start + offset
+        out.final = None if self.final is None else self.final + offset
+        out.transitions = {
+            Transition(t.source + offset, t.reads, t.target + offset, t.moves)
+            for t in self.transitions
+        }
+        out._next_state = self._next_state + offset
+        return out
+
+    def prune(self) -> None:
+        """Drop states not on a start→final path (property 3)."""
+        forward = {self.start}
+        frontier = [self.start]
+        adjacency: dict[int, list[Transition]] = {}
+        for transition in self.transitions:
+            adjacency.setdefault(transition.source, []).append(transition)
+        while frontier:
+            state = frontier.pop()
+            for transition in adjacency.get(state, ()):
+                if transition.target not in forward:
+                    forward.add(transition.target)
+                    frontier.append(transition.target)
+        if self.final is None or self.final not in forward:
+            self.final = None
+            self.transitions = set()
+            return
+        backward = {self.final}
+        entering: dict[int, list[int]] = {}
+        for transition in self.transitions:
+            entering.setdefault(transition.target, []).append(transition.source)
+        frontier = [self.final]
+        while frontier:
+            state = frontier.pop()
+            for source in entering.get(state, ()):
+                if source in forward and source not in backward:
+                    backward.add(source)
+                    frontier.append(source)
+        keep = backward | {self.start}
+        self.transitions = {
+            t
+            for t in self.transitions
+            if t.source in keep and t.target in keep
+        }
+
+
+class _Compiler:
+    """Theorem 3.1 construction for a fixed variable layout."""
+
+    def __init__(self, variables: tuple[Var, ...], alphabet: Alphabet) -> None:
+        self.variables = variables
+        self.alphabet = alphabet
+        self.tape_symbols = alphabet.tape_symbols()
+
+    # -- character-combination helpers -----------------------------------
+
+    def _satisfying_combos(self, test) -> list[tuple[str, ...]]:
+        """Window-satisfying combinations over ``(Σ ∪ {⊢,⊣})^k``."""
+        combos = []
+        for combo in product(self.tape_symbols, repeat=len(self.variables)):
+            chars = {
+                var: (None if sym in (LEFT_END, RIGHT_END) else sym)
+                for var, sym in zip(self.variables, combo)
+            }
+            if evaluate_window(test, chars):
+                combos.append(combo)
+        return combos
+
+    def _entry_options(
+        self, transpose: Transpose, target: tuple[str, ...]
+    ) -> list[tuple[tuple[str, ...], tuple[int, ...]]]:
+        """All ``(a-combo, d-combo)`` pairs that can yield ``target``.
+
+        Realizes Figure 4's side conditions: a transposed tape either
+        moves (any pre-character compatible with the direction) or is
+        clamped at the endmarker; every other tape stays with its
+        character unchanged.
+        """
+        moved = set(transpose.variables)
+        per_tape: list[list[tuple[str, int]]] = []
+        for var, b in zip(self.variables, target):
+            options: list[tuple[str, int]] = []
+            if var not in moved:
+                options.append((b, STAY))
+            elif transpose.direction == "l":
+                if b != LEFT_END:
+                    options.extend(
+                        (a, +1) for a in (*self.alphabet.symbols, LEFT_END)
+                    )
+                if b == RIGHT_END:
+                    options.append((RIGHT_END, STAY))  # clamped at the right end
+            else:  # right transpose
+                if b != RIGHT_END:
+                    options.extend(
+                        (a, -1) for a in (*self.alphabet.symbols, RIGHT_END)
+                    )
+                if b == LEFT_END:
+                    options.append((LEFT_END, STAY))  # clamped at the left end
+            if not options:
+                return []
+            per_tape.append(options)
+        results = []
+        for choice in product(*per_tape):
+            reads = tuple(a for a, _ in choice)
+            moves = tuple(d for _, d in choice)
+            results.append((reads, moves))
+        return results
+
+    # -- fragment constructors --------------------------------------------
+
+    def atomic(self, formula: SAtom) -> _Fragment:
+        frag = _Fragment()
+        frag.final = frag.fresh()
+        zeros = (STAY,) * len(self.variables)
+        for target in self._satisfying_combos(formula.test):
+            entries = self._entry_options(formula.transpose, target)
+            if not entries:
+                continue
+            intermediate: int | None = None
+            for reads, moves in entries:
+                if all(m == STAY for m in moves):
+                    # Figure 5: bypass the stationary two-edge path.
+                    frag.transitions.add(
+                        Transition(frag.start, reads, frag.final, zeros)
+                    )
+                else:
+                    if intermediate is None:
+                        intermediate = frag.fresh()
+                        frag.transitions.add(
+                            Transition(intermediate, target, frag.final, zeros)
+                        )
+                    frag.transitions.add(
+                        Transition(frag.start, reads, intermediate, moves)
+                    )
+        frag.prune()
+        return frag
+
+    def identity(self) -> _Fragment:
+        """The machine of ``λ`` / ``[]_l ⊤``: accept without moving."""
+        return self.atomic(SAtom(Transpose("l", ()), WTrue()))
+
+    def concatenate(self, first: _Fragment, second: _Fragment) -> _Fragment:
+        if first.final is None or second.final is None:
+            return _Fragment()  # single rejecting start state
+        second = second.shifted(first._next_state)
+        frag = _Fragment()
+        frag.start = first.start
+        frag.final = second.final
+        frag._next_state = second._next_state
+        entering_final = [
+            t for t in first.transitions if t.target == first.final
+        ]
+        leaving_start = [
+            t for t in second.transitions if t.source == second.start
+        ]
+        frag.transitions = (
+            {t for t in first.transitions if t.target != first.final}
+            | {t for t in second.transitions if t.source != second.start}
+        )
+        for t1 in entering_final:  # all stationary by property 4
+            for t2 in leaving_start:
+                if t2.reads == t1.reads:
+                    frag.transitions.add(
+                        Transition(t1.source, t1.reads, t2.target, t2.moves)
+                    )
+        frag.prune()
+        return frag
+
+    def star(self, body: _Fragment) -> _Fragment:
+        if body.final is None:
+            # L(ψ) = ∅ so L(ψ*) = {λ}: the identity machine.  (The
+            # paper leaves the lone-start machine unmodified here,
+            # which would lose the λ word; see DESIGN.md §5.)
+            return self.identity()
+        frag = _Fragment()
+        frag.start = body.start
+        frag._next_state = body._next_state
+        frag.final = frag.fresh()
+        zeros = (STAY,) * len(self.variables)
+        # "Do not enter the loop at all": stationary exits on every combo.
+        for combo in product(self.tape_symbols, repeat=len(self.variables)):
+            frag.transitions.add(
+                Transition(frag.start, combo, frag.final, zeros)
+            )
+        body_transitions = {
+            t
+            for t in body.transitions
+            if not (
+                t.source == body.start
+                and t.target == body.final
+                and t.is_stationary()
+            )
+        }
+        entering_final = [
+            t for t in body_transitions if t.target == body.final
+        ]
+        frag.transitions |= {
+            t for t in body_transitions if t.target != body.final
+        }
+        leaving_start = [
+            t
+            for t in frag.transitions
+            if t.source == frag.start
+        ]
+        for t1 in entering_final:  # stationary by property 4
+            for t2 in leaving_start:
+                if t2.reads == t1.reads:
+                    frag.transitions.add(
+                        Transition(t1.source, t1.reads, t2.target, t2.moves)
+                    )
+        frag.prune()
+        return frag
+
+    def union(self, first: _Fragment, second: _Fragment) -> _Fragment:
+        second = second.shifted(first._next_state)
+        frag = _Fragment()
+        frag.start = first.start
+        frag._next_state = second._next_state
+
+        def renamed(transition: Transition) -> Transition:
+            source = transition.source
+            target = transition.target
+            if source == second.start:
+                source = frag.start
+            if target == second.start:
+                target = frag.start
+            return Transition(source, transition.reads, target, transition.moves)
+
+        transitions = set(first.transitions)
+        transitions |= {renamed(t) for t in second.transitions}
+        if first.final is not None and second.final is not None:
+            merged_final = first.final
+            transitions = {
+                Transition(
+                    t.source,
+                    t.reads,
+                    merged_final if t.target == second.final else t.target,
+                    t.moves,
+                )
+                for t in transitions
+            }
+            frag.final = merged_final
+        else:
+            frag.final = (
+                first.final if first.final is not None else second.final
+            )
+        frag.transitions = transitions
+        frag.prune()
+        return frag
+
+    def build(self, formula: StringFormula) -> _Fragment:
+        if isinstance(formula, SAtom):
+            return self.atomic(formula)
+        if isinstance(formula, Lambda):
+            return self.identity()
+        if isinstance(formula, SConcat):
+            frag = self.build(formula.parts[0])
+            for part in formula.parts[1:]:
+                frag = self.concatenate(frag, self.build(part))
+            return frag
+        if isinstance(formula, SUnion):
+            frag = self.build(formula.parts[0])
+            for part in formula.parts[1:]:
+                frag = self.union(frag, self.build(part))
+            return frag
+        if isinstance(formula, SStar):
+            return self.star(self.build(formula.inner))
+        raise TypeError(f"not a string formula: {formula!r}")
+
+    def initial_guard(self) -> _Fragment:
+        """The prefix machine testing all heads on ``⊢``."""
+        frag = _Fragment()
+        frag.final = frag.fresh()
+        k = len(self.variables)
+        frag.transitions.add(
+            Transition(
+                frag.start, (LEFT_END,) * k, frag.final, (STAY,) * k
+            )
+        )
+        return frag
+
+
+_CACHE: dict[tuple, CompiledFormula] = {}
+
+
+def compile_string_formula(
+    formula: StringFormula,
+    alphabet: Alphabet,
+    variables: tuple[Var, ...] | None = None,
+) -> CompiledFormula:
+    """Theorem 3.1: an FSA ``A_φ`` with ``L(A_φ) = ⟦φ⟧``.
+
+    ``variables`` fixes the tape layout; it defaults to the formula's
+    variables in ascending name order and may list extra variables
+    (their tapes are then unconstrained only insofar as the formula
+    ignores them — they still must be *strings*, so pair such layouts
+    with ``Σ*`` columns as Theorem 4.2 does).
+    """
+    if variables is None:
+        variables = tuple(sorted(string_variables(formula)))
+    else:
+        missing = string_variables(formula) - set(variables)
+        if missing:
+            raise ArityError(
+                f"layout {variables!r} misses formula variables {sorted(missing)}"
+            )
+        if len(set(variables)) != len(variables):
+            raise ArityError(f"layout {variables!r} repeats a variable")
+    key = (formula, alphabet, variables)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    compiler = _Compiler(variables, alphabet)
+    frag = compiler.concatenate(compiler.initial_guard(), compiler.build(formula))
+    states = frozenset(frag.states())
+    finals = frozenset({frag.final} if frag.final is not None else ())
+    fsa = FSA(
+        len(variables),
+        states,
+        frag.start,
+        finals,
+        frozenset(frag.transitions),
+        alphabet,
+    )
+    result = CompiledFormula(fsa, variables)
+    _CACHE[key] = result
+    return result

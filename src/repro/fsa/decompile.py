@@ -1,0 +1,268 @@
+"""Translating k-FSAs back into string formulae (Theorem 3.2).
+
+Each transition ``t = ((p, c₁…c_k), (q, d₁…d_k))`` becomes the string
+formula ``ψ_t = []_l (⋀ xᵢ = cᵢ') . τ_l ⊤ . τ_r ⊤`` where ``cᵢ'`` is
+``cᵢ`` for alphabet characters and ``= ε`` for endmarkers, ``τ_l``
+transposes the tapes moved right and ``τ_r`` the tapes moved left.
+The full formula is then the regular expression of all transition
+paths from the start to the final state, obtained with the classical
+``E_ijk`` state-elimination recursion (Sippu & Soisalon-Soininen,
+Theorem 3.17) and the paper's simplification rules for the
+unsatisfiable formula ``[]_l ¬⊤``.
+
+Because string formulae cannot distinguish the two ends of a string
+while FSA tapes can, the machine is first *normalized* by indexing
+every state with the endmarker status (⊢ / between / ⊣) of each head,
+exactly as in the paper's proof.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import LEFT_END, RIGHT_END
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    SAtom,
+    SStar,
+    StringFormula,
+    Transpose,
+    Var,
+    WNot,
+    WTrue,
+    atom,
+    concat,
+    left,
+    right,
+    union,
+    w_and,
+)
+from repro.errors import ArityError
+from repro.fsa.machine import FSA, STAY, Transition
+
+#: Endmarker-status markers: on ⊢, strictly between, on ⊣.
+_ON_LEFT, _BETWEEN, _ON_RIGHT = "L", "C", "R"
+
+
+def unsatisfiable() -> SAtom:
+    """The paper's ``[]_l ¬⊤``: an atomic formula true nowhere."""
+    return SAtom(Transpose("l", ()), WNot(WTrue()))
+
+
+def transition_formula(
+    transition: Transition, variables: tuple[Var, ...]
+) -> StringFormula:
+    """The paper's ``ψ_t`` describing one transition."""
+    tests = []
+    for var, symbol in zip(variables, transition.reads):
+        if symbol in (LEFT_END, RIGHT_END):
+            tests.append(IsEmpty(var))
+        else:
+            tests.append(IsChar(var, symbol))
+    parts: list[StringFormula] = [atom(left(), w_and(*tests))]
+    lefts = tuple(
+        var
+        for var, move in zip(variables, transition.moves)
+        if move == +1
+    )
+    rights = tuple(
+        var
+        for var, move in zip(variables, transition.moves)
+        if move == -1
+    )
+    if lefts:
+        parts.append(atom(left(*lefts), WTrue()))
+    if rights:
+        parts.append(atom(right(*rights), WTrue()))
+    return concat(*parts)
+
+
+def _status_of(symbol: str) -> str:
+    if symbol == LEFT_END:
+        return _ON_LEFT
+    if symbol == RIGHT_END:
+        return _ON_RIGHT
+    return _BETWEEN
+
+
+def _next_statuses(move: int, current: str) -> tuple[str, ...]:
+    """Possible endmarker statuses after applying ``move``."""
+    if move == STAY:
+        return (current,)
+    if move == +1:
+        return (_BETWEEN, _ON_RIGHT)
+    return (_ON_LEFT, _BETWEEN)
+
+
+def normalize_endmarkers(fsa: FSA) -> FSA:
+    """Index the state space by per-tape endmarker status.
+
+    After normalization every state can only be exited on character
+    combinations matching its index, so the naive per-transition test
+    "endmarker ⇒ x = ε" becomes unambiguous.  Final states are merged
+    into a single fresh final state (they have no outgoing transitions
+    after halting-normalization, see :func:`normalize_for_decompile`).
+    """
+    from itertools import product as iproduct
+
+    start = (fsa.start, (_ON_LEFT,) * fsa.arity)
+    merged_final = "__final__"
+    states = {start, merged_final}
+    transitions: set[Transition] = set()
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        p, statuses = state
+        for transition in fsa.outgoing(p):
+            if any(
+                _status_of(symbol) != status
+                for symbol, status in zip(transition.reads, statuses)
+            ):
+                continue
+            options = [
+                _next_statuses(move, status)
+                for move, status in zip(transition.moves, statuses)
+            ]
+            for choice in iproduct(*options):
+                if transition.target in fsa.finals:
+                    target = merged_final
+                else:
+                    target = (transition.target, choice)
+                transitions.add(
+                    Transition(state, transition.reads, target, transition.moves)
+                )
+                if target != merged_final and target not in states:
+                    states.add(target)
+                    frontier.append(target)
+    return FSA(
+        fsa.arity,
+        frozenset(states),
+        start,
+        frozenset({merged_final}),
+        frozenset(transitions),
+        fsa.alphabet,
+    ).pruned()
+
+
+def normalize_for_decompile(fsa: FSA) -> FSA:
+    """Give the machine a unique final state with no outgoing transitions.
+
+    The paper's acceptance condition is *halting* in a final state.  We
+    make that explicit: for every final state ``p`` and every character
+    combination on which no transition of ``p`` fires, add a stationary
+    transition into a fresh final sink.  Acceptance of the result (in
+    the reach-the-sink sense and in the halting sense alike) coincides
+    with halting acceptance of the original machine.
+    """
+    from itertools import product as iproduct
+
+    sink = "__sink__"
+    transitions = set(fsa.transitions)
+    for state in fsa.finals:
+        covered = {t.reads for t in fsa.outgoing(state)}
+        for combo in iproduct(fsa.alphabet.tape_symbols(), repeat=fsa.arity):
+            if combo not in covered:
+                transitions.add(
+                    Transition(state, combo, sink, (STAY,) * fsa.arity)
+                )
+    return FSA(
+        fsa.arity,
+        fsa.states | {sink},
+        fsa.start,
+        frozenset({sink}),
+        frozenset(transitions),
+        fsa.alphabet,
+    ).pruned()
+
+
+def _eliminate(
+    numbered: list,
+    edges: dict[tuple[int, int], StringFormula],
+) -> StringFormula | None:
+    """The ``E_ijk`` recursion with the paper's simplification rules.
+
+    ``None`` plays the role of the unsatisfiable ``[]_l ¬⊤`` — the
+    simplifications ``E . ∅ = ∅``, ``E + ∅ = E`` and ``∅* = λ`` are
+    applied eagerly so unsatisfiable branches vanish.
+    """
+    n = len(numbered)
+    # current[(i, j)] = E_ij(k) as k grows; missing key = unsatisfiable.
+    current: dict[tuple[int, int], StringFormula] = dict(edges)
+    for k in range(1, n - 1):  # eliminate intermediate states 2..n-1 (index k)
+        loop = current.get((k, k))
+        through = SStar(loop) if loop is not None else None
+        updated = dict(current)
+        for i in range(n):
+            if (i, k) not in current or i == k:
+                continue
+            for j in range(n):
+                if (k, j) not in current or j == k:
+                    continue
+                if through is not None:
+                    detour = concat(current[(i, k)], through, current[(k, j)])
+                else:
+                    detour = concat(current[(i, k)], current[(k, j)])
+                existing = updated.get((i, j))
+                updated[(i, j)] = (
+                    detour if existing is None else union(existing, detour)
+                )
+        for key in list(updated):
+            if k in key:
+                del updated[key]
+        current = updated
+    start_index, final_index = 0, n - 1
+    direct = current.get((start_index, final_index))
+    start_loop = current.get((start_index, start_index))
+    final_loop = current.get((final_index, final_index))
+    if direct is None:
+        return None
+    parts: list[StringFormula] = []
+    if start_loop is not None:
+        parts.append(SStar(start_loop))
+    parts.append(direct)
+    if final_loop is not None:
+        parts.append(SStar(final_loop))
+    return concat(*parts)
+
+
+def decompile(
+    fsa: FSA, variables: tuple[Var, ...] | None = None
+) -> StringFormula:
+    """Theorem 3.2: a string formula ``φ_A`` with ``⟦φ_A⟧ = L(A)``.
+
+    ``variables`` names the tapes (default ``x1 … xk``).  Variable
+    ``xᵢ`` of the result is bidirectional iff tape ``i`` is.
+    """
+    if variables is None:
+        variables = tuple(f"x{i + 1}" for i in range(fsa.arity))
+    if len(variables) != fsa.arity:
+        raise ArityError(
+            f"{fsa.arity}-FSA needs {fsa.arity} variable names, got {variables!r}"
+        )
+    normalized = normalize_endmarkers(normalize_for_decompile(fsa))
+    if not normalized.finals:
+        return unsatisfiable()
+    (final,) = tuple(normalized.finals)
+    if final == normalized.start:
+        # Degenerate: the empty path is accepting.
+        return concat()
+    ordering = [normalized.start]
+    ordering.extend(
+        sorted(
+            (
+                s
+                for s in normalized.states
+                if s != normalized.start and s != final
+            ),
+            key=repr,
+        )
+    )
+    ordering.append(final)
+    index = {state: i for i, state in enumerate(ordering)}
+    edges: dict[tuple[int, int], StringFormula] = {}
+    for transition in normalized.transitions:
+        key = (index[transition.source], index[transition.target])
+        piece = transition_formula(transition, variables)
+        existing = edges.get(key)
+        edges[key] = piece if existing is None else union(existing, piece)
+    result = _eliminate(ordering, edges)
+    return result if result is not None else unsatisfiable()

@@ -1,0 +1,162 @@
+"""Enumerating the tuples accepted by an FSA — Definition 3.1 in action.
+
+The limitation problem asks when an acceptor can safely be used as a
+*string production device*: fix some tapes as inputs and enumerate the
+output tapes.  This module implements that production:
+
+* fixed tapes are folded into the finite control by Lemma 3.1
+  (:mod:`repro.fsa.specialize`);
+* output tapes are generated **on the fly** — a head stepping onto an
+  undetermined square chooses its character, and the chosen prefix is
+  remembered so that re-reads (bidirectional sweeps included) must
+  stay consistent.  The search therefore explores only prefixes the
+  machine actually touches, instead of enumerating ``Σ^{<=L}``.
+
+Everything is bounded by an explicit ``max_length``; safe queries
+obtain that bound from the limitation analysis of
+:mod:`repro.safety.limitation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.alphabet import LEFT_END, RIGHT_END
+from repro.fsa.machine import FSA
+from repro.fsa.specialize import specialize
+
+
+@dataclass(frozen=True)
+class _Tape:
+    """A partially determined output tape.
+
+    ``prefix`` holds the characters fixed so far (squares ``1 …
+    len(prefix)``), ``head`` the current position, and ``ended``
+    whether the square after the prefix has been fixed to ``⊣``.
+    """
+
+    prefix: str
+    head: int
+    ended: bool
+
+    def read_options(self, wanted: str, limit: int) -> "_Tape | None":
+        """Can this tape show ``wanted`` under its head?
+
+        Returns the (possibly further determined) tape, or ``None``
+        when impossible within the length ``limit``.
+        """
+        if self.head == 0:
+            return self if wanted == LEFT_END else None
+        if self.head <= len(self.prefix):
+            return self if wanted == self.prefix[self.head - 1] else None
+        # Head is one past the prefix: the square is ⊣ if ended,
+        # otherwise undetermined and ours to choose.
+        if self.ended:
+            return self if wanted == RIGHT_END else None
+        if wanted == RIGHT_END:
+            return _Tape(self.prefix, self.head, True)
+        if wanted == LEFT_END:
+            return None
+        if len(self.prefix) >= limit:
+            return None
+        return _Tape(self.prefix + wanted, self.head, False)
+
+    def moved(self, delta: int) -> "_Tape":
+        return _Tape(self.prefix, self.head + delta, self.ended)
+
+
+def _ensure_sink_finals(fsa: FSA) -> FSA:
+    """Guarantee final states have no outgoing transitions.
+
+    Generation declares success as soon as a final state is reached;
+    that matches the paper's halting acceptance only when finals cannot
+    continue.  Machines from the Theorem 3.1 compiler already comply;
+    arbitrary machines are rewritten with the halting-normalization of
+    :mod:`repro.fsa.decompile`.
+    """
+    if all(not fsa.outgoing(state) for state in fsa.finals):
+        return fsa
+    from repro.fsa.decompile import normalize_for_decompile
+
+    return normalize_for_decompile(fsa)
+
+
+def _generate_free(
+    fsa: FSA, max_length: int
+) -> frozenset[tuple[str, ...]]:
+    """All accepted tuples of a machine whose tapes are all generated.
+
+    Works for bidirectional tapes as well: the determined prefix is
+    part of the search state, so leftward re-reads are checked against
+    the characters chosen earlier.
+    """
+    fsa = _ensure_sink_finals(fsa)
+    start = (fsa.start, tuple(_Tape("", 0, False) for _ in range(fsa.arity)))
+    visited = {start}
+    frontier = [start]
+    accepted_states: set[tuple] = set()
+    while frontier:
+        state, tapes = frontier.pop()
+        if state in fsa.finals:
+            accepted_states.add((state, tapes))
+            continue
+        for transition in fsa.outgoing(state):
+            new_tapes = []
+            for tape, wanted, move in zip(
+                tapes, transition.reads, transition.moves
+            ):
+                determined = tape.read_options(wanted, max_length)
+                if determined is None:
+                    break
+                new_tapes.append(determined.moved(move))
+            else:
+                nxt = (transition.target, tuple(new_tapes))
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(nxt)
+    results: set[tuple[str, ...]] = set()
+    pool_cache: dict[int, list[str]] = {}
+    for _, tapes in accepted_states:
+        per_tape: list[list[str]] = []
+        for tape in tapes:
+            if tape.ended:
+                per_tape.append([tape.prefix])
+            else:
+                # The machine halted without pinning the tape's end:
+                # every extension within the bound is accepted.
+                budget = max_length - len(tape.prefix)
+                if fsa.alphabet.count_strings(budget) > 2_000_000:
+                    from repro.errors import UnboundedQueryError
+
+                    raise UnboundedQueryError(
+                        "an accepted tape is unconstrained beyond "
+                        f"{tape.prefix!r}; materializing Σ^<={budget} "
+                        "extensions is infeasible — the query does not "
+                        "limit this output"
+                    )
+                extensions = pool_cache.get(budget)
+                if extensions is None:
+                    extensions = list(fsa.alphabet.strings(budget))
+                    pool_cache[budget] = extensions
+                per_tape.append([tape.prefix + ext for ext in extensions])
+        results.update(product(*per_tape))
+    return frozenset(results)
+
+
+def accepted_tuples(
+    fsa: FSA,
+    max_length: int,
+    fixed: Mapping[int, str] | None = None,
+) -> frozenset[tuple[str, ...]]:
+    """Tuples of ``L(A)`` with the ``fixed`` tapes held constant.
+
+    Returns tuples over the *free* tapes (in their original order),
+    every component of length at most ``max_length``.  This is the
+    workhorse behind alignment algebra's ``σ_A(F × (Σ*)^n)`` pattern:
+    ``F``'s tuple supplies ``fixed`` and the ``Σ*`` columns are
+    generated.
+    """
+    machine = specialize(fsa, dict(fixed)) if fixed else fsa
+    return _generate_free(machine, max_length)

@@ -1,0 +1,60 @@
+"""Bisimulation-based state reduction for k-FSAs.
+
+Merging forward-bisimilar states preserves the accepted language of a
+nondeterministic machine (it is a quotient of the transition graph
+that neither adds nor removes labelled paths or finality).  It is not
+full NFA minimization — that is PSPACE-hard — but it collapses the
+bulk of the redundancy the Theorem 3.1 compiler introduces (parallel
+intermediate states expecting different characters but behaving
+identically afterwards), which matters most as a preprocessing step
+for the exponential crossing-sequence construction of Theorem 5.2.
+"""
+
+from __future__ import annotations
+
+from repro.fsa.machine import FSA, Transition
+
+
+def bisimulation_quotient(fsa: FSA) -> FSA:
+    """Quotient the machine by its coarsest forward bisimulation.
+
+    Two states are merged when they are both-or-neither final and have
+    the same set of ``(reads, moves, target-block)`` signatures, computed
+    to a fixed point by partition refinement.
+    """
+    block: dict = {
+        state: (state in fsa.finals) for state in fsa.states
+    }
+    while True:
+        signatures: dict = {}
+        for state in fsa.states:
+            signature = frozenset(
+                (t.reads, t.moves, block[t.target]) for t in fsa.outgoing(state)
+            )
+            signatures[state] = (block[state], signature)
+        renumber: dict = {}
+        for state in sorted(fsa.states, key=repr):
+            renumber.setdefault(signatures[state], len(renumber))
+        new_block = {
+            state: renumber[signatures[state]] for state in fsa.states
+        }
+        if len(set(new_block.values())) == len(set(block.values())):
+            block = new_block
+            break
+        block = new_block
+    representative: dict = {}
+    for state in sorted(fsa.states, key=repr):
+        representative.setdefault(block[state], state)
+    mapping = {state: representative[block[state]] for state in fsa.states}
+    transitions = frozenset(
+        Transition(mapping[t.source], t.reads, mapping[t.target], t.moves)
+        for t in fsa.transitions
+    )
+    return FSA(
+        fsa.arity,
+        frozenset(mapping.values()),
+        mapping[fsa.start],
+        frozenset(mapping[s] for s in fsa.finals),
+        transitions,
+        fsa.alphabet,
+    )

@@ -1,0 +1,135 @@
+"""Structural operations on k-FSAs.
+
+The tape surgery used throughout the paper: disregarding a tape
+(Section 3's modification that parks a head on ``⊢`` forever),
+permuting tapes, and widening a machine with ignored tapes (needed by
+the algebra translation, where machines built for different variable
+sets must agree on a common tape layout).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.alphabet import LEFT_END
+from repro.errors import ArityError
+from repro.fsa.machine import FSA, STAY, Transition
+
+
+def disregard_tape(fsa: FSA, tape: int) -> FSA:
+    """The paper's tape-disregarding modification.
+
+    Every transition's entry for ``tape`` is replaced by reading ``⊢``
+    and staying put: the tape is retained but never moved off its left
+    endmarker, so the resulting machine ignores that tape's content.
+    Together with property 5 of Theorem 3.1 this implements
+    unidirectional quantifier elimination (Theorem 6.6's opening
+    remark).
+    """
+    if not 0 <= tape < fsa.arity:
+        raise ArityError(f"tape {tape} outside 0..{fsa.arity - 1}")
+
+    def rewrite(transition: Transition) -> Transition:
+        reads = list(transition.reads)
+        moves = list(transition.moves)
+        reads[tape] = LEFT_END
+        moves[tape] = STAY
+        return Transition(
+            transition.source, tuple(reads), transition.target, tuple(moves)
+        )
+
+    return FSA(
+        fsa.arity,
+        fsa.states,
+        fsa.start,
+        fsa.finals,
+        frozenset(rewrite(t) for t in fsa.transitions),
+        fsa.alphabet,
+    )
+
+
+def drop_tape(fsa: FSA, tape: int) -> FSA:
+    """Disregard ``tape`` and then remove it from the layout entirely.
+
+    The result is a ``(k-1)``-FSA accepting exactly the projections of
+    ``L(fsa)`` when ``tape`` was already disregarded, or — by property
+    5 for unidirectional tapes — the projection of the language.
+    """
+    ignored = disregard_tape(fsa, tape)
+
+    def strip(values: tuple) -> tuple:
+        return values[:tape] + values[tape + 1 :]
+
+    return FSA(
+        fsa.arity - 1,
+        ignored.states,
+        ignored.start,
+        ignored.finals,
+        frozenset(
+            Transition(t.source, strip(t.reads), t.target, strip(t.moves))
+            for t in ignored.transitions
+        ),
+        fsa.alphabet,
+    )
+
+
+def permute_tapes(fsa: FSA, order: Sequence[int]) -> FSA:
+    """Reorder tapes: new tape ``i`` is old tape ``order[i]``."""
+    if sorted(order) != list(range(fsa.arity)):
+        raise ArityError(
+            f"{order!r} is not a permutation of 0..{fsa.arity - 1}"
+        )
+
+    def rearrange(values: tuple) -> tuple:
+        return tuple(values[i] for i in order)
+
+    return FSA(
+        fsa.arity,
+        fsa.states,
+        fsa.start,
+        fsa.finals,
+        frozenset(
+            Transition(t.source, rearrange(t.reads), t.target, rearrange(t.moves))
+            for t in fsa.transitions
+        ),
+        fsa.alphabet,
+    )
+
+
+def widen(fsa: FSA, arity: int, placement: Sequence[int]) -> FSA:
+    """Embed a k-FSA into an ``arity``-tape layout.
+
+    ``placement[i]`` gives the new index of old tape ``i``; the
+    remaining new tapes are ignored (their heads sit on ``⊢``
+    forever), so the widened machine accepts any content there —
+    matching how Theorem 4.2 pairs machines with ``Σ*`` columns.
+    """
+    if len(placement) != fsa.arity:
+        raise ArityError("placement must list every existing tape")
+    if len(set(placement)) != len(placement) or any(
+        not 0 <= p < arity for p in placement
+    ):
+        raise ArityError(f"invalid placement {placement!r} into arity {arity}")
+
+    def spread(values: tuple, fill) -> tuple:
+        out = [fill] * arity
+        for old, new in enumerate(placement):
+            out[new] = values[old]
+        return tuple(out)
+
+    return FSA(
+        arity,
+        fsa.states,
+        fsa.start,
+        fsa.finals,
+        frozenset(
+            Transition(
+                t.source,
+                spread(t.reads, LEFT_END),
+                t.target,
+                spread(t.moves, STAY),
+            )
+            for t in fsa.transitions
+        ),
+        fsa.alphabet,
+    )

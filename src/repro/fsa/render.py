@@ -1,0 +1,41 @@
+"""Rendering FSAs as text and Graphviz DOT (Figure 6 reproduction)."""
+
+from __future__ import annotations
+
+from repro.fsa.machine import FSA
+
+
+def transition_label(reads, moves) -> str:
+    """The paper's edge label style ``c₁d₁ … c_kd_k``."""
+    return " ".join(
+        f"{symbol}{move:+d}" if move else f"{symbol}·"
+        for symbol, move in zip(reads, moves)
+    )
+
+
+def to_text(fsa: FSA) -> str:
+    """A deterministic, human-readable machine listing."""
+    lines = [str(fsa), f"start: {fsa.start}", f"finals: {sorted(map(repr, fsa.finals))}"]
+    for transition in sorted(fsa.transitions, key=repr):
+        lines.append(
+            f"  {transition.source!r} --[{transition_label(transition.reads, transition.moves)}]--> "
+            f"{transition.target!r}"
+        )
+    return "\n".join(lines)
+
+
+def to_dot(fsa: FSA, name: str = "fsa") -> str:
+    """Graphviz DOT source for the machine's transition graph."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in sorted(fsa.states, key=repr):
+        shape = "doublecircle" if state in fsa.finals else "circle"
+        lines.append(f'  "{state!r}" [shape={shape}];')
+    lines.append(f'  "__start" [shape=point];')
+    lines.append(f'  "__start" -> "{fsa.start!r}";')
+    for transition in sorted(fsa.transitions, key=repr):
+        label = transition_label(transition.reads, transition.moves)
+        lines.append(
+            f'  "{transition.source!r}" -> "{transition.target!r}" [label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Specializing an FSA on constant inputs (Lemma 3.1).
+
+Given a ``(k+l)``-FSA and constant strings for some of its tapes, build
+the ``l``-FSA that remembers the fixed heads' positions in its finite
+control.  The construction runs in time polynomial in
+``|A| · Π(|uᵢ| + 2)``, which is what makes the acceptance problem
+polynomial for a fixed machine (Theorem 3.3) and drives selection in
+alignment algebra.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from itertools import product
+
+from repro.errors import ArityError
+from repro.fsa.machine import FSA, Transition, tape_symbol
+
+
+def specialize(
+    fsa: FSA, fixed: Mapping[int, str], prune: bool = True
+) -> FSA:
+    """Fix the ``fixed`` tapes of ``fsa`` to constant strings.
+
+    ``fixed`` maps tape indices (0-based) to their contents.  The
+    result is an FSA over the remaining tapes, in their original
+    relative order, whose states are pairs
+    ``(p, (n_i)_{i ∈ fixed})`` — the paper's ``p_(n₁,…,n_k)``.
+
+    With ``prune=True`` (default) states unreachable from the start are
+    dropped; pass ``prune=False`` to obtain the paper's full product
+    for size measurements.
+    """
+    for tape, content in fixed.items():
+        if not 0 <= tape < fsa.arity:
+            raise ArityError(f"tape {tape} outside 0..{fsa.arity - 1}")
+        fsa.alphabet.validate_string(content)
+    fixed_tapes = tuple(sorted(fixed))
+    free_tapes = tuple(i for i in range(fsa.arity) if i not in fixed)
+
+    def project(values: tuple, tapes: tuple[int, ...]) -> tuple:
+        return tuple(values[i] for i in tapes)
+
+    position_ranges = [
+        range(len(fixed[tape]) + 2) for tape in fixed_tapes
+    ]
+    start = (fsa.start, (0,) * len(fixed_tapes))
+
+    def transitions_from(state) -> list[tuple[Transition, tuple]]:
+        p, positions = state
+        heads = {
+            tape: tape_symbol(fixed[tape], position)
+            for tape, position in zip(fixed_tapes, positions)
+        }
+        out = []
+        for transition in fsa.outgoing(p):
+            if any(
+                transition.reads[tape] != symbol
+                for tape, symbol in heads.items()
+            ):
+                continue
+            moved = tuple(
+                position + transition.moves[tape]
+                for tape, position in zip(fixed_tapes, positions)
+            )
+            out.append((transition, (transition.target, moved)))
+        return out
+
+    if prune:
+        states = {start}
+        frontier = [start]
+        new_transitions: list[Transition] = []
+        while frontier:
+            state = frontier.pop()
+            for transition, target in transitions_from(state):
+                new_transitions.append(
+                    Transition(
+                        state,
+                        project(transition.reads, free_tapes),
+                        target,
+                        project(transition.moves, free_tapes),
+                    )
+                )
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+    else:
+        states = {
+            (p, positions)
+            for p in fsa.states
+            for positions in product(*position_ranges)
+        }
+        new_transitions = []
+        for state in states:
+            for transition, target in transitions_from(state):
+                new_transitions.append(
+                    Transition(
+                        state,
+                        project(transition.reads, free_tapes),
+                        target,
+                        project(transition.moves, free_tapes),
+                    )
+                )
+
+    finals = frozenset(
+        state for state in states if state[0] in fsa.finals
+    )
+    return FSA(
+        len(free_tapes),
+        frozenset(states),
+        start,
+        finals,
+        frozenset(new_transitions),
+        fsa.alphabet,
+    )

@@ -1,0 +1,32 @@
+"""Safety analysis: limitation, domain independence, undecidability."""
+
+from repro.safety.crossing import (
+    CrossingAutomaton,
+    build_crossing_automaton,
+)
+from repro.safety.domain_independence import (
+    SafetyReport,
+    expression_limit,
+    limit_function,
+)
+from repro.safety.limitation import (
+    LimitFunction,
+    LimitationReport,
+    decide_limitation,
+    formula_limitation,
+)
+from repro.safety.reductions import derivation_encoding, phi_g
+
+__all__ = [
+    "CrossingAutomaton",
+    "build_crossing_automaton",
+    "SafetyReport",
+    "expression_limit",
+    "limit_function",
+    "LimitFunction",
+    "LimitationReport",
+    "decide_limitation",
+    "formula_limitation",
+    "derivation_encoding",
+    "phi_g",
+]

@@ -1,0 +1,593 @@
+"""The crossing-sequence construction of Theorem 5.2.
+
+For a right-restricted machine — one bidirectional tape ``b``, all
+other tapes unidirectional — this module builds the one-way automaton
+``A″`` whose states are *valid direct crossing sequences* of the
+behaviour on tape ``b`` and whose arcs carry abstracted *matching
+labels* (which kinds of original transition the head used on one tape
+square).
+
+Pipeline, following the paper's proof:
+
+1. **Projection** — view the machine through tape ``b``, tagging each
+   transition *reading* (advances a unidirectional input tape) and/or
+   *writing* (advances a unidirectional output tape).
+2. **Cleanup normalization** — accepting transitions are replaced by
+   entries into a winding loop that drives ``b``'s head rightward past
+   ``⊣`` (a virtual crossing into the exit state), so every accepting
+   computation crosses every boundary of tape ``b``.
+3. **Dancing normalization** — transitions that leave ``b``'s head in
+   place are replaced by a step-off-and-return dance, so every
+   transition crosses a boundary.
+4. **A″ construction** — breadth-first generation of reachable valid
+   crossing sequences; arcs between two sequences on a character exist
+   exactly when the paper's match relation ``m(Q; P; c; T)`` holds
+   (realized here as a direct simulation of the head's visits to one
+   square, Figures 7-8).
+
+The paper builds ``A″`` over *almost direct* sequences (each pair at
+most twice) and then shows (Figures 9-12) that its three limitation
+questions — unfinished unidirectional outputs, an unscanned
+bidirectional output, and pumping the bidirectional output without
+reading — are already answered by the *direct* computations, which is
+the variant constructed here; the fourth question (case 4 of the
+proof) is handled separately in :mod:`repro.safety.limitation` by a
+bounded configuration-cycle search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+
+from repro.core.alphabet import LEFT_END, RIGHT_END
+from repro.errors import LimitationError
+from repro.fsa.machine import FSA
+
+#: Crossing directions.
+RIGHTWARD, LEFTWARD = +1, -1
+
+#: Label kinds.
+READING, WRITING, DANCING, CLEANUP = "reading", "writing", "dancing", "cleanup"
+
+#: Kind marking a cleanup entry that genuinely read tape b's ``⊣`` —
+#: the original accepting transition scanned the right end, so it does
+#: not count as overhead for the "unscanned output" check.
+SCANS_END = "scans_end"
+
+#: Synthetic states added by the normalizations.
+_WIND = "__wind__"
+_EXIT = "__exit__"
+
+
+@dataclass(frozen=True)
+class BTransition:
+    """A machine transition projected onto the bidirectional tape.
+
+    ``move`` may be ``+1`` even when ``read`` is ``⊣`` — that single
+    *virtual* exit move implements the paper's "finally passes over the
+    endmarker" and only ever occurs on cleanup transitions.
+    """
+
+    source: object
+    read: str
+    target: object
+    move: int
+    kinds: frozenset[str]
+    easy_outputs: frozenset[int] = frozenset()
+
+    def is_reading(self) -> bool:
+        return READING in self.kinds
+
+    def is_overhead(self) -> bool:
+        """Dancing/cleanup bookkeeping rather than original behaviour.
+
+        A cleanup entry that read ``⊣`` on tape b is a genuine scan of
+        the right end and therefore not overhead.
+        """
+        return bool(self.kinds & {DANCING, CLEANUP}) and not (
+            self.kinds & {READING, WRITING, SCANS_END}
+        )
+
+
+@dataclass(frozen=True)
+class MatchSummary:
+    """Abstracted matching label of one ``A″`` arc variant.
+
+    Retains exactly what the Theorem 5.2 questions inspect: whether the
+    square's visits read input, whether they were pure
+    dancing/cleanup overhead, and which unfinished outputs a cleanup
+    entry recorded.
+    """
+
+    has_reading: bool
+    all_overhead: bool
+    easy_outputs: frozenset[int]
+
+    @staticmethod
+    def of(transitions: tuple[BTransition, ...]) -> "MatchSummary":
+        easy: set[int] = set()
+        for t in transitions:
+            easy |= t.easy_outputs
+        return MatchSummary(
+            any(t.is_reading() for t in transitions),
+            all(t.is_overhead() for t in transitions),
+            frozenset(easy),
+        )
+
+
+#: A crossing-sequence pair and sequence.
+Pair = tuple[object, int]
+Sequence_ = tuple[Pair, ...]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One arc of ``A″`` with all its matching-label summaries."""
+
+    source: Sequence_
+    read: str
+    target: Sequence_
+    summaries: frozenset[MatchSummary]
+
+
+@dataclass
+class CrossingAutomaton:
+    """The one-way automaton ``A″`` over ``Σ ∪ {⊢, ⊣}``."""
+
+    start: Sequence_
+    final: Sequence_
+    arcs: list[Arc]
+    alphabet: object
+
+    def states(self) -> frozenset[Sequence_]:
+        found = {self.start, self.final}
+        for arc in self.arcs:
+            found.add(arc.source)
+            found.add(arc.target)
+        return frozenset(found)
+
+    def accepts(self, content: str) -> bool:
+        """Does some accepting computation have ``content`` on tape ``b``
+        (for suitable contents of the other tapes)?"""
+        word = [LEFT_END, *content, RIGHT_END]
+        current = {self.start}
+        for char in word:
+            current = {
+                arc.target
+                for arc in self.arcs
+                if arc.source in current and arc.read == char
+            }
+            if not current:
+                return False
+        return self.final in current
+
+    def size(self) -> int:
+        """Number of arcs (the paper's bound parameter ``|A″|``)."""
+        return len(self.arcs)
+
+
+# ---------------------------------------------------------------------------
+# Projection and normalizations
+# ---------------------------------------------------------------------------
+
+
+def project_transitions(
+    fsa: FSA,
+    tape_b: int,
+    input_tapes: frozenset[int],
+    output_tapes: frozenset[int],
+) -> list[BTransition]:
+    """Steps 1-3: project, cleanup-normalize and dance-normalize.
+
+    Requires every final state of ``fsa`` to lack outgoing transitions
+    (machines from the Theorem 3.1 compiler comply; use
+    :func:`repro.fsa.decompile.normalize_for_decompile` otherwise).
+    """
+    for state in fsa.finals:
+        if fsa.outgoing(state):
+            raise LimitationError(
+                "crossing construction needs halting-normalized finals; "
+                "apply normalize_for_decompile first"
+            )
+    unidirectional = fsa.unidirectional_tapes()
+    projected: list[BTransition] = []
+    fresh = count()
+    for t in fsa.transitions:
+        kinds = set()
+        if any(t.moves[i] == +1 for i in input_tapes & unidirectional):
+            kinds.add(READING)
+        if any(t.moves[i] == +1 for i in output_tapes & unidirectional):
+            kinds.add(WRITING)
+        read = t.reads[tape_b]
+        move = t.moves[tape_b]
+        if t.target in fsa.finals:
+            # Cleanup normalization: wind b to (and past) ⊣ instead of
+            # halting here.  The original accepting combination's
+            # unfinished outputs are remembered for the "easy" check.
+            easy = frozenset(
+                o
+                for o in output_tapes & unidirectional
+                if t.reads[o] != RIGHT_END
+            )
+            if read == RIGHT_END:
+                projected.append(
+                    BTransition(
+                        t.source,
+                        read,
+                        _EXIT,
+                        +1,
+                        frozenset({CLEANUP, SCANS_END}),
+                        easy,
+                    )
+                )
+            else:
+                projected.append(
+                    BTransition(
+                        t.source, read, _WIND, +1, frozenset({CLEANUP}), easy
+                    )
+                )
+            continue
+        if move == 0:
+            # Dancing normalization: step off and come back so every
+            # transition crosses a boundary.  The detour state is shared
+            # per (source, character, direction): the nondeterministic
+            # choice among same-source same-character transitions is
+            # unaffected by joining their dances.
+            step = LEFTWARD if read != LEFT_END else RIGHTWARD
+            aux = ("__dance__", t.source, read, step)
+            projected.append(
+                BTransition(t.source, read, aux, step, frozenset({DANCING}))
+            )
+            neighbour_chars = (
+                (*fsa.alphabet.symbols, LEFT_END)
+                if step == LEFTWARD
+                else (*fsa.alphabet.symbols, RIGHT_END)
+            )
+            for char in neighbour_chars:
+                projected.append(
+                    BTransition(
+                        aux,
+                        char,
+                        t.target,
+                        -step,
+                        frozenset({DANCING}) | frozenset(kinds),
+                    )
+                )
+            continue
+        projected.append(
+            BTransition(t.source, read, t.target, move, frozenset(kinds))
+        )
+    # Winding loop for the cleanup phase.
+    for char in fsa.alphabet.symbols:
+        projected.append(
+            BTransition(_WIND, char, _WIND, +1, frozenset({CLEANUP}))
+        )
+    projected.append(
+        BTransition(_WIND, RIGHT_END, _EXIT, +1, frozenset({CLEANUP}))
+    )
+    return _quotient(projected, fsa.start)
+
+
+def _quotient(
+    projected: list[BTransition], start: object
+) -> list[BTransition]:
+    """Merge forward-bisimilar states of the projected one-tape system.
+
+    The merge respects the label information (kinds, recorded easy
+    outputs), so matching-label summaries computed on the quotient
+    coincide with those of the original.  This is the preprocessing
+    that keeps the exponential crossing construction tractable on
+    compiled machines, whose intermediate states are massively
+    redundant after projection.
+    """
+    states: set = {start, _EXIT}
+    outgoing: dict = {}
+    for transition in projected:
+        states.add(transition.source)
+        states.add(transition.target)
+        outgoing.setdefault(transition.source, []).append(transition)
+    # _EXIT and the start are kept distinguishable from ordinary states.
+    block: dict = {
+        state: (state == _EXIT, state == start) for state in states
+    }
+    while True:
+        signatures = {
+            state: (
+                block[state],
+                frozenset(
+                    (t.read, t.move, t.kinds, t.easy_outputs, block[t.target])
+                    for t in outgoing.get(state, ())
+                ),
+            )
+            for state in states
+        }
+        renumber: dict = {}
+        for state in sorted(states, key=repr):
+            renumber.setdefault(signatures[state], len(renumber))
+        new_block = {state: renumber[signatures[state]] for state in states}
+        if len(set(new_block.values())) == len(set(block.values())):
+            block = new_block
+            break
+        block = new_block
+    representative: dict = {}
+    for state in sorted(states, key=repr):
+        representative.setdefault(block[state], state)
+    mapping = {state: representative[block[state]] for state in states}
+    merged = {
+        BTransition(
+            mapping[t.source],
+            t.read,
+            mapping[t.target],
+            t.move,
+            t.kinds,
+            t.easy_outputs,
+        )
+        for t in projected
+    }
+    return sorted(merged, key=repr)
+
+
+# ---------------------------------------------------------------------------
+# Match generation (Figures 7-8 as a visit simulation)
+# ---------------------------------------------------------------------------
+
+
+class _Matcher:
+    """Generates all right sequences matching a left sequence on a char.
+
+    Simulates the visits to one square holding ``char``: the head
+    arrives from the left by consuming a ``(q, +1)`` pair of ``Q``,
+    arrives from the right by emitting a ``(p, -1)`` pair into ``P``,
+    and between arrivals takes transitions on ``char`` — leaving
+    leftward consumes the matching ``(q', -1)`` pair of ``Q``, leaving
+    rightward emits ``(p', +1)``.  Emitted sequences are kept valid and
+    *direct* (no repeated pair); the cutting arguments of Figures 9-12
+    justify restricting to direct sequences for the limitation
+    questions.
+    """
+
+    def __init__(self, projected: list[BTransition]) -> None:
+        self.by_source: dict = {}
+        leftward_targets: set = set()
+        for transition in projected:
+            self.by_source.setdefault(
+                (transition.source, transition.read), []
+            ).append(transition)
+            if transition.move == LEFTWARD:
+                leftward_targets.add(transition.target)
+        # States the head can be in when arriving on a square from the
+        # right: targets of leftward transitions only.
+        self.arrivals_by_char: dict[str, tuple] = {}
+        chars = {t.read for t in projected}
+        for char in chars:
+            self.arrivals_by_char[char] = tuple(
+                state
+                for state in leftward_targets
+                if (state, char) in self.by_source
+            )
+
+    def matches(
+        self, left_sequence: Sequence_, char: str
+    ) -> dict[Sequence_, set[MatchSummary]]:
+        results: dict[Sequence_, set[MatchSummary]] = {}
+        if not left_sequence:
+            results[()] = {MatchSummary(False, True, frozenset())}
+            return results
+        arrivals = self.arrivals_by_char.get(char, ())
+        q_pairs = left_sequence
+
+        def record(emitted: tuple[Pair, ...], used: tuple[BTransition, ...]):
+            results.setdefault(emitted, set()).add(MatchSummary.of(used))
+
+        def explore(side, q_index, emitted, emitted_set, used):
+            if side == "right" and q_index == len(q_pairs):
+                record(emitted, used)
+            if side == "left":
+                if q_index < len(q_pairs) and q_pairs[q_index][1] == RIGHTWARD:
+                    explore(
+                        q_pairs[q_index][0],
+                        q_index + 1,
+                        emitted,
+                        emitted_set,
+                        used,
+                    )
+                return
+            if side == "right":
+                for state in arrivals:
+                    pair = (state, LEFTWARD)
+                    if pair in emitted_set:
+                        continue  # direct sequences only
+                    explore(
+                        state,
+                        q_index,
+                        emitted + (pair,),
+                        emitted_set | {pair},
+                        used,
+                    )
+                return
+            # side is a machine state: the head sits on this square.
+            for transition in self.by_source.get((side, char), ()):
+                if transition.move == LEFTWARD:
+                    if (
+                        q_index < len(q_pairs)
+                        and q_pairs[q_index] == (transition.target, LEFTWARD)
+                    ):
+                        explore(
+                            "left",
+                            q_index + 1,
+                            emitted,
+                            emitted_set,
+                            used + (transition,),
+                        )
+                else:
+                    pair = (transition.target, RIGHTWARD)
+                    if pair in emitted_set:
+                        continue  # direct sequences only
+                    explore(
+                        "right",
+                        q_index,
+                        emitted + (pair,),
+                        emitted_set | {pair},
+                        used + (transition,),
+                    )
+
+        explore("left", 0, (), frozenset(), ())
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Building A″
+# ---------------------------------------------------------------------------
+
+
+def build_crossing_automaton(
+    fsa: FSA,
+    tape_b: int,
+    input_tapes: frozenset[int] | set[int],
+    output_tapes: frozenset[int] | set[int],
+    max_states: int = 20000,
+) -> CrossingAutomaton:
+    """Construct ``A″`` for the designated bidirectional tape.
+
+    ``max_states`` bounds the construction (the paper notes ``|A″|``
+    can be exponential in ``|A|``); exceeding it raises
+    :class:`LimitationError` rather than running away.
+    """
+    projected = project_transitions(
+        fsa, tape_b, frozenset(input_tapes), frozenset(output_tapes)
+    )
+    matcher = _Matcher(projected)
+    start: Sequence_ = ((fsa.start, RIGHTWARD),)
+    final: Sequence_ = ((_EXIT, RIGHTWARD),)
+    arcs: list[Arc] = []
+    seen = {start}
+    frontier = [start]
+    symbols = (*fsa.alphabet.symbols, LEFT_END, RIGHT_END)
+    while frontier:
+        source = frontier.pop()
+        for char in symbols:
+            for target, summaries in matcher.matches(source, char).items():
+                arcs.append(Arc(source, char, target, frozenset(summaries)))
+                if target not in seen:
+                    if len(seen) >= max_states:
+                        raise LimitationError(
+                            f"crossing automaton exceeded {max_states} states"
+                        )
+                    seen.add(target)
+                    frontier.append(target)
+    automaton = CrossingAutomaton(start, final, arcs, fsa.alphabet)
+    return _pruned(automaton)
+
+
+def _pruned(automaton: CrossingAutomaton) -> CrossingAutomaton:
+    """Keep only arcs on a start→final path."""
+    adjacency: dict = {}
+    entering: dict = {}
+    for arc in automaton.arcs:
+        adjacency.setdefault(arc.source, []).append(arc)
+        entering.setdefault(arc.target, []).append(arc)
+    forward = {automaton.start}
+    frontier = [automaton.start]
+    while frontier:
+        state = frontier.pop()
+        for arc in adjacency.get(state, ()):
+            if arc.target not in forward:
+                forward.add(arc.target)
+                frontier.append(arc.target)
+    backward = {automaton.final} if automaton.final in forward else set()
+    frontier = list(backward)
+    while frontier:
+        state = frontier.pop()
+        for arc in entering.get(state, ()):
+            if arc.source in forward and arc.source not in backward:
+                backward.add(arc.source)
+                frontier.append(arc.source)
+    arcs = [
+        arc
+        for arc in automaton.arcs
+        if arc.source in backward and arc.target in backward
+    ]
+    return CrossingAutomaton(
+        automaton.start, automaton.final, arcs, automaton.alphabet
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graph analyses used by Theorem 5.2
+# ---------------------------------------------------------------------------
+
+
+def has_unread_cycle(automaton: CrossingAutomaton) -> bool:
+    """Is there a cycle in ``A″`` with no reading operation in any label?
+
+    Such a cycle pumps tape ``b``'s content without consuming input —
+    the "hard bidirectional output" violation.
+    """
+    arcs = [
+        arc
+        for arc in automaton.arcs
+        if any(not summary.has_reading for summary in arc.summaries)
+    ]
+    return _has_cycle(arcs)
+
+
+def has_unfinished_output_accept(
+    automaton: CrossingAutomaton,
+) -> frozenset[int]:
+    """Unidirectional output tapes with an "easy" violation.
+
+    Some accepting path contains a cleanup entry recorded with an
+    unfinished output tape — the machine halted before printing that
+    tape's ``⊣``.
+    """
+    easy: set[int] = set()
+    for arc in automaton.arcs:
+        for summary in arc.summaries:
+            easy |= summary.easy_outputs
+    return frozenset(easy)
+
+
+def accepts_without_scanning_b(automaton: CrossingAutomaton) -> bool:
+    """The "easy bidirectional output" check.
+
+    Does some accepting path's last square (the arc entering the final
+    state, reading ``⊣``) use only dancing/cleanup transitions?  Then
+    ``b``'s right end was never truly inspected and longer contents are
+    also accepted.
+    """
+    for arc in automaton.arcs:
+        if arc.target == automaton.final and arc.read == RIGHT_END:
+            if any(summary.all_overhead for summary in arc.summaries):
+                return True
+    return False
+
+
+def _has_cycle(arcs: list[Arc]) -> bool:
+    adjacency: dict = {}
+    for arc in arcs:
+        adjacency.setdefault(arc.source, set()).add(arc.target)
+    visiting: set = set()
+    done: set = set()
+
+    def dfs(node) -> bool:
+        stack = [(node, iter(adjacency.get(node, ())))]
+        visiting.add(node)
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child in visiting:
+                    return True
+                if child not in done:
+                    visiting.add(child)
+                    stack.append((child, iter(adjacency.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                visiting.discard(current)
+                done.add(current)
+                stack.pop()
+        return False
+
+    return any(node not in done and dfs(node) for node in list(adjacency))

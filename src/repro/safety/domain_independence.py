@@ -1,0 +1,279 @@
+"""Domain independence and limit functions for calculus queries.
+
+Definition 3.2 calls a formula *domain independent* when its answer
+stabilizes once strings up to some database-dependent length
+``W_φ(db)`` are considered.  This module derives such limit functions
+syntactically, in the spirit the paper sketches at the end of
+Sections 3-5 (and attributes in detail to Escobar-Molano, Hull &
+Jacobs [4]):
+
+* a relational atom bounds each of its variables by ``max(R, db)``
+  (Eq. 2);
+* a string formula bounds its *output* variables once its *input*
+  variables are bounded, by the certified limitation function of
+  Theorem 5.2;
+* conjunction propagates bounds to a fixed point; negation certifies
+  nothing new but inherits the context's bounds; a quantifier is
+  admissible only if its variable is bounded inside.
+
+The analysis is sound but incomplete — inevitable, since safety is
+undecidable in general (Section 5 opening).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+from repro.core.syntax import (
+    And,
+    Exists,
+    Formula,
+    Not,
+    RelAtom,
+    StringAtom,
+    Var,
+    free_variables,
+    string_variables,
+)
+from repro.errors import LimitationError
+from repro.safety.limitation import LimitationReport, formula_limitation
+
+
+class Bound:
+    """A database-dependent upper bound on a variable's string length."""
+
+    def evaluate(self, db: Database) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RelBound(Bound):
+    """``max(R, db)`` — the longest string stored in relation ``R``."""
+
+    relation: str
+
+    def evaluate(self, db: Database) -> int:
+        return db.max_string_length(self.relation)
+
+    def describe(self) -> str:
+        return f"max({self.relation}, db)"
+
+
+@dataclass(frozen=True)
+class ConstBound(Bound):
+    """A database-independent constant bound."""
+
+    value: int
+
+    def evaluate(self, db: Database) -> int:
+        return self.value
+
+    def describe(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class LimitBound(Bound):
+    """A limitation-certified bound ``W_A(bounds of the inputs)``."""
+
+    report: LimitationReport
+    inputs: tuple[Bound, ...]
+
+    def evaluate(self, db: Database) -> int:
+        return self.report.bound(*(b.evaluate(db) for b in self.inputs))
+
+    def describe(self) -> str:
+        inner = ", ".join(b.describe() for b in self.inputs)
+        return f"{self.report.limit.describe()}({inner})"
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """A certified limit function for a whole query formula."""
+
+    variable_bounds: dict[Var, Bound]
+    all_bounds: tuple[Bound, ...]
+
+    def bound(self, db: Database) -> int:
+        """``W_φ(db)``: a truncation length after which the answer is
+        stable (covers free and quantified variables alike)."""
+        return max(
+            (b.evaluate(db) for b in self.all_bounds), default=0
+        )
+
+    def describe(self) -> str:
+        return "max(" + ", ".join(b.describe() for b in self.all_bounds) + ")"
+
+
+def _analyze(
+    formula: Formula,
+    ambient: dict[Var, Bound],
+    alphabet: Alphabet,
+    collected: list[Bound],
+) -> dict[Var, Bound] | None:
+    """Bounds certifiable for the free variables of ``formula``.
+
+    ``ambient`` holds bounds already established by the surrounding
+    conjunction (valid under negation too: the context fixes those
+    variables' values).  Returns ``None`` when some quantified variable
+    cannot be bounded — the formula is then not certifiably domain
+    independent.  Every bound ever derived is appended to
+    ``collected``, since quantifier domains must also be covered by the
+    final truncation length.
+    """
+    if isinstance(formula, RelAtom):
+        bounds = {arg: RelBound(formula.name) for arg in formula.args}
+        collected.extend(bounds.values())
+        return bounds
+    if isinstance(formula, StringAtom):
+        variables = sorted(string_variables(formula.formula))
+        inputs = [v for v in variables if v in ambient]
+        outputs = [v for v in variables if v not in ambient]
+        if not outputs:
+            return {}
+        try:
+            report = formula_limitation(
+                formula.formula, inputs, outputs, alphabet
+            )
+        except LimitationError:
+            return {}
+        if not report.limited:
+            return {}
+        bound = LimitBound(report, tuple(ambient[v] for v in inputs))
+        bounds = {v: bound for v in outputs}
+        collected.extend(bounds.values())
+        return bounds
+    if isinstance(formula, And):
+        # Propagate bounds between the conjuncts to a fixed point.
+        established: dict[Var, Bound] = {}
+        conjuncts = _flatten_and(formula)
+        for _ in range(len(conjuncts) + 1):
+            grew = False
+            for conjunct in conjuncts:
+                context = {**ambient, **established}
+                result = _analyze(conjunct, context, alphabet, collected)
+                if result is None:
+                    return None
+                for var, bound in result.items():
+                    if var not in established and var not in ambient:
+                        established[var] = bound
+                        grew = True
+            if not grew:
+                break
+        return established
+    if isinstance(formula, Not):
+        result = _analyze(formula.inner, ambient, alphabet, collected)
+        if result is None:
+            return None
+        # Negation certifies nothing about its variables.
+        return {}
+    if isinstance(formula, Exists):
+        result = _analyze(formula.inner, ambient, alphabet, collected)
+        if result is None:
+            return None
+        if formula.var in free_variables(formula.inner) and (
+            formula.var not in result and formula.var not in ambient
+        ):
+            return None  # unbounded quantifier: not certifiable
+        return {
+            var: bound for var, bound in result.items() if var != formula.var
+        }
+    raise TypeError(f"not a calculus formula: {formula!r}")
+
+
+def _flatten_and(formula: Formula) -> list[Formula]:
+    if isinstance(formula, And):
+        return _flatten_and(formula.left) + _flatten_and(formula.right)
+    return [formula]
+
+
+def limit_function(
+    formula: Formula, alphabet: Alphabet
+) -> SafetyReport | None:
+    """A certified limit function ``W_φ`` or ``None``.
+
+    Certification requires every free and quantified variable to be
+    bounded — by database relations, by finite string formulae, or by
+    limitation-certified generation from other bounded variables.
+    """
+    collected: list[Bound] = []
+    bounds = _analyze(formula, {}, alphabet, collected)
+    if bounds is None:
+        return None
+    missing = free_variables(formula) - set(bounds)
+    if missing:
+        return None
+    return SafetyReport(dict(bounds), tuple(collected))
+
+
+def expression_limit(expression, db: Database) -> int | None:
+    """A limit ``W_E(db)`` for a finitely evaluable algebra expression.
+
+    Follows the compositional rules of Theorem 4.1's second claim; for
+    the generative pattern ``σ_A(F × (Σ*)^n)`` the Theorem 5.2
+    limitation function of ``A`` is applied to the bound of ``F``.
+    Returns ``None`` when ``Σ*`` occurs outside a certifiable pattern.
+    """
+    from repro.algebra.expressions import (
+        Diff,
+        Product,
+        Project,
+        Rel,
+        Select,
+        SigmaL,
+        SigmaStar,
+        Union,
+    )
+    from repro.algebra.evaluate import _flatten_product
+    from repro.safety.limitation import decide_limitation
+
+    if isinstance(expression, Rel):
+        return db.max_string_length(expression.name)
+    if isinstance(expression, SigmaL):
+        return expression.bound
+    if isinstance(expression, SigmaStar):
+        return None
+    if isinstance(expression, (Union, Diff, Product)):
+        left = expression_limit(expression.left, db)
+        right = expression_limit(expression.right, db)
+        if left is None or right is None:
+            return None
+        return max(left, right)
+    if isinstance(expression, Project):
+        return expression_limit(expression.inner, db)
+    if isinstance(expression, Select):
+        factors = _flatten_product(expression.inner)
+        sigma_tapes: list[int] = []
+        concrete_bounds: list[int] = []
+        column = 0
+        for factor in factors:
+            span = list(range(column, column + factor.arity))
+            if isinstance(factor, SigmaStar):
+                sigma_tapes.extend(span)
+            else:
+                inner = expression_limit(factor, db)
+                if inner is None:
+                    return None
+                concrete_bounds.append(inner)
+            column += factor.arity
+        if not sigma_tapes:
+            return max(concrete_bounds, default=0)
+        fixed_tapes = [
+            i for i in range(expression.arity) if i not in sigma_tapes
+        ]
+        try:
+            report = decide_limitation(
+                expression.machine, fixed_tapes, sigma_tapes
+            )
+        except LimitationError:
+            return None
+        if not report.limited:
+            return None
+        base = max(concrete_bounds, default=0)
+        return max(base, report.bound(*(base for _ in fixed_tapes)))
+    raise TypeError(f"not an algebra expression: {expression!r}")

@@ -1,0 +1,403 @@
+"""The limitation problem (Definition 3.1) and its decision procedure.
+
+``limits(A, inputs, outputs)`` decides whether bounding the input
+tapes bounds the output tapes — the key to using an acceptor safely as
+a string *production* device.  Following Theorem 5.2:
+
+* **Unidirectional machines** — decidable by inspecting transition
+  labels: the *easy* violation accepts without printing some output's
+  trailing ``⊣``; the *hard* violation is a loop of non-reading
+  transitions containing a writing transition.  Certified machines get
+  a **linear** limit function ``|A| · Σ(nᵢ + 1)``.
+* **Right-restricted machines** (one bidirectional tape ``b``) — the
+  same questions are answered on the crossing automaton ``A″``
+  (:mod:`repro.safety.crossing`); certified machines get a
+  **quadratic** limit function ``|A″| · (n_b + 2) · Σ(nᵢ + 1)``.
+* **Two or more bidirectional tapes** — undecidable in general
+  (Theorem 5.1): :class:`LimitationError` is raised.
+
+Machines produced by the Theorem 3.1 compiler satisfy properties 1-5,
+which is what makes the transition-label inspection sound (every path
+is realizable on the unidirectional tapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.alphabet import RIGHT_END
+from repro.errors import LimitationError
+from repro.fsa.machine import FSA, Transition
+from repro.safety.crossing import (
+    CrossingAutomaton,
+    accepts_without_scanning_b,
+    build_crossing_automaton,
+    has_unfinished_output_accept,
+    has_unread_cycle,
+)
+
+
+@dataclass(frozen=True)
+class LimitFunction:
+    """A certified limit function ``W_A`` (Definition 3.1).
+
+    ``W(n₁,…,n_k) = coefficient · ρ(n₁,…,n_k)`` where ``ρ`` is
+    ``Σ(nᵢ+1)`` in the linear case and ``(max(n)+2) · Σ(nᵢ+1)`` in the
+    quadratic (right-restricted) case, matching the shapes proved in
+    Theorem 5.2.
+    """
+
+    coefficient: int
+    quadratic: bool
+
+    def __call__(self, *input_lengths: int) -> int:
+        rho = sum(n + 1 for n in input_lengths) if input_lengths else 1
+        if self.quadratic:
+            rho *= max(input_lengths, default=0) + 2
+        return self.coefficient * rho
+
+    def describe(self) -> str:
+        shape = "quadratic" if self.quadratic else "linear"
+        return f"{self.coefficient}·ρ(n) ({shape})"
+
+
+@dataclass(frozen=True)
+class LimitationReport:
+    """Outcome of a limitation decision."""
+
+    limited: bool
+    reason: str
+    limit: LimitFunction | None = None
+    crossing_size: int | None = None
+
+    def bound(self, *input_lengths: int) -> int:
+        if not self.limited or self.limit is None:
+            raise LimitationError(f"no limit function: {self.reason}")
+        return self.limit(*input_lengths)
+
+
+# ---------------------------------------------------------------------------
+# Unidirectional case
+# ---------------------------------------------------------------------------
+
+
+def _is_reading(transition: Transition, tapes: frozenset[int]) -> bool:
+    return any(transition.moves[i] == +1 for i in tapes)
+
+
+def _easy_unidirectional(
+    fsa: FSA, output_tapes: frozenset[int]
+) -> frozenset[int]:
+    """Outputs whose trailing ``⊣`` some accepting transition skips.
+
+    By properties 3-5 the transitions entering the final state are
+    exactly the character combinations of accepting computations.
+    """
+    pruned = fsa.pruned()
+    unfinished: set[int] = set()
+    for final in pruned.finals:
+        for transition in pruned.incoming(final):
+            for tape in output_tapes:
+                if transition.reads[tape] != RIGHT_END:
+                    unfinished.add(tape)
+    return frozenset(unfinished)
+
+
+def _hard_unidirectional(
+    fsa: FSA, input_tapes: frozenset[int], output_tapes: frozenset[int]
+) -> bool:
+    """A loop of non-reading transitions containing a writing one?"""
+    pruned = fsa.pruned()
+    non_reading = [
+        t for t in pruned.transitions if not _is_reading(t, input_tapes)
+    ]
+    # Tarjan-free SCC via iterative Kosaraju on the non-reading subgraph.
+    components = _strongly_connected(non_reading)
+    for component in components:
+        internal = [
+            t
+            for t in non_reading
+            if t.source in component and t.target in component
+        ]
+        if len(component) > 1 or any(t.source == t.target for t in internal):
+            if any(_is_reading(t, output_tapes) for t in internal):
+                return True
+    return False
+
+
+def _strongly_connected(transitions: list[Transition]) -> list[set]:
+    nodes: set = set()
+    forward: dict = {}
+    backward: dict = {}
+    for t in transitions:
+        nodes.add(t.source)
+        nodes.add(t.target)
+        forward.setdefault(t.source, []).append(t.target)
+        backward.setdefault(t.target, []).append(t.source)
+    order: list = []
+    seen: set = set()
+    for node in nodes:
+        if node in seen:
+            continue
+        stack = [(node, iter(forward.get(node, ())))]
+        seen.add(node)
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(forward.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+    components: list[set] = []
+    assigned: set = set()
+    for node in reversed(order):
+        if node in assigned:
+            continue
+        component = {node}
+        frontier = [node]
+        assigned.add(node)
+        while frontier:
+            current = frontier.pop()
+            for previous in backward.get(current, ()):
+                if previous not in assigned:
+                    assigned.add(previous)
+                    component.add(previous)
+                    frontier.append(previous)
+        components.append(component)
+    return components
+
+
+def _decide_unidirectional(
+    fsa: FSA, input_tapes: frozenset[int], output_tapes: frozenset[int]
+) -> LimitationReport:
+    unfinished = _easy_unidirectional(fsa, output_tapes)
+    if unfinished:
+        return LimitationReport(
+            False,
+            f"easy violation: outputs {sorted(unfinished)} can accept "
+            "without reaching their right endmarker",
+        )
+    if _hard_unidirectional(fsa, input_tapes, output_tapes):
+        return LimitationReport(
+            False,
+            "hard violation: a non-reading loop writes output",
+        )
+    return LimitationReport(
+        True,
+        "unidirectional machine with finished outputs and no writing "
+        "non-reading loops",
+        LimitFunction(max(fsa.size, 1), quadratic=False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Right-restricted case
+# ---------------------------------------------------------------------------
+
+
+def _decide_right_restricted(
+    fsa: FSA,
+    tape_b: int,
+    input_tapes: frozenset[int],
+    output_tapes: frozenset[int],
+    max_states: int,
+) -> LimitationReport:
+    crossing = build_crossing_automaton(
+        fsa, tape_b, input_tapes, output_tapes, max_states=max_states
+    )
+    unfinished = has_unfinished_output_accept(crossing)
+    if unfinished:
+        return LimitationReport(
+            False,
+            f"easy violation: outputs {sorted(unfinished)} can accept "
+            "without reaching their right endmarker",
+            crossing_size=crossing.size(),
+        )
+    if tape_b in output_tapes:
+        if accepts_without_scanning_b(crossing):
+            return LimitationReport(
+                False,
+                "easy violation: the bidirectional output is accepted "
+                "without its right end being scanned",
+                crossing_size=crossing.size(),
+            )
+        if has_unread_cycle(crossing):
+            return LimitationReport(
+                False,
+                "hard violation: the bidirectional output can be pumped "
+                "without reading input",
+                crossing_size=crossing.size(),
+            )
+    if output_tapes - {tape_b}:
+        if _hard_with_bounded_b(
+            fsa, tape_b, input_tapes, output_tapes - {tape_b}, crossing
+        ):
+            return LimitationReport(
+                False,
+                "hard violation: a unidirectional output is pumped while "
+                "the bidirectional tape oscillates",
+                crossing_size=crossing.size(),
+            )
+    coefficient = max(crossing.size(), fsa.size, 1)
+    return LimitationReport(
+        True,
+        "right-restricted machine certified via the crossing automaton",
+        LimitFunction(coefficient, quadratic=True),
+        crossing_size=crossing.size(),
+    )
+
+
+def _hard_with_bounded_b(
+    fsa: FSA,
+    tape_b: int,
+    input_tapes: frozenset[int],
+    unidirectional_outputs: frozenset[int],
+    crossing: CrossingAutomaton,
+) -> bool:
+    """The paper's case 4: b oscillates over a bounded segment while a
+    unidirectional output grows.
+
+    Searched as a configuration-space cycle containing a writing
+    transition: tape ``b``'s content is enumerated up to the paper's
+    bound (``|v|`` at most twice the arcs of ``A″``, capped for
+    practicality), unidirectional inputs are folded into nondeterminism
+    (a cycle cannot advance them), and outputs are free choices.
+    """
+    bound = min(2 * max(crossing.size(), 1), 6)
+    for length in range(bound + 1):
+        for content in product(fsa.alphabet.symbols, repeat=length):
+            if _has_writing_cycle_on(
+                fsa, tape_b, "".join(content), input_tapes, unidirectional_outputs
+            ):
+                return True
+    return False
+
+
+def _has_writing_cycle_on(
+    fsa: FSA,
+    tape_b: int,
+    b_content: str,
+    input_tapes: frozenset[int],
+    output_tapes: frozenset[int],
+) -> bool:
+    """Cycle over (state, b-position) writing output, reading no input.
+
+    Unidirectional tapes other than ``b`` cannot change position inside
+    a cycle, so their squares' characters are free nondeterministic
+    choices for non-advancing reads; any transition advancing an input
+    breaks the cycle and is excluded.
+    """
+    from repro.fsa.machine import tape_symbol
+
+    other = [
+        i
+        for i in range(fsa.arity)
+        if i != tape_b
+    ]
+    edges: dict = {}
+    writing_edges: set = set()
+    for t in fsa.transitions:
+        if any(t.moves[i] == +1 for i in input_tapes if i != tape_b):
+            continue  # reading: cannot be part of an input-free cycle
+        for position in range(len(b_content) + 2):
+            if t.reads[tape_b] != tape_symbol(b_content, position):
+                continue
+            source = (t.source, position)
+            target = (t.target, position + t.moves[tape_b])
+            edges.setdefault(source, []).append(target)
+            if any(t.moves[o] == +1 for o in output_tapes):
+                writing_edges.add((source, target))
+    # A writing edge inside a strongly connected component = pump.
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes.update(targets)
+    index: dict = {}
+    for source, targets in edges.items():
+        for target in targets:
+            index.setdefault(source, set()).add(target)
+
+    def reachable(origin, goal) -> bool:
+        seen = {origin}
+        frontier = [origin]
+        while frontier:
+            node = frontier.pop()
+            for nxt in index.get(node, ()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    return any(
+        reachable(target, source) or source == target
+        for source, target in writing_edges
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def decide_limitation(
+    fsa: FSA,
+    input_tapes,
+    output_tapes,
+    max_states: int = 20000,
+) -> LimitationReport:
+    """Decide ``[inputs] ↝ [outputs]`` for ``fsa`` (Theorem 5.2).
+
+    Raises :class:`LimitationError` when more than one tape is
+    bidirectional — the undecidable territory of Theorem 5.1.
+    """
+    inputs = frozenset(input_tapes)
+    outputs = frozenset(output_tapes)
+    for tape in inputs | outputs:
+        if not 0 <= tape < fsa.arity:
+            raise LimitationError(f"tape {tape} outside 0..{fsa.arity - 1}")
+    if inputs & outputs:
+        raise LimitationError("input and output tapes must be disjoint")
+    bidirectional = fsa.bidirectional_tapes()
+    relevant_bidirectional = bidirectional & (inputs | outputs)
+    if len(bidirectional) > 1:
+        raise LimitationError(
+            "limitation is undecidable beyond right-restricted machines "
+            f"(bidirectional tapes: {sorted(bidirectional)}; Theorem 5.1)"
+        )
+    if not bidirectional:
+        return _decide_unidirectional(fsa.pruned(), inputs, outputs)
+    (tape_b,) = tuple(bidirectional)
+    return _decide_right_restricted(
+        fsa.pruned(), tape_b, inputs, outputs, max_states
+    )
+
+
+def formula_limitation(
+    formula,
+    input_variables,
+    output_variables,
+    alphabet,
+    max_states: int = 20000,
+) -> LimitationReport:
+    """Limitation of a string formula: ``φ: [inputs] ↝ [outputs]``.
+
+    Compiles the formula (Theorem 3.1) and decides on the machine; by
+    property 1, variable directionality transfers to the tapes.
+    """
+    from repro.fsa.compile import compile_string_formula
+
+    compiled = compile_string_formula(formula, alphabet)
+    inputs = frozenset(
+        compiled.tape_of(v) for v in input_variables
+    )
+    outputs = frozenset(
+        compiled.tape_of(v) for v in output_variables
+    )
+    return decide_limitation(compiled.fsa, inputs, outputs, max_states)

@@ -1,0 +1,206 @@
+"""The undecidability constructions of Theorem 5.1.
+
+``phi_g(grammar)`` builds the string formula ``φ_G`` whose satisfying
+tuples are exactly ``(u, C, C)`` where ``C = u > v₂ > … > S`` encodes
+a derivation of ``u`` in the unrestricted grammar ``G`` (written
+backwards, from the derived word to the start symbol).  Composed with
+the backward Turing machine simulation of
+:func:`repro.expressive.grammars.backward_grammar`, the question
+"does x₁ limit x₂, x₃ in φ_G?" becomes TM totality — the proof that
+the limitation problem is undecidable once two bidirectional
+variables are allowed.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import Alphabet
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    SameChar,
+    SStar,
+    StringFormula,
+    Var,
+    atom,
+    concat,
+    eq_chain,
+    left,
+    right,
+    union,
+    w_and,
+)
+from repro.expressive.grammars import Grammar
+from repro.errors import ReproError
+
+#: The derivation-chain separator of Theorem 5.1.
+SEPARATOR = ">"
+
+
+def derivation_encoding(chain: list[str], separator: str = SEPARATOR) -> str:
+    """Encode a derivation chain as Theorem 5.1's ``u > v₂ > … > S``.
+
+    ``chain`` is given derivation-first (``[S, …, u]``, as produced by
+    :meth:`Grammar.derivation`); the encoding reverses it, per the
+    paper's convention (1) + (2): ``v₁ = u`` and ``v_n = S``.
+    """
+    return separator.join(reversed(chain))
+
+
+def grammar_alphabet(
+    grammar: Grammar, separator: str = SEPARATOR
+) -> Alphabet:
+    """``Σ_G``: every grammar symbol plus the separator."""
+    if separator in grammar.symbols:
+        raise ReproError(f"separator {separator!r} clashes with the grammar")
+    return Alphabet(sorted(grammar.symbols) + [separator])
+
+
+def _is_sep(var: Var, separator: str) -> IsChar:
+    return IsChar(var, separator)
+
+
+def phi_1(
+    x1: Var, x2: Var, x3: Var, start: str, separator: str = SEPARATOR
+) -> StringFormula:
+    """Condition (1): ``x₂ = x₃ = x₁ > … > S`` with ``x₁`` separator-free.
+
+    Checks that the chains start with a copy of ``x₁``, agree
+    everywhere, and end with a final segment holding exactly the start
+    symbol.  The paper's printed tail requires a second separator and
+    so misses the minimal two-segment chain ``u > S``; the first union
+    branch below restores that case (see EXPERIMENTS.md, item T51).
+    """
+    last_segment_is_start = concat(
+        atom(left(x2, x3), w_and(IsChar(x2, start), SameChar(x2, x3))),
+        atom(left(x2, x3), w_and(IsEmpty(x2), IsEmpty(x3))),
+    )
+    return concat(
+        SStar(
+            atom(
+                left(x1, x2, x3),
+                w_and(eq_chain(x1, x2, x3), ~_is_sep(x2, separator)),
+            )
+        ),
+        atom(
+            left(x1, x2, x3),
+            w_and(
+                IsEmpty(x1),
+                _is_sep(x2, separator),
+                SameChar(x2, x3),
+            ),
+        ),
+        union(
+            last_segment_is_start,  # the chain is exactly  u > S
+            concat(
+                SStar(atom(left(x2, x3), SameChar(x2, x3))),
+                atom(
+                    left(x2, x3),
+                    w_and(_is_sep(x2, separator), SameChar(x2, x3)),
+                ),
+                last_segment_is_start,
+            ),
+        ),
+    )
+
+
+def chi_rule(
+    x2: Var, x3: Var, lhs: str, rhs: str
+) -> StringFormula:
+    """``χ_r``: consume the rule's sides from the offset chains.
+
+    With ``x₂`` inside segment ``v_{i+1}`` and ``x₃`` inside ``w_i``,
+    verifies that ``v_{i+1}`` continues with the left-hand side where
+    ``w_i`` continues with the right-hand side.
+    """
+    parts: list[StringFormula] = []
+    for char in lhs:
+        parts.append(atom(left(x2), IsChar(x2, char)))
+    for char in rhs:
+        parts.append(atom(left(x3), IsChar(x3, char)))
+    if not parts:
+        return concat()
+    return concat(*parts)
+
+
+def chi_grammar(
+    x2: Var, x3: Var, grammar: Grammar, separator: str = SEPARATOR
+) -> StringFormula:
+    """``χ_G``: one rule application between offset segments.
+
+    Common context before and after, one rule's sides in the middle —
+    exactly the paper's ``([x₂,x₃]_l x₂=x₃≠>)* . (χ₁+…+χ_m) .
+    ([x₂,x₃]_l x₂=x₃≠>)*``.
+    """
+    context = SStar(
+        atom(
+            left(x2, x3),
+            w_and(SameChar(x2, x3), ~_is_sep(x2, separator)),
+        )
+    )
+    rules = union(
+        *(chi_rule(x2, x3, lhs, rhs) for lhs, rhs in grammar.rules)
+    )
+    return concat(context, rules, context)
+
+
+def phi_2(
+    x2: Var, x3: Var, grammar: Grammar, separator: str = SEPARATOR
+) -> StringFormula:
+    """Condition (2): every adjacent segment pair is one rule apart.
+
+    ``x₂`` runs one segment ahead of ``x₃`` throughout, so comparing
+    them checks ``v_{i+1} ⇒_G w_i``.
+    """
+    step = chi_grammar(x2, x3, grammar, separator)
+    return concat(
+        SStar(atom(left(x2), ~_is_sep(x2, separator))),
+        atom(left(x2), _is_sep(x2, separator)),
+        SStar(
+            concat(
+                step,
+                atom(
+                    left(x2, x3),
+                    w_and(_is_sep(x2, separator), SameChar(x2, x3)),
+                ),
+            )
+        ),
+        step,
+        atom(left(x2, x3), w_and(IsEmpty(x2), _is_sep(x3, separator))),
+    )
+
+
+def rewind_x2_x3(x2: Var, x3: Var) -> StringFormula:
+    """Subformula (C): reset both chains to their initial alignment.
+
+    The only right transposes of ``φ_G`` — ``x₂`` and ``x₃`` are its
+    two bidirectional variables, which is exactly what places the
+    construction beyond the decidable right-restricted class.
+    """
+    from repro.core.syntax import not_empty
+
+    return concat(
+        SStar(
+            atom(right(x2, x3), w_and(SameChar(x2, x3), not_empty(x2)))
+        ),
+        atom(right(x2, x3), w_and(IsEmpty(x2), IsEmpty(x3))),
+    )
+
+
+def phi_g(
+    grammar: Grammar,
+    x1: Var = "x1",
+    x2: Var = "x2",
+    x3: Var = "x3",
+    separator: str = SEPARATOR,
+) -> StringFormula:
+    """Theorem 5.1's ``φ_G``: derivation chains as satisfying tuples.
+
+    ``⟦φ_G⟧`` is the set of tuples ``(u, C, C)`` where ``C`` encodes a
+    derivation of ``u`` in ``grammar`` — so ``x₁`` limits ``x₂, x₃``
+    iff no word has unboundedly long derivations.
+    """
+    return concat(
+        phi_1(x1, x2, x3, grammar.start, separator),
+        rewind_x2_x3(x2, x3),
+        phi_2(x2, x3, grammar, separator),
+    )

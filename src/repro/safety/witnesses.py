@@ -1,0 +1,135 @@
+"""Bound-attainment witness machines from Theorem 5.2.
+
+The theorem's limit functions are tight up to constants; the proof
+exhibits:
+
+* ``B_s`` (Eq. 8) — a unidirectional ``(k+1)``-FSA with an ``s``-state
+  ring recognizing ``(w₁, …, w_k, a^{s(|w₁|+…+|w_k|+k)})``: the output
+  attains the **linear** bound coefficient ``s``;
+* ``B'_s`` — the variant whose odd ring states wind a bidirectional
+  tape from ``⊢`` to ``⊣`` and whose even states rewind it,
+  recognizing ``(w₁, …, w_k, a^{s(|w_k|+1)(|w₁|+…+|w_{k-1}|+k-1)})``:
+  the output attains the **quadratic** bound.
+
+Both are used by the limitation benchmark to reproduce the paper's
+claimed bound shapes empirically.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import LEFT_END, RIGHT_END, Alphabet
+from repro.errors import ArityError
+from repro.fsa.builder import MachineBuilder
+from repro.fsa.machine import FSA
+
+
+def linear_bound_witness(s: int, k: int, alphabet: Alphabet) -> FSA:
+    """``B_s``: every transition of the ``s``-ring writes one ``a``.
+
+    Tapes ``0 … k-1`` are inputs, tape ``k`` the output.  Only the
+    ring-closing transitions read input, one tape at a time, so the
+    output length is exactly ``s`` per possible reading move —
+    ``s · Σ(nᵢ + 1)`` in total.
+    """
+    if s < 1 or k < 1:
+        raise ArityError("B_s needs s >= 1 ring states and k >= 1 inputs")
+    if "a" not in alphabet:
+        raise ArityError("the witness writes 'a'; alphabet must contain it")
+    arity = k + 1
+    b = MachineBuilder(arity, alphabet, "start")
+
+    def spec(value_at: dict[int, object], default) -> list:
+        out = [default] * arity
+        for tape, value in value_at.items():
+            out[tape] = value
+        return out
+
+    # Step the output head off its ⊢ so each ring transition reads the
+    # 'a' it accounts for; inputs stay — their ⊢-moves are the counted
+    # reading operations (ρ = Σ(nᵢ+1) includes them).  Entering at the
+    # ring-closing state makes the number of ring passes equal the
+    # number of reading moves, i.e. exactly ρ.
+    b.add("start", [LEFT_END] * arity, "close", spec({k: +1}, 0))
+    for i in range(s):
+        target = ("ring", i + 1) if i < s - 1 else "close"
+        # every ring step writes one 'a' on the output tape
+        b.add(
+            ("ring", i),
+            spec({k: "a"}, "*"),
+            target,
+            spec({k: +1}, 0),
+        )
+    # The ring-closing state consumes one input move (a single tape,
+    # reading whatever is under its head, ⊢ included) and restarts.
+    for tape in range(k):
+        b.add(
+            "close",
+            spec({tape: [*alphabet.symbols, LEFT_END]}, "*"),
+            ("ring", 0),
+            spec({tape: +1}, 0),
+        )
+    # Accept once every input stands on ⊣ and the output is finished.
+    b.add(
+        "close",
+        spec({k: RIGHT_END}, RIGHT_END),
+        "accept",
+        spec({}, 0),
+    )
+    b.final("accept")
+    return b.build()
+
+
+def quadratic_bound_witness(s: int, k: int, alphabet: Alphabet) -> FSA:
+    """``B'_s``: odd ring states wind tape ``k-1`` across, even rewind.
+
+    Tape ``k-1`` becomes bidirectional; each full wind/rewind multiplies
+    the written output by ``|w_{k}|+2`` head movements, which is what
+    pushes the attained bound from linear to quadratic (``s`` must be
+    even, as in the paper).
+    """
+    if s < 2 or s % 2:
+        raise ArityError("B'_s needs an even s >= 2")
+    if k < 2:
+        raise ArityError("B'_s needs at least two input tapes")
+    base = linear_bound_witness(s, k, alphabet)
+    b = MachineBuilder(base.arity, alphabet, base.start)
+    b.finals.update(base.finals)
+    wind_tape = k - 1
+    for transition in base.transitions:
+        if (
+            transition.source == "close"
+            and transition.moves[wind_tape] == +1
+        ):
+            # The wound tape is no longer a counted input: the ring
+            # must not consume it (that is exactly what turns the
+            # attained bound quadratic instead of keeping it linear).
+            continue
+        b.transitions.add(transition)
+        b.extra_states.add(transition.source)
+        b.extra_states.add(transition.target)
+
+    def spec(value_at: dict[int, object], default) -> list:
+        out = [default] * base.arity
+        for tape, value in value_at.items():
+            out[tape] = value
+        return out
+
+    for i in range(s):
+        state = ("ring", i)
+        if i % 2:
+            # wind the tape rightward while writing
+            b.add(
+                state,
+                spec({wind_tape: [*alphabet.symbols, LEFT_END], k: "a"}, "*"),
+                state,
+                spec({wind_tape: +1, k: +1}, 0),
+            )
+        else:
+            # rewind it leftward while writing
+            b.add(
+                state,
+                spec({wind_tape: [*alphabet.symbols, RIGHT_END], k: "a"}, "*"),
+                state,
+                spec({wind_tape: -1, k: +1}, 0),
+            )
+    return b.build()

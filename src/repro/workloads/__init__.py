@@ -1,0 +1,5 @@
+"""Synthetic workloads and classical baseline oracles."""
+
+from repro.workloads import generators, oracles
+
+__all__ = ["generators", "oracles"]

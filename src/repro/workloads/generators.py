@@ -1,0 +1,146 @@
+"""Deterministic synthetic string workloads.
+
+The paper motivates alignment calculus with genetic databases: strings
+over the DNA alphabet carrying combinatorial (non-context-free)
+structure such as repeated or translated segments.  These generators
+produce such data synthetically with explicit seeds, substituting for
+the proprietary sequence databases the paper alludes to (see
+DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+from repro.workloads.oracles import translate_ab
+
+
+def uniform_strings(
+    alphabet: Alphabet,
+    count: int,
+    max_length: int,
+    min_length: int = 0,
+    seed: int = 0,
+) -> list[str]:
+    """``count`` uniform random strings with lengths in the given range."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        length = rng.randint(min_length, max_length)
+        out.append("".join(rng.choice(alphabet.symbols) for _ in range(length)))
+    return out
+
+
+def with_planted_motif(
+    alphabet: Alphabet,
+    motif: str,
+    count: int,
+    max_length: int,
+    fraction: float = 0.5,
+    seed: int = 0,
+) -> list[str]:
+    """Random strings, a ``fraction`` of which contain ``motif``.
+
+    Exercises the Example 6/7 selection queries: pattern membership and
+    substring occurrence.
+    """
+    alphabet.validate_string(motif)
+    rng = random.Random(seed)
+    out = []
+    for index in range(count):
+        length = rng.randint(0, max_length)
+        base = "".join(rng.choice(alphabet.symbols) for _ in range(length))
+        if index < count * fraction:
+            cut = rng.randint(0, len(base))
+            base = base[:cut] + motif + base[cut:]
+        out.append(base)
+    rng.shuffle(out)
+    return out
+
+
+def near_duplicates(
+    alphabet: Alphabet,
+    base: str,
+    count: int,
+    max_edits: int,
+    seed: int = 0,
+) -> list[str]:
+    """Strings within ``max_edits`` random edit operations of ``base``.
+
+    The Example 8 similarity-search workload.
+    """
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        word = list(base)
+        for _ in range(rng.randint(0, max_edits)):
+            op = rng.choice(("replace", "insert", "delete"))
+            if op == "replace" and word:
+                word[rng.randrange(len(word))] = rng.choice(alphabet.symbols)
+            elif op == "insert":
+                word.insert(rng.randint(0, len(word)), rng.choice(alphabet.symbols))
+            elif op == "delete" and word:
+                del word[rng.randrange(len(word))]
+        out.append("".join(word))
+    return out
+
+
+def copy_language_strings(
+    count: int,
+    max_half_length: int,
+    char_a: str = "a",
+    char_b: str = "b",
+    seed: int = 0,
+) -> list[str]:
+    """Strings ``w · translate(w)`` — the Example 12 / gene-regulation shape."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        length = rng.randint(0, max_half_length)
+        half = "".join(rng.choice((char_a, char_b)) for _ in range(length))
+        out.append(half + translate_ab(half, char_a, char_b))
+    return out
+
+
+def manifold_strings(
+    alphabet: Alphabet,
+    count: int,
+    max_base_length: int,
+    max_repeats: int,
+    seed: int = 0,
+) -> list[tuple[str, str]]:
+    """Pairs ``(vⁿ, v)`` for the Example 4 manifold workload."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        length = rng.randint(1, max_base_length)
+        base = "".join(rng.choice(alphabet.symbols) for _ in range(length))
+        out.append((base * rng.randint(1, max_repeats), base))
+    return out
+
+
+def example_database(
+    alphabet: Alphabet,
+    pairs: Sequence[tuple[str, str]] | None = None,
+    singles: Sequence[str] | None = None,
+    seed: int = 0,
+    size: int = 8,
+    max_length: int = 4,
+) -> Database:
+    """A small two-relation database shaped like the paper's examples.
+
+    ``R1`` is binary, ``R2`` unary — the relation symbols every worked
+    example in Section 2 is phrased over.
+    """
+    if pairs is None:
+        strings = uniform_strings(alphabet, 2 * size, max_length, seed=seed)
+        pairs = list(zip(strings[:size], strings[size:]))
+    if singles is None:
+        singles = uniform_strings(alphabet, size, max_length, seed=seed + 1)
+    return Database(
+        alphabet,
+        {"R1": [tuple(p) for p in pairs], "R2": [(s,) for s in singles]},
+    )

@@ -1,0 +1,154 @@
+"""Baseline string predicates (the classical-algorithm oracles).
+
+Each function here decides, by direct classical means (DP, scanning,
+splitting), the same property that one of the paper's alignment
+calculus queries expresses.  They serve two roles:
+
+* correctness oracles for the calculus/FSA engines in the test suite;
+* the *baseline* side of the benchmark harness (e.g. Wagner-Fischer
+  edit distance against the Example 8 formula).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def equals(x: str, y: str) -> bool:
+    """Oracle for Example 2's ``x =_s y``."""
+    return x == y
+
+
+def is_prefix(x: str, y: str) -> bool:
+    """Oracle for the prefix predicate."""
+    return y.startswith(x)
+
+
+def is_proper_prefix(x: str, y: str) -> bool:
+    """Oracle for the paper's unsafe ω example."""
+    return y.startswith(x) and len(x) < len(y)
+
+
+def is_concatenation(x: str, y: str, z: str) -> bool:
+    """Oracle for Example 3's ``x = y·z``."""
+    return x == y + z
+
+
+def is_manifold(x: str, y: str) -> bool:
+    """Oracle for Example 4's ``x ∈*_s y`` (x = y·y·…·y, at least one y).
+
+    The empty string is a manifold of the empty string only.
+    """
+    if not y:
+        return not x
+    if len(x) < len(y) or len(x) % len(y):
+        return False
+    return x == y * (len(x) // len(y))
+
+
+def is_shuffle(x: str, y: str, z: str) -> bool:
+    """Oracle for Example 5: ``x`` interleaves ``y`` and ``z`` (DP)."""
+    if len(x) != len(y) + len(z):
+        return False
+
+    @lru_cache(maxsize=None)
+    def rest(i: int, j: int) -> bool:
+        if i + j == len(x):
+            return True
+        char = x[i + j]
+        if i < len(y) and y[i] == char and rest(i + 1, j):
+            return True
+        return j < len(z) and z[j] == char and rest(i, j + 1)
+
+    result = rest(0, 0)
+    rest.cache_clear()
+    return result
+
+
+def matches_gc_plus_a_star(y: str) -> bool:
+    """Oracle for Example 6's pattern ``(gc + a)*`` (manual scan)."""
+    i = 0
+    while i < len(y):
+        if y[i] == "a":
+            i += 1
+        elif y[i] == "g" and i + 1 < len(y) and y[i + 1] == "c":
+            i += 2
+        else:
+            return False
+    return True
+
+
+def occurs_in(x: str, y: str) -> bool:
+    """Oracle for Example 7: ``x`` occurs in ``y``."""
+    return x in y
+
+
+def is_suffix(x: str, y: str) -> bool:
+    """Oracle for the suffix predicate."""
+    return y.endswith(x)
+
+
+def edit_distance(x: str, y: str) -> int:
+    """Wagner-Fischer dynamic program — the classical Example 8 baseline.
+
+    Unit costs for replace, insert and delete, as in the paper's
+    definition following [24] (Sankoff & Kruskal).
+    """
+    previous = list(range(len(y) + 1))
+    for i, cx in enumerate(x, start=1):
+        current = [i]
+        for j, cy in enumerate(y, start=1):
+            cost = 0 if cx == cy else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[len(y)]
+
+
+def edit_distance_at_most(x: str, y: str, k: int) -> bool:
+    """Oracle for Example 8's bounded edit distance."""
+    return edit_distance(x, y) <= k
+
+
+def is_axbxa(x: str, first: str = "a", middle: str = "b") -> bool:
+    """Oracle for Example 9: ``x = a·X·b·X·a`` for some ``X``."""
+    if len(x) < 3 or x[0] != first or x[-1] != first:
+        return False
+    body = x[1:-1]
+    if (len(body) - 1) % 2:
+        return False
+    half = (len(body) - 1) // 2
+    return body[half] == middle and body[:half] == body[half + 1 :]
+
+
+def has_equal_as_bs(x: str, char_a: str = "a", char_b: str = "b") -> bool:
+    """Oracle for Example 10: equal numbers of a's and b's, nothing else."""
+    return set(x) <= {char_a, char_b} and x.count(char_a) == x.count(char_b)
+
+
+def is_anbncn(x: str) -> bool:
+    """Oracle for Example 11: ``x ∈ {aⁿbⁿcⁿ : n ∈ N}``."""
+    n = len(x) // 3
+    if len(x) != 3 * n:
+        return False
+    return x == "a" * n + "b" * n + "c" * n
+
+
+def translate_ab(x: str, char_a: str = "a", char_b: str = "b") -> str:
+    """The a↔b translation of Example 12."""
+    swap = {char_a: char_b, char_b: char_a}
+    return "".join(swap.get(c, c) for c in x)
+
+
+def is_copy_translation(x: str, char_a: str = "a", char_b: str = "b") -> bool:
+    """Oracle for Example 12: second half is the translation of the first."""
+    if len(x) % 2 or not set(x) <= {char_a, char_b}:
+        return False
+    half = len(x) // 2
+    return x[half:] == translate_ab(x[:half], char_a, char_b)
+
+
+def is_reverse(x: str, y: str) -> bool:
+    """Oracle for the reversal predicate."""
+    return x == y[::-1]

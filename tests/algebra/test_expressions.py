@@ -1,0 +1,97 @@
+"""Tests for the algebra AST."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Diff,
+    Product,
+    Project,
+    Rel,
+    Select,
+    SigmaL,
+    SigmaStar,
+    Union,
+    intersect,
+    product_of,
+    relation_symbols,
+    sigma_power,
+    truncated,
+    uses_sigma_star,
+)
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.errors import ArityError
+from repro.fsa.compile import compile_string_formula
+
+
+def equals_machine():
+    return compile_string_formula(sh.equals("x", "y"), AB).fsa
+
+
+class TestArity:
+    def test_basic_arities(self):
+        assert Rel("R", 3).arity == 3
+        assert SigmaStar().arity == 1
+        assert SigmaL(4).arity == 1
+        assert Product(Rel("R", 2), SigmaStar()).arity == 3
+        assert Project(Rel("R", 3), (2, 0)).arity == 2
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ArityError):
+            Union(Rel("R", 1), Rel("S", 2))
+
+    def test_diff_arity_mismatch(self):
+        with pytest.raises(ArityError):
+            Diff(Rel("R", 1), Rel("S", 2))
+
+    def test_projection_validates_columns(self):
+        with pytest.raises(ArityError):
+            Project(Rel("R", 2), (0, 0))
+        with pytest.raises(ArityError):
+            Project(Rel("R", 2), (5,))
+
+    def test_zero_ary_projection_allowed(self):
+        assert Project(Rel("R", 2), ()).arity == 0
+
+    def test_select_arity_checked(self):
+        with pytest.raises(ArityError):
+            Select(Rel("R", 3), equals_machine())
+        Select(Rel("R", 2), equals_machine())
+
+    def test_sigma_l_bound_validated(self):
+        with pytest.raises(ArityError):
+            SigmaL(-1)
+
+    def test_operator_sugar(self):
+        r, s = Rel("R", 1), Rel("S", 1)
+        assert (r | s) == Union(r, s)
+        assert (r - s) == Diff(r, s)
+        assert (r * s) == Product(r, s)
+
+
+class TestHelpers:
+    def test_intersect_encoding(self):
+        r, s = Rel("R", 1), Rel("S", 1)
+        assert intersect(r, s) == Diff(r, Diff(r, s))
+
+    def test_product_of(self):
+        factors = [Rel("R", 1), SigmaStar(), SigmaStar()]
+        assert product_of(factors).arity == 3
+        with pytest.raises(ArityError):
+            product_of([])
+
+    def test_sigma_power(self):
+        assert all(isinstance(e, SigmaStar) for e in sigma_power(3))
+        assert all(isinstance(e, SigmaL) for e in sigma_power(2, bound=5))
+
+    def test_truncated_replaces_sigma_star(self):
+        expr = Select(Product(Rel("R", 1), SigmaStar()), equals_machine())
+        cut = truncated(expr, 7)
+        assert not uses_sigma_star(cut)
+        assert uses_sigma_star(expr)
+
+    def test_relation_symbols(self):
+        expr = Union(
+            Project(Product(Rel("R", 1), Rel("S", 1)), (0,)), Rel("T", 1)
+        )
+        assert relation_symbols(expr) == {"R", "S", "T"}

@@ -1,0 +1,160 @@
+"""Tests for alignments and transposes (paper Section 2, Figures 1-2)."""
+
+import pytest
+
+from repro.core.alignment import Alignment, Row, initial_alignment_for
+from repro.core.alphabet import DNA
+from repro.errors import AssignmentError
+
+
+def figure1_alignment() -> Alignment:
+    """The alignment of the paper's Figure 1.
+
+    Row 0 = abc with the window on 'a' (head 1), row 1 = abb with the
+    window on 'b' (head 2), row 2 = cacd with the window on 'a'
+    (head 2): A(2,-1)=c, A(2,0)=a, A(2,1)=c, A(2,2)=d.
+    """
+    return Alignment.from_rows(
+        {0: Row("abc", 1), 1: Row("abb", 2), 2: Row("cacd", 2)}
+    )
+
+
+class TestRow:
+    def test_window_char_inside(self):
+        assert Row("abc", 2).window_char == "b"
+
+    def test_window_char_at_ends_is_none(self):
+        assert Row("abc", 0).window_char is None
+        assert Row("abc", 4).window_char is None
+
+    def test_head_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Row("abc", 5)
+        with pytest.raises(ValueError):
+            Row("abc", -1)
+
+    def test_empty_string_pins_head(self):
+        assert Row("", 0).window_char is None
+        with pytest.raises(ValueError):
+            Row("", 1)
+
+    def test_char_at_matches_paper_figure1(self):
+        row = Row("cacd", 2)
+        assert row.char_at(-1) == "c"
+        assert row.char_at(0) == "a"
+        assert row.char_at(1) == "c"
+        assert row.char_at(2) == "d"
+        assert row.char_at(3) is None
+        assert row.char_at(-2) is None
+
+    def test_columns_interval(self):
+        assert list(Row("abc", 0).columns) == [1, 2, 3]
+        assert list(Row("abc", 2).columns) == [-1, 0, 1]
+        assert list(Row("", 0).columns) == []
+
+    def test_slide_left_clamps_at_right_end(self):
+        row = Row("ab", 2)
+        row = row.slid_left()
+        assert row.head == 3
+        assert row.slid_left().head == 3  # clamped
+
+    def test_slide_right_clamps_at_left_end(self):
+        row = Row("ab", 1)
+        row = row.slid_right()
+        assert row.head == 0
+        assert row.slid_right().head == 0  # clamped
+
+    def test_empty_row_never_moves(self):
+        row = Row("", 0)
+        assert row.slid_left() == row
+        assert row.slid_right() == row
+
+
+class TestAlignment:
+    def test_figure1_window_propositions(self):
+        a = figure1_alignment()
+        # "window of topmost equals a or window of middle differs from c"
+        assert a.window_char(0) == "a" or a.window_char(1) != "c"
+        # "window of middle and bottom are equal" is false
+        assert a.window_char(1) != a.window_char(2)
+
+    def test_sigma_extracts_row_strings(self):
+        a = figure1_alignment()
+        assert a.sigma(2) == "cacd"
+        assert a.sigma(7) == ""  # unset rows behave as ε
+
+    def test_initial_alignment_everything_undefined(self):
+        a = Alignment.initial({0: "abc", 1: ""})
+        assert a.is_initial()
+        assert a.window_char(0) is None
+        assert a.window_char(1) is None
+
+    def test_transpose_left_shows_first_char(self):
+        a = Alignment.initial({0: "abc"})
+        assert a.transpose_left([0]).window_char(0) == "a"
+
+    def test_transpose_only_moves_named_rows(self):
+        a = Alignment.initial({0: "ab", 1: "cd"})
+        moved = a.transpose_left([0])
+        assert moved.window_char(0) == "a"
+        assert moved.window_char(1) is None
+
+    def test_figure2_right_transpose(self):
+        # Bottom-right alignment of Figure 2: [3,5]_r style transpose
+        # on rows 0 and 2 of Figure 1.
+        a = figure1_alignment()
+        moved = a.transpose_right([0, 2])
+        assert moved.window_char(0) is None  # abc slid right, head 0
+        assert moved.window_char(2) == "c"  # cacd head back to 1
+        assert moved.window_char(1) == "b"  # untouched row
+
+    def test_transpose_dispatch_by_tag(self):
+        a = Alignment.initial({0: "ab"})
+        assert a.transpose("l", [0]) == a.transpose_left([0])
+        assert a.transpose("r", [0]) == a.transpose_right([0])
+        with pytest.raises(ValueError):
+            a.transpose("x", [0])
+
+    def test_transposes_compose_and_clamp(self):
+        a = Alignment.initial({0: "ab"})
+        for _ in range(10):
+            a = a.transpose_left([0])
+        assert a.window_char(0) is None
+        assert a.row(0).head == 3
+
+    def test_alignment_equality_and_hash(self):
+        a = Alignment.initial({0: "abc"})
+        b = Alignment.initial({0: "abc", 1: ""})  # empty row unobservable
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(AssignmentError):
+            Alignment.initial({-1: "a"})
+
+    def test_with_row_resets_to_initial(self):
+        a = figure1_alignment().with_row(0, "tt")
+        assert a.row(0) == Row("tt", 0)
+
+    def test_truncate(self):
+        a = Alignment.initial({0: "acgt", 1: "ac"})
+        cut = a.truncate(3)
+        assert cut.sigma(0) == "acg"
+        assert cut.sigma(1) == "ac"
+
+    def test_initial_alignment_for_validates(self):
+        from repro.errors import AlphabetError
+
+        with pytest.raises(AlphabetError):
+            initial_alignment_for(["xyz"], DNA)
+
+    def test_render_contains_rows_and_window_marker(self):
+        art = figure1_alignment().render()
+        lines = art.splitlines()
+        assert lines[0].endswith("|")
+        assert "a b c" in art
+        assert "c a c d" in art
+
+    def test_render_empty(self):
+        art = Alignment.initial({}).render()
+        assert "|" in art

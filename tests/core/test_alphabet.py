@@ -1,0 +1,82 @@
+"""Tests for the fixed-alphabet substrate."""
+
+import pytest
+
+from repro.core.alphabet import AB, BINARY, DNA, LEFT_END, RIGHT_END, Alphabet
+from repro.errors import AlphabetError
+
+
+class TestConstruction:
+    def test_dna_preset_has_four_symbols(self):
+        assert tuple(DNA) == ("a", "c", "g", "t")
+
+    def test_requires_at_least_two_symbols(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("a")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("aba")
+
+    def test_rejects_multicharacter_symbols(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["ab", "c"])
+
+    def test_rejects_reserved_endmarkers(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", LEFT_END])
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", RIGHT_END])
+
+    def test_alphabets_are_hashable_values(self):
+        assert Alphabet("ab") == AB
+        assert hash(Alphabet("ab")) == hash(AB)
+        assert Alphabet("ba") != AB  # order is part of identity
+
+
+class TestMembership:
+    def test_contains(self):
+        assert "g" in DNA
+        assert "x" not in DNA
+
+    def test_index_roundtrip(self):
+        for i, sym in enumerate(BINARY):
+            assert BINARY.index(sym) == i
+
+    def test_index_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA.index("q")
+
+    def test_validate_string_accepts_good(self):
+        assert DNA.validate_string("gattaca") == "gattaca"
+
+    def test_validate_string_rejects_bad(self):
+        with pytest.raises(AlphabetError):
+            DNA.validate_string("gatx")
+
+    def test_validate_empty_string(self):
+        assert DNA.validate_string("") == ""
+
+
+class TestEnumeration:
+    def test_strings_up_to_length_two(self):
+        got = list(AB.strings(2))
+        assert got == ["", "a", "b", "aa", "ab", "ba", "bb"]
+
+    def test_strings_with_min_length(self):
+        assert list(AB.strings(2, min_length=2)) == ["aa", "ab", "ba", "bb"]
+
+    def test_strings_negative_length_is_empty(self):
+        assert list(AB.strings(-1)) == []
+
+    def test_count_strings_matches_enumeration(self):
+        for bound in range(4):
+            assert AB.count_strings(bound) == len(list(AB.strings(bound)))
+
+    def test_count_strings_dna(self):
+        assert DNA.count_strings(2) == 1 + 4 + 16
+
+    def test_tape_symbols_include_endmarkers(self):
+        tape = AB.tape_symbols()
+        assert LEFT_END in tape and RIGHT_END in tape
+        assert set("ab") <= set(tape)

@@ -1,0 +1,67 @@
+"""Tests for string databases."""
+
+import pytest
+
+from repro.core.alphabet import AB, DNA
+from repro.core.database import Database, empty_database
+from repro.errors import AlphabetError, ArityError
+
+
+class TestConstruction:
+    def test_basic(self):
+        db = Database(AB, {"R": [("a", "b")]})
+        assert db.arity("R") == 2
+        assert db.relation("R") == {("a", "b")}
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ArityError):
+            Database(AB, {"R": [("a",), ("a", "b")]})
+
+    def test_alphabet_validated(self):
+        with pytest.raises(AlphabetError):
+            Database(AB, {"R": [("xyz",)]})
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AlphabetError):
+            Database(AB, {"R": [(3,)]})
+
+    def test_unknown_relation_is_empty(self):
+        db = empty_database(AB)
+        assert db.relation("nothing") == frozenset()
+        with pytest.raises(ArityError):
+            db.arity("nothing")
+
+    def test_lists_are_accepted_and_frozen(self):
+        db = Database(AB, {"R": [["a", "b"]]})
+        assert db.contains("R", ("a", "b"))
+
+
+class TestObservation:
+    def db(self):
+        return Database(
+            AB, {"R1": [("ab", "babb")], "R2": [("a",)], "R3": []}
+        )
+
+    def test_relation_names_sorted(self):
+        assert self.db().relation_names == ("R1", "R2", "R3")
+
+    def test_max_string_length_eq2(self):
+        db = self.db()
+        assert db.max_string_length() == 4
+        assert db.max_string_length("R2") == 1
+        assert db.max_string_length("R3") == 0
+
+    def test_active_strings(self):
+        assert self.db().active_strings("R1") == {"ab", "babb"}
+
+    def test_with_relation_is_functional(self):
+        db = self.db()
+        updated = db.with_relation("R2", [("bb",)])
+        assert db.relation("R2") == {("a",)}
+        assert updated.relation("R2") == {("bb",)}
+
+    def test_equality_and_hash(self):
+        assert self.db() == self.db()
+        assert hash(self.db()) == hash(self.db())
+        assert self.db() != empty_database(AB)
+        assert self.db() != empty_database(DNA)

@@ -1,0 +1,335 @@
+"""The paper's twelve worked example queries (Section 2) vs oracles.
+
+Every string predicate built in :mod:`repro.core.shorthands` is checked
+exhaustively against its classical baseline from
+:mod:`repro.workloads.oracles` on all strings up to a small length —
+an executable form of the paper's claims about what each formula
+defines.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.core.database import Database
+from repro.core.semantics import check_string_formula, evaluate_naive
+from repro.core.syntax import And, lift, rel
+from repro.workloads import oracles
+
+ABC = Alphabet("abc")
+GCA = Alphabet("gca")
+
+
+def strings(alphabet, max_len):
+    return list(alphabet.strings(max_len))
+
+
+class TestExample1Constant:
+    def test_constant_matches_only_itself(self):
+        phi = sh.constant("x", "ab")
+        for u in strings(AB, 3):
+            assert check_string_formula(phi, {"x": u}) == (u == "ab")
+
+    def test_constant_empty_word(self):
+        phi = sh.constant("x", "")
+        for u in strings(AB, 2):
+            assert check_string_formula(phi, {"x": u}) == (u == "")
+
+    def test_query_form(self):
+        """x | ∃y: R1(y,x) ∧ y = "ab"."""
+        from repro.core.syntax import exists
+
+        db = Database(AB, {"R1": [("ab", "ba"), ("ab", "b"), ("ba", "aa")]})
+        phi = exists("y", And(rel("R1", "y", "x"), lift(sh.constant("y", "ab"))))
+        answers = evaluate_naive(phi, ("x",), db, strings(AB, 2))
+        assert answers == {("ba",), ("b",)}
+
+
+class TestExample2Equality:
+    @pytest.mark.parametrize("max_len", [3])
+    def test_equals_oracle(self, max_len):
+        phi = sh.equals("x", "y")
+        for u, v in product(strings(AB, max_len), repeat=2):
+            assert check_string_formula(phi, {"x": u, "y": v}) == oracles.equals(
+                u, v
+            )
+
+
+class TestPrefixSuffix:
+    def test_prefix_oracle(self):
+        phi = sh.prefix_of("x", "y")
+        for u, v in product(strings(AB, 3), repeat=2):
+            assert check_string_formula(phi, {"x": u, "y": v}) == oracles.is_prefix(
+                u, v
+            )
+
+    def test_proper_prefix_oracle(self):
+        phi = sh.proper_prefix_of("x", "y")
+        for u, v in product(strings(AB, 3), repeat=2):
+            assert check_string_formula(
+                phi, {"x": u, "y": v}
+            ) == oracles.is_proper_prefix(u, v)
+
+    def test_suffix_oracle(self):
+        phi = sh.suffix_of("x", "y")
+        for u, v in product(strings(AB, 3), repeat=2):
+            assert check_string_formula(phi, {"x": u, "y": v}) == oracles.is_suffix(
+                u, v
+            )
+
+
+class TestExample3Concatenation:
+    def test_concatenation_oracle(self):
+        phi = sh.concatenation("x", "y", "z")
+        pool = strings(AB, 2)
+        for u, v, w in product(pool, repeat=3):
+            assert check_string_formula(
+                phi, {"x": u, "y": v, "z": w}
+            ) == oracles.is_concatenation(u, v, w)
+
+    def test_concatenation_query(self):
+        """Example 3: tuples of R2 that concatenate a tuple of R1."""
+        from repro.core.syntax import exists
+
+        db = Database(
+            AB,
+            {
+                "R1": [("a", "b"), ("ab", "")],
+                "R2": [("ab",), ("ba",), ("",)],
+            },
+        )
+        phi = exists(
+            ["y", "z"],
+            And(
+                And(rel("R1", "y", "z"), rel("R2", "x")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        )
+        answers = evaluate_naive(phi, ("x",), db, strings(AB, 2))
+        assert answers == {("ab",)}
+
+
+class TestExample4Manifold:
+    def test_manifold_oracle(self):
+        phi = sh.manifold("x", "y")
+        for u in strings(AB, 4):
+            for v in strings(AB, 2):
+                assert check_string_formula(
+                    phi, {"x": u, "y": v}
+                ) == oracles.is_manifold(u, v), (u, v)
+
+    def test_manifold_classic_cases(self):
+        phi = sh.manifold("x", "y")
+        assert check_string_formula(phi, {"x": "ababab", "y": "ab"})
+        assert not check_string_formula(phi, {"x": "ababa", "y": "ab"})
+        assert check_string_formula(phi, {"x": "", "y": ""})
+        assert not check_string_formula(phi, {"x": "a", "y": ""})
+
+
+class TestExample5Shuffle:
+    def test_shuffle_oracle(self):
+        phi = sh.shuffle("x", "y", "z")
+        for u in strings(AB, 3):
+            for v, w in product(strings(AB, 2), repeat=2):
+                assert check_string_formula(
+                    phi, {"x": u, "y": v, "z": w}
+                ) == oracles.is_shuffle(u, v, w), (u, v, w)
+
+    def test_shuffle_interleaves(self):
+        phi = sh.shuffle("x", "y", "z")
+        assert check_string_formula(phi, {"x": "abab", "y": "aa", "z": "bb"})
+        assert check_string_formula(phi, {"x": "abab", "y": "ab", "z": "ab"})
+        assert not check_string_formula(phi, {"x": "abab", "y": "bb", "z": "ba"})
+
+
+class TestExample6Pattern:
+    def test_gc_plus_a_star_oracle(self):
+        phi = sh.gc_plus_a_star("y")
+        for u in strings(GCA, 4):
+            assert check_string_formula(
+                phi, {"y": u}
+            ) == oracles.matches_gc_plus_a_star(u), u
+
+
+class TestExample7Occurrence:
+    def test_occurs_in_oracle(self):
+        phi = sh.occurs_in("x", "y")
+        for u in strings(AB, 2):
+            for v in strings(AB, 3):
+                assert check_string_formula(
+                    phi, {"x": u, "y": v}
+                ) == oracles.occurs_in(u, v), (u, v)
+
+
+class TestExample8EditDistance:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_edit_distance_oracle(self, k):
+        phi = sh.edit_distance_at_most("x", "y", k)
+        for u, v in product(strings(AB, 2), repeat=2):
+            assert check_string_formula(
+                phi, {"x": u, "y": v}
+            ) == oracles.edit_distance_at_most(u, v, k), (u, v, k)
+
+    def test_edit_distance_three_longer(self):
+        phi = sh.edit_distance_at_most("x", "y", 1)
+        assert check_string_formula(phi, {"x": "abba", "y": "abba"})
+        assert check_string_formula(phi, {"x": "abba", "y": "aba"})
+        assert not check_string_formula(phi, {"x": "abba", "y": "bb"})
+
+    def test_counter_variant_counts_edits(self):
+        phi = sh.edit_distance_counter("x", "y", "z")
+        # (u, v, a^k) accepted iff edit ops can be paid with exactly |z| a's
+        assert check_string_formula(phi, {"x": "ab", "y": "ab", "z": ""})
+        assert check_string_formula(phi, {"x": "ab", "y": "bb", "z": "a"})
+        assert not check_string_formula(phi, {"x": "ab", "y": "bb", "z": ""})
+        # counters must consist of the counter character
+        assert not check_string_formula(phi, {"x": "ab", "y": "bb", "z": "b"})
+
+    def test_counter_variant_accepts_any_sufficient_counter(self):
+        # (u, v, a^k) is accepted iff edit_distance(u, v) <= k.  Once a
+        # row is exhausted its transposes clamp to no-ops, so an edit
+        # block can consume only the counter; the paper's side remark
+        # "k <= |u| + |v|" holds only if such degenerate blocks are
+        # excluded (see EXPERIMENTS.md, item Q8).
+        phi = sh.edit_distance_counter("x", "y", "z")
+        assert check_string_formula(phi, {"x": "ab", "y": "ab", "z": "aaaa"})
+        assert check_string_formula(phi, {"x": "ab", "y": "ab", "z": "aaaaa"})
+
+    def test_counter_variant_matches_exact_oracle(self):
+        phi = sh.edit_distance_counter("x", "y", "z")
+        for u, v in product(strings(AB, 2), repeat=2):
+            for k in range(4):
+                assert check_string_formula(
+                    phi, {"x": u, "y": v, "z": "a" * k}
+                ) == (oracles.edit_distance(u, v) <= k), (u, v, k)
+
+
+class TestExample9AXBXA:
+    def test_axbxa_oracle(self):
+        from repro.core.semantics import satisfies
+
+        db = Database(AB, {})
+        dom = strings(AB, 2)
+        phi = sh.is_axbxa("x", "y", "z")
+        for u in strings(AB, 5):
+            assert satisfies(phi, {"x": u}, db, dom) == oracles.is_axbxa(u), u
+
+
+class TestExample10EqualCounts:
+    def test_equal_as_bs_oracle(self):
+        from repro.core.semantics import satisfies
+
+        db = Database(AB, {})
+        dom = strings(AB, 4)
+        phi = sh.has_equal_as_bs("x", "y", "z")
+        for u in strings(AB, 4):
+            assert satisfies(phi, {"x": u}, db, dom) == oracles.has_equal_as_bs(
+                u
+            ), u
+
+
+class TestExample11AnBnCn:
+    def test_anbncn_oracle(self):
+        from repro.core.semantics import satisfies
+
+        abc = Alphabet("abc")
+        db = Database(abc, {})
+        dom = strings(abc, 2)
+        phi = sh.is_anbncn("x", "y")
+        for u in strings(abc, 6):
+            assert satisfies(phi, {"x": u}, db, dom) == oracles.is_anbncn(u), u
+
+
+class TestExample12CopyTranslation:
+    def test_copy_translation_oracle(self):
+        from repro.core.semantics import satisfies
+
+        db = Database(AB, {})
+        dom = strings(AB, 2)
+        phi = sh.is_copy_translation("x", "y", "z")
+        for u in strings(AB, 4):
+            assert satisfies(phi, {"x": u}, db, dom) == oracles.is_copy_translation(
+                u
+            ), u
+
+
+class TestTemporalModalities:
+    def test_occurs_in_temporal_matches_example7(self):
+        phi = sh.occurs_in_temporal("x", "y")
+        for u in strings(AB, 2):
+            for v in strings(AB, 3):
+                assert check_string_formula(
+                    phi, {"x": u, "y": v}
+                ) == oracles.occurs_in(u, v), (u, v)
+
+    def test_henceforth(self):
+        from repro.core.syntax import IsChar
+
+        phi = sh.henceforth_along(["x"], IsChar("x", "a"))
+        assert check_string_formula(phi, {"x": "aaa"})
+        assert check_string_formula(phi, {"x": ""})
+        assert not check_string_formula(phi, {"x": "aba"})
+
+    def test_eventually_and_next(self):
+        from repro.core.syntax import IsChar
+
+        phi = sh.eventually_along(["x"], IsChar("x", "b"))
+        assert check_string_formula(phi, {"x": "aab"})
+        assert not check_string_formula(phi, {"x": "aaa"})
+        nxt = sh.next_along(["x"], IsChar("x", "a"))
+        assert check_string_formula(nxt, {"x": "ab"})
+        assert not check_string_formula(nxt, {"x": "ba"})
+
+    def test_since_is_past_until(self):
+        from repro.core.syntax import IsChar, not_empty
+        from repro.core.semantics import Assignment, satisfies_string
+        from repro.core.alignment import Alignment, Row
+
+        # Walk to the end of "ab", then check "a was seen in the past".
+        a = Alignment.from_rows({0: Row("ab", 2)})
+        phi = sh.since_along(["x"], not_empty("x"), IsChar("x", "a"))
+        assert satisfies_string(a, phi, Assignment({"x": 0}))
+
+    def test_rewind_resets_rows(self):
+        from repro.core.alignment import Alignment, Row
+        from repro.core.semantics import Assignment, satisfying_alignments
+
+        a = Alignment.from_rows({0: Row("ab", 3), 1: Row("ba", 3)})
+        finals = satisfying_alignments(
+            a, sh.rewind(["x", "y"]), Assignment({"x": 0, "y": 1})
+        )
+        assert finals == {Alignment.from_rows({0: Row("ab", 0), 1: Row("ba", 0)})}
+
+
+class TestReversal:
+    def test_reverse_oracle(self):
+        phi = sh.reverse_of("x", "y")
+        for u in strings(AB, 3):
+            for v in strings(AB, 3):
+                assert check_string_formula(
+                    phi, {"x": u, "y": v}
+                ) == oracles.is_reverse(u, v), (u, v)
+
+    def test_reverse_is_right_restricted_and_safe(self):
+        from repro.core.syntax import bidirectional_variables, is_right_restricted
+        from repro.safety.limitation import formula_limitation
+
+        phi = sh.reverse_of("x", "y")
+        assert is_right_restricted(phi)
+        assert bidirectional_variables(phi) == {"y"}
+        # Reversal is safely generable in both directions — the
+        # capability the paper says constant-limit safety notions lack.
+        assert formula_limitation(phi, ["x"], ["y"], AB).limited
+        assert formula_limitation(phi, ["y"], ["x"], AB).limited
+
+    def test_reverse_generation(self):
+        from repro.fsa.compile import compile_string_formula
+        from repro.fsa.generate import accepted_tuples
+
+        compiled = compile_string_formula(sh.reverse_of("x", "y"), AB)
+        outputs = accepted_tuples(
+            compiled.fsa, max_length=6, fixed={compiled.tape_of("y"): "abb"}
+        )
+        assert outputs == {("bba",)}

@@ -1,0 +1,189 @@
+"""Tests for the concrete text syntax."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.parser import (
+    formula_to_text,
+    parse_formula,
+    parse_string_formula,
+    parse_window,
+    string_to_text,
+    window_to_text,
+)
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import (
+    And,
+    Exists,
+    IsChar,
+    IsEmpty,
+    Lambda,
+    Not,
+    RelAtom,
+    SameChar,
+    SStar,
+    StringAtom,
+    WTrue,
+    atom,
+    concat,
+    left,
+)
+from repro.errors import ParseError
+
+
+class TestWindowParsing:
+    def test_atoms(self):
+        assert parse_window("x = 'a'") == IsChar("x", "a")
+        assert parse_window("x = eps") == IsEmpty("x")
+        assert parse_window("x = y") == SameChar("x", "y")
+        assert parse_window("true") == WTrue()
+
+    def test_chains(self):
+        chained = parse_window("x = y = eps")
+        assert check_chain(chained, {"x": None, "y": None})
+        assert not check_chain(chained, {"x": "a", "y": None})
+        triple = parse_window("x = y = z = 'a'")
+        assert check_chain(triple, {"x": "a", "y": "a", "z": "a"})
+        assert not check_chain(triple, {"x": "a", "y": "a", "z": "b"})
+
+    def test_connectives_and_precedence(self):
+        phi = parse_window("x = 'a' & !y = 'b' | x = eps")
+        # '&' binds tighter than '|'
+        assert check_chain(phi, {"x": "a", "y": "a"})
+        assert check_chain(phi, {"x": None, "y": "b"})
+        assert not check_chain(phi, {"x": "a", "y": "b"})
+
+    def test_errors(self):
+        for bad in ["x =", "x = 'ab'", "= 'a'", "x ? y", "(x = 'a'"]:
+            with pytest.raises(ParseError):
+                parse_window(bad)
+
+
+def check_chain(formula, chars):
+    from repro.core.syntax import evaluate_window
+
+    return evaluate_window(formula, chars)
+
+
+class TestStringParsing:
+    def test_atoms(self):
+        assert parse_string_formula("[x]l") == atom(left("x"), WTrue())
+        assert parse_string_formula("[x,y]l(x = y)") == atom(
+            left("x", "y"), SameChar("x", "y")
+        )
+        assert parse_string_formula("[]l(x = eps)") == atom(
+            left(), IsEmpty("x")
+        )
+        assert parse_string_formula("_") == Lambda()
+
+    def test_equality_formula(self):
+        text = "([x,y]l(x = y))* . [x,y]l(x = y = eps)"
+        parsed = parse_string_formula(text)
+        for u, v in [("ab", "ab"), ("ab", "ba"), ("", "")]:
+            assert check_string_formula(parsed, {"x": u, "y": v}) == (
+                u == v
+            ), (u, v)
+
+    def test_union_and_star(self):
+        text = "([x]l(x = 'a') + [x]l(x = 'b') . [x]l(x = 'b'))* . [x]l(x = eps)"
+        parsed = parse_string_formula(text)
+        # '.' binds tighter than '+': a | bb, starred
+        assert check_string_formula(parsed, {"x": "abba"})
+        assert not check_string_formula(parsed, {"x": "ab"})
+
+    def test_errors(self):
+        for bad in ["[x]", "[x]q", "[x]l .", "[x]l +", "(", "[x]l)"]:
+            with pytest.raises(ParseError):
+                parse_string_formula(bad)
+
+
+class TestCalculusParsing:
+    def test_relational_atom(self):
+        assert parse_formula("R1(x, y)") == RelAtom("R1", ("x", "y"))
+        assert parse_formula("Nullary()") == RelAtom("Nullary", ())
+
+    def test_embedded_string_formula(self):
+        phi = parse_formula("R(x) & [x]l(x = 'a')")
+        assert isinstance(phi, And)
+        assert isinstance(phi.right, StringAtom)
+
+    def test_braced_string_formula(self):
+        phi = parse_formula("{_}")
+        assert phi == StringAtom(Lambda())
+
+    def test_quantifiers(self):
+        phi = parse_formula("exists y, z: R(x, y) & S(z)")
+        assert isinstance(phi, Exists) and phi.var == "y"
+        universal = parse_formula("forall x: R(x)")
+        assert isinstance(universal, Not)
+
+    def test_negation_and_grouping(self):
+        phi = parse_formula("!(R(x) | S(x))")
+        assert isinstance(phi, Not)
+
+    def test_full_example_query(self):
+        text = (
+            "exists y, z: R1(y, z) & R2(x) & "
+            "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = eps)"
+        )
+        phi = parse_formula(text)
+        from repro.core.semantics import satisfies
+        from repro.core.alphabet import AB
+        from repro.core.database import Database
+
+        db = Database(AB, {"R1": [("a", "b")], "R2": [("ab",), ("ba",)]})
+        domain = tuple(AB.strings(2))
+        assert satisfies(phi, {"x": "ab"}, db, domain)
+        assert not satisfies(phi, {"x": "ba"}, db, domain)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            sh.equals("x", "y"),
+            sh.concatenation("x", "y", "z"),
+            sh.manifold("x", "y"),
+            sh.shuffle("x", "y", "z"),
+            sh.edit_distance_at_most("x", "y", 1),
+            sh.anbncn_string_part("x", "y"),
+        ],
+        ids=["equals", "concat", "manifold", "shuffle", "edit", "anbncn"],
+    )
+    def test_string_formula_round_trip(self, formula):
+        text = string_to_text(formula)
+        reparsed = parse_string_formula(text)
+        # Semantic round trip on small inputs.
+        for u in ("", "a", "ab", "abab"):
+            for v in ("", "ab"):
+                env = {var: val for var, val in zip(("x", "y", "z"), (u, v, v))}
+                from repro.core.syntax import string_variables
+
+                env = {k: env.get(k, "") for k in string_variables(formula)}
+                assert check_string_formula(reparsed, env) == (
+                    check_string_formula(formula, env)
+                ), (text, env)
+
+    def test_calculus_round_trip(self):
+        phi = Exists(
+            "y", And(RelAtom("R", ("x", "y")), Not(StringAtom(sh.equals("x", "y"))))
+        )
+        reparsed = parse_formula(formula_to_text(phi))
+        from repro.core.syntax import free_variables
+
+        assert free_variables(reparsed) == {"x"}
+
+    def test_window_round_trip(self):
+        from repro.core.syntax import evaluate_window
+
+        samples = [
+            IsChar("x", "a") & ~IsEmpty("y"),
+            SameChar("x", "y"),
+            WTrue(),
+        ]
+        for formula in samples:
+            reparsed = parse_window(window_to_text(formula))
+            for chars in ({"x": "a", "y": "b"}, {"x": None, "y": None}):
+                assert evaluate_window(reparsed, chars) == evaluate_window(
+                    formula, chars
+                )

@@ -1,0 +1,103 @@
+"""Tests for the conjunctive query planner."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.core.planner import evaluate_conjunctive
+from repro.core.query import Query
+from repro.core.semantics import evaluate_naive
+from repro.core.syntax import And, Not, exists, f_or, lift, rel
+
+
+def db() -> Database:
+    return Database(
+        AB,
+        {
+            "R1": [("a", "b"), ("ab", "ab"), ("b", "b")],
+            "R2": [("ab",), ("b",), ("ba",)],
+        },
+    )
+
+
+def assert_matches_naive(formula, head, length=3):
+    database = db()
+    expected = evaluate_naive(
+        formula, head, database, tuple(AB.strings(length))
+    )
+    got = evaluate_conjunctive(formula, head, database, AB, cap=length)
+    assert got == expected, (formula, expected, got)
+
+
+class TestPlanner:
+    def test_pure_relational_join(self):
+        assert_matches_naive(
+            And(rel("R1", "x", "y"), rel("R2", "y")), ("x", "y")
+        )
+
+    def test_selection_by_string_formula(self):
+        assert_matches_naive(
+            And(rel("R1", "x", "y"), lift(sh.equals("x", "y"))), ("x", "y")
+        )
+
+    def test_generation_of_new_strings(self):
+        formula = exists(
+            ["y", "z"],
+            And(
+                And(rel("R2", "y"), rel("R2", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        )
+        assert_matches_naive(formula, ("x",), length=4)
+
+    def test_negated_string_literal(self):
+        formula = And(rel("R2", "x"), Not(lift(sh.constant("x", "ab"))))
+        assert_matches_naive(formula, ("x",))
+
+    def test_negated_relational_literal(self):
+        formula = And(rel("R2", "x"), Not(rel("R1", "x", "x")))
+        assert_matches_naive(formula, ("x",))
+
+    def test_bidirectional_generation(self):
+        # y is bidirectional in x ∈*_s y: exercises on-the-fly two-way
+        # generation.
+        formula = exists("x", And(rel("R2", "x"), lift(sh.manifold("x", "y"))))
+        assert_matches_naive(formula, ("y",), length=3)
+
+    def test_unsupported_shapes_return_none(self):
+        disjunction = f_or(rel("R2", "x"), rel("R2", "x"))
+        assert (
+            evaluate_conjunctive(disjunction, ("x",), db(), AB, cap=3) is None
+        )
+        nested = Not(exists("y", rel("R1", "x", "y")))
+        assert evaluate_conjunctive(nested, ("x",), db(), AB, cap=3) is None
+
+    def test_unbound_negation_unsupported(self):
+        formula = exists("y", Not(rel("R1", "x", "y")))
+        assert evaluate_conjunctive(formula, ("x",), db(), AB, cap=3) is None
+
+    def test_empty_result_short_circuits(self):
+        formula = And(rel("Empty", "x"), lift(sh.constant("x", "a")))
+        assert (
+            evaluate_conjunctive(formula, ("x",), db(), AB, cap=3)
+            == frozenset()
+        )
+
+    def test_query_planner_engine(self):
+        q = Query(
+            ("x", "y"),
+            And(rel("R1", "x", "y"), lift(sh.equals("x", "y"))),
+            AB,
+        )
+        assert q.evaluate(db(), length=3, engine="planner") == {
+            ("ab", "ab"),
+            ("b", "b"),
+        }
+
+    def test_query_planner_rejects_unsupported(self):
+        from repro.errors import EvaluationError
+
+        q = Query(("x",), f_or(rel("R2", "x"), rel("R2", "x")), AB)
+        with pytest.raises(EvaluationError):
+            q.evaluate(db(), length=2, engine="planner")

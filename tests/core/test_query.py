@@ -1,0 +1,77 @@
+"""Tests for the Query front end — both engines must agree."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.core.query import Query
+from repro.core.syntax import And, Not, exists, lift, rel
+from repro.errors import EvaluationError
+
+
+def db() -> Database:
+    return Database(
+        AB,
+        {
+            "R1": [("a", "b"), ("ab", "ab"), ("b", "b")],
+            "R2": [("ab",), ("b",), ("aab",)],
+        },
+    )
+
+
+class TestValidation:
+    def test_head_must_cover_free_variables(self):
+        with pytest.raises(EvaluationError):
+            Query(("x",), rel("R1", "x", "y"), AB)
+
+    def test_head_must_not_add_variables(self):
+        with pytest.raises(EvaluationError):
+            Query(("x", "z"), rel("R2", "x"), AB)
+
+    def test_head_must_not_repeat(self):
+        with pytest.raises(EvaluationError):
+            Query(("x", "x"), rel("R1", "x", "x"), AB)
+
+    def test_str(self):
+        q = Query(("x",), rel("R2", "x"), AB)
+        assert "R2(x)" in str(q)
+
+
+class TestEvaluation:
+    def test_engines_agree_on_selection(self):
+        phi = And(rel("R1", "x", "y"), lift(sh.equals("x", "y")))
+        q = Query(("x", "y"), phi, AB)
+        naive = q.evaluate(db(), length=2, engine="naive")
+        algebra = q.evaluate(db(), length=2, engine="algebra")
+        assert naive == algebra == {("ab", "ab"), ("b", "b")}
+
+    def test_engines_agree_on_generation(self):
+        phi = exists(
+            ["y", "z"],
+            And(
+                And(rel("R2", "y"), rel("R2", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        )
+        q = Query(("x",), phi, AB)
+        # concatenations of R2 strings have length up to 6
+        naive = q.evaluate(db(), length=6, engine="naive")
+        algebra = q.evaluate(db(), length=6, engine="algebra")
+        assert naive == algebra
+        assert ("abab",) in naive and ("baab",) in naive
+
+    def test_negation_respects_truncation(self):
+        phi = And(rel("R2", "x"), Not(lift(sh.constant("x", "ab"))))
+        q = Query(("x",), phi, AB)
+        assert q.evaluate(db(), length=3) == {("b",), ("aab",)}
+
+    def test_explicit_domain(self):
+        q = Query(("x",), rel("R2", "x"), AB)
+        got = q.evaluate(db(), domain=("ab", "b"))
+        assert got == {("ab",), ("b",)}
+
+    def test_unknown_engine(self):
+        q = Query(("x",), rel("R2", "x"), AB)
+        with pytest.raises(EvaluationError):
+            q.evaluate(db(), length=1, engine="quantum")

@@ -1,0 +1,235 @@
+"""Tests for the direct model-checking semantics (truth definitions 1-13)."""
+
+import pytest
+
+from repro.core.alignment import Alignment, Row
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.core.semantics import (
+    Assignment,
+    check_string_formula,
+    evaluate_naive,
+    satisfies,
+    satisfies_string,
+    satisfying_alignments,
+)
+from repro.core.syntax import (
+    And,
+    Exists,
+    IsChar,
+    IsEmpty,
+    Lambda,
+    Not,
+    SameChar,
+    SStar,
+    WTrue,
+    atom,
+    concat,
+    exists,
+    forall,
+    left,
+    lift,
+    not_empty,
+    rel,
+    right,
+    union,
+)
+from repro.errors import AssignmentError
+
+
+def theta_xyz() -> Assignment:
+    return Assignment({"x": 0, "y": 1, "z": 2})
+
+
+class TestAssignment:
+    def test_injectivity_enforced(self):
+        with pytest.raises(AssignmentError):
+            Assignment({"x": 0, "y": 0})
+
+    def test_lookup_and_membership(self):
+        theta = theta_xyz()
+        assert theta["y"] == 1
+        assert "z" in theta and "w" not in theta
+        with pytest.raises(AssignmentError):
+            theta["w"]
+
+    def test_extended_replaces(self):
+        theta = theta_xyz().extended("x", 5)
+        assert theta["x"] == 5
+        assert theta["y"] == 1
+
+    def test_extended_must_stay_injective(self):
+        with pytest.raises(AssignmentError):
+            theta_xyz().extended("x", 1)
+
+
+class TestAtomicStringFormulae:
+    """The worked examples around Figure 2 of the paper."""
+
+    def figure1(self) -> Alignment:
+        return Alignment.from_rows(
+            {0: Row("abc", 1), 1: Row("abb", 2), 2: Row("cacd", 2)}
+        )
+
+    def test_paper_example_top_left(self):
+        # A ⊨ [x]_l (x=c ∧ y=b), A ⊭ [x]_l (x=c) with the Figure 2
+        # top-left alignment being our figure1 slid so that row 0 shows b.
+        a = Alignment.from_rows(
+            {0: Row("abc", 2), 1: Row("abb", 2), 2: Row("cacd", 2)}
+        )
+        theta = theta_xyz()
+        phi_good = atom(left("x"), IsChar("x", "c") & IsChar("y", "b"))
+        assert satisfies_string(a, phi_good, theta)
+        # [x]_l (x=c) alone also holds here; the paper's failing case is
+        # from its own A — build one where sliding x gives 'a' instead.
+        a2 = Alignment.from_rows({0: Row("abc", 0), 1: Row("abb", 2)})
+        assert not satisfies_string(
+            a2, atom(left("x"), IsChar("x", "c")), theta
+        )
+        assert satisfies_string(a2, atom(left("x"), IsChar("x", "a")), theta)
+
+    def test_transpose_applies_before_test(self):
+        a = Alignment.initial({0: "ba"})
+        theta = Assignment({"x": 0})
+        assert satisfies_string(a, atom(left("x"), IsChar("x", "b")), theta)
+        assert not satisfies_string(a, atom(left("x"), IsChar("x", "a")), theta)
+
+    def test_lambda_vacuously_true(self):
+        a = Alignment.initial({0: "ab"})
+        assert satisfies_string(a, Lambda(), Assignment({"x": 0}))
+
+    def test_unassigned_variable_raises(self):
+        a = Alignment.initial({0: "ab"})
+        with pytest.raises(AssignmentError):
+            satisfies_string(a, atom(left("q")), Assignment({"x": 0}))
+
+
+class TestRegexStructure:
+    def test_union_selects_either_branch(self):
+        theta = Assignment({"x": 0})
+        phi = union(
+            atom(left("x"), IsChar("x", "a")), atom(left("x"), IsChar("x", "b"))
+        )
+        assert satisfies_string(Alignment.initial({0: "a"}), phi, theta)
+        assert satisfies_string(Alignment.initial({0: "b"}), phi, theta)
+
+    def test_star_zero_and_many(self):
+        theta = Assignment({"x": 0})
+        phi = concat(
+            SStar(atom(left("x"), IsChar("x", "a"))),
+            atom(left("x"), IsEmpty("x")),
+        )
+        for word, expected in [("", True), ("a", True), ("aaaa", True), ("ab", False)]:
+            assert (
+                satisfies_string(Alignment.initial({0: word}), phi, theta)
+                is expected
+            )
+
+    def test_paper_abab_star_example(self):
+        # Fourth row abababa with the first a in the window: satisfies
+        # ([u]_l u=b . [u]_l u=a)* but not ([u]_l u=a . [u]_l u=b)+.
+        a = Alignment.from_rows({3: Row("abababa", 1)})
+        theta = Assignment({"u": 3})
+        ba = concat(atom(left("u"), IsChar("u", "b")), atom(left("u"), IsChar("u", "a")))
+        ab = concat(atom(left("u"), IsChar("u", "a")), atom(left("u"), IsChar("u", "b")))
+        assert satisfies_string(a, SStar(ba), theta)
+        assert not satisfies_string(a, ab.plus(), theta)
+
+    def test_infinite_star_terminates(self):
+        # ([x]_l ⊤)* over a clamped head: finitely many alignments.
+        theta = Assignment({"x": 0})
+        phi = concat(SStar(atom(left("x"), WTrue())), atom(left("x"), IsChar("x", "q")))
+        assert not satisfies_string(Alignment.initial({0: "ab"}), phi, theta)
+
+    def test_bidirectional_ping_pong(self):
+        theta = Assignment({"x": 0})
+        # Slide to the end and come back, then re-read the first char.
+        phi = concat(
+            SStar(atom(left("x"), not_empty("x"))),
+            atom(left("x"), IsEmpty("x")),
+            SStar(atom(right("x"), not_empty("x"))),
+            atom(right("x"), IsEmpty("x")),
+            atom(left("x"), IsChar("x", "a")),
+        )
+        assert satisfies_string(Alignment.initial({0: "ab"}), phi, theta)
+        assert not satisfies_string(Alignment.initial({0: "ba"}), phi, theta)
+
+    def test_satisfying_alignments_returns_final_states(self):
+        theta = Assignment({"x": 0})
+        phi = atom(left("x"), WTrue())
+        finals = satisfying_alignments(Alignment.initial({0: "ab"}), phi, theta)
+        assert finals == {Alignment.from_rows({0: Row("ab", 1)})}
+
+    def test_satisfying_alignments_empty_when_unsatisfied(self):
+        theta = Assignment({"x": 0})
+        phi = atom(left("x"), IsChar("x", "b"))
+        assert (
+            satisfying_alignments(Alignment.initial({0: "ab"}), phi, theta)
+            == frozenset()
+        )
+
+
+class TestCalculusSemantics:
+    def db(self) -> Database:
+        return Database(
+            AB,
+            {
+                "R1": [("ab", "ab"), ("ab", "ba"), ("b", "b")],
+                "R2": [("a",), ("ab",)],
+            },
+        )
+
+    def domain(self, l: int = 2) -> tuple[str, ...]:
+        return tuple(AB.strings(l))
+
+    def test_relational_atom(self):
+        db = self.db()
+        dom = self.domain()
+        assert satisfies(rel("R1", "x", "y"), {"x": "ab", "y": "ba"}, db, dom)
+        assert not satisfies(rel("R1", "x", "y"), {"x": "ba", "y": "ab"}, db, dom)
+
+    def test_conjunction_and_negation(self):
+        db, dom = self.db(), self.domain()
+        phi = And(rel("R2", "x"), Not(rel("R1", "x", "x")))
+        assert satisfies(phi, {"x": "a"}, db, dom)
+        assert not satisfies(phi, {"x": "ab"}, db, dom)
+
+    def test_exists_ranges_over_domain(self):
+        db, dom = self.db(), self.domain()
+        phi = exists("y", rel("R1", "x", "y"))
+        assert satisfies(phi, {"x": "ab"}, db, dom)
+        assert not satisfies(phi, {"x": "aa"}, db, dom)
+
+    def test_forall_encoding_truncated(self):
+        db, dom = self.db(), self.domain(1)
+        # every string in the domain is in R2?  ("" is not)
+        phi = forall("x", rel("R2", "x"))
+        assert not satisfies(phi, {}, db, dom)
+
+    def test_string_atom_checked_from_initial_alignment(self):
+        from repro.core.shorthands import equals
+
+        db, dom = self.db(), self.domain()
+        phi = And(rel("R1", "x", "y"), lift(equals("x", "y")))
+        assert satisfies(phi, {"x": "ab", "y": "ab"}, db, dom)
+        assert not satisfies(phi, {"x": "ab", "y": "ba"}, db, dom)
+
+    def test_evaluate_naive_example2(self):
+        """Example 2: tuples of R1 whose components are equal."""
+        from repro.core.shorthands import equals
+
+        db = self.db()
+        phi = And(rel("R1", "x", "y"), lift(equals("x", "y")))
+        answers = evaluate_naive(phi, ("x", "y"), db, self.domain())
+        assert answers == {("ab", "ab"), ("b", "b")}
+
+    def test_evaluate_naive_rejects_uncovered_free_vars(self):
+        with pytest.raises(AssignmentError):
+            evaluate_naive(rel("R1", "x", "y"), ("x",), self.db(), self.domain())
+
+    def test_pure_formula_ignores_database(self):
+        from repro.core.shorthands import constant
+
+        phi = lift(constant("x", "ab"))
+        answers = evaluate_naive(phi, ("x",), self.db(), self.domain())
+        assert answers == {("ab",)}

@@ -1,0 +1,230 @@
+"""Tests for formula ASTs, classification and renaming."""
+
+import pytest
+
+from repro.core.syntax import (
+    And,
+    Exists,
+    IsChar,
+    IsEmpty,
+    Lambda,
+    Not,
+    SameChar,
+    SAtom,
+    SConcat,
+    SStar,
+    StringAtom,
+    SUnion,
+    Transpose,
+    WAnd,
+    WNot,
+    WTrue,
+    all_empty,
+    atom,
+    atoms_of,
+    bidirectional_variables,
+    concat,
+    eq_chain,
+    evaluate_window,
+    exists,
+    f_or,
+    forall,
+    free_variables,
+    implies,
+    is_right_restricted,
+    is_unidirectional,
+    left,
+    lift,
+    not_empty,
+    not_equal,
+    rel,
+    relation_names,
+    rename_free,
+    rename_string,
+    right,
+    string_atoms,
+    string_variables,
+    union,
+    w_or,
+    window_variables,
+)
+from repro.errors import AssignmentError
+
+
+class TestWindowFormulae:
+    def test_evaluate_atoms(self):
+        chars = {"x": "a", "y": None, "z": "a"}
+        assert evaluate_window(IsChar("x", "a"), chars)
+        assert not evaluate_window(IsChar("x", "b"), chars)
+        assert evaluate_window(IsEmpty("y"), chars)
+        assert not evaluate_window(IsEmpty("x"), chars)
+        assert evaluate_window(SameChar("x", "z"), chars)
+        assert not evaluate_window(SameChar("x", "y"), chars)
+
+    def test_undefined_windows_compare_equal(self):
+        # Needed for the paper's idiom "x = y = ε" (Example 2).
+        chars = {"x": None, "y": None}
+        assert evaluate_window(SameChar("x", "y"), chars)
+
+    def test_boolean_connectives(self):
+        chars = {"x": "a", "y": "c"}
+        phi = WAnd(IsChar("x", "a"), WNot(IsChar("y", "a")))
+        assert evaluate_window(phi, chars)
+        assert evaluate_window(w_or(IsChar("x", "q"), IsChar("y", "c")), chars)
+        assert not evaluate_window(
+            w_or(IsChar("x", "q"), IsChar("y", "q")), chars
+        )
+
+    def test_true_and_shorthands(self):
+        chars = {"x": "a", "y": "b"}
+        assert evaluate_window(WTrue(), chars)
+        assert evaluate_window(not_equal("x", "y"), chars)
+        assert evaluate_window(not_empty("x"), chars)
+
+    def test_eq_chain(self):
+        chars = {"x": "a", "y": "a", "z": "a"}
+        assert evaluate_window(eq_chain("x", "y", "z"), chars)
+        chars["z"] = "b"
+        assert not evaluate_window(eq_chain("x", "y", "z"), chars)
+
+    def test_all_empty(self):
+        assert evaluate_window(all_empty("x", "y"), {"x": None, "y": None})
+        assert not evaluate_window(all_empty("x", "y"), {"x": "a", "y": None})
+        assert evaluate_window(all_empty(), {})
+
+    def test_window_variables(self):
+        phi = WAnd(SameChar("x", "y"), WNot(IsEmpty("z")))
+        assert window_variables(phi) == {"x", "y", "z"}
+        assert window_variables(WTrue()) == frozenset()
+
+    def test_operator_sugar(self):
+        phi = IsChar("x", "a") & ~IsEmpty("y")
+        assert evaluate_window(phi, {"x": "a", "y": "b"})
+
+
+class TestTransposes:
+    def test_canonical_variable_order(self):
+        assert Transpose("l", ("y", "x", "y")).variables == ("x", "y")
+        assert left("b", "a") == left("a", "b")
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            Transpose("up", ("x",))
+
+    def test_empty_transpose_allowed(self):
+        assert left().variables == ()
+
+    def test_str(self):
+        assert str(right("x", "z")) == "[x,z]r"
+
+
+class TestStringFormulae:
+    def test_concat_flattens_and_drops_lambda(self):
+        a = atom(left("x"))
+        c = concat(a, Lambda(), concat(a, a))
+        assert isinstance(c, SConcat)
+        assert len(c.parts) == 3
+
+    def test_concat_empty_is_lambda(self):
+        assert concat() == Lambda()
+        assert concat(Lambda(), Lambda()) == Lambda()
+
+    def test_union_flattens(self):
+        a, b = atom(left("x")), atom(left("y"))
+        u = union(a, union(b, a))
+        assert isinstance(u, SUnion)
+        assert len(u.parts) == 3
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union()
+
+    def test_plus_and_power_shorthands(self):
+        a = atom(left("x"))
+        assert a.plus() == concat(a, SStar(a))
+        assert a.times(0) == Lambda()
+        assert a.times(2) == concat(a, a)
+        with pytest.raises(ValueError):
+            a.times(-1)
+
+    def test_operator_sugar(self):
+        a, b = atom(left("x")), atom(left("y"))
+        assert a * b == concat(a, b)
+        assert a + b == union(a, b)
+        assert a.star() == SStar(a)
+
+    def test_string_variables_include_transpose_only_vars(self):
+        phi = atom(left("x", "y"), IsChar("z", "a"))
+        assert string_variables(phi) == {"x", "y", "z"}
+
+    def test_bidirectional_classification(self):
+        uni = concat(atom(left("x")), SStar(atom(left("x", "y"))))
+        assert is_unidirectional(uni)
+        assert bidirectional_variables(uni) == frozenset()
+        bi = concat(uni, atom(right("y")))
+        assert not is_unidirectional(bi)
+        assert bidirectional_variables(bi) == {"y"}
+        assert is_right_restricted(bi)
+        two_bi = concat(bi, atom(right("x")))
+        assert not is_right_restricted(two_bi)
+
+    def test_atoms_of(self):
+        a, b = atom(left("x")), atom(right("y"))
+        assert atoms_of(concat(a, SStar(union(a, b)))) == (a, a, b)
+        assert atoms_of(Lambda()) == ()
+
+
+class TestCalculusFormulae:
+    def test_free_variables(self):
+        phi = And(rel("R", "x", "y"), lift(atom(left("z"))))
+        assert free_variables(phi) == {"x", "y", "z"}
+        assert free_variables(exists(["y", "z"], phi)) == {"x"}
+
+    def test_exists_nests(self):
+        phi = exists(["a", "b"], rel("R", "a", "b"))
+        assert isinstance(phi, Exists) and phi.var == "a"
+        assert isinstance(phi.inner, Exists) and phi.inner.var == "b"
+
+    def test_exists_accepts_single_string(self):
+        assert exists("x", rel("R", "x")) == Exists("x", rel("R", "x"))
+
+    def test_forall_encoding(self):
+        phi = forall("x", rel("R", "x"))
+        assert phi == Not(Exists("x", Not(rel("R", "x"))))
+
+    def test_or_and_implies_encodings(self):
+        p, q = rel("P", "x"), rel("Q", "x")
+        assert f_or(p, q) == Not(And(Not(p), Not(q)))
+        assert implies(p, q) == f_or(Not(p), q)
+
+    def test_relation_names_and_purity(self):
+        phi = And(rel("R1", "x"), Not(rel("R2", "x", "y")))
+        assert relation_names(phi) == {"R1", "R2"}
+        assert relation_names(lift(atom(left("x")))) == frozenset()
+
+    def test_string_atoms_collection(self):
+        sf = atom(left("x"))
+        phi = exists("y", And(rel("R", "x", "y"), lift(sf)))
+        assert string_atoms(phi) == (sf,)
+
+
+class TestRenaming:
+    def test_rename_string_formula(self):
+        phi = concat(atom(left("x", "y"), SameChar("x", "y")), atom(right("y")))
+        renamed = rename_string(phi, {"y": "w"})
+        assert string_variables(renamed) == {"x", "w"}
+        assert bidirectional_variables(renamed) == {"w"}
+
+    def test_rename_free_respects_binding(self):
+        phi = Exists("y", And(rel("R", "x", "y"), rel("S", "y")))
+        renamed = rename_free(phi, {"x": "u", "y": "v"})
+        # The bound y must not be renamed.
+        assert free_variables(renamed) == {"u"}
+
+    def test_rename_capture_detected(self):
+        phi = Exists("y", rel("R", "x", "y"))
+        with pytest.raises(AssignmentError):
+            rename_free(phi, {"x": "y"})
+
+    def test_rename_relational_atom(self):
+        assert rename_free(rel("R", "x", "y"), {"x": "a"}) == rel("R", "a", "y")

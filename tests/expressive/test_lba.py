@@ -1,0 +1,175 @@
+"""Tests for Theorem 6.6: LBA acceptance ⇔ formula truth."""
+
+import pytest
+
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import bidirectional_variables, is_right_restricted
+from repro.errors import ReproError
+from repro.expressive.lba import (
+    LBA,
+    LBATransition,
+    formula_size,
+    lba_formula,
+    verify_acceptance_via_formula,
+)
+
+
+def parity_lba() -> LBA:
+    """Accepts words over {a} of even length.
+
+    Sweeps right flipping a parity bit in the state, accepts at ⊳ with
+    even parity.
+    """
+    return LBA(
+        states=frozenset({"e", "o", "f"}),
+        tape_alphabet=frozenset({"a"}),
+        start="e",
+        accept="f",
+        transitions=(
+            LBATransition("e", "a", "o", "a", +1),
+            LBATransition("o", "a", "e", "a", +1),
+            LBATransition("e", ">", "f", ">", 0),
+        ),
+    )
+
+
+def marker_lba() -> LBA:
+    """Accepts {aⁿbⁿ}: repeatedly marks the leftmost a and rightmost b.
+
+    Classic two-way sweeps exercising writes and both directions.
+    """
+    transitions = [
+        # q: find leftmost unmarked a (skip X), mark it
+        LBATransition("q", "X", "q", "X", +1),
+        LBATransition("q", "a", "r", "X", +1),
+        # all marked? then everything must be marked to the right
+        LBATransition("q", "Y", "c", "Y", +1),
+        LBATransition("q", ">", "f", ">", 0),
+        # r: run right to the end over a, b
+        LBATransition("r", "a", "r", "a", +1),
+        LBATransition("r", "b", "r", "b", +1),
+        LBATransition("r", "Y", "s", "Y", -1),
+        LBATransition("r", ">", "s", ">", -1),
+        # s: the cell left of the Y-region must be b; mark it
+        LBATransition("s", "b", "t", "Y", -1),
+        # t: run back left until the marked prefix, step back right
+        LBATransition("t", "a", "t", "a", -1),
+        LBATransition("t", "b", "t", "b", -1),
+        LBATransition("t", "X", "q", "X", +1),
+        # c: verify the remainder is all Y up to the end
+        LBATransition("c", "Y", "c", "Y", +1),
+        LBATransition("c", ">", "f", ">", 0),
+    ]
+    return LBA(
+        states=frozenset({"q", "r", "s", "t", "c", "f"}),
+        tape_alphabet=frozenset({"a", "b", "X", "Y"}),
+        start="q",
+        accept="f",
+        transitions=tuple(transitions),
+    )
+
+
+class TestDirectSimulation:
+    def test_parity(self):
+        lba = parity_lba()
+        assert lba.accepts("")
+        assert lba.accepts("aa")
+        assert lba.accepts("aaaa")
+        assert not lba.accepts("a")
+        assert not lba.accepts("aaa")
+
+    def test_anbn(self):
+        lba = marker_lba()
+        for word, expected in [
+            ("", True),
+            ("ab", True),
+            ("aabb", True),
+            ("aaabbb", True),
+            ("a", False),
+            ("ba", False),
+            ("abab", False),
+            ("aab", False),
+        ]:
+            assert lba.accepts(word) is expected, word
+
+    def test_accepting_run_structure(self):
+        lba = parity_lba()
+        run = lba.accepting_run("aa")
+        assert run is not None
+        assert run[0] == "<eaa>"
+        assert run[-1].count("f") == 1
+        assert all(len(c) == len("aa") + 3 for c in run)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LBATransition("q", "a", "p", "a", 2)
+        with pytest.raises(ReproError):
+            # reading the left marker is outside the head range
+            LBA(
+                states=frozenset({"q", "f"}),
+                tape_alphabet=frozenset({"a"}),
+                start="q",
+                accept="f",
+                transitions=(LBATransition("q", "<", "q", "<", +1),),
+            )
+        with pytest.raises(ReproError):
+            LBA(
+                states=frozenset({"q", "f"}),
+                tape_alphabet=frozenset({"a"}),
+                start="q",
+                accept="f",
+                transitions=(LBATransition("f", "a", "q", "a", +1),),
+            )
+
+
+class TestTheorem66Formula:
+    def test_formula_is_right_restricted(self):
+        phi = lba_formula(parity_lba(), "aa")
+        assert is_right_restricted(phi)
+        assert bidirectional_variables(phi) == {"x1"}
+
+    def test_witness_accepted(self):
+        lba = parity_lba()
+        witness = lba.encode_computation("aa")
+        phi = lba_formula(lba, "aa")
+        assert check_string_formula(phi, {"x1": witness})
+
+    def test_wrong_witnesses_rejected(self):
+        lba = parity_lba()
+        phi = lba_formula(lba, "aa")
+        good = lba.encode_computation("aa")
+        # planted accepting state after a broken chain
+        assert not check_string_formula(phi, {"x1": "<eaa>" + "<faa>"[::-1]})
+        # computation of the wrong input
+        other = lba.encode_computation("aaaa")
+        assert not check_string_formula(phi, {"x1": other})
+        # truncated computation (no accepting configuration)
+        assert not check_string_formula(phi, {"x1": good[: len(good) // 2]})
+        # the paper's planted-p_m attack on the printed tail
+        assert not check_string_formula(phi, {"x1": good + "f"})
+
+    def test_acceptance_via_formula_matches_simulation(self):
+        lba = marker_lba()
+        for word in ["ab", "aabb", ""]:
+            assert verify_acceptance_via_formula(lba, word)
+        for word in ["a", "ba", "aab"]:
+            assert not verify_acceptance_via_formula(lba, word)
+
+    def test_formula_size_linear_in_input(self):
+        lba = parity_lba()
+        sizes = [formula_size(lba_formula(lba, "a" * n)) for n in (2, 4, 8)]
+        # O(n · t · |Γ|): roughly linear growth in n
+        assert sizes[0] < sizes[1] < sizes[2]
+        ratio = sizes[2] / sizes[1]
+        assert ratio < 3.0
+
+    def test_multicharacter_states_rejected_for_encoding(self):
+        lba = LBA(
+            states=frozenset({"long_name", "f"}),
+            tape_alphabet=frozenset({"a"}),
+            start="long_name",
+            accept="f",
+            transitions=(),
+        )
+        with pytest.raises(ReproError):
+            lba.formula_alphabet()

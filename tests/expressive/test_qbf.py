@@ -1,0 +1,209 @@
+"""Tests for Theorem 6.5: QBF through quantifier-limited machinery."""
+
+from itertools import product
+
+import pytest
+
+from repro.errors import ReproError
+from repro.expressive.qbf import (
+    QBF,
+    build_block_machine,
+    build_interleaving_machine,
+    build_matrix_machine,
+    encode_assignment,
+    encode_qbf,
+    evaluate_qbf_via_machines,
+    machines_for_level,
+)
+from repro.fsa.simulate import accepts
+
+
+def sigma1(matrix) -> QBF:
+    """∃x∃y-style one-block CNF instance."""
+    return QBF((("E", ("x", "y")),), matrix)
+
+
+def sigma2() -> QBF:
+    """∃x ∀y DNF: (x ∧ y) ∨ (x ∧ ¬y) — true (pick x=1)."""
+    return QBF(
+        (("E", ("x",)), ("A", ("y",))),
+        (((True, "x"), (True, "y")), ((True, "x"), (False, "y"))),
+    )
+
+
+def pi2() -> QBF:
+    """∀x ∃y CNF: (x ∨ y) ∧ (¬x ∨ ¬y) — true (y = ¬x)."""
+    return QBF(
+        (("A", ("x",)), ("E", ("y",))),
+        (((True, "x"), (True, "y")), ((False, "x"), (False, "y"))),
+    )
+
+
+class TestModel:
+    def test_oracle_level1(self):
+        true_instance = sigma1((((True, "x"), (True, "y")),))
+        assert true_instance.evaluate()
+        false_instance = sigma1(
+            (((True, "x"),), ((False, "x"),))
+        )
+        assert not false_instance.evaluate()
+
+    def test_oracle_level2(self):
+        assert sigma2().evaluate()
+        assert pi2().evaluate()
+        false_pi2 = QBF(
+            (("A", ("x",)), ("E", ("y",))),
+            (((True, "x"), (True, "y")), ((True, "x"), (False, "y"))),
+        )
+        assert not false_pi2.evaluate()
+
+    def test_normal_form_flags(self):
+        assert sigma1((((True, "x"),),)).cnf
+        assert not sigma2().cnf  # innermost ∀ → DNF
+        assert pi2().cnf
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            QBF((), ())
+        with pytest.raises(ReproError):
+            QBF((("E", ("x",)), ("E", ("y",))), ())  # no alternation
+        with pytest.raises(ReproError):
+            QBF((("E", ("x", "x")),), ())  # repeated variable
+        with pytest.raises(ReproError):
+            QBF((("E", ("x",)),), (((True, "z"),),))  # free variable
+
+
+class TestEncoding:
+    def test_instance_encoding_shape(self):
+        text = encode_qbf(pi2())
+        assert text.startswith("A1;E10;#")
+        assert text.count("(") == 2
+
+    def test_assignment_encoding(self):
+        text = encode_assignment(pi2(), {"x": True, "y": False})
+        assert text == "1T10F"
+
+
+class TestMachines:
+    def test_block_machine_sizes(self):
+        qbf = sigma2()
+        instance = encode_qbf(qbf)
+        m1 = build_block_machine(1, 2)
+        m2 = build_block_machine(2, 2)
+        assert accepts(m1, (instance, "T"))
+        assert accepts(m1, (instance, "F"))
+        assert not accepts(m1, (instance, ""))
+        assert not accepts(m1, (instance, "TF"))
+        assert accepts(m2, (instance, "T"))
+        assert not accepts(m2, (instance, "TT"))
+
+    def test_block_machine_multivariable(self):
+        qbf = QBF(
+            (("E", ("x", "y")), ("A", ("z",))),
+            (((True, "x"),),),
+        )
+        instance = encode_qbf(qbf)
+        m1 = build_block_machine(1, 2)
+        assert accepts(m1, (instance, "TF"))
+        assert not accepts(m1, (instance, "T"))
+
+    def test_block_machine_is_a_type_qualifier(self):
+        """The limitation [1] ↝ [2] of M_i — the Theorem 6.5 premise."""
+        from repro.safety.limitation import decide_limitation
+
+        report = decide_limitation(build_block_machine(1, 2), [0], [1])
+        assert report.limited
+        assert not report.limit.quadratic
+
+    def test_interleaver_accepts_matching_assignment(self):
+        qbf = sigma2()
+        instance = encode_qbf(qbf)
+        interleaver = build_interleaving_machine(2)
+        assert accepts(interleaver, (instance, "1T10F", "T", "F"))
+        assert not accepts(interleaver, (instance, "1T10F", "F", "F"))
+        assert not accepts(interleaver, (instance, "1T10T", "T", "F"))
+        assert not accepts(interleaver, (instance, "1T", "T", "F"))
+
+    def test_interleaver_limitation(self):
+        from repro.safety.limitation import decide_limitation
+
+        report = decide_limitation(
+            build_interleaving_machine(1), [0], [1, 2]
+        )
+        assert report.limited
+
+    def test_matrix_machine_cnf_agrees_with_oracle(self):
+        qbf = pi2()
+        instance = encode_qbf(qbf)
+        machine = build_matrix_machine(2, "A")
+        for x, y in product((False, True), repeat=2):
+            values = {"x": x, "y": y}
+            expected = qbf._matrix_value(values)
+            y_text = encode_assignment(qbf, values)
+            assert accepts(machine, (instance, y_text)) == expected, values
+
+    def test_matrix_machine_dnf_agrees_with_oracle(self):
+        qbf = sigma2()
+        instance = encode_qbf(qbf)
+        machine = build_matrix_machine(2, "E")
+        for x, y in product((False, True), repeat=2):
+            values = {"x": x, "y": y}
+            expected = qbf._matrix_value(values)
+            y_text = encode_assignment(qbf, values)
+            assert accepts(machine, (instance, y_text)) == expected, values
+
+    def test_matrix_machine_is_right_restricted(self):
+        machine = build_matrix_machine(2, "A")
+        assert len(machine.bidirectional_tapes()) <= 1
+
+
+class TestTheorem65Evaluation:
+    def test_level1_instances(self):
+        satisfiable = sigma1((((True, "x"), (False, "y")),))
+        assert evaluate_qbf_via_machines(satisfiable) == satisfiable.evaluate()
+        unsatisfiable = sigma1((((True, "x"),), ((False, "x"),)))
+        assert (
+            evaluate_qbf_via_machines(unsatisfiable)
+            == unsatisfiable.evaluate()
+            is False
+        )
+
+    def test_level2_sigma(self):
+        assert evaluate_qbf_via_machines(sigma2()) is True
+
+    def test_level2_pi(self):
+        assert evaluate_qbf_via_machines(pi2()) is True
+
+    def test_random_level2_instances_match_oracle(self):
+        import random
+
+        rng = random.Random(42)
+        names = ("x", "y", "z")
+        for trial in range(12):
+            blocks = (
+                ("E", ("x",)),
+                ("A", ("y", "z")),
+            ) if trial % 2 else (
+                ("A", ("x",)),
+                ("E", ("y", "z")),
+            )
+            matrix = tuple(
+                tuple(
+                    (rng.random() < 0.5, rng.choice(names))
+                    for _ in range(rng.randint(1, 2))
+                )
+                for _ in range(rng.randint(1, 3))
+            )
+            qbf = QBF(blocks, matrix)
+            assert evaluate_qbf_via_machines(qbf) == qbf.evaluate(), qbf
+
+    def test_level3(self):
+        qbf = QBF(
+            (("E", ("x",)), ("A", ("y",)), ("E", ("z",))),
+            # (x ∨ y ∨ z) ∧ (¬y ∨ ¬z) — innermost ∃ → CNF
+            (
+                ((True, "x"), (True, "y"), (True, "z")),
+                ((False, "y"), (False, "z")),
+            ),
+        )
+        assert evaluate_qbf_via_machines(qbf) == qbf.evaluate() is True

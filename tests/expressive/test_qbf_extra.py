@@ -1,0 +1,104 @@
+"""Additional QBF coverage: wider blocks, Π₃, degenerate matrices."""
+
+from itertools import product
+
+import pytest
+
+from repro.expressive.qbf import (
+    QBF,
+    build_block_machine,
+    encode_assignment,
+    encode_qbf,
+    evaluate_qbf_via_machines,
+)
+from repro.fsa.simulate import accepts
+
+
+class TestWideBlocks:
+    def test_two_variable_inner_block(self):
+        # ∃x ∀y,z: x ∨ (y ∧ z) — false (take y=0) … in DNF normal form
+        qbf = QBF(
+            (("E", ("x",)), ("A", ("y", "z"))),
+            (((True, "x"),), ((True, "y"), (True, "z"))),
+        )
+        assert evaluate_qbf_via_machines(qbf) == qbf.evaluate()
+
+    def test_three_variable_outer_block(self):
+        # ∃x,y,z (CNF): (x∨y) ∧ (¬y∨z) ∧ (¬x) — satisfiable: x=0,y=1,z=1
+        qbf = QBF(
+            (("E", ("x", "y", "z")),),
+            (
+                ((True, "x"), (True, "y")),
+                ((False, "y"), (True, "z")),
+                ((False, "x"),),
+            ),
+        )
+        assert evaluate_qbf_via_machines(qbf) is True
+
+    def test_pi3(self):
+        # ∀x ∃y ∀z (DNF): (x∧y∧¬z) ∨ (¬x∧¬y) ∨ (y∧z) …
+        qbf = QBF(
+            (("A", ("x",)), ("E", ("y",)), ("A", ("z",))),
+            (
+                ((True, "x"), (True, "y"), (False, "z")),
+                ((False, "x"), (False, "y")),
+                ((True, "y"), (True, "z")),
+            ),
+        )
+        assert evaluate_qbf_via_machines(qbf) == qbf.evaluate()
+
+
+class TestDegenerateMatrices:
+    def test_empty_cnf_matrix_is_true(self):
+        qbf = QBF((("E", ("x",)),), ())
+        assert qbf.evaluate() is True
+        assert evaluate_qbf_via_machines(qbf) is True
+
+    def test_empty_dnf_matrix_is_false(self):
+        qbf = QBF((("A", ("x",)),), ())
+        assert qbf.evaluate() is False
+        assert evaluate_qbf_via_machines(qbf) is False
+
+    def test_unit_clauses(self):
+        qbf = QBF(
+            (("E", ("x", "y")),),
+            (((True, "x"),), ((False, "y"),)),
+        )
+        assert evaluate_qbf_via_machines(qbf) is True
+
+
+class TestEncodingInvariants:
+    def test_indices_are_ascending(self):
+        qbf = QBF(
+            (("E", ("p", "q")), ("A", ("r",))),
+            (((True, "p"),),),
+        )
+        text = encode_qbf(qbf)
+        prefix = text.split("#")[0]
+        indices = [
+            part for part in prefix.replace("E", ";").replace("A", ";").split(";") if part
+        ]
+        values = [int(i, 2) for i in indices]
+        assert values == sorted(values)
+
+    def test_block_machine_rejects_foreign_alphabet(self):
+        qbf = QBF((("E", ("x",)),), (((True, "x"),),))
+        machine = build_block_machine(1, 1)
+        instance = encode_qbf(qbf)
+        assert accepts(machine, (instance, "T"))
+        assert not accepts(machine, (instance, "1"))
+
+    def test_assignment_matches_every_truth_table_row(self):
+        qbf = QBF(
+            (("E", ("x", "y")),),
+            (((True, "x"), (True, "y")),),
+        )
+        from repro.expressive.qbf import build_matrix_machine
+
+        machine = build_matrix_machine(1, "E")
+        instance = encode_qbf(qbf)
+        for x, y in product((False, True), repeat=2):
+            values = {"x": x, "y": y}
+            assert accepts(
+                machine, (instance, encode_assignment(qbf, values))
+            ) == (x or y), values

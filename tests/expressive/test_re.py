@@ -1,0 +1,81 @@
+"""Tests for Theorem 6.2 / Corollary 6.1 (r.e. languages)."""
+
+import pytest
+
+from repro.expressive.grammars import Grammar, anbn_grammar
+from repro.expressive.recursively_enumerable import (
+    check_membership,
+    corollary_formula,
+    re_membership_formula,
+)
+
+
+class TestMembership:
+    def test_anbn_members_verified(self):
+        grammar = anbn_grammar()
+        for word in ("ab", "aabb", "aaabbb"):
+            witness = check_membership(grammar, word, max_steps=6)
+            assert witness is not None, word
+            assert witness.word == word
+            assert witness.encoded_chain.endswith(">S")
+            assert witness.steps >= 1
+
+    def test_non_members_rejected(self):
+        grammar = anbn_grammar()
+        for word in ("", "a", "ba", "abab", "aab"):
+            assert check_membership(grammar, word, max_steps=6) is None, word
+
+    def test_witness_chain_length_matches_derivation(self):
+        grammar = anbn_grammar()
+        witness = check_membership(grammar, "aaabbb", max_steps=8)
+        assert witness.steps == 3  # S -> aSb -> aaSbb -> aaabbb
+
+    def test_corollary_variant_agrees(self):
+        grammar = anbn_grammar()
+        for word in ("ab", "aabb"):
+            assert (
+                check_membership(
+                    grammar, word, max_steps=6, formula_builder=corollary_formula
+                )
+                is not None
+            ), word
+        assert (
+            check_membership(
+                grammar, "aab", max_steps=6, formula_builder=corollary_formula
+            )
+            is None
+        )
+
+    def test_corollary_conjuncts_are_unidirectional(self):
+        from repro.core.syntax import (
+            Exists,
+            StringAtom,
+            bidirectional_variables,
+            is_unidirectional,
+            string_variables,
+        )
+
+        formula = corollary_formula(anbn_grammar())
+        inner = formula
+        while isinstance(inner, Exists):
+            inner = inner.inner
+        left, right = inner.left, inner.right
+        assert is_unidirectional(left.formula)
+        assert is_unidirectional(right.formula)
+        # ψ does not mention x1 — the corollary's final remark.
+        assert "x1" not in string_variables(right.formula)
+
+    def test_theorem_formula_is_bidirectional(self):
+        from repro.core.syntax import Exists, StringAtom, bidirectional_variables
+
+        formula = re_membership_formula(anbn_grammar())
+        inner = formula
+        while isinstance(inner, Exists):
+            inner = inner.inner
+        assert bidirectional_variables(inner.formula) == {"x2", "x3"}
+
+    def test_erasing_grammar(self):
+        # L = a* via S -> aS | ε
+        grammar = Grammar("S", (("S", "aS"), ("S", "")))
+        assert check_membership(grammar, "aaa", max_steps=8) is not None
+        assert check_membership(grammar, "b", max_steps=8) is None

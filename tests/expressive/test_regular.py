@@ -1,0 +1,181 @@
+"""Tests for Theorem 6.1: unidirectional 1-var formulae ≡ regular sets."""
+
+import pytest
+
+from repro.core.alphabet import AB, Alphabet
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import is_unidirectional
+from repro.errors import LimitationError, ParseError
+from repro.expressive.regular import (
+    formula_language_via_nfa,
+    one_tape_to_nfa,
+    parse_regex,
+    regex_language,
+    regex_matches,
+    regex_to_formula,
+    regex_to_nfa,
+)
+
+GCA = Alphabet("gca")
+
+PATTERNS = [
+    "a*",
+    "(ab)*",
+    "a|b",
+    "(a|b)*abb",
+    "a+b?",
+    "",
+    "a*b*a*",
+    "((a|b)(a|b))*",
+]
+
+
+class TestRegexEngine:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_engine_agrees_with_stdlib_re(self, pattern):
+        import re as stdlib_re
+
+        regex = parse_regex(pattern)
+        compiled = stdlib_re.compile(f"(?:{pattern})$" if pattern else "$")
+        for word in AB.strings(4):
+            assert regex_matches(regex, word) == bool(
+                compiled.match(word)
+            ), (pattern, word)
+
+    def test_parse_errors(self):
+        for bad in ["(", "a)", "*a", "a|*"]:
+            with pytest.raises(ParseError):
+                parse_regex(bad)
+
+    def test_str_roundtrip(self):
+        for pattern in PATTERNS:
+            regex = parse_regex(pattern)
+            again = parse_regex(str(regex).replace("ε", ""))
+            for word in AB.strings(3):
+                assert regex_matches(regex, word) == regex_matches(again, word)
+
+    def test_language_enumeration(self):
+        regex = parse_regex("(ab)*")
+        assert regex_language(regex, AB, 4) == {"", "ab", "abab"}
+
+
+class TestRegexToFormula:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_formula_agrees_with_engine(self, pattern):
+        regex = parse_regex(pattern)
+        formula = regex_to_formula(regex, "x")
+        assert is_unidirectional(formula)
+        for word in AB.strings(4):
+            assert check_string_formula(formula, {"x": word}) == regex_matches(
+                regex, word
+            ), (pattern, word)
+
+    def test_paper_gc_plus_a_pattern(self):
+        """Example 6 / Section 1: (gc + a)*."""
+        regex = parse_regex("(gc|a)*")
+        formula = regex_to_formula(regex, "y")
+        from repro.workloads.oracles import matches_gc_plus_a_star
+
+        for word in GCA.strings(4):
+            assert check_string_formula(
+                formula, {"y": word}
+            ) == matches_gc_plus_a_star(word), word
+
+
+class TestOneTapeToNFA:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_round_trip_through_machine(self, pattern):
+        """regex → formula → FSA → classical NFA ≡ regex."""
+        regex = parse_regex(pattern)
+        formula = regex_to_formula(regex, "x")
+        language = formula_language_via_nfa(formula, AB, 4)
+        assert language == regex_language(regex, AB, 4), pattern
+
+    def test_rejects_multi_tape(self):
+        from repro.core import shorthands as sh
+        from repro.fsa.compile import compile_string_formula
+
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        with pytest.raises(LimitationError):
+            one_tape_to_nfa(fsa)
+
+    def test_rejects_bidirectional(self):
+        from repro.core.syntax import SStar, WTrue, atom, concat, left, right
+        from repro.core.syntax import IsEmpty, not_empty
+        from repro.fsa.compile import compile_string_formula
+
+        phi = concat(
+            SStar(atom(left("x"), not_empty("x"))),
+            atom(left("x"), IsEmpty("x")),
+            SStar(atom(right("x"), not_empty("x"))),
+            atom(right("x"), IsEmpty("x")),
+        )
+        fsa = compile_string_formula(phi, AB).fsa
+        with pytest.raises(LimitationError):
+            one_tape_to_nfa(fsa)
+
+    def test_stationary_peek_transitions_handled(self):
+        """A formula whose machine peeks characters without moving."""
+        from repro.core.syntax import IsChar, IsEmpty, atom, concat, left
+
+        # []_l-style tests create stationary reads after the bypass.
+        phi = concat(
+            atom(left("x"), IsChar("x", "a")),
+            atom(left(), IsChar("x", "a")),  # re-test without moving
+            atom(left("x"), IsEmpty("x")),
+        )
+        language = formula_language_via_nfa(phi, AB, 3)
+        assert language == {"a"}
+
+
+class TestOneVariableGeneralization:
+    """The remark after Theorem 6.1: bidirectional movement on a single
+    tape does not add expressive power — the language stays regular,
+    decided through the crossing automaton."""
+
+    def test_bidirectional_scan_back_language(self):
+        from repro.core.syntax import IsChar, IsEmpty, SStar, atom, concat, left, right
+        from repro.core.syntax import not_empty
+        from repro.expressive.regular import one_variable_language
+
+        phi = concat(
+            SStar(atom(left("x"), IsChar("x", "a"))),
+            atom(left("x"), IsEmpty("x")),
+            SStar(atom(right("x"), not_empty("x"))),
+            atom(right("x"), IsEmpty("x")),
+            atom(left("x"), IsChar("x", "a")),
+        )
+        # a⁺ verified forwards, rewound, first character re-checked.
+        language = one_variable_language(phi, AB, 4)
+        assert language == {"a", "aa", "aaa", "aaaa"}
+
+    def test_unidirectional_falls_back_to_nfa_route(self):
+        from repro.core import shorthands as sh
+        from repro.expressive.regular import one_variable_language
+
+        language = one_variable_language(sh.constant("x", "ab"), AB, 3)
+        assert language == {"ab"}
+
+    def test_matches_brute_force_acceptance(self):
+        from repro.core.syntax import SStar, WTrue, atom, concat, left, right
+        from repro.core.syntax import IsChar, IsEmpty, not_empty
+        from repro.expressive.regular import one_variable_language
+        from repro.fsa.compile import compile_string_formula
+        from repro.fsa.simulate import accepts
+
+        phi = concat(
+            SStar(atom(left("x"), WTrue())),
+            atom(left("x"), IsEmpty("x")),
+            SStar(atom(right("x"), IsChar("x", "b"))),
+            atom(right("x"), IsEmpty("x")),
+        )
+        fsa = compile_string_formula(phi, AB).fsa
+        expected = {w for w in AB.strings(4) if accepts(fsa, (w,))}
+        assert one_variable_language(phi, AB, 4) == expected
+
+    def test_rejects_multi_variable(self):
+        from repro.core import shorthands as sh
+        from repro.expressive.regular import one_variable_language
+
+        with pytest.raises(LimitationError):
+            one_variable_language(sh.equals("x", "y"), AB, 2)

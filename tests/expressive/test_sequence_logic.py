@@ -1,0 +1,120 @@
+"""Tests for Theorem 6.4: sequence predicates embed faithfully."""
+
+from itertools import product
+
+import pytest
+
+from repro.core.alphabet import BINARY
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import is_unidirectional
+from repro.errors import ReproError
+from repro.expressive.regular import RChar, RStar
+from repro.expressive.sequence_logic import (
+    AtomEncoding,
+    SequencePredicate,
+    alternation_predicate,
+    concatenation_predicate,
+    predicate_to_formula,
+    shuffle_predicate,
+)
+
+ATOMS = ("Peter", "Paul", "Mary")
+
+
+def sequences(max_len: int):
+    out = []
+    for length in range(max_len + 1):
+        out.extend(product(ATOMS[:2], repeat=length))
+    return out
+
+
+class TestDirectSemantics:
+    def test_concatenation(self):
+        predicate = concatenation_predicate()
+        assert predicate.holds(
+            (("Peter",), ("Paul", "Mary")), ("Peter", "Paul", "Mary")
+        )
+        assert not predicate.holds(
+            (("Peter",), ("Paul",)), ("Paul", "Peter")
+        )
+
+    def test_shuffle(self):
+        predicate = shuffle_predicate()
+        assert predicate.holds(
+            (("Peter", "Paul"), ("Mary",)), ("Peter", "Mary", "Paul")
+        )
+        assert not predicate.holds(
+            (("Peter", "Paul"), ("Mary",)), ("Paul", "Peter", "Mary")
+        )
+
+    def test_alternation(self):
+        predicate = alternation_predicate()
+        assert predicate.holds(
+            (("Peter", "Peter"), ("Paul", "Paul")),
+            ("Peter", "Paul", "Peter", "Paul"),
+        )
+        assert not predicate.holds(
+            (("Peter", "Peter"), ("Paul",)),
+            ("Peter", "Paul", "Peter"),
+        )
+
+    def test_length_mismatch_fails(self):
+        predicate = concatenation_predicate()
+        assert not predicate.holds((("Peter",), ()), ("Peter", "Paul"))
+
+    def test_channel_validation(self):
+        with pytest.raises(ReproError):
+            SequencePredicate(1, RStar(RChar("2")))
+        with pytest.raises(ReproError):
+            SequencePredicate(0, RStar(RChar("1")))
+
+
+class TestAtomEncoding:
+    def test_injective_and_stable(self):
+        enc = AtomEncoding(BINARY)
+        codes = [enc.encode_atom(a) for a in ATOMS]
+        assert len(set(codes)) == len(ATOMS)
+        assert [enc.encode_atom(a) for a in ATOMS] == codes
+
+    def test_sequence_encoding_shape(self):
+        enc = AtomEncoding(BINARY)
+        text = enc.encode_sequence(("Peter", "Paul"))
+        assert text.count(">") == 2
+        assert text.endswith(">")
+
+    def test_separator_clash_rejected(self):
+        with pytest.raises(ReproError):
+            AtomEncoding(BINARY, separator="0")
+
+
+class TestTheorem64Translation:
+    @pytest.mark.parametrize(
+        "predicate_builder",
+        [concatenation_predicate, shuffle_predicate, alternation_predicate],
+        ids=["concat", "shuffle", "alternation"],
+    )
+    def test_formula_agrees_with_direct_semantics(self, predicate_builder):
+        predicate = predicate_builder()
+        formula = predicate_to_formula(predicate)
+        assert is_unidirectional(formula)  # the theorem promises this
+        enc = AtomEncoding(BINARY)
+        pool = sequences(2)
+        for s1 in pool:
+            for s2 in pool:
+                for out in sequences(3):
+                    if len(out) != len(s1) + len(s2):
+                        continue
+                    expected = predicate.holds((s1, s2), out)
+                    got = check_string_formula(
+                        formula,
+                        {
+                            "x1": enc.encode_sequence(s1),
+                            "x2": enc.encode_sequence(s2),
+                            "x3": enc.encode_sequence(out),
+                        },
+                    )
+                    assert got == expected, (s1, s2, out)
+
+    def test_variable_count_validated(self):
+        with pytest.raises(ReproError):
+            predicate_to_formula(concatenation_predicate(), ("x", "y"))

@@ -1,0 +1,64 @@
+"""Tests for Theorem 6.3 landmarks (temporal logic subsumption)."""
+
+from repro.core.alphabet import AB
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import IsChar
+from repro.expressive.temporal import (
+    every_even_position,
+    every_odd_position,
+)
+
+
+def even_positions_ok(word: str, char: str) -> bool:
+    return all(c == char for c in word[1::2])
+
+
+def odd_positions_ok(word: str, char: str) -> bool:
+    return all(c == char for c in word[0::2])
+
+
+class TestWolperProperty:
+    def test_every_even_position_matches_oracle(self):
+        phi = every_even_position("x", IsChar("x", "a"))
+        for word in AB.strings(5):
+            assert check_string_formula(phi, {"x": word}) == even_positions_ok(
+                word, "a"
+            ), word
+
+    def test_every_odd_position_matches_oracle(self):
+        phi = every_odd_position("x", IsChar("x", "a"))
+        for word in AB.strings(5):
+            assert check_string_formula(phi, {"x": word}) == odd_positions_ok(
+                word, "a"
+            ), word
+
+    def test_even_property_is_regular_here(self):
+        """Unlike plain temporal logic, the property compiles to a
+        one-tape unidirectional machine (Theorem 6.1 class)."""
+        from repro.core.syntax import is_unidirectional
+        from repro.expressive.regular import formula_language_via_nfa
+
+        phi = every_even_position("x", IsChar("x", "a"))
+        assert is_unidirectional(phi)
+        language = formula_language_via_nfa(phi, AB, 4)
+        expected = {
+            w for w in AB.strings(4) if even_positions_ok(w, "a")
+        }
+        assert language == expected
+
+
+class TestBeyondTemporalLogic:
+    def test_equality_is_a_two_row_relation(self):
+        """String equality — the paper's first witness that alignment
+        calculus exceeds (extended) temporal logic on one sequence."""
+        from repro.core import shorthands as sh
+
+        phi = sh.equals("x", "y")
+        assert check_string_formula(phi, {"x": "ab", "y": "ab"})
+        assert not check_string_formula(phi, {"x": "ab", "y": "ba"})
+
+    def test_manifold_is_expressible(self):
+        from repro.core import shorthands as sh
+
+        phi = sh.manifold("x", "y")
+        assert check_string_formula(phi, {"x": "abab", "y": "ab"})

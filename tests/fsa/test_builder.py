@@ -1,0 +1,65 @@
+"""Tests for the machine-construction DSL."""
+
+import pytest
+
+from repro.core.alphabet import AB, LEFT_END, RIGHT_END
+from repro.errors import TransitionError
+from repro.fsa.builder import ANY, ANY_CHAR, MachineBuilder
+from repro.fsa.simulate import accepts
+
+
+class TestAdd:
+    def test_wildcard_expansion(self):
+        b = MachineBuilder(1, AB, "s")
+        b.add("s", (ANY_CHAR,), "t", (+1,))
+        assert len(b.transitions) == len(AB.symbols)
+
+    def test_any_skips_illegal_endmarker_moves(self):
+        b = MachineBuilder(1, AB, "s")
+        b.add("s", (ANY,), "t", (+1,))
+        reads = {t.reads[0] for t in b.transitions}
+        assert RIGHT_END not in reads  # cannot move right from ⊣
+        assert LEFT_END in reads
+
+    def test_arity_checked(self):
+        b = MachineBuilder(2, AB, "s")
+        with pytest.raises(TransitionError):
+            b.add("s", ("a",), "t", (+1,))
+
+    def test_iterable_spec(self):
+        b = MachineBuilder(1, AB, "s")
+        b.add("s", (("a", "b"),), "t", (0,))
+        assert len(b.transitions) == 2
+
+
+class TestIdioms:
+    def test_scan_until(self):
+        b = MachineBuilder(1, AB, "s")
+        b.add("s", (LEFT_END,), "scan", (+1,))
+        b.scan_until("scan", 0, "b", "found")
+        b.add("found", (ANY,), "done", (0,))
+        b.final("done")
+        machine = b.build()
+        assert accepts(machine, ("aab",))
+        assert accepts(machine, ("ba",))
+        assert not accepts(machine, ("aaa",))
+
+    def test_rewind(self):
+        b = MachineBuilder(1, AB, "s")
+        b.add("s", (LEFT_END,), "fwd", (+1,))
+        b.scan_until("fwd", 0, RIGHT_END, "back", consume_stop=False)
+        b.rewind("back", 0, "home")
+        b.add("home", (LEFT_END,), "done", (0,))
+        b.final("done")
+        machine = b.build()
+        assert machine.bidirectional_tapes() == {0}
+        assert accepts(machine, ("abab",))
+        assert accepts(machine, ("",))
+
+    def test_build_prunes(self):
+        b = MachineBuilder(1, AB, "s")
+        b.add("s", ("a",), "t", (0,))
+        b.add("orphan", ("a",), "island", (0,))
+        b.final("t")
+        machine = b.build()
+        assert "orphan" not in machine.states

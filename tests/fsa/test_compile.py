@@ -1,0 +1,219 @@
+"""Tests for the Theorem 3.1 compiler.
+
+The central property: for every string formula φ and every tuple of
+strings, the compiled FSA accepts exactly when the *independent*
+direct model checker satisfies φ from the initial alignment —
+``L(A_φ) = ⟦φ⟧`` restricted to bounded lengths.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    Lambda,
+    SameChar,
+    SStar,
+    WTrue,
+    atom,
+    concat,
+    left,
+    right,
+    string_variables,
+    union,
+)
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+
+
+def assert_matches_checker(formula, alphabet, max_len):
+    """L(A_φ) == ⟦φ⟧ on all tuples of strings of length ≤ max_len."""
+    compiled = compile_string_formula(formula, alphabet)
+    variables = compiled.variables
+    pool = list(alphabet.strings(max_len))
+    for values in product(pool, repeat=len(variables)):
+        env = dict(zip(variables, values))
+        expected = check_string_formula(formula, env)
+        got = accepts(compiled.fsa, values)
+        assert got == expected, (formula, values, expected)
+
+
+class TestAtomicCompilation:
+    def test_single_left_transpose(self):
+        assert_matches_checker(atom(left("x"), IsChar("x", "a")), AB, 3)
+
+    def test_single_right_transpose_from_initial(self):
+        # From an initial alignment a right transpose stays at the left
+        # end: only the ε test can succeed.
+        assert_matches_checker(atom(right("x"), IsEmpty("x")), AB, 2)
+        assert_matches_checker(atom(right("x"), IsChar("x", "a")), AB, 2)
+
+    def test_empty_transpose_is_identity(self):
+        assert_matches_checker(atom(left(), IsEmpty("x") | IsChar("x", "a")), AB, 2)
+
+    def test_two_tape_atom(self):
+        assert_matches_checker(atom(left("x", "y"), SameChar("x", "y")), AB, 2)
+
+    def test_lambda(self):
+        compiled = compile_string_formula(Lambda(), AB, variables=("x",))
+        for u in AB.strings(2):
+            assert accepts(compiled.fsa, (u,))
+
+
+class TestStructuralProperties:
+    """Properties 1-4 of Theorem 3.1 on the compiled machines."""
+
+    def compiled(self):
+        return compile_string_formula(sh.equals("x", "y"), AB)
+
+    def test_property1_bidirectional_tapes(self):
+        # x =_s y is unidirectional; the machine must be too.
+        assert self.compiled().fsa.is_unidirectional()
+        bidir = compile_string_formula(sh.manifold("x", "y"), AB)
+        assert bidir.fsa.bidirectional_tapes() == {bidir.tape_of("y")}
+
+    def test_property2_start_has_no_incoming(self):
+        fsa = self.compiled().fsa
+        assert fsa.incoming(fsa.start) == ()
+
+    def test_property3_unique_final_or_rejecting_start(self):
+        fsa = self.compiled().fsa
+        assert len(fsa.finals) == 1
+
+    def test_property4_final_incoming_stationary_no_outgoing(self):
+        fsa = self.compiled().fsa
+        (final,) = tuple(fsa.finals)
+        assert final != fsa.start
+        assert fsa.outgoing(final) == ()
+        assert all(t.is_stationary() for t in fsa.incoming(final))
+
+    def test_unsatisfiable_formula_compiles_to_rejecting_start(self):
+        from repro.fsa.decompile import unsatisfiable
+
+        compiled = compile_string_formula(unsatisfiable(), AB, variables=("x",))
+        assert compiled.fsa.finals == frozenset()
+        for u in AB.strings(2):
+            assert not accepts(compiled.fsa, (u,))
+
+
+class TestRegexOperators:
+    def test_concatenation(self):
+        phi = concat(
+            atom(left("x"), IsChar("x", "a")), atom(left("x"), IsChar("x", "b"))
+        )
+        assert_matches_checker(phi, AB, 3)
+
+    def test_union(self):
+        phi = union(
+            atom(left("x"), IsChar("x", "a")), atom(left("x"), IsChar("x", "b"))
+        )
+        assert_matches_checker(phi, AB, 2)
+
+    def test_star(self):
+        phi = concat(
+            SStar(atom(left("x"), IsChar("x", "a"))),
+            atom(left("x"), IsEmpty("x")),
+        )
+        assert_matches_checker(phi, AB, 4)
+
+    def test_star_of_unsatisfiable_is_lambda(self):
+        from repro.fsa.decompile import unsatisfiable
+
+        phi = SStar(unsatisfiable())
+        compiled = compile_string_formula(phi, AB, variables=("x",))
+        for u in AB.strings(2):
+            assert accepts(compiled.fsa, (u,))
+
+    def test_nested_star_union(self):
+        phi = concat(
+            SStar(
+                union(
+                    concat(
+                        atom(left("x"), IsChar("x", "a")),
+                        atom(left("x"), IsChar("x", "b")),
+                    ),
+                    atom(left("x"), IsChar("x", "b")),
+                )
+            ),
+            atom(left("x"), IsEmpty("x")),
+        )
+        assert_matches_checker(phi, AB, 4)
+
+
+class TestPaperPredicates:
+    """Every Section 2 predicate, FSA engine vs direct checker."""
+
+    @pytest.mark.parametrize(
+        "formula,max_len",
+        [
+            (sh.constant("x", "ab"), 3),
+            (sh.equals("x", "y"), 3),
+            (sh.prefix_of("x", "y"), 3),
+            (sh.concatenation("x", "y", "z"), 2),
+            (sh.shuffle("x", "y", "z"), 2),
+            (sh.occurs_in("x", "y"), 3),
+            (sh.suffix_of("x", "y"), 3),
+            (sh.edit_distance_at_most("x", "y", 1), 2),
+        ],
+        ids=lambda value: str(value)[:40],
+    )
+    def test_unidirectional_predicates(self, formula, max_len):
+        assert_matches_checker(formula, AB, max_len)
+
+    def test_manifold_bidirectional(self):
+        assert_matches_checker(sh.manifold("x", "y"), AB, 3)
+
+    def test_anbncn_bidirectional(self):
+        abc = Alphabet("abc")
+        compiled = compile_string_formula(sh.anbncn_string_part("x", "y"), abc)
+        for x_len in range(7):
+            for x in ["a" * (x_len // 3) + "b" * (x_len // 3) + "c" * (x_len // 3),
+                      "ab" * (x_len // 2)]:
+                for y in ["", "a", "aa", "ab", "aaa"]:
+                    values = {"x": x, "y": y}
+                    expected = check_string_formula(
+                        sh.anbncn_string_part("x", "y"), values
+                    )
+                    got = accepts(
+                        compiled.fsa,
+                        tuple(values[v] for v in compiled.variables),
+                    )
+                    assert got == expected, (x, y)
+
+    def test_gc_pattern_three_letter_alphabet(self):
+        gca = Alphabet("gca")
+        assert_matches_checker(sh.gc_plus_a_star("y"), gca, 4)
+
+
+class TestLayouts:
+    def test_explicit_layout_with_extra_tape(self):
+        compiled = compile_string_formula(
+            sh.constant("x", "a"), AB, variables=("x", "pad")
+        )
+        # The pad tape is unconstrained.
+        assert accepts(compiled.fsa, ("a", "bb"))
+        assert not accepts(compiled.fsa, ("b", "bb"))
+
+    def test_layout_must_cover_formula(self):
+        from repro.errors import ArityError
+
+        with pytest.raises(ArityError):
+            compile_string_formula(sh.equals("x", "y"), AB, variables=("x",))
+
+    def test_layout_must_not_repeat(self):
+        from repro.errors import ArityError
+
+        with pytest.raises(ArityError):
+            compile_string_formula(
+                sh.constant("x", "a"), AB, variables=("x", "x")
+            )
+
+    def test_compilation_cache_returns_same_object(self):
+        first = compile_string_formula(sh.equals("x", "y"), AB)
+        second = compile_string_formula(sh.equals("x", "y"), AB)
+        assert first is second

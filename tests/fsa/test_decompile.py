@@ -1,0 +1,127 @@
+"""Tests for Theorem 3.2: FSA → string formula."""
+
+from itertools import product
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, LEFT_END, RIGHT_END
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import bidirectional_variables, string_variables
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.decompile import (
+    decompile,
+    normalize_for_decompile,
+    transition_formula,
+    unsatisfiable,
+)
+from repro.fsa.machine import Transition, make_fsa
+from repro.fsa.simulate import accepts
+
+
+def assert_formula_matches_machine(fsa, variables, max_len):
+    phi = decompile(fsa, variables)
+    pool = list(fsa.alphabet.strings(max_len))
+    for values in product(pool, repeat=fsa.arity):
+        env = dict(zip(variables, values))
+        assert check_string_formula(phi, env) == accepts(fsa, values), values
+
+
+class TestTransitionFormula:
+    def test_reads_and_moves_encoded(self):
+        t = Transition("p", ("a", RIGHT_END), "q", (+1, 0))
+        phi = transition_formula(t, ("x", "y"))
+        # Satisfied exactly when x shows 'a' and y is exhausted; then x
+        # slides left.
+        assert check_string_formula(phi, {"x": "a", "y": ""}) is False  # initial: x shows ε
+        # (the formula tests the *current* window, so from an initial
+        # alignment only all-ε reads can fire)
+        t0 = Transition("p", (LEFT_END, LEFT_END), "q", (+1, 0))
+        phi0 = transition_formula(t0, ("x", "y"))
+        assert check_string_formula(phi0, {"x": "a", "y": ""})
+
+
+class TestUnsatisfiable:
+    def test_unsatisfiable_everywhere_false(self):
+        phi = unsatisfiable()
+        for u in AB.strings(2):
+            assert not check_string_formula(phi, {"x": u})
+
+
+class TestNormalization:
+    def test_halting_normalization_preserves_language(self):
+        # Final state with outgoing transitions: accepts only when stuck.
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["scan"],
+            [
+                ("s", (LEFT_END,), "scan", (+1,)),
+                ("scan", ("a",), "scan", (+1,)),
+            ],
+        )
+        normalized = normalize_for_decompile(fsa)
+        (final,) = tuple(normalized.finals)
+        assert normalized.outgoing(final) == ()
+        for u in AB.strings(3):
+            assert accepts(normalized, (u,)) == accepts(fsa, (u,)), u
+
+
+class TestRoundTrips:
+    def test_decompile_hand_machine(self):
+        # a*b over {a,b}
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", (LEFT_END,), "as", (+1,)),
+                ("as", ("a",), "as", (+1,)),
+                ("as", ("b",), "end", (+1,)),
+                ("end", (RIGHT_END,), "f", (0,)),
+            ],
+        )
+        assert_formula_matches_machine(fsa, ("x",), 4)
+
+    def test_decompile_two_tape_machine(self):
+        fsa = compile_string_formula(sh.constant("x", "a"), AB).fsa
+        assert_formula_matches_machine(fsa, ("x",), 2)
+
+    def test_compile_decompile_compile(self):
+        phi = sh.prefix_of("x", "y")
+        fsa = compile_string_formula(phi, AB).fsa
+        back = decompile(fsa, ("x", "y"))
+        pool = list(AB.strings(2))
+        for u, v in product(pool, repeat=2):
+            assert check_string_formula(back, {"x": u, "y": v}) == (
+                v.startswith(u)
+            ), (u, v)
+
+    def test_bidirectionality_preserved(self):
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", (LEFT_END,), "r", (+1,)),
+                ("r", ("a",), "r", (+1,)),
+                ("r", (RIGHT_END,), "l", (-1,)),
+                ("l", ("a",), "l", (-1,)),
+                ("l", (LEFT_END,), "f", (0,)),
+            ],
+        )
+        phi = decompile(fsa, ("x",))
+        assert bidirectional_variables(phi) == {"x"}
+        assert_formula_matches_machine(fsa, ("x",), 3)
+
+    def test_empty_language_machine(self):
+        fsa = make_fsa(1, AB, "s", [], [])
+        phi = decompile(fsa, ("x",))
+        for u in AB.strings(2):
+            assert not check_string_formula(phi, {"x": u})
+
+    def test_variables_default_to_x1_xk(self):
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        phi = decompile(fsa)
+        assert string_variables(phi) <= {"x1", "x2"}

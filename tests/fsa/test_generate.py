@@ -1,0 +1,74 @@
+"""Tests for output generation (the Mealy-machine reading of Def 3.1)."""
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.generate import accepted_tuples
+from repro.fsa.simulate import language
+
+
+class TestUnidirectionalGeneration:
+    def test_equals_generates_copy(self):
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        outputs = accepted_tuples(fsa, max_length=2, fixed={0: "ab"})
+        assert outputs == {("ab",)}
+
+    def test_concatenation_generates_the_concatenation(self):
+        # x = y · z with y, z fixed: generate x (the paper's running
+        # safe-generation example from Section 4).
+        fsa = compile_string_formula(sh.concatenation("x", "y", "z"), AB).fsa
+        outputs = accepted_tuples(fsa, max_length=4, fixed={1: "ab", 2: "ba"})
+        assert outputs == {("abba",)}
+
+    def test_concatenation_generates_all_splits(self):
+        fsa = compile_string_formula(sh.concatenation("x", "y", "z"), AB).fsa
+        outputs = accepted_tuples(fsa, max_length=2, fixed={0: "ab"})
+        assert outputs == {("", "ab"), ("a", "b"), ("ab", "")}
+
+    def test_unbounded_generation_is_cut_at_max_length(self):
+        # x ∈ a* has infinitely many members; the bound truncates.
+        from repro.core.syntax import IsChar, IsEmpty, SStar, atom, concat, left
+
+        phi = concat(
+            SStar(atom(left("x"), IsChar("x", "a"))),
+            atom(left("x"), IsEmpty("x")),
+        )
+        fsa = compile_string_formula(phi, AB).fsa
+        outputs = accepted_tuples(fsa, max_length=3)
+        assert outputs == {("",), ("a",), ("aa",), ("aaa",)}
+
+    def test_open_ended_tape_yields_extensions(self):
+        # [x]_l x = a pins only the first character: every string
+        # starting with 'a' is accepted.
+        from repro.core.syntax import IsChar, atom, left
+
+        fsa = compile_string_formula(atom(left("x"), IsChar("x", "a")), AB).fsa
+        outputs = accepted_tuples(fsa, max_length=2)
+        assert outputs == {("a",), ("aa",), ("ab",)}
+
+    def test_matches_brute_force_language(self):
+        for formula in (
+            sh.prefix_of("x", "y"),
+            sh.shuffle("x", "y", "z"),
+            sh.occurs_in("x", "y"),
+        ):
+            fsa = compile_string_formula(formula, AB).fsa
+            assert accepted_tuples(fsa, max_length=2) == language(fsa, 2)
+
+
+class TestBidirectionalGeneration:
+    def test_manifold_outputs(self):
+        # y is bidirectional in x ∈*_s y: generation falls back to
+        # guessing y over Σ^{<=L}.
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        outputs = accepted_tuples(fsa, max_length=4, fixed={0: "abab"})
+        assert outputs == {("ab",), ("abab",)}
+
+    def test_manifold_generation_of_x(self):
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        outputs = accepted_tuples(fsa, max_length=4, fixed={1: "ab"})
+        assert outputs == {("ab",), ("abab",)}
+
+    def test_matches_brute_force_language(self):
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        assert accepted_tuples(fsa, max_length=3) == language(fsa, 3)

@@ -1,0 +1,138 @@
+"""Tests for the k-FSA data model."""
+
+import pytest
+
+from repro.core.alphabet import AB, LEFT_END, RIGHT_END
+from repro.errors import ArityError, TransitionError
+from repro.fsa.machine import FSA, Transition, make_fsa, tape_symbol
+
+
+def sample_machine() -> FSA:
+    """A 1-FSA accepting a*: scan a's, halt on ⊣."""
+    return make_fsa(
+        1,
+        AB,
+        start="s",
+        finals=["f"],
+        transitions=[
+            ("s", (LEFT_END,), "scan", (+1,)),
+            ("scan", ("a",), "scan", (+1,)),
+            ("scan", (RIGHT_END,), "f", (0,)),
+        ],
+    )
+
+
+class TestTransition:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(TransitionError):
+            Transition("p", ("a", "b"), "q", (0,))
+
+    def test_illegal_move_value(self):
+        with pytest.raises(TransitionError):
+            Transition("p", ("a",), "q", (2,))
+
+    def test_endmarker_legality(self):
+        with pytest.raises(TransitionError):
+            Transition("p", (LEFT_END,), "q", (-1,))
+        with pytest.raises(TransitionError):
+            Transition("p", (RIGHT_END,), "q", (+1,))
+        # staying or moving inward is fine
+        Transition("p", (LEFT_END,), "q", (+1,))
+        Transition("p", (RIGHT_END,), "q", (-1,))
+
+    def test_stationary(self):
+        assert Transition("p", ("a", "b"), "q", (0, 0)).is_stationary()
+        assert not Transition("p", ("a", "b"), "q", (0, 1)).is_stationary()
+
+
+class TestFSA:
+    def test_size_counts_transitions(self):
+        assert sample_machine().size == 3
+
+    def test_outgoing_index(self):
+        fsa = sample_machine()
+        assert len(fsa.outgoing("scan")) == 2
+        assert fsa.outgoing("f") == ()
+
+    def test_incoming(self):
+        fsa = sample_machine()
+        assert {t.source for t in fsa.incoming("scan")} == {"s", "scan"}
+
+    def test_start_must_be_a_state(self):
+        with pytest.raises(TransitionError):
+            FSA(1, frozenset({"a"}), "missing", frozenset(), frozenset(), AB)
+
+    def test_transition_symbols_validated(self):
+        with pytest.raises(TransitionError):
+            make_fsa(
+                1, AB, "s", ["f"], [("s", ("z",), "f", (0,))]
+            )
+
+    def test_arity_checked_against_transitions(self):
+        with pytest.raises(ArityError):
+            make_fsa(2, AB, "s", ["f"], [("s", ("a",), "f", (0,))])
+
+    def test_unidirectional_classification(self):
+        fsa = sample_machine()
+        assert fsa.is_unidirectional()
+        assert fsa.unidirectional_tapes() == {0}
+        two_way = make_fsa(
+            2,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", ("a", "b"), "f", (+1, -0)),
+                ("f", ("a", "b"), "s", (0, -1)),
+            ],
+        )
+        assert two_way.bidirectional_tapes() == {1}
+
+    def test_pruned_drops_dead_states(self):
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", ("a",), "f", (0,)),
+                ("s", ("b",), "dead_end", (0,)),
+                ("unreachable", ("a",), "f", (0,)),
+            ],
+        )
+        pruned = fsa.pruned()
+        assert pruned.states == {"s", "f"}
+        assert pruned.size == 1
+
+    def test_pruned_keeps_start_without_finals(self):
+        fsa = make_fsa(1, AB, "s", [], [("s", ("a",), "q", (0,))])
+        pruned = fsa.pruned()
+        assert pruned.states == {"s"}
+        assert pruned.finals == frozenset()
+
+    def test_renumbered_start_is_zero(self):
+        fsa = sample_machine().renumbered()
+        assert fsa.start == 0
+        assert fsa.states == {0, 1, 2}
+
+    def test_map_states_requires_injection(self):
+        with pytest.raises(TransitionError):
+            sample_machine().map_states(lambda s: "same")
+
+
+class TestTapeSymbol:
+    def test_endmarkers_and_characters(self):
+        assert tape_symbol("abc", 0) == LEFT_END
+        assert tape_symbol("abc", 1) == "a"
+        assert tape_symbol("abc", 3) == "c"
+        assert tape_symbol("abc", 4) == RIGHT_END
+
+    def test_empty_string_tape(self):
+        assert tape_symbol("", 0) == LEFT_END
+        assert tape_symbol("", 1) == RIGHT_END
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            tape_symbol("ab", 5)
+        with pytest.raises(IndexError):
+            tape_symbol("ab", -1)

@@ -1,0 +1,71 @@
+"""Tests for the bisimulation quotient."""
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.machine import make_fsa
+from repro.fsa.minimize import bisimulation_quotient
+from repro.fsa.simulate import accepts, language
+
+
+class TestQuotient:
+    def test_merges_parallel_duplicates(self):
+        from repro.core.alphabet import LEFT_END
+
+        # Two states with identical outgoing behaviour collapse.
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", (LEFT_END,), "p", (+1,)),
+                ("s", (LEFT_END,), "q", (+1,)),
+                ("p", ("b",), "f", (0,)),
+                ("q", ("b",), "f", (0,)),
+            ],
+        )
+        small = bisimulation_quotient(fsa)
+        assert len(small.states) == len(fsa.states) - 1
+        assert accepts(small, ("b",))
+        for word in AB.strings(3):
+            assert accepts(small, (word,)) == accepts(fsa, (word,))
+
+    def test_distinguishes_finality(self):
+        from repro.core.alphabet import LEFT_END
+
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", (LEFT_END,), "m", (+1,)),
+                ("m", ("a",), "f", (0,)),
+                ("m", ("b",), "dead", (0,)),
+            ],
+        )
+        small = bisimulation_quotient(fsa)
+        # f (final) and dead (non-final) share signatures but must not merge.
+        assert len(small.finals) == 1
+        assert not accepts(small, ("b",))
+        assert accepts(small, ("a",))
+
+    def test_language_preserved_on_compiled_machines(self):
+        for formula in (sh.equals("x", "y"), sh.prefix_of("x", "y")):
+            fsa = compile_string_formula(formula, AB).fsa
+            small = bisimulation_quotient(fsa)
+            assert len(small.states) <= len(fsa.states)
+            assert language(small, 2) == language(fsa, 2)
+
+    def test_idempotent(self):
+        fsa = compile_string_formula(sh.constant("x", "ab"), AB).fsa
+        once = bisimulation_quotient(fsa)
+        twice = bisimulation_quotient(once)
+        assert len(once.states) == len(twice.states)
+
+    def test_two_way_machine_preserved(self):
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        small = bisimulation_quotient(fsa)
+        for x in ("", "ab", "abab", "aba"):
+            assert accepts(small, (x, "ab")) == accepts(fsa, (x, "ab")), x

@@ -1,0 +1,77 @@
+"""Tests for FSA tape surgery."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.errors import ArityError
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.ops import disregard_tape, drop_tape, permute_tapes, widen
+from repro.fsa.simulate import accepts, language
+
+
+class TestDisregard:
+    def test_disregarded_tape_content_irrelevant(self):
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        blind = disregard_tape(fsa, 1)
+        # With y's head parked on ⊢ the x-sides of the equality loop
+        # remain: by property 5 the blind machine accepts every x (each
+        # x equals *some* y), with arbitrary content on the dead tape.
+        for x in AB.strings(2):
+            for y in ("", "a", "bb"):
+                assert accepts(blind, (x, y)), (x, y)
+
+    def test_disregard_constrains_nothing_but_structure(self):
+        # Disregarding the only constrained tape of a constant test
+        # leaves a machine that accepts exactly when the *remaining*
+        # structure allows a path — here, always.
+        fsa = compile_string_formula(sh.constant("x", "ab"), AB).fsa
+        blind = disregard_tape(fsa, 0)
+        assert accepts(blind, ("",))
+        assert accepts(blind, ("ba",))
+
+    def test_property5_projection_for_unidirectional(self):
+        # For unidirectional machines, disregarding + dropping a tape
+        # computes the projection of the language (property 5).
+        fsa = compile_string_formula(sh.prefix_of("x", "y"), AB).fsa
+        assert fsa.is_unidirectional()
+        dropped = drop_tape(fsa, 1)
+        assert dropped.arity == 1
+        # every x is a prefix of *some* y
+        projected = language(dropped, 2)
+        assert projected == {(u,) for u in AB.strings(2)}
+
+    def test_bad_tape(self):
+        fsa = compile_string_formula(sh.constant("x", "a"), AB).fsa
+        with pytest.raises(ArityError):
+            disregard_tape(fsa, 3)
+
+
+class TestPermute:
+    def test_swap_tapes(self):
+        fsa = compile_string_formula(sh.prefix_of("x", "y"), AB).fsa
+        swapped = permute_tapes(fsa, [1, 0])
+        for u in AB.strings(2):
+            for v in AB.strings(2):
+                assert accepts(swapped, (v, u)) == accepts(fsa, (u, v))
+
+    def test_invalid_permutation(self):
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        with pytest.raises(ArityError):
+            permute_tapes(fsa, [0, 0])
+
+
+class TestWiden:
+    def test_widen_adds_ignored_tapes(self):
+        fsa = compile_string_formula(sh.constant("x", "ab"), AB).fsa
+        wide = widen(fsa, 3, [1])  # old tape 0 becomes tape 1
+        assert wide.arity == 3
+        assert accepts(wide, ("bb", "ab", "a"))
+        assert not accepts(wide, ("ab", "bb", "a"))
+
+    def test_widen_validates_placement(self):
+        fsa = compile_string_formula(sh.constant("x", "a"), AB).fsa
+        with pytest.raises(ArityError):
+            widen(fsa, 2, [2])
+        with pytest.raises(ArityError):
+            widen(fsa, 2, [0, 1])

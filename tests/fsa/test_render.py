@@ -1,0 +1,42 @@
+"""Tests for machine rendering."""
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.machine import make_fsa
+from repro.fsa.render import to_dot, to_text, transition_label
+
+
+class TestTransitionLabel:
+    def test_moves_rendered(self):
+        assert transition_label(("a", "b"), (+1, 0)) == "a+1 b·"
+        assert transition_label(("a",), (-1,)) == "a-1"
+
+
+class TestToText:
+    def test_contains_structure(self):
+        fsa = compile_string_formula(sh.constant("x", "a"), AB).fsa
+        text = to_text(fsa)
+        assert "start:" in text
+        assert "finals:" in text
+        assert "-->" in text
+
+    def test_deterministic(self):
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        assert to_text(fsa) == to_text(fsa)
+
+
+class TestToDot:
+    def test_valid_dot_shape(self):
+        fsa = make_fsa(
+            1, AB, "s", ["f"], [("s", ("a",), "f", (0,))]
+        )
+        dot = to_dot(fsa, name="demo")
+        assert dot.startswith("digraph demo {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # the final state
+        assert '"__start"' in dot
+
+    def test_edges_labelled(self):
+        fsa = make_fsa(1, AB, "s", ["f"], [("s", ("a",), "f", (+1,))])
+        assert 'label="a+1"' in to_dot(fsa)

@@ -1,0 +1,123 @@
+"""Tests for FSA simulation and the Theorem 3.3 acceptance algorithm."""
+
+from repro.core.alphabet import AB, LEFT_END, RIGHT_END
+from repro.fsa.machine import make_fsa
+from repro.fsa.simulate import (
+    accepting_run,
+    accepts,
+    initial_configuration,
+    language,
+    reachable_configurations,
+)
+
+
+def equality_machine():
+    """Hand-built 2-FSA accepting pairs of equal strings."""
+    transitions = [("s", (LEFT_END, LEFT_END), "cmp", (+1, +1))]
+    for char in AB:
+        transitions.append(("cmp", (char, char), "cmp", (+1, +1)))
+    transitions.append(("cmp", (RIGHT_END, RIGHT_END), "f", (0, 0)))
+    return make_fsa(2, AB, "s", ["f"], transitions)
+
+
+def palindrome_machine():
+    """A two-way 1-FSA accepting palindromes over {a, b}.
+
+    Walks to the right end, then compares outermost characters by
+    zig-zagging — a genuine use of bidirectional movement.
+    """
+    # Simpler two-way demo: accept strings whose first and last
+    # characters agree (length >= 1), by scanning right then returning.
+    transitions = [("s", (LEFT_END,), "right", (+1,))]
+    for char in AB:
+        transitions.append(("right", (char,), "right", (+1,)))
+        for other in AB:  # walk back over anything
+            transitions.append((f"back_{char}", (other,), f"back_{char}", (-1,)))
+        transitions.append((f"back_{char}", (LEFT_END,), f"check_{char}", (+1,)))
+        transitions.append((f"check_{char}", (char,), "f", (0,)))
+        transitions.append(("right", (RIGHT_END,), f"last_{char}", (-1,)))
+        transitions.append((f"last_{char}", (char,), f"back_{char}", (0,)))
+    return make_fsa(1, AB, "s", ["f"], transitions)
+
+
+class TestAcceptance:
+    def test_equality_machine(self):
+        fsa = equality_machine()
+        assert accepts(fsa, ("abab", "abab"))
+        assert accepts(fsa, ("", ""))
+        assert not accepts(fsa, ("ab", "ba"))
+        assert not accepts(fsa, ("ab", "abb"))
+
+    def test_two_way_first_last_machine(self):
+        fsa = palindrome_machine()
+        assert accepts(fsa, ("aba",))
+        assert accepts(fsa, ("a",))
+        assert accepts(fsa, ("abba",))
+        assert not accepts(fsa, ("ab",))
+        assert not accepts(fsa, ("",))
+
+    def test_halting_acceptance_requires_stuckness(self):
+        # A final state with an enabled outgoing transition does not
+        # accept: the computation must be unable to continue.
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["s"],
+            [("s", (LEFT_END,), "s", (0,))],
+        )
+        # In the initial configuration the loop is always enabled and
+        # the machine never halts, so nothing is accepted.
+        assert not accepts(fsa, ("",))
+        assert not accepts(fsa, ("a",))
+
+    def test_final_state_accepts_when_stuck(self):
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["s"],
+            [("s", ("a",), "s", (0,))],  # never enabled at ⊢
+        )
+        assert accepts(fsa, ("a",))
+        assert accepts(fsa, ("",))
+
+    def test_arity_enforced(self):
+        import pytest
+
+        from repro.errors import ArityError
+
+        with pytest.raises(ArityError):
+            accepts(equality_machine(), ("a",))
+
+
+class TestWitnesses:
+    def test_accepting_run_structure(self):
+        fsa = equality_machine()
+        run = accepting_run(fsa, ("ab", "ab"))
+        assert run is not None
+        assert run[0] == initial_configuration(fsa)
+        assert run[-1].state == "f"
+        # ⊢ + two characters + final stationary step
+        assert len(run) == 5
+
+    def test_accepting_run_none_on_reject(self):
+        assert accepting_run(equality_machine(), ("a", "b")) is None
+
+
+class TestConfigurationGraph:
+    def test_reachable_configurations_polynomial_size(self):
+        fsa = equality_machine()
+        sizes = []
+        for n in (2, 4, 8):
+            inputs = ("a" * n, "a" * n)
+            sizes.append(len(reachable_configurations(fsa, inputs)))
+        # Linear growth for this machine: configurations track the
+        # diagonal of the position grid.
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[2] <= 4 * (8 + 2)
+
+    def test_language_enumeration(self):
+        fsa = equality_machine()
+        lang = language(fsa, 2)
+        assert lang == {(u, u) for u in AB.strings(2)}

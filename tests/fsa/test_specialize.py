@@ -1,0 +1,60 @@
+"""Tests for Lemma 3.1 specialization."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.errors import ArityError
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts, language
+from repro.fsa.specialize import specialize
+
+
+def equals_machine():
+    return compile_string_formula(sh.equals("x", "y"), AB).fsa
+
+
+class TestSpecialize:
+    def test_language_projection(self):
+        fsa = equals_machine()
+        fixed = specialize(fsa, {0: "ab"})
+        assert fixed.arity == 1
+        assert language(fixed, 3) == {("ab",)}
+
+    def test_fix_second_tape(self):
+        fsa = equals_machine()
+        fixed = specialize(fsa, {1: "ba"})
+        assert language(fixed, 3) == {("ba",)}
+
+    def test_fix_all_tapes_zero_fsa(self):
+        fsa = equals_machine()
+        good = specialize(fsa, {0: "ab", 1: "ab"})
+        assert good.arity == 0
+        assert accepts(good, ())
+        bad = specialize(fsa, {0: "ab", 1: "aa"})
+        assert not accepts(bad, ())
+
+    def test_specialization_preserves_acceptance(self):
+        fsa = compile_string_formula(
+            sh.concatenation("x", "y", "z"), AB
+        ).fsa
+        for y in ("", "a", "ab"):
+            fixed = specialize(fsa, {1: y})
+            for x in AB.strings(3):
+                for z in AB.strings(2):
+                    assert accepts(fixed, (x, z)) == accepts(fsa, (x, y, z))
+
+    def test_unpruned_matches_paper_bound(self):
+        fsa = equals_machine()
+        full = specialize(fsa, {0: "aba"}, prune=False)
+        # |states| = |Q| * (|u|+2)
+        assert len(full.states) == len(fsa.states) * (3 + 2)
+
+    def test_bad_tape_index(self):
+        with pytest.raises(ArityError):
+            specialize(equals_machine(), {7: "a"})
+
+    def test_two_way_machine_specialization(self):
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        fixed = specialize(fsa, {1: "ab"})
+        assert language(fixed, 4) == {("ab",), ("abab",)}

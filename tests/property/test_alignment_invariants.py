@@ -1,0 +1,71 @@
+"""Property tests for alignment/transpose invariants (Section 2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import Alignment, Row
+
+_words = st.text(alphabet="ab", max_size=6)
+_rows = st.builds(
+    lambda string, head: Row(string, min(head, len(string) + 1 if string else 0)),
+    _words,
+    st.integers(min_value=0, max_value=7),
+)
+
+
+@settings(max_examples=100)
+@given(row=_rows)
+def test_transposes_never_change_the_string(row):
+    alignment = Alignment.from_rows({0: row})
+    assert alignment.transpose_left([0]).sigma(0) == row.string
+    assert alignment.transpose_right([0]).sigma(0) == row.string
+
+
+@settings(max_examples=100)
+@given(row=_rows)
+def test_head_stays_in_range(row):
+    alignment = Alignment.from_rows({0: row})
+    for _ in range(10):
+        alignment = alignment.transpose_left([0])
+    limit = len(row.string) + 1 if row.string else 0
+    assert alignment.row(0).head <= limit
+    for _ in range(20):
+        alignment = alignment.transpose_right([0])
+    assert alignment.row(0).head >= 0
+
+
+@settings(max_examples=100)
+@given(row=_rows)
+def test_left_then_right_is_identity_away_from_ends(row):
+    """The transposes are inverse except at the clamping boundaries."""
+    alignment = Alignment.from_rows({0: row})
+    moved = alignment.transpose_left([0]).transpose_right([0])
+    if row.string and row.head <= len(row.string):
+        assert moved == alignment
+    # at the right end, both transposes clamp: still well defined
+    assert moved.sigma(0) == row.string
+
+
+@settings(max_examples=100)
+@given(row=_rows, column=st.integers(min_value=-8, max_value=8))
+def test_partial_function_consistency(row, column):
+    """A(i, j) is defined exactly on the interval K_i."""
+    alignment = Alignment.from_rows({0: row})
+    char = alignment.char_at(0, column)
+    if char is None:
+        assert column not in row.columns
+    else:
+        assert column in row.columns
+        assert char == row.string[row.head - 1 + column]
+
+
+@settings(max_examples=60)
+@given(words=st.lists(_words, min_size=1, max_size=3))
+def test_window_chars_after_k_transposes(words):
+    """After k left transposes the window shows character k (1-based)."""
+    alignment = Alignment.initial(dict(enumerate(words)))
+    rows = list(range(len(words)))
+    for position in range(1, 5):
+        alignment = alignment.transpose_left(rows)
+        for index, word in enumerate(words):
+            expected = word[position - 1] if position <= len(word) else None
+            assert alignment.window_char(index) == expected

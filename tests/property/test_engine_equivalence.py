@@ -1,0 +1,111 @@
+"""Property tests: the two satisfaction engines always agree.
+
+Random string formulae are generated structurally (atoms over two
+variables, closed under concatenation, selection and star) and checked
+on random inputs: the direct modal checker of
+:mod:`repro.core.semantics` and the Theorem 3.1 compiled machine must
+produce identical verdicts — the library's central internal
+consistency invariant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alphabet import AB
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    SameChar,
+    SStar,
+    WTrue,
+    atom,
+    concat,
+    left,
+    not_empty,
+    right,
+    union,
+)
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+
+VARS = ("x", "y")
+
+_window_tests = st.sampled_from(
+    [
+        WTrue(),
+        IsChar("x", "a"),
+        IsChar("y", "b"),
+        IsEmpty("x"),
+        IsEmpty("y"),
+        SameChar("x", "y"),
+        not_empty("x"),
+        ~SameChar("x", "y"),
+    ]
+)
+
+_transposes = st.sampled_from(
+    [left("x"), left("y"), left("x", "y"), right("x"), right("y"), left()]
+)
+
+_atoms = st.builds(atom, _transposes, _window_tests)
+
+
+def _formulas(max_depth: int):
+    return st.recursive(
+        _atoms,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: concat(a, b), children, children),
+            st.builds(lambda a, b: union(a, b), children, children),
+            st.builds(SStar, children),
+        ),
+        max_leaves=max_depth,
+    )
+
+
+_words = st.text(alphabet="ab", max_size=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(formula=_formulas(4), word_x=_words, word_y=_words)
+def test_checker_and_machine_agree(formula, word_x, word_y):
+    env = {"x": word_x, "y": word_y}
+    direct = check_string_formula(formula, env)
+    compiled = compile_string_formula(formula, AB, variables=("x", "y"))
+    machine = accepts(compiled.fsa, (word_x, word_y))
+    assert direct == machine
+
+
+@settings(max_examples=30, deadline=None)
+@given(formula=_formulas(3))
+def test_generation_matches_brute_force(formula):
+    """accepted_tuples == brute-force language enumeration."""
+    from repro.fsa.generate import accepted_tuples
+    from repro.fsa.simulate import language
+
+    compiled = compile_string_formula(formula, AB, variables=("x", "y"))
+    assert accepted_tuples(compiled.fsa, max_length=2) == language(
+        compiled.fsa, 2
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(formula=_formulas(3), word_x=_words, word_y=_words)
+def test_specialization_preserves_acceptance(formula, word_x, word_y):
+    from repro.fsa.specialize import specialize
+
+    compiled = compile_string_formula(formula, AB, variables=("x", "y"))
+    whole = accepts(compiled.fsa, (word_x, word_y))
+    narrowed = specialize(compiled.fsa, {0: word_x})
+    assert accepts(narrowed, (word_y,)) == whole
+
+
+@settings(max_examples=30, deadline=None)
+@given(formula=_formulas(3), word_x=_words, word_y=_words)
+def test_minimization_preserves_acceptance(formula, word_x, word_y):
+    from repro.fsa.minimize import bisimulation_quotient
+
+    compiled = compile_string_formula(formula, AB, variables=("x", "y"))
+    smaller = bisimulation_quotient(compiled.fsa)
+    assert accepts(smaller, (word_x, word_y)) == accepts(
+        compiled.fsa, (word_x, word_y)
+    )

@@ -1,0 +1,81 @@
+"""Property tests for the classical baselines themselves.
+
+The oracles validate the paper's formulae, so they deserve their own
+invariants: metric laws for edit distance, algebraic laws for
+shuffle/concatenation/manifold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import oracles
+
+_words = st.text(alphabet="ab", max_size=6)
+
+
+class TestEditDistanceMetric:
+    @settings(max_examples=150)
+    @given(x=_words, y=_words)
+    def test_symmetry(self, x, y):
+        assert oracles.edit_distance(x, y) == oracles.edit_distance(y, x)
+
+    @settings(max_examples=150)
+    @given(x=_words, y=_words)
+    def test_identity(self, x, y):
+        assert (oracles.edit_distance(x, y) == 0) == (x == y)
+
+    @settings(max_examples=100)
+    @given(x=_words, y=_words, z=_words)
+    def test_triangle_inequality(self, x, y, z):
+        assert oracles.edit_distance(x, z) <= oracles.edit_distance(
+            x, y
+        ) + oracles.edit_distance(y, z)
+
+    @settings(max_examples=100)
+    @given(x=_words, y=_words)
+    def test_length_difference_lower_bound(self, x, y):
+        assert oracles.edit_distance(x, y) >= abs(len(x) - len(y))
+
+
+class TestShuffleLaws:
+    @settings(max_examples=100)
+    @given(y=_words, z=_words)
+    def test_concatenation_is_a_shuffle(self, y, z):
+        assert oracles.is_shuffle(y + z, y, z)
+        assert oracles.is_shuffle(z + y, y, z)
+
+    @settings(max_examples=100)
+    @given(x=_words, y=_words, z=_words)
+    def test_shuffle_requires_matching_length(self, x, y, z):
+        if len(x) != len(y) + len(z):
+            assert not oracles.is_shuffle(x, y, z)
+
+    @settings(max_examples=100)
+    @given(y=_words, z=_words)
+    def test_shuffle_symmetry(self, y, z):
+        for x in (y + z, z + y):
+            assert oracles.is_shuffle(x, y, z) == oracles.is_shuffle(x, z, y)
+
+
+class TestManifoldLaws:
+    @settings(max_examples=100)
+    @given(y=_words, n=st.integers(min_value=1, max_value=4))
+    def test_powers_are_manifolds(self, y, n):
+        assert oracles.is_manifold(y * n, y)
+
+    @settings(max_examples=100)
+    @given(x=_words, y=_words)
+    def test_manifold_implies_prefix(self, x, y):
+        if oracles.is_manifold(x, y):
+            assert oracles.is_prefix(y, x) or (x == "" and y == "")
+
+
+class TestTranslationLaws:
+    @settings(max_examples=100)
+    @given(x=_words)
+    def test_translation_is_an_involution(self, x):
+        assert oracles.translate_ab(oracles.translate_ab(x)) == x
+
+    @settings(max_examples=100)
+    @given(x=_words)
+    def test_copy_translation_closure(self, x):
+        assert oracles.is_copy_translation(x + oracles.translate_ab(x))

@@ -1,0 +1,106 @@
+"""Tests for the crossing-sequence construction (A″)."""
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.core.syntax import (
+    IsChar,
+    IsEmpty,
+    SStar,
+    WTrue,
+    atom,
+    concat,
+    left,
+    not_empty,
+    right,
+)
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.simulate import accepts
+from repro.safety.crossing import (
+    accepts_without_scanning_b,
+    build_crossing_automaton,
+    has_unread_cycle,
+)
+
+
+def a_star_scan_back():
+    """y ∈ a*, verified forward, then rewound to the left end."""
+    return concat(
+        SStar(atom(left("y"), IsChar("y", "a"))),
+        atom(left("y"), IsEmpty("y")),
+        SStar(atom(right("y"), not_empty("y"))),
+        atom(right("y"), IsEmpty("y")),
+    )
+
+
+class TestLanguagePreservation:
+    def test_a_star_language(self):
+        compiled = compile_string_formula(a_star_scan_back(), AB)
+        crossing = build_crossing_automaton(compiled.fsa, 0, set(), {0})
+        for word in AB.strings(4):
+            expected = accepts(compiled.fsa, (word,))
+            assert crossing.accepts(word) == expected, word
+
+    def test_manifold_b_language_matches_machine(self):
+        # For x ∈*_s y with b = y's tape: A″ accepts y iff some x makes
+        # the machine accept — i.e. every y (take x = y).
+        compiled = compile_string_formula(sh.manifold("x", "y"), AB)
+        b = compiled.tape_of("y")
+        crossing = build_crossing_automaton(
+            compiled.fsa, b, {compiled.tape_of("x")}, {b}
+        )
+        for word in AB.strings(3):
+            assert crossing.accepts(word), word
+
+    def test_anbncn_counter_language(self):
+        from repro.core.alphabet import Alphabet
+
+        abc = Alphabet("abc")
+        compiled = compile_string_formula(sh.anbncn_string_part("x", "y"), abc)
+        b = compiled.tape_of("y")
+        crossing = build_crossing_automaton(
+            compiled.fsa, b, {compiled.tape_of("x")}, {b}
+        )
+        # every y = any string of length n works with x = aⁿbⁿcⁿ
+        for word in ["", "a", "ab", "abc", "cb"]:
+            assert crossing.accepts(word), word
+
+
+class TestAnalyses:
+    def test_unread_cycle_detected_for_pumpable_b(self):
+        # y ∈ a* scanned back and forth with no other tape: pumpable.
+        compiled = compile_string_formula(a_star_scan_back(), AB)
+        crossing = build_crossing_automaton(compiled.fsa, 0, set(), {0})
+        assert has_unread_cycle(crossing)
+
+    def test_no_unread_cycle_when_input_paces_b(self):
+        # x ∈*_s y: y's squares are re-scanned only while consuming x.
+        compiled = compile_string_formula(sh.manifold("x", "y"), AB)
+        crossing = build_crossing_automaton(
+            compiled.fsa,
+            compiled.tape_of("y"),
+            {compiled.tape_of("x")},
+            {compiled.tape_of("y")},
+        )
+        assert not has_unread_cycle(crossing)
+        assert not accepts_without_scanning_b(crossing)
+
+    def test_unscanned_b_detected(self):
+        # only y's first character is ever inspected
+        phi = concat(
+            atom(left("y"), WTrue()),
+            atom(right("y"), WTrue()),
+        )
+        compiled = compile_string_formula(phi, AB)
+        crossing = build_crossing_automaton(compiled.fsa, 0, set(), {0})
+        assert accepts_without_scanning_b(crossing)
+
+    def test_scanned_b_not_flagged(self):
+        compiled = compile_string_formula(a_star_scan_back(), AB)
+        crossing = build_crossing_automaton(compiled.fsa, 0, set(), {0})
+        assert not accepts_without_scanning_b(crossing)
+
+    def test_size_reported(self):
+        compiled = compile_string_formula(a_star_scan_back(), AB)
+        crossing = build_crossing_automaton(compiled.fsa, 0, set(), {0})
+        assert crossing.size() > 0
+        assert len(crossing.states()) >= 2

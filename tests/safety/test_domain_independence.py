@@ -1,0 +1,168 @@
+"""Tests for limit functions and certified safe evaluation."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.core.query import Query
+from repro.core.semantics import evaluate_naive
+from repro.core.syntax import (
+    And,
+    Not,
+    exists,
+    forall,
+    lift,
+    rel,
+)
+from repro.errors import SafetyError
+from repro.safety.domain_independence import expression_limit, limit_function
+
+
+def db() -> Database:
+    return Database(
+        AB,
+        {
+            "R1": [("ab",), ("b",)],
+            "R3": [("ba",), ("a",)],
+            "P": [("ab", "ab"), ("a", "ba")],
+        },
+    )
+
+
+class TestLimitFunction:
+    def test_relational_atom(self):
+        report = limit_function(rel("R1", "x"), AB)
+        assert report is not None
+        assert report.bound(db()) >= 2
+
+    def test_selection_with_string_formula(self):
+        phi = And(rel("P", "x", "y"), lift(sh.equals("x", "y")))
+        report = limit_function(phi, AB)
+        assert report is not None
+        assert report.bound(db()) >= 2
+
+    def test_concatenation_query_certified(self):
+        """The paper's Section 4 running example is domain independent:
+        W(db) must dominate max(R1, db) + max(R3, db)."""
+        phi = exists(
+            ["y", "z"],
+            And(
+                And(rel("R1", "y"), rel("R3", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        )
+        report = limit_function(phi, AB)
+        assert report is not None
+        assert report.bound(db()) >= 4
+
+    def test_constant_formula_certified(self):
+        report = limit_function(lift(sh.constant("x", "ab")), AB)
+        assert report is not None
+        assert report.bound(db()) >= 2
+
+    def test_unsafe_a_star_not_certified(self):
+        from repro.core.syntax import IsChar, IsEmpty, SStar, atom, concat, left
+
+        phi = lift(
+            concat(
+                SStar(atom(left("x"), IsChar("x", "a"))),
+                atom(left("x"), IsEmpty("x")),
+            )
+        )
+        assert limit_function(phi, AB) is None
+
+    def test_unsafe_manifold_direction_not_certified(self):
+        # y | ∃x R1(x) ∧ (y is a manifold of x): y unbounded.
+        phi = exists("x", And(rel("R1", "x"), lift(sh.manifold("y", "x"))))
+        assert limit_function(phi, AB) is None
+
+    def test_safe_manifold_direction_certified(self):
+        # y | ∃x R1(x) ∧ (x is a manifold of y): |y| <= |x|.
+        phi = exists("x", And(rel("R1", "x"), lift(sh.manifold("x", "y"))))
+        report = limit_function(phi, AB)
+        assert report is not None
+        assert report.bound(db()) >= 2
+
+    def test_negation_inherits_context_bounds(self):
+        phi = And(rel("R1", "x"), Not(lift(sh.constant("x", "b"))))
+        report = limit_function(phi, AB)
+        assert report is not None
+
+    def test_unbounded_quantifier_not_certified(self):
+        # ∀x: proper_prefix(x, y) — the paper's ω-style unsafe pattern.
+        phi = forall("x", lift(sh.proper_prefix_of("x", "y")))
+        assert limit_function(phi, AB) is None
+
+    def test_bound_description_is_readable(self):
+        report = limit_function(rel("R1", "x"), AB)
+        assert "R1" in report.describe()
+
+
+class TestCertifiedQueryEvaluation:
+    def test_query_auto_length_matches_naive(self):
+        phi = exists(
+            ["y", "z"],
+            And(
+                And(rel("R1", "y"), rel("R3", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        )
+        q = Query(("x",), phi, AB)
+        auto = q.evaluate(db())  # derives the limit itself
+        manual = evaluate_naive(phi, ("x",), db(), tuple(AB.strings(4)))
+        assert auto == manual
+        assert ("abba",) in auto
+
+    def test_query_without_certificate_raises(self):
+        from repro.core.syntax import IsChar, IsEmpty, SStar, atom, concat, left
+
+        phi = lift(
+            concat(
+                SStar(atom(left("x"), IsChar("x", "a"))),
+                atom(left("x"), IsEmpty("x")),
+            )
+        )
+        q = Query(("x",), phi, AB)
+        with pytest.raises(SafetyError):
+            q.evaluate(db())
+
+
+class TestExpressionLimit:
+    def test_relation_and_operators(self):
+        from repro.algebra.expressions import Diff, Product, Project, Rel, Union
+
+        assert expression_limit(Rel("R1", 1), db()) == 2
+        assert expression_limit(Union(Rel("R1", 1), Rel("R3", 1)), db()) == 2
+        assert (
+            expression_limit(Project(Product(Rel("R1", 1), Rel("P", 2)), (1,)), db())
+            == 2
+        )
+
+    def test_bare_sigma_star_unbounded(self):
+        from repro.algebra.expressions import SigmaStar
+
+        assert expression_limit(SigmaStar(), db()) is None
+
+    def test_generative_selection_bounded(self):
+        from repro.algebra.expressions import Rel, Select, SigmaStar, product_of
+        from repro.fsa.compile import compile_string_formula
+
+        machine = compile_string_formula(
+            sh.concatenation("x", "y", "z"), AB, variables=("x", "y", "z")
+        ).fsa
+        expr = Select(
+            product_of([SigmaStar(), Rel("R1", 1), Rel("R3", 1)]), machine
+        )
+        limit = expression_limit(expr, db())
+        assert limit is not None and limit >= 4
+
+    def test_unlimited_selection_unbounded(self):
+        from repro.algebra.expressions import Rel, Select, SigmaStar, product_of
+        from repro.fsa.compile import compile_string_formula
+
+        machine = compile_string_formula(
+            sh.prefix_of("x", "y"), AB, variables=("x", "y")
+        ).fsa
+        expr = Select(product_of([Rel("R1", 1), SigmaStar()]), machine)
+        assert expression_limit(expr, db()) is None

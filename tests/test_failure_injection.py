@@ -1,0 +1,186 @@
+"""Failure-injection tests: every error path raises the right error.
+
+The library's contract is that deliberate failures surface as
+:class:`ReproError` subclasses with actionable messages — never as
+silent wrong answers or anonymous ``KeyError``/``ValueError`` leaks.
+This module drives malformed inputs through each public surface.
+"""
+
+import pytest
+
+from repro.core.alphabet import AB, DNA, LEFT_END, Alphabet
+from repro.core.database import Database
+from repro.core.query import Query
+from repro.core.syntax import Exists, Not, atom, exists, left, lift, rel
+from repro.errors import (
+    AlphabetError,
+    ArityError,
+    AssignmentError,
+    EvaluationError,
+    LimitationError,
+    ParseError,
+    ReproError,
+    SafetyError,
+    TransitionError,
+    UnboundedQueryError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error in (
+            AlphabetError,
+            ArityError,
+            AssignmentError,
+            EvaluationError,
+            LimitationError,
+            ParseError,
+            SafetyError,
+            TransitionError,
+            UnboundedQueryError,
+        ):
+            assert issubclass(error, ReproError)
+        assert issubclass(UnboundedQueryError, EvaluationError)
+
+
+class TestDataBoundary:
+    def test_foreign_characters_stopped_at_database(self):
+        with pytest.raises(AlphabetError):
+            Database(DNA, {"R": [("hello",)]})
+
+    def test_foreign_characters_stopped_at_simulation(self):
+        from repro.core import shorthands as sh
+        from repro.fsa.compile import compile_string_formula
+        from repro.fsa.simulate import accepts
+
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        with pytest.raises(AlphabetError):
+            accepts(fsa, ("xy", "xy"))
+
+    def test_wrong_tuple_width_stopped_at_simulation(self):
+        from repro.core import shorthands as sh
+        from repro.fsa.compile import compile_string_formula
+        from repro.fsa.simulate import accepts
+
+        fsa = compile_string_formula(sh.equals("x", "y"), AB).fsa
+        with pytest.raises(ArityError):
+            accepts(fsa, ("ab",))
+
+    def test_mismatched_alphabet_between_query_and_db(self):
+        # The database boundary catches values outside ITS alphabet;
+        # a query over a different alphabet then simply finds no
+        # matching strings — no silent crash.
+        db = Database(AB, {"R": [("ab",)]})
+        q = Query(("x",), rel("R", "x"), Alphabet("cd"))
+        assert q.evaluate(db, length=2) == frozenset()
+
+
+class TestUnsafeQueries:
+    def test_uncertified_query_refuses_auto_evaluation(self):
+        from repro.core import shorthands as sh
+
+        db = Database(AB, {"R": [("ab",)]})
+        q = Query(
+            ("y",),
+            exists("x", rel("R", "x") & lift(sh.manifold("y", "x"))),
+            AB,
+        )
+        with pytest.raises(SafetyError):
+            q.evaluate(db)
+
+    def test_unbounded_generation_raises_not_hangs(self):
+        from repro.core.syntax import IsChar, SStar, WTrue, concat
+        from repro.fsa.compile import compile_string_formula
+        from repro.fsa.generate import accepted_tuples
+
+        # [x]_l x='a' pins one character and accepts all extensions:
+        # with an absurd cap, materializing them must fail loudly.
+        phi = atom(left("x"), IsChar("x", "a"))
+        fsa = compile_string_formula(phi, AB).fsa
+        with pytest.raises(UnboundedQueryError):
+            accepted_tuples(fsa, max_length=200)
+
+    def test_crossing_state_explosion_capped(self):
+        from repro.core import shorthands as sh
+        from repro.fsa.compile import compile_string_formula
+        from repro.safety.crossing import build_crossing_automaton
+
+        fsa = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+        with pytest.raises(LimitationError):
+            build_crossing_automaton(fsa, 1, {0}, {1}, max_states=1)
+
+
+class TestStructuralValidation:
+    def test_transition_off_tape_area(self):
+        from repro.fsa.machine import Transition
+
+        with pytest.raises(TransitionError):
+            Transition("p", (LEFT_END,), "q", (-1,))
+
+    def test_query_head_validation(self):
+        with pytest.raises(EvaluationError):
+            Query(("x", "y"), rel("R", "x"), AB)
+
+    def test_quantifier_capture_detected(self):
+        from repro.core.syntax import rename_free
+
+        with pytest.raises(AssignmentError):
+            rename_free(Exists("y", rel("R", "x", "y")), {"x": "y"})
+
+    def test_parser_rejects_garbage(self):
+        from repro.core.parser import parse_formula
+
+        for garbage in ("", "R(", "exists : R(x)", "[x]l &", "R(x) &&"):
+            with pytest.raises(ParseError):
+                parse_formula(garbage)
+
+    def test_planner_rejects_unsupported_shapes_loudly(self):
+        db = Database(AB, {"R": [("a",)]})
+        q = Query(("x",), Not(Exists("y", rel("R", "y"))) & rel("R", "x"), AB)
+        with pytest.raises(EvaluationError):
+            q.evaluate(db, length=2, engine="planner")
+
+
+class TestCLIFailures:
+    def test_unknown_relation_is_empty_not_crash(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps({"R": [["a"]]}))
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                str(path),
+                "--head=x",
+                "--length",
+                "1",
+                "Missing(x)",
+            ]
+        )
+        assert code == 0  # empty answer, clean exit
+
+    def test_malformed_formula_reports_error(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps({"R": [["a"]]}))
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                str(path),
+                "--head=x",
+                "R(x",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

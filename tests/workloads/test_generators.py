@@ -1,0 +1,74 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.core.alphabet import AB, DNA
+from repro.workloads import generators, oracles
+
+
+class TestUniformStrings:
+    def test_deterministic_by_seed(self):
+        first = generators.uniform_strings(DNA, 10, 5, seed=3)
+        second = generators.uniform_strings(DNA, 10, 5, seed=3)
+        assert first == second
+        assert first != generators.uniform_strings(DNA, 10, 5, seed=4)
+
+    def test_lengths_respected(self):
+        strings = generators.uniform_strings(AB, 50, 4, min_length=2, seed=0)
+        assert all(2 <= len(s) <= 4 for s in strings)
+
+    def test_alphabet_respected(self):
+        strings = generators.uniform_strings(DNA, 30, 6, seed=1)
+        assert all(set(s) <= set(DNA.symbols) for s in strings)
+
+
+class TestPlantedMotif:
+    def test_fraction_contains_motif(self):
+        strings = generators.with_planted_motif(
+            DNA, "gcgc", count=20, max_length=4, fraction=0.5, seed=2
+        )
+        hits = sum(1 for s in strings if "gcgc" in s)
+        assert hits >= 10  # planted half, possibly more by chance
+
+    def test_motif_validated(self):
+        import pytest
+
+        from repro.errors import AlphabetError
+
+        with pytest.raises(AlphabetError):
+            generators.with_planted_motif(DNA, "xyz", 5, 4)
+
+
+class TestNearDuplicates:
+    def test_within_edit_budget(self):
+        base = "acgtac"
+        strings = generators.near_duplicates(DNA, base, 20, max_edits=3, seed=4)
+        assert all(
+            oracles.edit_distance(base, s) <= 3 for s in strings
+        )
+
+
+class TestCopyLanguage:
+    def test_strings_are_copy_translations(self):
+        strings = generators.copy_language_strings(15, 4, seed=5)
+        assert all(oracles.is_copy_translation(s) for s in strings)
+
+
+class TestManifoldStrings:
+    def test_pairs_are_manifolds(self):
+        pairs = generators.manifold_strings(AB, 15, 3, 4, seed=6)
+        assert all(oracles.is_manifold(x, y) for x, y in pairs)
+        assert all(y for _, y in pairs)
+
+
+class TestExampleDatabase:
+    def test_shape(self):
+        db = generators.example_database(AB, seed=7, size=5)
+        assert db.arity("R1") == 2
+        assert db.arity("R2") == 1
+        assert len(db.relation("R1")) <= 5
+
+    def test_explicit_contents(self):
+        db = generators.example_database(
+            AB, pairs=[("a", "b")], singles=["ab"]
+        )
+        assert db.relation("R1") == {("a", "b")}
+        assert db.relation("R2") == {("ab",)}
