@@ -14,6 +14,9 @@ Strings in Databases* (PODS 1994; JCSS 59, 1999):
 * :mod:`repro.expressive` — the expressive-power constructions of
   Section 6 (regular sets, r.e. sets, sequence logic, the polynomial
   hierarchy, PSPACE).
+* :mod:`repro.engine` — the query engine layer: cached
+  :class:`QueryEngine` sessions, batch evaluation, and the registry of
+  evaluation strategies.
 * :mod:`repro.workloads` — deterministic synthetic string workloads.
 """
 
@@ -24,4 +27,10 @@ from repro.core import (  # noqa: F401  (re-exported convenience API)
     Alphabet,
     Database,
     Query,
+)
+from repro.engine import (  # noqa: F401  (re-exported convenience API)
+    QueryEngine,
+    available_engines,
+    get_engine,
+    register_engine,
 )

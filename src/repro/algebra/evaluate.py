@@ -46,17 +46,18 @@ def _flatten_product(expression: Expression) -> list[Expression]:
 
 
 def _evaluate_select(
-    select: Select, db: Database, length: int
+    select: Select, db: Database, length: int, session=None
 ) -> Relation:
     """Selection, generating ``Σ*`` columns instead of materializing them.
 
     Factors that are ``Σ*`` become generated tapes; all other factors
     are evaluated and iterated, their columns fixed in the machine via
-    Lemma 3.1.
+    Lemma 3.1.  With a ``session`` (:class:`repro.engine.QueryEngine`)
+    the specialize/generate steps are served from its caches.
     """
     factors = _flatten_product(select.inner)
     if not any(isinstance(f, SigmaStar) for f in factors):
-        inner = _evaluate(select.inner, db, length)
+        inner = _evaluate(select.inner, db, length, session)
         return frozenset(
             row for row in inner if accepts(select.machine, row)
         )
@@ -70,7 +71,7 @@ def _evaluate_select(
             generated_tapes.extend(span)
         else:
             concrete.append(span)
-            concrete_values.append(_evaluate(factor, db, length))
+            concrete_values.append(_evaluate(factor, db, length, session))
         column += factor.arity
     width = column
     results: set[tuple[str, ...]] = set()
@@ -79,9 +80,13 @@ def _evaluate_select(
         for span, row in zip(concrete, rows):
             for tape, value in zip(span, row):
                 fixed[tape] = value
-        for outputs in accepted_tuples(
-            select.machine, max_length=length, fixed=fixed
-        ):
+        if session is not None:
+            generated = session.generated(select.machine, length, fixed)
+        else:
+            generated = accepted_tuples(
+                select.machine, max_length=length, fixed=fixed
+            )
+        for outputs in generated:
             merged = [""] * width
             for tape, value in fixed.items():
                 merged[tape] = value
@@ -91,7 +96,9 @@ def _evaluate_select(
     return frozenset(results)
 
 
-def _evaluate(expression: Expression, db: Database, length: int) -> Relation:
+def _evaluate(
+    expression: Expression, db: Database, length: int, session=None
+) -> Relation:
     if isinstance(expression, Rel):
         return db.relation(expression.name)
     if isinstance(expression, SigmaStar):
@@ -101,24 +108,24 @@ def _evaluate(expression: Expression, db: Database, length: int) -> Relation:
         bound = min(expression.bound, length) if length >= 0 else expression.bound
         return frozenset((s,) for s in db.alphabet.strings(bound))
     if isinstance(expression, Union):
-        return _evaluate(expression.left, db, length) | _evaluate(
-            expression.right, db, length
+        return _evaluate(expression.left, db, length, session) | _evaluate(
+            expression.right, db, length, session
         )
     if isinstance(expression, Diff):
-        return _evaluate(expression.left, db, length) - _evaluate(
-            expression.right, db, length
+        return _evaluate(expression.left, db, length, session) - _evaluate(
+            expression.right, db, length, session
         )
     if isinstance(expression, Product):
-        left = _evaluate(expression.left, db, length)
-        right = _evaluate(expression.right, db, length)
+        left = _evaluate(expression.left, db, length, session)
+        right = _evaluate(expression.right, db, length, session)
         return frozenset(l + r for l in left for r in right)
     if isinstance(expression, Project):
-        inner = _evaluate(expression.inner, db, length)
+        inner = _evaluate(expression.inner, db, length, session)
         return frozenset(
             tuple(row[i] for i in expression.columns) for row in inner
         )
     if isinstance(expression, Select):
-        return _evaluate_select(expression, db, length)
+        return _evaluate_select(expression, db, length, session)
     raise TypeError(f"not an algebra expression: {expression!r}")
 
 
@@ -127,17 +134,20 @@ def evaluate_expression(
     db: Database,
     length: int,
     domain: tuple[str, ...] | None = None,
+    session=None,
 ) -> Relation:
     """``db(E ↓ length)`` — the truncated value of the expression.
 
     ``domain`` is accepted for interface compatibility with the naive
     engine; evaluation is always over ``Σ^{<=length}``, so a caller
     passing a non-prefix-closed domain should compare against the
-    truncated semantics instead.
+    truncated semantics instead.  ``session`` optionally supplies a
+    :class:`repro.engine.QueryEngine` whose caches back the generative
+    selections.
     """
     if length < 0:
         raise EvaluationError("truncation length must be non-negative")
-    return _evaluate(expression, db, length)
+    return _evaluate(expression, db, length, session)
 
 
 def evaluate_exact(

@@ -167,7 +167,10 @@ def _columns_invariant(formula: Formula) -> tuple[Var, ...]:
     return tuple(sorted(free_variables(formula)))
 
 
-def _translate(formula: Formula, alphabet: Alphabet) -> Expression:
+def _translate(
+    formula: Formula, alphabet: Alphabet, compiler=None
+) -> Expression:
+    compile_ = compiler if compiler is not None else compile_string_formula
     if isinstance(formula, RelAtom):
         occurring = tuple(sorted(set(formula.args)))
         parts = [
@@ -180,8 +183,8 @@ def _translate(formula: Formula, alphabet: Alphabet) -> Expression:
         return partitioned(base, parts, alphabet)
     if isinstance(formula, StringAtom):
         variables = tuple(sorted(string_variables(formula.formula)))
-        machine = compile_string_formula(
-            formula.formula, alphabet, variables=variables
+        machine = compile_(
+            formula.formula, alphabet, variables
         ).fsa
         if not variables:
             # A variable-free string formula is a 0-ary condition: true
@@ -191,8 +194,8 @@ def _translate(formula: Formula, alphabet: Alphabet) -> Expression:
             return _empty_zero_ary()
         return Select(product_of(sigma_power(len(variables))), machine)
     if isinstance(formula, And):
-        left_expr = _translate(formula.left, alphabet)
-        right_expr = _translate(formula.right, alphabet)
+        left_expr = _translate(formula.left, alphabet, compiler)
+        right_expr = _translate(formula.right, alphabet, compiler)
         left_vars = _columns_invariant(formula.left)
         right_vars = _columns_invariant(formula.right)
         sequence = list(left_vars) + list(right_vars)
@@ -205,14 +208,14 @@ def _translate(formula: Formula, alphabet: Alphabet) -> Expression:
         ]
         return partitioned(Product(left_expr, right_expr), parts, alphabet)
     if isinstance(formula, Not):
-        inner = _translate(formula.inner, alphabet)
+        inner = _translate(formula.inner, alphabet, compiler)
         width = len(_columns_invariant(formula))
         if width == 0:
             return Diff(Project(SigmaStar(), ()), inner)
         return Diff(product_of(sigma_power(width)), inner)
     if isinstance(formula, Exists):
         inner_vars = _columns_invariant(formula.inner)
-        inner = _translate(formula.inner, alphabet)
+        inner = _translate(formula.inner, alphabet, compiler)
         if formula.var not in inner_vars:
             return inner
         keep = tuple(
@@ -244,19 +247,23 @@ def calculus_to_algebra(
     formula: Formula,
     head: Sequence[Var],
     alphabet: Alphabet,
+    compiler=None,
 ) -> Expression:
     """Theorem 4.2: an expression ``E_φ`` with ``⟦φ⟧_db = db(E_φ)``.
 
     The expression's columns follow ``head`` (which must list exactly
     the free variables); internally the translation keeps columns in
-    ascending variable order and reorders at the end.
+    ascending variable order and reorders at the end.  ``compiler``
+    optionally replaces :func:`compile_string_formula` for the string
+    atoms' selection machines — engine sessions pass their cached
+    compile so translations share machines with evaluation.
     """
     free = free_variables(formula)
     if set(head) != free or len(set(head)) != len(head):
         raise EvaluationError(
             f"head {head!r} must list the free variables {sorted(free)} exactly"
         )
-    expression = _translate(formula, alphabet)
+    expression = _translate(formula, alphabet, compiler)
     ordered = _columns_invariant(formula)
     wanted = tuple(ordered.index(var) for var in head)
     if wanted != tuple(range(len(ordered))):

@@ -23,7 +23,6 @@ Formulas use the concrete syntax of :mod:`repro.core.parser`.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.core.alphabet import Alphabet
@@ -32,6 +31,7 @@ from repro.core.parser import parse_formula, parse_string_formula
 from repro.core.query import Query
 from repro.core.semantics import check_string_formula
 from repro.core.syntax import string_variables
+from repro.engine import QueryEngine, available_engines
 from repro.errors import ReproError
 
 
@@ -53,15 +53,6 @@ def _parse_bindings(pairs: list[str]) -> dict[str, str]:
     return bindings
 
 
-def _load_database(path: str, alphabet: Alphabet) -> Database:
-    with open(path) as handle:
-        raw = json.load(handle)
-    return Database(
-        alphabet,
-        {name: [tuple(row) for row in rows] for name, rows in raw.items()},
-    )
-
-
 def cmd_check(args: argparse.Namespace) -> int:
     alphabet = _alphabet(args.alphabet)
     formula = parse_string_formula(args.formula)
@@ -78,10 +69,12 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     alphabet = _alphabet(args.alphabet)
-    database = _load_database(args.db, alphabet)
+    database = Database.from_json(args.db, alphabet)
     formula = parse_formula(args.formula)
     query = Query(tuple(args.head), formula, alphabet)
-    answers = query.evaluate(
+    session = QueryEngine()
+    answers = session.evaluate(
+        query,
         database,
         length=args.length,
         engine=args.engine,
@@ -89,6 +82,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     for row in sorted(answers):
         print("\t".join(value if value else "ε" for value in row))
     print(f"-- {len(answers)} tuple(s)", file=sys.stderr)
+    if args.stats:
+        print(session.stats.describe(), file=sys.stderr)
     return 0
 
 
@@ -155,10 +150,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--engine",
-        choices=("naive", "planner", "algebra"),
-        default="naive",
-        help="evaluation engine (default: naive, with automatic planner "
-        "fallback when no --length is given)",
+        choices=available_engines(),
+        default="auto",
+        help="evaluation engine from the repro.engine registry "
+        "(default: auto — planner first, naive fallback, when no "
+        "--length is given)",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache/timing instrumentation to stderr",
     )
     query.add_argument("formula")
     query.set_defaults(handler=cmd_query)

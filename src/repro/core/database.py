@@ -7,6 +7,8 @@ column of every tuple holds a finite string over the fixed alphabet.
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Iterable, Mapping
 
 from repro.core.alphabet import Alphabet
@@ -109,6 +111,91 @@ class Database:
             for row in self.relation(name):
                 found.update(row)
         return frozenset(found)
+
+    # -- JSON interchange -----------------------------------------------
+
+    @classmethod
+    def from_json(
+        cls,
+        source: "str | os.PathLike[str] | Mapping",
+        alphabet: Alphabet | None = None,
+    ) -> "Database":
+        """Build a database from a JSON file path or a parsed mapping.
+
+        Two layouts are accepted:
+
+        * the **bare** form ``{"R1": [["ab", "ba"], …], …}`` (the CLI's
+          historical ``--db`` format) — requires ``alphabet``;
+        * the **self-describing** form produced by :meth:`to_json`,
+          ``{"alphabet": "ab", "relations": {…}}`` — ``alphabet`` is
+          then optional, and must match the embedded one when given.
+
+        Every stored string is validated against the alphabet (the
+        constructor's usual boundary check), so a successful round trip
+        through ``to_json``/``from_json`` reproduces the database
+        exactly.
+        """
+        if isinstance(source, (str, os.PathLike)):
+            with open(source) as handle:
+                raw = json.load(handle)
+        elif isinstance(source, Mapping):
+            raw = source
+        else:
+            raise AlphabetError(
+                f"from_json expects a path or mapping, got {type(source).__name__}"
+            )
+        if not isinstance(raw, Mapping):
+            raise ArityError("database JSON must be an object of relations")
+        if (
+            set(raw) <= {"alphabet", "relations"}
+            and isinstance(raw.get("relations"), Mapping)
+        ):
+            embedded = raw.get("alphabet")
+            if embedded is not None:
+                candidate = Alphabet(embedded)
+                if alphabet is not None and alphabet != candidate:
+                    raise AlphabetError(
+                        f"database declares alphabet {candidate}, "
+                        f"caller supplied {alphabet}"
+                    )
+                alphabet = candidate
+            relations = raw["relations"]
+        else:
+            relations = raw
+        if alphabet is None:
+            raise AlphabetError(
+                "no alphabet: pass one explicitly or use the "
+                '{"alphabet": …, "relations": …} layout'
+            )
+        frozen: dict[str, list[tuple[str, ...]]] = {}
+        for name, rows in relations.items():
+            if not isinstance(rows, (list, tuple)):
+                raise ArityError(
+                    f"relation {name!r} must be a list of rows, got "
+                    f"{type(rows).__name__}"
+                )
+            frozen[name] = [tuple(row) for row in rows]
+        return cls(alphabet, frozen)
+
+    def to_json(self) -> dict:
+        """The self-describing JSON mapping of this database.
+
+        Rows are sorted, so the output is deterministic and
+        ``Database.from_json(db.to_json()) == db``.
+        """
+        return {
+            "alphabet": "".join(self._alphabet.symbols),
+            "relations": {
+                name: [list(row) for row in sorted(rows)]
+                for name, rows in sorted(self._relations.items())
+            },
+        }
+
+    def dump_json(self, path: "str | os.PathLike[str]") -> None:
+        """Write :meth:`to_json` to ``path`` (UTF-8, indented)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
 
     def with_relation(
         self, name: str, tuples: Iterable[tuple[str, ...]]

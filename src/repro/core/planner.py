@@ -56,11 +56,15 @@ class _Literal:
         return string_variables(self.atom.formula)
 
 
-def _decompose(formula: Formula) -> tuple[list[Var], list[_Literal]] | None:
+def decompose_conjunctive(
+    formula: Formula,
+) -> tuple[list[Var], list[_Literal]] | None:
     """Strip the ∃-prefix and flatten the conjunction of literals.
 
     Returns ``None`` when the formula does not have the supported
     shape (e.g. nested quantifiers under negation, disjunctions).
+    The result is a pure function of the formula — engine sessions
+    cache it as the query's *plan*.
     """
     quantified: list[Var] = []
     body = formula
@@ -130,13 +134,23 @@ def _generate(
     literal: _Literal,
     alphabet: Alphabet,
     cap: int,
+    session=None,
 ) -> list[Binding]:
     """Extend bindings with the literal's unbound variables via the
-    compiled machine's output generation."""
+    compiled machine's output generation.
+
+    With a ``session`` (a :class:`repro.engine.QueryEngine`), the
+    compiled machine, its specializations on already-bound values, and
+    the generated answer sets are all served from the session's caches
+    — the generator-machine reuse that makes repeated traffic fast.
+    """
     from repro.fsa.compile import compile_string_formula
     from repro.fsa.generate import accepted_tuples
 
-    compiled = compile_string_formula(literal.atom.formula, alphabet)
+    if session is not None:
+        compiled = session.compile(literal.atom.formula, alphabet)
+    else:
+        compiled = compile_string_formula(literal.atom.formula, alphabet)
     out: list[Binding] = []
     for binding in bindings:
         fixed = {
@@ -147,9 +161,13 @@ def _generate(
         free_order = [
             var for var in compiled.variables if var not in binding
         ]
-        for values in accepted_tuples(
-            compiled.fsa, max_length=cap, fixed=fixed
-        ):
+        if session is not None:
+            values_set = session.generated(compiled.fsa, cap, fixed)
+        else:
+            values_set = accepted_tuples(
+                compiled.fsa, max_length=cap, fixed=fixed
+            )
+        for values in values_set:
             extended = dict(binding)
             extended.update(zip(free_order, values))
             out.append(extended)
@@ -162,14 +180,20 @@ def evaluate_conjunctive(
     db: Database,
     alphabet: Alphabet,
     cap: int,
+    session=None,
 ) -> frozenset[tuple[str, ...]] | None:
     """Evaluate a conjunctive query, or ``None`` if unsupported.
 
     ``cap`` bounds generated string lengths (supply the certified limit
     function's value ``W(db)``; for safe queries generation halts long
-    before the cap is reached).
+    before the cap is reached).  ``session`` — when given — is a
+    :class:`repro.engine.QueryEngine` whose plan, compile, specialize
+    and generate caches back every stage.
     """
-    decomposed = _decompose(formula)
+    if session is not None:
+        decomposed = session.plan(formula)
+    else:
+        decomposed = decompose_conjunctive(formula)
     if decomposed is None:
         return None
     _, literals = decomposed
@@ -213,7 +237,7 @@ def evaluate_conjunctive(
         elif action == "join":
             bindings = _join_relational(bindings, literal, db)
         else:
-            bindings = _generate(bindings, literal, alphabet, cap)
+            bindings = _generate(bindings, literal, alphabet, cap, session)
         if not bindings:
             return frozenset()
         # Joins and generators can produce duplicate bindings; dedupe

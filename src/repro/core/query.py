@@ -17,9 +17,8 @@ from dataclasses import dataclass
 
 from repro.core.alphabet import Alphabet
 from repro.core.database import Database
-from repro.core.semantics import evaluate_naive
 from repro.core.syntax import Formula, Var, free_variables
-from repro.errors import EvaluationError, SafetyError
+from repro.errors import EvaluationError
 
 
 @dataclass(frozen=True)
@@ -55,7 +54,7 @@ class Query:
         self,
         db: Database,
         length: int | None = None,
-        engine: str = "naive",
+        engine: "str | object" = "auto",
         domain: Sequence[str] | None = None,
     ) -> frozenset[tuple[str, ...]]:
         """The truncated answer ``⟦φ⟧^l_db``.
@@ -67,8 +66,11 @@ class Query:
         explicit candidate string pool instead, bypassing ``Σ^{<=l}``
         enumeration.
 
-        ``engine`` selects the implementation:
+        ``engine`` names a strategy from the :mod:`repro.engine`
+        registry, or is an :class:`~repro.engine.Engine` object:
 
+        * ``"auto"`` (default) — planner-first with naive fallback when
+          no ``length``/``domain`` is given; plain naive otherwise.
         * ``"naive"`` — the direct model checker of
           :mod:`repro.core.semantics` (reference oracle).
         * ``"algebra"`` — translate to alignment algebra (Theorem 4.2)
@@ -76,62 +78,23 @@ class Query:
         * ``"planner"`` — the conjunctive planner of
           :mod:`repro.core.planner` (joins, then machine generation).
 
-        When no ``length``/``domain`` is given, the safety analysis
-        certifies a bound and the planner is tried first — certified
-        bounds are sound but loose, and only generation-based
-        evaluation stays practical under them.
+        Evaluation routes through the process-wide
+        :class:`repro.engine.QueryEngine` session, so compiled
+        machines, limit reports and domain enumerations are reused
+        across calls; hold a dedicated session for isolated workloads
+        or batch evaluation (``QueryEngine.evaluate_many``).
         """
-        if domain is None:
-            if length is None:
-                length = self.certified_length(db)
-                if engine == "naive":
-                    planned = self._plan(db, length)
-                    if planned is not None:
-                        return planned
-            domain = tuple(self.alphabet.strings(length))
-        if engine == "planner":
-            bound = length
-            if bound is None:
-                bound = max((len(s) for s in domain), default=0)
-            planned = self._plan(db, bound)
-            if planned is None:
-                raise EvaluationError(
-                    "query shape not supported by the conjunctive planner"
-                )
-            return planned
-        if engine == "naive":
-            return evaluate_naive(self.formula, self.head, db, domain)
-        if engine == "algebra":
-            from repro.algebra.translate import calculus_to_algebra
-            from repro.algebra.evaluate import evaluate_expression
+        from repro.engine import default_engine
 
-            expression = calculus_to_algebra(
-                self.formula, self.head, self.alphabet
-            )
-            bound = max((len(s) for s in domain), default=0)
-            return evaluate_expression(
-                expression, db, length=bound, domain=tuple(domain)
-            )
-        raise EvaluationError(f"unknown engine {engine!r}")
-
-    def _plan(self, db: Database, cap: int) -> frozenset | None:
-        from repro.core.planner import evaluate_conjunctive
-
-        return evaluate_conjunctive(
-            self.formula, self.head, db, self.alphabet, cap
+        return default_engine().evaluate(
+            self, db, length=length, engine=engine, domain=domain
         )
 
     def certified_length(self, db: Database) -> int:
         """A truncation bound from the safety analysis, if derivable."""
-        from repro.safety.domain_independence import limit_function
+        from repro.engine import default_engine
 
-        report = limit_function(self.formula, self.alphabet)
-        if report is None:
-            raise SafetyError(
-                "no limit function could be certified for this query; "
-                "pass an explicit length"
-            )
-        return report.bound(db)
+        return default_engine().certified_length(self, db)
 
     def __str__(self) -> str:
         return f"{', '.join(self.head)} | {self.formula}"

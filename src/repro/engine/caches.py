@@ -1,0 +1,137 @@
+"""Instrumented caches backing a :class:`~repro.engine.QueryEngine`.
+
+Every compiled artifact the engine reuses — Theorem 3.1 machines,
+Lemma 3.1 specializations, generated answer sets, Theorem 4.2 algebra
+translations, Section 5 limit reports — lives in a :class:`KeyedCache`
+keyed by *structural* identity: formulae, alphabets and machines are
+frozen values, so two independently constructed but equal formulae
+share one cache entry.  Each cache counts hits and misses and accounts
+the wall-clock time spent computing misses, so benchmarks can assert
+reuse instead of guessing at it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters plus time spent computing misses."""
+
+    hits: int = 0
+    misses: int = 0
+    seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "seconds": self.seconds,
+        }
+
+
+class KeyedCache:
+    """A memo table with hit/miss instrumentation and optional bounding.
+
+    ``max_entries`` bounds memory for caches whose values can be large
+    (generated answer sets); eviction is oldest-first, which is enough
+    for the repeated-query traffic the engine targets.  ``None`` values
+    are cached like any other result (limit reports legitimately derive
+    to "no bound certifiable").
+    """
+
+    __slots__ = ("name", "stats", "_store", "_max_entries")
+
+    def __init__(self, name: str, max_entries: int | None = None) -> None:
+        self.name = name
+        self.stats = CacheStats()
+        self._store: dict[Hashable, Any] = {}
+        self._max_entries = max_entries
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        value = self._store.get(key, _MISSING)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            return value
+        started = perf_counter()
+        value = compute()
+        self.stats.seconds += perf_counter() - started
+        self.stats.misses += 1
+        if (
+            self._max_entries is not None
+            and len(self._store) >= self._max_entries
+        ):
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+@dataclass
+class EngineStats:
+    """Aggregated instrumentation for one :class:`QueryEngine` session."""
+
+    caches: dict[str, CacheStats] = field(default_factory=dict)
+    evaluations: dict[str, int] = field(default_factory=dict)
+    engine_seconds: dict[str, float] = field(default_factory=dict)
+
+    def register_cache(self, cache: KeyedCache) -> KeyedCache:
+        self.caches[cache.name] = cache.stats
+        return cache
+
+    def record_evaluation(self, engine_name: str, seconds: float) -> None:
+        self.evaluations[engine_name] = self.evaluations.get(engine_name, 0) + 1
+        self.engine_seconds[engine_name] = (
+            self.engine_seconds.get(engine_name, 0.0) + seconds
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-data view, stable enough for tests and CLI output."""
+        return {
+            "caches": {
+                name: stats.snapshot() for name, stats in self.caches.items()
+            },
+            "evaluations": dict(self.evaluations),
+            "engine_seconds": dict(self.engine_seconds),
+        }
+
+    def describe(self) -> str:
+        lines = []
+        for name in sorted(self.caches):
+            stats = self.caches[name]
+            lines.append(
+                f"cache {name:<10} hits={stats.hits:<6} "
+                f"misses={stats.misses:<6} hit_rate={stats.hit_rate:.0%} "
+                f"miss_seconds={stats.seconds:.4f}"
+            )
+        for name in sorted(self.evaluations):
+            lines.append(
+                f"engine {name:<9} runs={self.evaluations[name]:<6} "
+                f"seconds={self.engine_seconds.get(name, 0.0):.4f}"
+            )
+        return "\n".join(lines)

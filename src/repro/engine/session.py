@@ -1,0 +1,313 @@
+"""The :class:`QueryEngine` session: compiled-artifact reuse + batching.
+
+Every evaluation route in the library bottoms out in a handful of
+expensive, *pure* derivations — the Theorem 3.1 compiler, Lemma 3.1
+specialization, machine generation (Definition 3.1), the Theorem 4.2
+algebra translation, and the Section 5 limit-report analysis.  All of
+them are functions of immutable values (formulae, alphabets,
+machines), so a session that has answered a query once can answer the
+same — or a structurally overlapping — query again from its caches.
+
+A ``QueryEngine`` owns one instrumented cache per artifact kind, keyed
+by structural identity, plus a shared ``Σ^{<=l}`` domain pool whose
+by-length enumeration order makes every shorter domain a prefix of a
+longer one.  ``evaluate`` routes a single query through a registered
+strategy; ``evaluate_many`` evaluates a batch against one database,
+sharing limit reports, generator machines and the domain enumeration
+across the whole batch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+from repro.engine.caches import EngineStats, KeyedCache
+from repro.engine.registry import Engine, get_engine
+from repro.errors import SafetyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.expressions import Expression
+    from repro.core.query import Query
+    from repro.core.syntax import Formula, StringFormula, Var
+    from repro.fsa.compile import CompiledFormula
+    from repro.fsa.machine import FSA
+    from repro.safety.domain_independence import SafetyReport
+
+
+class QueryEngine:
+    """A query-evaluation session with per-artifact caches.
+
+    >>> from repro.core.alphabet import AB
+    >>> from repro.core.syntax import rel
+    >>> from repro.core.query import Query
+    >>> from repro.core.database import Database
+    >>> engine = QueryEngine()
+    >>> db = Database(AB, {"R2": [("ab",), ("b",)]})
+    >>> sorted(engine.evaluate(Query(("x",), rel("R2", "x"), AB), db))
+    [('ab',), ('b',)]
+
+    Sessions are cheap to create; keep one per long-lived workload so
+    repeated and batched queries share compiled artifacts.  All cached
+    derivations are pure, so a session may be shared freely within a
+    process (CPython's GIL makes individual cache operations atomic;
+    redundant recomputation under races is harmless).
+    """
+
+    def __init__(self, *, max_generated_entries: int | None = 4096) -> None:
+        self.stats = EngineStats()
+        register = self.stats.register_cache
+        self._compile = register(KeyedCache("compile"))
+        self._minimize = register(KeyedCache("minimize"))
+        self._specialize = register(KeyedCache("specialize"))
+        self._generate = register(
+            KeyedCache("generate", max_entries=max_generated_entries)
+        )
+        self._limit = register(KeyedCache("limit"))
+        self._translate = register(KeyedCache("translate"))
+        self._plan = register(KeyedCache("plan"))
+        self._domain_stats = register(KeyedCache("domain")).stats
+        # alphabet -> (enumerated_length, tuple_of_strings); plus
+        # reserved enumeration floors so batches enumerate once.
+        self._domains: dict[Alphabet, tuple[int, tuple[str, ...]]] = {}
+        self._domain_floor: dict[Alphabet, int] = {}
+
+    # -- cached compiled artifacts --------------------------------------
+
+    def compile(
+        self,
+        formula: "StringFormula",
+        alphabet: Alphabet,
+        variables: "tuple[Var, ...] | None" = None,
+    ) -> "CompiledFormula":
+        """The Theorem 3.1 machine for ``formula``, cached structurally."""
+        from repro.fsa.compile import build_string_formula, resolve_layout
+
+        layout = resolve_layout(formula, variables)
+        return self._compile.get_or_compute(
+            (formula, alphabet, layout),
+            lambda: build_string_formula(formula, alphabet, layout),
+        )
+
+    def minimized(
+        self,
+        formula: "StringFormula",
+        alphabet: Alphabet,
+        variables: "tuple[Var, ...] | None" = None,
+    ) -> "CompiledFormula":
+        """The compiled machine, quotiented by bisimulation (cached)."""
+        from repro.fsa.compile import CompiledFormula, resolve_layout
+        from repro.fsa.minimize import bisimulation_quotient
+
+        layout = resolve_layout(formula, variables)
+
+        def build() -> "CompiledFormula":
+            compiled = self.compile(formula, alphabet, layout)
+            return CompiledFormula(
+                bisimulation_quotient(compiled.fsa), compiled.variables
+            )
+
+        return self._minimize.get_or_compute(
+            (formula, alphabet, layout), build
+        )
+
+    def specialized(
+        self, fsa: "FSA", fixed: Mapping[int, str], prune: bool = True
+    ) -> "FSA":
+        """Lemma 3.1 specialization on constant inputs, cached."""
+        from repro.fsa.specialize import specialize
+
+        key = (fsa, tuple(sorted(fixed.items())), prune)
+        return self._specialize.get_or_compute(
+            key, lambda: specialize(fsa, dict(fixed), prune=prune)
+        )
+
+    def generated(
+        self,
+        fsa: "FSA",
+        max_length: int,
+        fixed: Mapping[int, str] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        """``accepted_tuples`` with both the specialization and the
+        generated answer set cached — the generator-machine fast path
+        behind the planner and the algebra's ``σ_A(F × (Σ*)^n)``."""
+        from repro.fsa.generate import accepted_tuples
+
+        fixed_key = tuple(sorted(fixed.items())) if fixed else ()
+        machine = self.specialized(fsa, fixed) if fixed else fsa
+        return self._generate.get_or_compute(
+            (fsa, max_length, fixed_key),
+            lambda: accepted_tuples(machine, max_length=max_length),
+        )
+
+    def limit_report(
+        self, formula: "Formula", alphabet: Alphabet
+    ) -> "SafetyReport | None":
+        """The certified limit function of ``formula`` (or ``None``),
+        cached — including the negative outcome."""
+        from repro.safety.domain_independence import limit_function
+
+        return self._limit.get_or_compute(
+            (formula, alphabet),
+            lambda: limit_function(formula, alphabet, compiler=self.compile),
+        )
+
+    def translation(self, query: "Query") -> "Expression":
+        """The Theorem 4.2 algebra expression for ``query``, cached."""
+        from repro.algebra.translate import calculus_to_algebra
+
+        return self._translate.get_or_compute(
+            (query.formula, query.head, query.alphabet),
+            lambda: calculus_to_algebra(
+                query.formula,
+                query.head,
+                query.alphabet,
+                compiler=self.compile,
+            ),
+        )
+
+    def plan(self, formula: "Formula"):
+        """The planner's conjunctive decomposition of ``formula``
+        (quantifier prefix + literal list), cached per formula."""
+        from repro.core.planner import decompose_conjunctive
+
+        return self._plan.get_or_compute(
+            formula, lambda: decompose_conjunctive(formula)
+        )
+
+    def certified_length(self, query: "Query", db: Database) -> int:
+        """``W_φ(db)`` from the cached safety analysis.
+
+        Raises :class:`SafetyError` when no limit function can be
+        certified for the query.
+        """
+        report = self.limit_report(query.formula, query.alphabet)
+        if report is None:
+            raise SafetyError(
+                "no limit function could be certified for this query; "
+                "pass an explicit length"
+            )
+        return report.bound(db)
+
+    # -- the shared Σ^{<=l} domain pool ---------------------------------
+
+    def reserve_domain(self, alphabet: Alphabet, length: int) -> None:
+        """Declare an upcoming need for ``Σ^{<=length}``.
+
+        The pool then enumerates up to the largest reserved length on
+        first use, instead of growing incrementally — ``evaluate_many``
+        reserves the batch maximum so every member query's domain is a
+        prefix slice of one enumeration.
+        """
+        if length > self._domain_floor.get(alphabet, -1):
+            self._domain_floor[alphabet] = length
+
+    def domain_for(self, alphabet: Alphabet, length: int) -> tuple[str, ...]:
+        """``Σ^{<=length}`` as a tuple, served from the shared pool.
+
+        Enumeration is by length then lexicographic, so the pool keeps
+        only the longest enumeration per alphabet and answers shorter
+        requests as prefixes of it.
+        """
+        if length < 0:
+            return ()
+        cached = self._domains.get(alphabet)
+        if cached is not None and cached[0] >= length:
+            self._domain_stats.hits += 1
+            full_length, pool = cached
+            if full_length == length:
+                return pool
+            return pool[: alphabet.count_strings(length)]
+        target = max(length, self._domain_floor.get(alphabet, -1))
+        started = perf_counter()
+        pool = tuple(alphabet.strings(target))
+        self._domain_stats.seconds += perf_counter() - started
+        self._domain_stats.misses += 1
+        self._domains[alphabet] = (target, pool)
+        if target == length:
+            return pool
+        return pool[: alphabet.count_strings(length)]
+
+    # -- evaluation entry points ----------------------------------------
+
+    def evaluate(
+        self,
+        query: "Query",
+        db: Database,
+        *,
+        length: int | None = None,
+        engine: "str | Engine" = "auto",
+        domain: Sequence[str] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        """Evaluate one query through a registered strategy.
+
+        ``engine`` is a registered name (``"naive"``, ``"planner"``,
+        ``"algebra"``, ``"auto"``) or an :class:`Engine` object.  See
+        :meth:`repro.core.query.Query.evaluate` for the semantics of
+        ``length`` and ``domain``.
+        """
+        strategy = get_engine(engine)
+        fixed_domain = tuple(domain) if domain is not None else None
+        started = perf_counter()
+        result = strategy.evaluate(
+            query, db, self, length=length, domain=fixed_domain
+        )
+        self.stats.record_evaluation(strategy.name, perf_counter() - started)
+        return result
+
+    def evaluate_many(
+        self,
+        queries: "Sequence[Query]",
+        db: Database,
+        *,
+        length: int | None = None,
+        engine: "str | Engine" = "auto",
+    ) -> list[frozenset[tuple[str, ...]]]:
+        """Evaluate a batch of queries against one database.
+
+        The batch shares everything a session shares — compiled
+        machines, specializations, limit reports — and additionally
+        pre-resolves every member's truncation bound so the ``Σ^{<=l}``
+        pool is enumerated at most once per alphabet, at the batch
+        maximum, with each query's domain a prefix slice of it.
+        Results are returned in query order.
+        """
+        for query in queries:
+            if length is not None:
+                bound: int | None = length
+            else:
+                report = self.limit_report(query.formula, query.alphabet)
+                bound = report.bound(db) if report is not None else None
+            if bound is not None:
+                self.reserve_domain(query.alphabet, bound)
+        return [
+            self.evaluate(query, db, length=length, engine=engine)
+            for query in queries
+        ]
+
+
+_DEFAULT: QueryEngine | None = None
+
+
+def default_engine() -> QueryEngine:
+    """The process-wide session behind ``Query.evaluate``.
+
+    Created on first use; replace it with :func:`set_default_engine`
+    (e.g. per test) or create dedicated :class:`QueryEngine` sessions
+    for isolated workloads.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = QueryEngine()
+    return _DEFAULT
+
+
+def set_default_engine(engine: QueryEngine | None) -> QueryEngine | None:
+    """Swap the process-wide session; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = engine
+    return previous

@@ -1,0 +1,162 @@
+"""The built-in evaluation strategies, registered under their names.
+
+Each strategy implements the :class:`~repro.engine.registry.Engine`
+protocol and routes its machinery through the invoking session so that
+compiled machines, specializations, limit reports and ``Σ^{<=l}``
+enumerations are shared across calls:
+
+* ``naive``   — the reference model checker over an explicit domain;
+* ``planner`` — the conjunctive planner (joins, then generation);
+* ``algebra`` — Theorem 4.2 translation, then expression evaluation;
+* ``auto``    — planner-first with naive fallback when no explicit
+  truncation length is given (the selection policy previously
+  hardcoded inside ``Query.evaluate``), plain naive otherwise so the
+  answer is always the truncation semantics ``⟦φ⟧^l_db`` verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.planner import evaluate_conjunctive
+from repro.core.semantics import evaluate_naive
+from repro.engine.registry import register_engine
+from repro.errors import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.database import Database
+    from repro.core.query import Query
+    from repro.engine.session import QueryEngine
+
+
+class NaiveEngine:
+    """Brute-force evaluation over ``Σ^{<=l}`` or an explicit domain."""
+
+    name = "naive"
+
+    def evaluate(
+        self,
+        query: "Query",
+        db: "Database",
+        session: "QueryEngine",
+        *,
+        length: int | None = None,
+        domain: tuple[str, ...] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        if domain is None:
+            if length is None:
+                length = session.certified_length(query, db)
+            domain = session.domain_for(query.alphabet, length)
+        return evaluate_naive(query.formula, query.head, db, domain)
+
+
+class PlannerEngine:
+    """The conjunctive planner; raises for unsupported query shapes."""
+
+    name = "planner"
+
+    def evaluate(
+        self,
+        query: "Query",
+        db: "Database",
+        session: "QueryEngine",
+        *,
+        length: int | None = None,
+        domain: tuple[str, ...] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        cap = length
+        if cap is None:
+            if domain is not None:
+                cap = max((len(s) for s in domain), default=0)
+            else:
+                cap = session.certified_length(query, db)
+        planned = evaluate_conjunctive(
+            query.formula, query.head, db, query.alphabet, cap, session=session
+        )
+        if planned is None:
+            raise EvaluationError(
+                "query shape not supported by the conjunctive planner"
+            )
+        return planned
+
+
+class AlgebraEngine:
+    """Theorem 4.2: translate once (cached), evaluate the expression."""
+
+    name = "algebra"
+
+    def evaluate(
+        self,
+        query: "Query",
+        db: "Database",
+        session: "QueryEngine",
+        *,
+        length: int | None = None,
+        domain: tuple[str, ...] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        from repro.algebra.evaluate import evaluate_expression
+
+        expression = session.translation(query)
+        bound = length
+        if bound is None:
+            if domain is not None:
+                bound = max((len(s) for s in domain), default=0)
+            else:
+                bound = session.certified_length(query, db)
+        return evaluate_expression(
+            expression, db, length=bound, session=session
+        )
+
+
+class AutoEngine:
+    """Planner-first selection with naive fallback.
+
+    With no explicit ``length``/``domain`` the certified limit function
+    is derived and the planner tried first — certified bounds are sound
+    but loose, and only generation-based evaluation stays practical
+    under them.  With an explicit truncation the naive reference
+    semantics is used directly, so ``auto`` never changes an answer.
+    """
+
+    name = "auto"
+
+    def evaluate(
+        self,
+        query: "Query",
+        db: "Database",
+        session: "QueryEngine",
+        *,
+        length: int | None = None,
+        domain: tuple[str, ...] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        if domain is None and length is None:
+            cap = session.certified_length(query, db)
+            planned = evaluate_conjunctive(
+                query.formula,
+                query.head,
+                db,
+                query.alphabet,
+                cap,
+                session=session,
+            )
+            if planned is not None:
+                return planned
+            length = cap
+        return NAIVE.evaluate(
+            query, db, session, length=length, domain=domain
+        )
+
+
+NAIVE = NaiveEngine()
+PLANNER = PlannerEngine()
+ALGEBRA = AlgebraEngine()
+AUTO = AutoEngine()
+
+
+def register_default_engines() -> None:
+    """(Re-)register the built-in strategies under their names."""
+    for engine in (NAIVE, PLANNER, ALGEBRA, AUTO):
+        register_engine(engine, replace=True)
+
+
+register_default_engines()

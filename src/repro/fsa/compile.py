@@ -378,34 +378,42 @@ class _Compiler:
 _CACHE: dict[tuple, CompiledFormula] = {}
 
 
-def compile_string_formula(
-    formula: StringFormula,
-    alphabet: Alphabet,
-    variables: tuple[Var, ...] | None = None,
-) -> CompiledFormula:
-    """Theorem 3.1: an FSA ``A_φ`` with ``L(A_φ) = ⟦φ⟧``.
+def resolve_layout(
+    formula: StringFormula, variables: tuple[Var, ...] | None
+) -> tuple[Var, ...]:
+    """Canonicalize and validate a tape layout for ``formula``.
 
-    ``variables`` fixes the tape layout; it defaults to the formula's
-    variables in ascending name order and may list extra variables
-    (their tapes are then unconstrained only insofar as the formula
-    ignores them — they still must be *strings*, so pair such layouts
-    with ``Σ*`` columns as Theorem 4.2 does).
+    ``None`` resolves to the formula's variables in ascending name
+    order (the paper's convention).  An explicit layout must cover the
+    formula's variables without repetition; it may list extras.  Cache
+    layers key compiled machines on the resolved layout so that the
+    implicit and the equivalent explicit spelling share one entry.
     """
     if variables is None:
-        variables = tuple(sorted(string_variables(formula)))
-    else:
-        missing = string_variables(formula) - set(variables)
-        if missing:
-            raise ArityError(
-                f"layout {variables!r} misses formula variables {sorted(missing)}"
-            )
-        if len(set(variables)) != len(variables):
-            raise ArityError(f"layout {variables!r} repeats a variable")
-    key = (formula, alphabet, variables)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
+        return tuple(sorted(string_variables(formula)))
+    missing = string_variables(formula) - set(variables)
+    if missing:
+        raise ArityError(
+            f"layout {variables!r} misses formula variables {sorted(missing)}"
+        )
+    if len(set(variables)) != len(variables):
+        raise ArityError(f"layout {variables!r} repeats a variable")
+    return tuple(variables)
 
+
+def build_string_formula(
+    formula: StringFormula,
+    alphabet: Alphabet,
+    variables: tuple[Var, ...],
+) -> CompiledFormula:
+    """Run the Theorem 3.1 construction, uncached.
+
+    ``variables`` must already be a resolved layout (see
+    :func:`resolve_layout`).  :func:`compile_string_formula` wraps this
+    with the module-level memo; :class:`repro.engine.QueryEngine`
+    sessions call it directly so their instrumented caches own the
+    artifact.
+    """
     compiler = _Compiler(variables, alphabet)
     frag = compiler.concatenate(compiler.initial_guard(), compiler.build(formula))
     states = frozenset(frag.states())
@@ -418,6 +426,30 @@ def compile_string_formula(
         frozenset(frag.transitions),
         alphabet,
     )
-    result = CompiledFormula(fsa, variables)
+    return CompiledFormula(fsa, variables)
+
+
+def compile_string_formula(
+    formula: StringFormula,
+    alphabet: Alphabet,
+    variables: tuple[Var, ...] | None = None,
+) -> CompiledFormula:
+    """Theorem 3.1: an FSA ``A_φ`` with ``L(A_φ) = ⟦φ⟧``.
+
+    ``variables`` fixes the tape layout; it defaults to the formula's
+    variables in ascending name order and may list extra variables
+    (their tapes are then unconstrained only insofar as the formula
+    ignores them — they still must be *strings*, so pair such layouts
+    with ``Σ*`` columns as Theorem 4.2 does).
+
+    Results are memoized process-wide; engine sessions maintain their
+    own instrumented caches via :func:`build_string_formula` instead.
+    """
+    variables = resolve_layout(formula, variables)
+    key = (formula, alphabet, variables)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = build_string_formula(formula, alphabet, variables)
     _CACHE[key] = result
     return result

@@ -115,6 +115,7 @@ def _analyze(
     ambient: dict[Var, Bound],
     alphabet: Alphabet,
     collected: list[Bound],
+    compiler=None,
 ) -> dict[Var, Bound] | None:
     """Bounds certifiable for the free variables of ``formula``.
 
@@ -138,7 +139,7 @@ def _analyze(
             return {}
         try:
             report = formula_limitation(
-                formula.formula, inputs, outputs, alphabet
+                formula.formula, inputs, outputs, alphabet, compiler=compiler
             )
         except LimitationError:
             return {}
@@ -156,7 +157,9 @@ def _analyze(
             grew = False
             for conjunct in conjuncts:
                 context = {**ambient, **established}
-                result = _analyze(conjunct, context, alphabet, collected)
+                result = _analyze(
+                    conjunct, context, alphabet, collected, compiler
+                )
                 if result is None:
                     return None
                 for var, bound in result.items():
@@ -167,13 +170,13 @@ def _analyze(
                 break
         return established
     if isinstance(formula, Not):
-        result = _analyze(formula.inner, ambient, alphabet, collected)
+        result = _analyze(formula.inner, ambient, alphabet, collected, compiler)
         if result is None:
             return None
         # Negation certifies nothing about its variables.
         return {}
     if isinstance(formula, Exists):
-        result = _analyze(formula.inner, ambient, alphabet, collected)
+        result = _analyze(formula.inner, ambient, alphabet, collected, compiler)
         if result is None:
             return None
         if formula.var in free_variables(formula.inner) and (
@@ -193,16 +196,18 @@ def _flatten_and(formula: Formula) -> list[Formula]:
 
 
 def limit_function(
-    formula: Formula, alphabet: Alphabet
+    formula: Formula, alphabet: Alphabet, compiler=None
 ) -> SafetyReport | None:
     """A certified limit function ``W_φ`` or ``None``.
 
     Certification requires every free and quantified variable to be
     bounded — by database relations, by finite string formulae, or by
     limitation-certified generation from other bounded variables.
+    ``compiler`` optionally replaces the Theorem 3.1 compiler used for
+    the limitation analyses (engine sessions pass their cached one).
     """
     collected: list[Bound] = []
-    bounds = _analyze(formula, {}, alphabet, collected)
+    bounds = _analyze(formula, {}, alphabet, collected, compiler)
     if bounds is None:
         return None
     missing = free_variables(formula) - set(bounds)

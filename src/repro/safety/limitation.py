@@ -385,15 +385,20 @@ def formula_limitation(
     output_variables,
     alphabet,
     max_states: int = 20000,
+    compiler=None,
 ) -> LimitationReport:
     """Limitation of a string formula: ``φ: [inputs] ↝ [outputs]``.
 
     Compiles the formula (Theorem 3.1) and decides on the machine; by
     property 1, variable directionality transfers to the tapes.
+    ``compiler`` optionally replaces the default compiler — engine
+    sessions pass their cached compile so limitation analysis and
+    evaluation share machines.
     """
     from repro.fsa.compile import compile_string_formula
 
-    compiled = compile_string_formula(formula, alphabet)
+    compile_ = compiler if compiler is not None else compile_string_formula
+    compiled = compile_(formula, alphabet)
     inputs = frozenset(
         compiled.tape_of(v) for v in input_variables
     )

@@ -1,8 +1,10 @@
 """Tests for string databases."""
 
+import json
+
 import pytest
 
-from repro.core.alphabet import AB, DNA
+from repro.core.alphabet import AB, DNA, Alphabet
 from repro.core.database import Database, empty_database
 from repro.errors import AlphabetError, ArityError
 
@@ -65,3 +67,62 @@ class TestObservation:
         assert hash(self.db()) == hash(self.db())
         assert self.db() != empty_database(AB)
         assert self.db() != empty_database(DNA)
+
+
+class TestJsonInterchange:
+    def db(self):
+        return Database(
+            AB, {"R1": [("ab", "babb"), ("", "a")], "R2": [("a",)]}
+        )
+
+    def test_round_trip_mapping(self):
+        assert Database.from_json(self.db().to_json()) == self.db()
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        self.db().dump_json(path)
+        assert Database.from_json(path) == self.db()
+        # dump_json output is real, deterministic JSON.
+        assert json.loads(path.read_text()) == self.db().to_json()
+
+    def test_to_json_is_sorted(self):
+        payload = self.db().to_json()
+        assert payload["alphabet"] == "ab"
+        assert list(payload["relations"]) == ["R1", "R2"]
+        assert payload["relations"]["R1"] == [["", "a"], ["ab", "babb"]]
+
+    def test_bare_form_requires_alphabet(self):
+        bare = {"R2": [["a"]]}
+        assert Database.from_json(bare, AB) == Database(AB, {"R2": [("a",)]})
+        with pytest.raises(AlphabetError):
+            Database.from_json(bare)
+
+    def test_bare_form_file(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"R2": [["a"], ["bb"]]}))
+        db = Database.from_json(path, AB)
+        assert db.relation("R2") == {("a",), ("bb",)}
+
+    def test_embedded_alphabet_must_match(self):
+        payload = self.db().to_json()
+        assert Database.from_json(payload, AB) == self.db()
+        with pytest.raises(AlphabetError):
+            Database.from_json(payload, DNA)
+
+    def test_embedded_alphabet_used_when_none_given(self):
+        db = Database.from_json({"alphabet": "acgt", "relations": {}})
+        assert db.alphabet == Alphabet("acgt")
+
+    def test_strings_validated_against_alphabet(self):
+        with pytest.raises(AlphabetError):
+            Database.from_json({"R": [["xyz"]]}, AB)
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(ArityError):
+            Database.from_json({"R": "not-a-list"}, AB)
+        with pytest.raises(ArityError):
+            Database.from_json({"R": [["a"], ["a", "b"]]}, AB)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(AlphabetError):
+            Database.from_json(42)

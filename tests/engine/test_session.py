@@ -1,0 +1,217 @@
+"""Tests for QueryEngine sessions: cache keying, stats, batching."""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.core.database import Database
+from repro.core.query import Query
+from repro.core.syntax import And, exists, lift, rel
+from repro.engine import QueryEngine
+from repro.errors import SafetyError
+
+
+def db() -> Database:
+    return Database(
+        AB,
+        {
+            "R1": [("a", "b"), ("ab", "ab"), ("b", "b")],
+            "R2": [("ab",), ("b",), ("aab",)],
+        },
+    )
+
+
+def generation_query() -> Query:
+    return Query(
+        ("x",),
+        exists(
+            ["y", "z"],
+            And(
+                And(rel("R2", "y"), rel("R2", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        ),
+        AB,
+    )
+
+
+class TestCacheKeying:
+    def test_structurally_equal_formulae_hit(self):
+        session = QueryEngine()
+        first = session.compile(sh.equals("x", "y"), AB)
+        # An independently constructed but structurally equal formula.
+        second = session.compile(sh.equals("x", "y"), AB)
+        assert first is second
+        stats = session.stats.caches["compile"]
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_different_alphabets_miss(self):
+        session = QueryEngine()
+        session.compile(sh.equals("x", "y"), AB)
+        session.compile(sh.equals("x", "y"), Alphabet("cd"))
+        stats = session.stats.caches["compile"]
+        assert stats.hits == 0 and stats.misses == 2
+
+    def test_explicit_default_layout_shares_entry(self):
+        session = QueryEngine()
+        implicit = session.compile(sh.equals("x", "y"), AB)
+        explicit = session.compile(sh.equals("x", "y"), AB, ("x", "y"))
+        assert implicit is explicit
+        assert session.stats.caches["compile"].hits == 1
+
+    def test_different_layouts_are_distinct(self):
+        session = QueryEngine()
+        xy = session.compile(sh.equals("x", "y"), AB, ("x", "y"))
+        yx = session.compile(sh.equals("x", "y"), AB, ("y", "x"))
+        assert xy.variables != yx.variables
+        assert session.stats.caches["compile"].misses == 2
+
+    def test_limit_reports_cached_including_negative(self):
+        session = QueryEngine()
+        safe = rel("R2", "x")
+        unsafe = Query(
+            ("y",),
+            exists("x", And(rel("R2", "x"), lift(sh.manifold("y", "x")))),
+            AB,
+        ).formula
+        assert session.limit_report(safe, AB) is session.limit_report(safe, AB)
+        assert session.limit_report(unsafe, AB) is None
+        assert session.limit_report(unsafe, AB) is None
+        stats = session.stats.caches["limit"]
+        assert stats.hits == 2 and stats.misses == 2
+
+    def test_uncertified_query_still_raises(self):
+        session = QueryEngine()
+        unsafe = Query(
+            ("y",),
+            exists("x", And(rel("R2", "x"), lift(sh.manifold("y", "x")))),
+            AB,
+        )
+        with pytest.raises(SafetyError):
+            session.evaluate(unsafe, db())
+
+
+class TestWarmEvaluation:
+    def test_warm_run_hits_compile_specialize_limit(self):
+        session = QueryEngine()
+        q = generation_query()
+        cold = session.evaluate(q, db())
+        warm = session.evaluate(q, db())
+        assert cold == warm
+        caches = session.stats.caches
+        assert caches["compile"].hits > 0
+        assert caches["specialize"].hits > 0
+        assert caches["generate"].hits > 0
+        assert caches["limit"].hits > 0
+        assert caches["plan"].hits > 0
+
+    def test_sessions_are_isolated(self):
+        q = generation_query()
+        first = QueryEngine()
+        first.evaluate(q, db())
+        first.evaluate(q, db())
+        second = QueryEngine()
+        second.evaluate(q, db())
+        # The second session inherits nothing: it repeats the first
+        # session's cold misses instead of hitting its entries.
+        assert (
+            second.stats.caches["compile"].misses
+            == first.stats.caches["compile"].misses
+        )
+        assert (
+            second.stats.caches["compile"].hits
+            < first.stats.caches["compile"].hits
+        )
+
+    def test_warm_algebra_hits_translation(self):
+        session = QueryEngine()
+        q = generation_query()
+        a = session.evaluate(q, db(), length=6, engine="algebra")
+        b = session.evaluate(q, db(), length=6, engine="algebra")
+        assert a == b
+        assert session.stats.caches["translate"].hits == 1
+
+
+class TestDomainPool:
+    def test_prefix_sharing(self):
+        session = QueryEngine()
+        long = session.domain_for(AB, 3)
+        short = session.domain_for(AB, 1)
+        assert long == tuple(AB.strings(3))
+        assert short == tuple(AB.strings(1))
+        stats = session.stats.caches["domain"]
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_reserve_enumerates_once(self):
+        session = QueryEngine()
+        session.reserve_domain(AB, 4)
+        assert session.domain_for(AB, 2) == tuple(AB.strings(2))
+        assert session.domain_for(AB, 4) == tuple(AB.strings(4))
+        stats = session.stats.caches["domain"]
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_negative_length_is_empty(self):
+        assert QueryEngine().domain_for(AB, -1) == ()
+
+
+class TestBatchEvaluation:
+    def test_evaluate_many_matches_individual(self):
+        queries = [
+            Query(
+                ("x", "y"),
+                And(rel("R1", "x", "y"), lift(sh.equals("x", "y"))),
+                AB,
+            ),
+            Query(("x",), rel("R2", "x"), AB),
+            generation_query(),
+        ]
+        batch = QueryEngine().evaluate_many(queries, db())
+        individual = [q.evaluate(db()) for q in queries]
+        assert batch == individual
+
+    def test_batch_shares_compiled_artifacts(self):
+        session = QueryEngine()
+        q = generation_query()
+        results = session.evaluate_many([q, q, q], db())
+        assert results[0] == results[1] == results[2]
+        assert session.stats.caches["compile"].misses == 1
+        assert session.stats.caches["compile"].hits > 0
+
+    def test_batch_with_explicit_length(self):
+        session = QueryEngine()
+        queries = [Query(("x",), rel("R2", "x"), AB)] * 2
+        results = session.evaluate_many(
+            queries, db(), length=3, engine="naive"
+        )
+        assert results[0] == results[1] == {("ab",), ("b",), ("aab",)}
+
+    def test_batch_reserves_max_bound(self):
+        session = QueryEngine()
+        narrow = Query(  # certified bound 2
+            ("x", "y"),
+            And(rel("R1", "x", "y"), lift(sh.equals("x", "y"))),
+            AB,
+        )
+        wide = Query(("x",), rel("R2", "x"), AB)  # certified bound 3
+        session.evaluate_many([narrow, wide], db(), engine="naive")
+        # One enumeration at the batch maximum (3) serves both queries:
+        # the narrow query's domain is a prefix slice of it.
+        stats = session.stats.caches["domain"]
+        assert stats.misses == 1 and stats.hits == 1
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        session = QueryEngine()
+        q = Query(("x",), rel("R2", "x"), AB)
+        session.evaluate(q, db())
+        snapshot = session.stats.snapshot()
+        assert "compile" in snapshot["caches"]
+        assert snapshot["evaluations"]["auto"] == 1
+        assert snapshot["engine_seconds"]["auto"] >= 0.0
+
+    def test_describe_mentions_caches_and_engines(self):
+        session = QueryEngine()
+        session.evaluate(Query(("x",), rel("R2", "x"), AB), db())
+        text = session.stats.describe()
+        assert "cache compile" in text and "engine auto" in text

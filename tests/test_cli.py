@@ -94,6 +94,88 @@ class TestQuery:
         lines = capsys.readouterr().out.split()
         assert "abab" in lines and "bb" in lines
 
+    def test_explicit_engine_choice(self, capsys, db_file):
+        for engine in ("naive", "planner", "algebra", "auto"):
+            code = main(
+                [
+                    "query",
+                    "--alphabet",
+                    "ab",
+                    "--db",
+                    db_file,
+                    "--head=x",
+                    "--length",
+                    "3",
+                    "--engine",
+                    engine,
+                    "R2(x) & [x]l(x = 'a')",
+                ]
+            )
+            assert code == 0
+            assert capsys.readouterr().out.strip() == "ab"
+
+    def test_stats_flag_reports_caches(self, capsys, db_file):
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "--stats",
+                "R2(x) & [x]l(x = 'a')",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "cache compile" in err
+        assert "engine auto" in err
+
+    def test_self_describing_db(self, capsys, tmp_path):
+        path = tmp_path / "described.json"
+        path.write_text(
+            json.dumps(
+                {"alphabet": "ab", "relations": {"R2": [["ab"], ["b"]]}}
+            )
+        )
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                str(path),
+                "--head=x",
+                "--length",
+                "3",
+                "R2(x)",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.split() == ["ab", "b"]
+
+    def test_mismatched_embedded_alphabet_fails(self, capsys, tmp_path):
+        path = tmp_path / "described.json"
+        path.write_text(
+            json.dumps({"alphabet": "acgt", "relations": {"R2": [["a"]]}})
+        )
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                str(path),
+                "--head=x",
+                "--length",
+                "1",
+                "R2(x)",
+            ]
+        )
+        assert code == 2
+        assert "alphabet" in capsys.readouterr().err
+
     def test_epsilon_rendering(self, capsys, db_file):
         code = main(
             [
