@@ -46,18 +46,27 @@ def _flatten_product(expression: Expression) -> list[Expression]:
 
 
 def _evaluate_select(
-    select: Select, db: Database, length: int, session=None
+    select: Select, db: Database, length: int, session=None, executor=None
 ) -> Relation:
     """Selection, generating ``Σ*`` columns instead of materializing them.
 
     Factors that are ``Σ*`` become generated tapes; all other factors
     are evaluated and iterated, their columns fixed in the machine via
     Lemma 3.1.  With a ``session`` (:class:`repro.engine.QueryEngine`)
-    the specialize/generate steps are served from its caches.
+    the specialize/generate steps are served from its caches; with an
+    ``executor`` (:class:`repro.parallel.ParallelExecutor`) the
+    per-row machine runs — acceptance checks and generator runs alike
+    — are sharded across its worker pool.
     """
     factors = _flatten_product(select.inner)
     if not any(isinstance(f, SigmaStar) for f in factors):
-        inner = _evaluate(select.inner, db, length, session)
+        inner = _evaluate(select.inner, db, length, session, executor)
+        if executor is not None:
+            from repro.parallel.generation import filter_accepted
+
+            return filter_accepted(
+                select.machine, sorted(inner), executor=executor
+            )
         return frozenset(
             row for row in inner if accepts(select.machine, row)
         )
@@ -71,21 +80,27 @@ def _evaluate_select(
             generated_tapes.extend(span)
         else:
             concrete.append(span)
-            concrete_values.append(_evaluate(factor, db, length, session))
+            concrete_values.append(
+                _evaluate(factor, db, length, session, executor)
+            )
         column += factor.arity
     width = column
-    results: set[tuple[str, ...]] = set()
-    for rows in product(*concrete_values):
+    fixed_list: list[dict[int, str]] = []
+    # Sorted factor iteration keeps the row order — and therefore the
+    # shard contents — deterministic across interpreter runs.
+    for rows in product(*(sorted(v) for v in concrete_values)):
         fixed: dict[int, str] = {}
         for span, row in zip(concrete, rows):
             for tape, value in zip(span, row):
                 fixed[tape] = value
-        if session is not None:
-            generated = session.generated(select.machine, length, fixed)
-        else:
-            generated = accepted_tuples(
-                select.machine, max_length=length, fixed=fixed
-            )
+        fixed_list.append(fixed)
+    from repro.parallel.generation import generated_for_fixed
+
+    generated_sets = generated_for_fixed(
+        select.machine, length, fixed_list, session=session, executor=executor
+    )
+    results: set[tuple[str, ...]] = set()
+    for fixed, generated in zip(fixed_list, generated_sets):
         for outputs in generated:
             merged = [""] * width
             for tape, value in fixed.items():
@@ -97,7 +112,11 @@ def _evaluate_select(
 
 
 def _evaluate(
-    expression: Expression, db: Database, length: int, session=None
+    expression: Expression,
+    db: Database,
+    length: int,
+    session=None,
+    executor=None,
 ) -> Relation:
     if isinstance(expression, Rel):
         return db.relation(expression.name)
@@ -108,24 +127,24 @@ def _evaluate(
         bound = min(expression.bound, length) if length >= 0 else expression.bound
         return frozenset((s,) for s in db.alphabet.strings(bound))
     if isinstance(expression, Union):
-        return _evaluate(expression.left, db, length, session) | _evaluate(
-            expression.right, db, length, session
-        )
+        return _evaluate(
+            expression.left, db, length, session, executor
+        ) | _evaluate(expression.right, db, length, session, executor)
     if isinstance(expression, Diff):
-        return _evaluate(expression.left, db, length, session) - _evaluate(
-            expression.right, db, length, session
-        )
+        return _evaluate(
+            expression.left, db, length, session, executor
+        ) - _evaluate(expression.right, db, length, session, executor)
     if isinstance(expression, Product):
-        left = _evaluate(expression.left, db, length, session)
-        right = _evaluate(expression.right, db, length, session)
+        left = _evaluate(expression.left, db, length, session, executor)
+        right = _evaluate(expression.right, db, length, session, executor)
         return frozenset(l + r for l in left for r in right)
     if isinstance(expression, Project):
-        inner = _evaluate(expression.inner, db, length, session)
+        inner = _evaluate(expression.inner, db, length, session, executor)
         return frozenset(
             tuple(row[i] for i in expression.columns) for row in inner
         )
     if isinstance(expression, Select):
-        return _evaluate_select(expression, db, length, session)
+        return _evaluate_select(expression, db, length, session, executor)
     raise TypeError(f"not an algebra expression: {expression!r}")
 
 
@@ -135,6 +154,7 @@ def evaluate_expression(
     length: int,
     domain: tuple[str, ...] | None = None,
     session=None,
+    executor=None,
 ) -> Relation:
     """``db(E ↓ length)`` — the truncated value of the expression.
 
@@ -143,11 +163,13 @@ def evaluate_expression(
     passing a non-prefix-closed domain should compare against the
     truncated semantics instead.  ``session`` optionally supplies a
     :class:`repro.engine.QueryEngine` whose caches back the generative
-    selections.
+    selections; ``executor`` optionally supplies a
+    :class:`repro.parallel.ParallelExecutor` that shards the
+    selection-operator machine runs across worker processes.
     """
     if length < 0:
         raise EvaluationError("truncation length must be non-negative")
-    return _evaluate(expression, db, length, session)
+    return _evaluate(expression, db, length, session, executor)
 
 
 def evaluate_exact(

@@ -78,6 +78,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         database,
         length=args.length,
         engine=args.engine,
+        workers=args.workers,
+        shards=args.shards,
     )
     for row in sorted(answers):
         print("\t".join(value if value else "ε" for value in row))
@@ -154,12 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="evaluation engine from the repro.engine registry "
         "(default: auto — planner first, naive fallback, when no "
-        "--length is given)",
+        "--length is given; upgraded to the parallel engine when "
+        "workers and candidate-space size warrant it)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sharded evaluation (default: one "
+        "per CPU for the parallel engine; 1 forces sequential). "
+        "Answers are identical for every worker count.",
+    )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for sharded evaluation (default: 4 per worker)",
     )
     query.add_argument(
         "--stats",
         action="store_true",
-        help="print engine cache/timing instrumentation to stderr",
+        help="print engine cache/timing and parallel-execution "
+        "instrumentation to stderr",
     )
     query.add_argument("formula")
     query.set_defaults(handler=cmd_query)

@@ -135,6 +135,7 @@ def _generate(
     alphabet: Alphabet,
     cap: int,
     session=None,
+    executor=None,
 ) -> list[Binding]:
     """Extend bindings with the literal's unbound variables via the
     compiled machine's output generation.
@@ -143,6 +144,10 @@ def _generate(
     compiled machine, its specializations on already-bound values, and
     the generated answer sets are all served from the session's caches
     — the generator-machine reuse that makes repeated traffic fast.
+    With an ``executor`` (a :class:`repro.parallel.ParallelExecutor`)
+    the per-binding generator runs — independent by construction — are
+    sharded across its worker pool, cache hits resolved in-process
+    first and worker results folded back into the session cache.
     """
     from repro.fsa.compile import compile_string_formula
     from repro.fsa.generate import accepted_tuples
@@ -151,22 +156,39 @@ def _generate(
         compiled = session.compile(literal.atom.formula, alphabet)
     else:
         compiled = compile_string_formula(literal.atom.formula, alphabet)
-    out: list[Binding] = []
+    fixed_list: list[dict[int, str]] = []
+    free_orders: list[list[Var]] = []
     for binding in bindings:
-        fixed = {
-            compiled.tape_of(var): binding[var]
-            for var in compiled.variables
-            if var in binding
-        }
-        free_order = [
-            var for var in compiled.variables if var not in binding
+        fixed_list.append(
+            {
+                compiled.tape_of(var): binding[var]
+                for var in compiled.variables
+                if var in binding
+            }
+        )
+        free_orders.append(
+            [var for var in compiled.variables if var not in binding]
+        )
+    if executor is not None:
+        from repro.parallel.generation import generated_for_fixed
+
+        values_sets = generated_for_fixed(
+            compiled.fsa, cap, fixed_list, session=session, executor=executor
+        )
+    elif session is not None:
+        values_sets = [
+            session.generated(compiled.fsa, cap, fixed)
+            for fixed in fixed_list
         ]
-        if session is not None:
-            values_set = session.generated(compiled.fsa, cap, fixed)
-        else:
-            values_set = accepted_tuples(
-                compiled.fsa, max_length=cap, fixed=fixed
-            )
+    else:
+        values_sets = [
+            accepted_tuples(compiled.fsa, max_length=cap, fixed=fixed)
+            for fixed in fixed_list
+        ]
+    out: list[Binding] = []
+    for binding, free_order, values_set in zip(
+        bindings, free_orders, values_sets
+    ):
         for values in values_set:
             extended = dict(binding)
             extended.update(zip(free_order, values))
@@ -181,6 +203,7 @@ def evaluate_conjunctive(
     alphabet: Alphabet,
     cap: int,
     session=None,
+    executor=None,
 ) -> frozenset[tuple[str, ...]] | None:
     """Evaluate a conjunctive query, or ``None`` if unsupported.
 
@@ -188,7 +211,11 @@ def evaluate_conjunctive(
     function's value ``W(db)``; for safe queries generation halts long
     before the cap is reached).  ``session`` — when given — is a
     :class:`repro.engine.QueryEngine` whose plan, compile, specialize
-    and generate caches back every stage.
+    and generate caches back every stage.  ``executor`` — when given —
+    is a :class:`repro.parallel.ParallelExecutor` that shards the
+    generate stages across worker processes; joins and filters stay
+    in-process (they are cheap dictionary passes over materialized
+    bindings).
     """
     if session is not None:
         decomposed = session.plan(formula)
@@ -237,7 +264,9 @@ def evaluate_conjunctive(
         elif action == "join":
             bindings = _join_relational(bindings, literal, db)
         else:
-            bindings = _generate(bindings, literal, alphabet, cap, session)
+            bindings = _generate(
+                bindings, literal, alphabet, cap, session, executor
+            )
         if not bindings:
             return frozenset()
         # Joins and generators can produce duplicate bindings; dedupe

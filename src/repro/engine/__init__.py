@@ -10,8 +10,8 @@ This package makes repeated and batched query traffic the fast path:
 * The **engine registry** — :func:`register_engine` /
   :func:`get_engine` over the :class:`Engine` protocol, replacing the
   stringly-typed dispatch that used to live inside ``Query.evaluate``.
-  The built-ins ``naive``, ``planner``, ``algebra`` and ``auto`` are
-  registered on import.
+  The built-ins ``naive``, ``planner``, ``algebra``, ``parallel``
+  and ``auto`` are registered on import.
 
 ``Query.evaluate`` routes through :func:`default_engine`, the lazily
 created process-wide session, so plain library use gets artifact reuse
@@ -30,6 +30,7 @@ from repro.engine.strategies import (
     AlgebraEngine,
     AutoEngine,
     NaiveEngine,
+    ParallelEngine,
     PlannerEngine,
     register_default_engines,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "EngineStats",
     "KeyedCache",
     "NaiveEngine",
+    "ParallelEngine",
     "PlannerEngine",
     "QueryEngine",
     "available_engines",

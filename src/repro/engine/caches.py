@@ -82,6 +82,39 @@ class KeyedCache:
         self._store[key] = value
         return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` without computing on a miss.
+
+        A present key counts as a hit; an absent key counts nothing —
+        the caller is expected to come back through
+        :meth:`get_or_compute` or :meth:`store` with the real value.
+        Used by the parallel layer to split "served from cache" from
+        "dispatched to a worker" before any work is shipped.
+        """
+        value = self._store.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: Hashable, value: Any, seconds: float = 0.0) -> Any:
+        """Insert an externally computed value (a worker's result).
+
+        Accounted as a miss — the value *was* computed, just not by
+        this process — with ``seconds`` of compute time attributed.
+        Re-storing an existing key only refreshes the value.
+        """
+        if key not in self._store:
+            self.stats.misses += 1
+            self.stats.seconds += seconds
+            if (
+                self._max_entries is not None
+                and len(self._store) >= self._max_entries
+            ):
+                self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+        return value
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -99,6 +132,7 @@ class EngineStats:
     caches: dict[str, CacheStats] = field(default_factory=dict)
     evaluations: dict[str, int] = field(default_factory=dict)
     engine_seconds: dict[str, float] = field(default_factory=dict)
+    parallel: dict[str, float | int] = field(default_factory=dict)
 
     def register_cache(self, cache: KeyedCache) -> KeyedCache:
         self.caches[cache.name] = cache.stats
@@ -110,6 +144,30 @@ class EngineStats:
             self.engine_seconds.get(engine_name, 0.0) + seconds
         )
 
+    def record_parallel(self, report: Any) -> None:
+        """Fold one :class:`~repro.parallel.executor.ExecutionReport`
+        into the session-wide parallel accounting."""
+        snapshot = report.snapshot()
+        totals = self.parallel
+        totals["runs"] = totals.get("runs", 0) + 1
+        if snapshot.get("mode") == "parallel":
+            totals["pooled_runs"] = totals.get("pooled_runs", 0) + 1
+        totals["workers"] = max(
+            totals.get("workers", 1), snapshot.get("workers", 1)
+        )
+        for key in (
+            "shards_planned",
+            "shards_completed",
+            "retries",
+            "resplits",
+            "timeouts",
+            "failures",
+            "wall_seconds",
+            "task_seconds",
+            "cache_hits",
+        ):
+            totals[key] = totals.get(key, 0) + snapshot.get(key, 0)
+
     def snapshot(self) -> dict[str, Any]:
         """A plain-data view, stable enough for tests and CLI output."""
         return {
@@ -118,6 +176,7 @@ class EngineStats:
             },
             "evaluations": dict(self.evaluations),
             "engine_seconds": dict(self.engine_seconds),
+            "parallel": dict(self.parallel),
         }
 
     def describe(self) -> str:
@@ -133,5 +192,22 @@ class EngineStats:
             lines.append(
                 f"engine {name:<9} runs={self.evaluations[name]:<6} "
                 f"seconds={self.engine_seconds.get(name, 0.0):.4f}"
+            )
+        if self.parallel.get("runs"):
+            totals = self.parallel
+            lines.append(
+                "parallel runs={runs} shards={done}/{planned} "
+                "retries={retries} resplits={resplits} timeouts={timeouts} "
+                "cache_hits={cache_hits} wall={wall:.4f}s cpu={cpu:.4f}s".format(
+                    runs=totals.get("runs", 0),
+                    done=totals.get("shards_completed", 0),
+                    planned=totals.get("shards_planned", 0),
+                    retries=totals.get("retries", 0),
+                    resplits=totals.get("resplits", 0),
+                    timeouts=totals.get("timeouts", 0),
+                    cache_hits=totals.get("cache_hits", 0),
+                    wall=totals.get("wall_seconds", 0.0),
+                    cpu=totals.get("task_seconds", 0.0),
+                )
             )
         return "\n".join(lines)

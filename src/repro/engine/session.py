@@ -143,6 +143,30 @@ class QueryEngine:
             lambda: accepted_tuples(machine, max_length=max_length),
         )
 
+    def peek_generated(
+        self,
+        fsa: "FSA",
+        max_length: int,
+        fixed_key: tuple[tuple[int, str], ...],
+    ) -> frozenset[tuple[str, ...]] | None:
+        """The cached :meth:`generated` answer set, or ``None``.
+
+        ``fixed_key`` is the canonical sorted-items form of the fixed
+        map.  The parallel layer uses this to count cache hits *before*
+        dispatching work to workers (which cannot see these caches).
+        """
+        return self._generate.peek((fsa, max_length, fixed_key))
+
+    def store_generated(
+        self,
+        fsa: "FSA",
+        max_length: int,
+        fixed_key: tuple[tuple[int, str], ...],
+        answers: frozenset[tuple[str, ...]],
+    ) -> None:
+        """Fold a worker-computed answer set back into the cache."""
+        self._generate.store((fsa, max_length, fixed_key), answers)
+
     def limit_report(
         self, formula: "Formula", alphabet: Alphabet
     ) -> "SafetyReport | None":
@@ -241,15 +265,25 @@ class QueryEngine:
         length: int | None = None,
         engine: "str | Engine" = "auto",
         domain: Sequence[str] | None = None,
+        workers: int | None = None,
+        shards: int | None = None,
     ) -> frozenset[tuple[str, ...]]:
         """Evaluate one query through a registered strategy.
 
         ``engine`` is a registered name (``"naive"``, ``"planner"``,
-        ``"algebra"``, ``"auto"``) or an :class:`Engine` object.  See
-        :meth:`repro.core.query.Query.evaluate` for the semantics of
-        ``length`` and ``domain``.
+        ``"algebra"``, ``"parallel"``, ``"auto"``) or an
+        :class:`Engine` object.  ``workers``/``shards`` configure
+        strategies that support sharded execution (``parallel``,
+        ``algebra`` and ``auto``) via their ``configured`` hook; other
+        strategies ignore the hint — the answer set never depends on
+        it.  See :meth:`repro.core.query.Query.evaluate` for the
+        semantics of ``length`` and ``domain``.
         """
         strategy = get_engine(engine)
+        if workers is not None or shards is not None:
+            configured = getattr(strategy, "configured", None)
+            if configured is not None:
+                strategy = configured(workers=workers, shards=shards)
         fixed_domain = tuple(domain) if domain is not None else None
         started = perf_counter()
         result = strategy.evaluate(
@@ -265,6 +299,8 @@ class QueryEngine:
         *,
         length: int | None = None,
         engine: "str | Engine" = "auto",
+        workers: int | None = None,
+        shards: int | None = None,
     ) -> list[frozenset[tuple[str, ...]]]:
         """Evaluate a batch of queries against one database.
 
@@ -273,7 +309,8 @@ class QueryEngine:
         pre-resolves every member's truncation bound so the ``Σ^{<=l}``
         pool is enumerated at most once per alphabet, at the batch
         maximum, with each query's domain a prefix slice of it.
-        Results are returned in query order.
+        ``workers``/``shards`` are forwarded to every member
+        evaluation.  Results are returned in query order.
         """
         for query in queries:
             if length is not None:
@@ -284,7 +321,14 @@ class QueryEngine:
             if bound is not None:
                 self.reserve_domain(query.alphabet, bound)
         return [
-            self.evaluate(query, db, length=length, engine=engine)
+            self.evaluate(
+                query,
+                db,
+                length=length,
+                engine=engine,
+                workers=workers,
+                shards=shards,
+            )
             for query in queries
         ]
 

@@ -5,13 +5,21 @@ protocol and routes its machinery through the invoking session so that
 compiled machines, specializations, limit reports and ``Σ^{<=l}``
 enumerations are shared across calls:
 
-* ``naive``   — the reference model checker over an explicit domain;
-* ``planner`` — the conjunctive planner (joins, then generation);
-* ``algebra`` — Theorem 4.2 translation, then expression evaluation;
-* ``auto``    — planner-first with naive fallback when no explicit
-  truncation length is given (the selection policy previously
-  hardcoded inside ``Query.evaluate``), plain naive otherwise so the
-  answer is always the truncation semantics ``⟦φ⟧^l_db`` verbatim.
+* ``naive``    — the reference model checker over an explicit domain;
+* ``planner``  — the conjunctive planner (joins, then generation);
+* ``algebra``  — Theorem 4.2 translation, then expression evaluation
+  (sharding its selections across workers when configured);
+* ``parallel`` — the process-pool layer of :mod:`repro.parallel`:
+  planner-shaped queries shard their generator runs, everything else
+  shards the naive candidate space — the answer set is identical to
+  the sequential engines for every worker and shard count;
+* ``auto``     — planner-first with naive fallback, upgraded to the
+  ``parallel`` strategy when more than one worker is available and
+  the size heuristic says the candidate space is worth sharding.
+
+Sharding-capable strategies expose ``configured(workers=…, shards=…)``
+returning a parameterized copy; ``QueryEngine.evaluate(workers=…)``
+uses that hook, so unconfigured strategies keep working untouched.
 """
 
 from __future__ import annotations
@@ -20,13 +28,21 @@ from typing import TYPE_CHECKING
 
 from repro.core.planner import evaluate_conjunctive
 from repro.core.semantics import evaluate_naive
+from repro.core.syntax import free_variables
 from repro.engine.registry import register_engine
-from repro.errors import EvaluationError
+from repro.errors import AssignmentError, EvaluationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.database import Database
     from repro.core.query import Query
     from repro.engine.session import QueryEngine
+    from repro.parallel.executor import ParallelExecutor
+    from repro.parallel.tasks import ChaosPolicy
+
+#: Candidate-space size (``|domain|^k``) above which the ``auto``
+#: strategy upgrades an explicit-truncation evaluation to the
+#: ``parallel`` engine, provided more than one worker is available.
+AUTO_PARALLEL_THRESHOLD = 2048
 
 
 class NaiveEngine:
@@ -81,9 +97,41 @@ class PlannerEngine:
 
 
 class AlgebraEngine:
-    """Theorem 4.2: translate once (cached), evaluate the expression."""
+    """Theorem 4.2: translate once (cached), evaluate the expression.
+
+    When configured with ``workers > 1`` the expression's selections —
+    both generative ``σ_A(F × (Σ*)^n)`` row loops and plain acceptance
+    filters — are sharded across the process pool; the relational
+    operators stay in-process (they are unions/products over already
+    materialized sets).
+    """
 
     name = "algebra"
+
+    def __init__(
+        self, workers: int | None = None, shards: int | None = None
+    ) -> None:
+        self.workers = workers
+        self.shards = shards
+        self.last_report = None
+
+    def configured(
+        self, workers: int | None = None, shards: int | None = None
+    ) -> "AlgebraEngine":
+        return AlgebraEngine(
+            workers if workers is not None else self.workers,
+            shards if shards is not None else self.shards,
+        )
+
+    def _executor(self) -> "ParallelExecutor | None":
+        if self.workers is None and self.shards is None:
+            return None
+        from repro.parallel.executor import ParallelExecutor
+        from repro.parallel.sharding import ShardPlanner
+
+        return ParallelExecutor(
+            self.workers, planner=ShardPlanner(self.shards)
+        )
 
     def evaluate(
         self,
@@ -103,22 +151,200 @@ class AlgebraEngine:
                 bound = max((len(s) for s in domain), default=0)
             else:
                 bound = session.certified_length(query, db)
-        return evaluate_expression(
-            expression, db, length=bound, session=session
+        executor = self._executor()
+        try:
+            return evaluate_expression(
+                expression, db, length=bound, session=session,
+                executor=executor,
+            )
+        finally:
+            if executor is not None:
+                self.last_report = executor.report
+                session.stats.record_parallel(executor.report)
+
+
+class ParallelEngine:
+    """Process-pool sharded evaluation (:mod:`repro.parallel`).
+
+    Mirrors the ``auto`` selection policy so its answers line up with
+    the sequential engines tuple-for-tuple:
+
+    * planner-shaped queries (no explicit ``domain``) run through the
+      conjunctive planner with the per-binding generator runs sharded
+      across workers;
+    * everything else shards the naive candidate space ``domain^k``
+      into deterministic ranges, each worker filtering its slice
+      through the reference semantics.
+
+    Worker/shard counts never change the answer set: shards partition
+    the candidate space, and the union of the partial answers is the
+    sequential answer by construction.  Every evaluation leaves an
+    :class:`~repro.parallel.executor.ExecutionReport` on
+    ``last_report`` and in ``session.stats``.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        shards: int | None = None,
+        *,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        chaos: "ChaosPolicy | None" = None,
+        min_parallel_items: int | None = None,
+    ) -> None:
+        self.workers = workers
+        self.shards = shards
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.chaos = chaos
+        self.min_parallel_items = min_parallel_items
+        self.last_report = None
+
+    def configured(
+        self,
+        workers: int | None = None,
+        shards: int | None = None,
+        **overrides,
+    ) -> "ParallelEngine":
+        return ParallelEngine(
+            workers if workers is not None else self.workers,
+            shards if shards is not None else self.shards,
+            timeout=overrides.get("timeout", self.timeout),
+            max_retries=overrides.get("max_retries", self.max_retries),
+            chaos=overrides.get("chaos", self.chaos),
+            min_parallel_items=overrides.get(
+                "min_parallel_items", self.min_parallel_items
+            ),
         )
+
+    def _executor(self) -> "ParallelExecutor":
+        from repro.parallel.executor import (
+            DEFAULT_MIN_PARALLEL_ITEMS,
+            ParallelExecutor,
+        )
+        from repro.parallel.sharding import ShardPlanner
+
+        return ParallelExecutor(
+            self.workers,
+            timeout=self.timeout,
+            max_retries=self.max_retries,
+            chaos=self.chaos,
+            min_parallel_items=(
+                self.min_parallel_items
+                if self.min_parallel_items is not None
+                else DEFAULT_MIN_PARALLEL_ITEMS
+            ),
+            planner=ShardPlanner(self.shards),
+        )
+
+    def evaluate(
+        self,
+        query: "Query",
+        db: "Database",
+        session: "QueryEngine",
+        *,
+        length: int | None = None,
+        domain: tuple[str, ...] | None = None,
+    ) -> frozenset[tuple[str, ...]]:
+        executor = self._executor()
+        explicit_domain = domain is not None
+        if length is None and domain is None:
+            length = session.certified_length(query, db)
+        try:
+            result = None
+            if not explicit_domain:
+                result = evaluate_conjunctive(
+                    query.formula,
+                    query.head,
+                    db,
+                    query.alphabet,
+                    length,
+                    session=session,
+                    executor=executor,
+                )
+            if result is None:
+                if domain is None:
+                    # Only the naive fallback materializes Σ^{<=l};
+                    # planner-shaped queries never pay for it.
+                    domain = session.domain_for(query.alphabet, length)
+                result = self._naive_sharded(query, db, domain, executor)
+        finally:
+            self.last_report = executor.report
+            session.stats.record_parallel(executor.report)
+        return result
+
+    def _naive_sharded(
+        self,
+        query: "Query",
+        db: "Database",
+        domain: tuple[str, ...],
+        executor: "ParallelExecutor",
+    ) -> frozenset[tuple[str, ...]]:
+        from repro.parallel.tasks import NaiveShardTask
+
+        missing = free_variables(query.formula) - set(query.head)
+        if missing:
+            raise AssignmentError(
+                f"free variables {sorted(missing)} are not in the query head"
+            )
+        width = len(query.head)
+        total = len(domain) ** width if width else 1
+        shards = executor.plan(total)
+        tasks = [
+            NaiveShardTask(shard, query.formula, query.head, db, domain)
+            for shard in shards
+        ]
+        answers: set[tuple[str, ...]] = set()
+        for partial in executor.run(tasks):
+            answers.update(partial)
+        return frozenset(answers)
 
 
 class AutoEngine:
-    """Planner-first selection with naive fallback.
+    """Planner-first selection with naive fallback, parallel-aware.
 
     With no explicit ``length``/``domain`` the certified limit function
     is derived and the planner tried first — certified bounds are sound
     but loose, and only generation-based evaluation stays practical
     under them.  With an explicit truncation the naive reference
-    semantics is used directly, so ``auto`` never changes an answer.
+    semantics is used directly.  In either regime, when more than one
+    worker is available the work is routed through the ``parallel``
+    strategy (whose planner-first/naive-fallback policy mirrors this
+    one), gated by :data:`AUTO_PARALLEL_THRESHOLD` on the candidate
+    space for the explicit-truncation case — so ``auto`` never changes
+    an answer, only where it is computed.
     """
 
     name = "auto"
+
+    def __init__(
+        self, workers: int | None = None, shards: int | None = None
+    ) -> None:
+        self.workers = workers
+        self.shards = shards
+
+    def configured(
+        self, workers: int | None = None, shards: int | None = None
+    ) -> "AutoEngine":
+        return AutoEngine(
+            workers if workers is not None else self.workers,
+            shards if shards is not None else self.shards,
+        )
+
+    def _effective_workers(self) -> int:
+        if self.workers is not None:
+            return self.workers
+        from repro.parallel.executor import default_worker_count
+
+        return default_worker_count()
+
+    def _parallel(self) -> ParallelEngine:
+        return PARALLEL.configured(
+            workers=self._effective_workers(), shards=self.shards
+        )
 
     def evaluate(
         self,
@@ -130,6 +356,8 @@ class AutoEngine:
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
         if domain is None and length is None:
+            if self._effective_workers() > 1:
+                return self._parallel().evaluate(query, db, session)
             cap = session.certified_length(query, db)
             planned = evaluate_conjunctive(
                 query.formula,
@@ -142,6 +370,19 @@ class AutoEngine:
             if planned is not None:
                 return planned
             length = cap
+        if self._effective_workers() > 1:
+            pool = (
+                domain
+                if domain is not None
+                else session.domain_for(query.alphabet, length)
+            )
+            total = (
+                len(pool) ** len(query.head) if query.head else 1
+            )
+            if total >= AUTO_PARALLEL_THRESHOLD:
+                return self._parallel().evaluate(
+                    query, db, session, length=length, domain=domain
+                )
         return NAIVE.evaluate(
             query, db, session, length=length, domain=domain
         )
@@ -150,12 +391,13 @@ class AutoEngine:
 NAIVE = NaiveEngine()
 PLANNER = PlannerEngine()
 ALGEBRA = AlgebraEngine()
+PARALLEL = ParallelEngine()
 AUTO = AutoEngine()
 
 
 def register_default_engines() -> None:
     """(Re-)register the built-in strategies under their names."""
-    for engine in (NAIVE, PLANNER, ALGEBRA, AUTO):
+    for engine in (NAIVE, PLANNER, ALGEBRA, PARALLEL, AUTO):
         register_engine(engine, replace=True)
 
 

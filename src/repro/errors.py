@@ -59,3 +59,21 @@ class EvaluationError(ReproError):
 
 class UnboundedQueryError(EvaluationError):
     """Evaluation would require materializing an infinite relation."""
+
+
+class ParallelExecutionError(EvaluationError):
+    """A sharded parallel evaluation failed after exhausting retries.
+
+    Raised by :mod:`repro.parallel` when a shard keeps failing through
+    the full retry/re-split budget; the partial results of the other
+    shards are discarded so a parallel answer is never silently
+    incomplete.
+    """
+
+
+class ShardTimeoutError(ParallelExecutionError):
+    """A shard exceeded its per-shard timeout on every retry."""
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A worker process died (rather than raised) on every retry."""

@@ -160,3 +160,22 @@ def accepted_tuples(
     """
     machine = specialize(fsa, dict(fixed)) if fixed else fsa
     return _generate_free(machine, max_length)
+
+
+def accepted_tuples_batch(
+    fsa: FSA,
+    max_length: int,
+    fixed_batch: "tuple[tuple[tuple[int, str], ...], ...]",
+) -> tuple[frozenset[tuple[str, ...]], ...]:
+    """One :func:`accepted_tuples` run per ``fixed`` binding.
+
+    The shard entry point of :mod:`repro.parallel`: a worker receives
+    one machine and a batch of canonicalized ``fixed`` bindings
+    (sorted ``(tape, value)`` pairs) and answers them in order, so the
+    per-call pickling cost of the machine is amortized over the whole
+    batch.
+    """
+    return tuple(
+        accepted_tuples(fsa, max_length, dict(fixed) if fixed else None)
+        for fixed in fixed_batch
+    )

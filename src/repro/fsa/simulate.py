@@ -97,6 +97,18 @@ def accepts(fsa: FSA, inputs: Sequence[str]) -> bool:
     return False
 
 
+def accepts_batch(
+    fsa: FSA, rows: Sequence[Sequence[str]]
+) -> tuple[bool, ...]:
+    """:func:`accepts` over a batch of input tuples, in order.
+
+    The shard entry point of :mod:`repro.parallel` for selection
+    filtering: one pickled machine answers a whole slice of rows in
+    the worker.
+    """
+    return tuple(accepts(fsa, row) for row in rows)
+
+
 def accepting_run(
     fsa: FSA, inputs: Sequence[str]
 ) -> list[Configuration] | None:

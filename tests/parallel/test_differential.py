@@ -1,0 +1,256 @@
+"""Differential harness: parallel evaluation vs the sequential engines.
+
+The parallel layer's contract is exact answer equality: for every
+workload generator, every worker count and every shard count, the
+sharded evaluation must return the same answer set — compared as
+sorted tuples — as the ``naive``, ``planner`` and ``algebra`` engines.
+Both parallel regimes are exercised:
+
+* planner-shaped queries (explicit ``length``) shard their generator
+  runs;
+* explicit-``domain`` evaluations shard the naive candidate space
+  ``domain^k`` by mixed-radix index ranges.
+
+``min_parallel_items=1`` forces real pool dispatch even for the tiny
+test workloads, so worker counts above one genuinely cross process
+boundaries.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.core.query import Query
+from repro.core.syntax import And, Not, exists, lift, rel
+from repro.engine import ParallelEngine, QueryEngine
+from repro.workloads.generators import (
+    copy_language_strings,
+    example_database,
+    manifold_strings,
+    near_duplicates,
+    uniform_strings,
+    with_planted_motif,
+)
+
+DNA = Alphabet("acgt")
+
+#: The worker/shard matrix required of the differential harness.
+WORKER_COUNTS = (1, 2, 4)
+SHARD_COUNTS = (1, 3, 7)
+
+#: Sequential reference engines the parallel answers are compared to.
+REFERENCE_ENGINES = ("naive", "planner", "algebra")
+
+
+def _databases():
+    yield "uniform", example_database(AB, seed=3, size=4, max_length=3)
+    yield "motif", example_database(
+        AB,
+        singles=with_planted_motif(AB, "ab", count=5, max_length=3, seed=5),
+        seed=7,
+        size=3,
+        max_length=2,
+    )
+    yield "near-dup", example_database(
+        AB,
+        singles=near_duplicates(AB, "aba", count=4, max_edits=1, seed=11),
+        seed=13,
+        size=3,
+        max_length=3,
+    )
+    yield "copy-lang", example_database(
+        AB,
+        singles=copy_language_strings(count=5, max_half_length=2, seed=9),
+        seed=15,
+        size=3,
+        max_length=2,
+    )
+    yield "manifold", example_database(
+        AB,
+        pairs=manifold_strings(AB, count=4, max_base_length=2, max_repeats=2, seed=21),
+        seed=17,
+        size=3,
+        max_length=2,
+    )
+    yield "dna", example_database(
+        DNA,
+        singles=uniform_strings(DNA, 3, 2, seed=17),
+        seed=19,
+        size=2,
+        max_length=2,
+    )
+
+
+def _queries(alphabet):
+    yield "select-prefix", Query(
+        ("x", "y"),
+        And(rel("R1", "x", "y"), lift(sh.prefix_of("x", "y"))),
+        alphabet,
+    )
+    yield "join", Query(
+        ("x",),
+        exists("y", And(rel("R1", "x", "y"), rel("R2", "y"))),
+        alphabet,
+    )
+    yield "generate-concat", Query(
+        ("x",),
+        exists(
+            ["y", "z"],
+            And(
+                And(rel("R2", "y"), rel("R2", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        ),
+        alphabet,
+    )
+    yield "negated-filter", Query(
+        ("x", "y"),
+        And(rel("R1", "x", "y"), Not(rel("R2", "y"))),
+        alphabet,
+    )
+
+
+DATABASES = list(_databases())
+DB_PARAMS = [pytest.param(name, db, id=name) for name, db in DATABASES]
+
+_SESSION = QueryEngine()
+_REFERENCES: dict = {}
+
+
+def _references(dbname, qname, query, db, bound):
+    """Sequential answers, computed once per (db, query) and cached."""
+    key = (dbname, qname)
+    if key not in _REFERENCES:
+        _REFERENCES[key] = {
+            name: sorted(
+                _SESSION.evaluate(query, db, length=bound, engine=name)
+            )
+            for name in REFERENCE_ENGINES
+        }
+    return _REFERENCES[key]
+
+
+def _parallel_engine(workers, shards):
+    return ParallelEngine(
+        workers=workers, shards=shards, min_parallel_items=1
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("dbname,db", DB_PARAMS)
+def test_parallel_matches_every_sequential_engine(dbname, db, workers, shards):
+    bound = db.max_string_length() + 1
+    for qname, query in _queries(db.alphabet):
+        refs = _references(dbname, qname, query, db, bound)
+        engine = _parallel_engine(workers, shards)
+        got = sorted(
+            _SESSION.evaluate(query, db, length=bound, engine=engine)
+        )
+        for name in REFERENCE_ENGINES:
+            assert got == refs[name], (
+                f"{dbname}/{qname}: parallel(workers={workers}, "
+                f"shards={shards}) disagrees with {name}"
+            )
+        report = engine.last_report
+        assert report is not None
+        assert report.shards_completed == report.shards_planned
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_naive_shard_path_matches_reference(workers, shards):
+    """Explicit domains force candidate-space sharding; answers must
+    still match the naive reference over the same domain."""
+    _, db = DATABASES[0]
+    bound = 3
+    domain = _SESSION.domain_for(AB, bound)
+    for qname, query in _queries(AB):
+        if qname in ("join", "generate-concat"):
+            continue  # ∃-quantified heads need the planner path
+        reference = sorted(
+            _SESSION.evaluate(query, db, domain=domain, engine="naive")
+        )
+        engine = _parallel_engine(workers, shards)
+        got = sorted(
+            _SESSION.evaluate(query, db, domain=domain, engine=engine)
+        )
+        assert got == reference, (
+            f"{qname}: naive-shard parallel(workers={workers}, "
+            f"shards={shards}) disagrees with naive"
+        )
+        report = engine.last_report
+        assert report is not None
+        assert report.shards_planned >= 1
+        assert report.mode == ("parallel" if workers > 1 else "sequential")
+
+
+def test_cold_parallel_session_matches_warm():
+    """A fresh session (empty caches) agrees with the warmed-up module
+    session — sharding must not depend on cache state."""
+    dbname, db = DATABASES[1]
+    bound = db.max_string_length() + 1
+    for qname, query in _queries(db.alphabet):
+        refs = _references(dbname, qname, query, db, bound)
+        cold = QueryEngine()
+        got = sorted(
+            cold.evaluate(
+                query, db, length=bound, engine=_parallel_engine(2, 3)
+            )
+        )
+        assert got == refs["naive"], f"{qname}: cold session disagrees"
+
+
+def test_parallel_certified_bound_matches_auto():
+    """With no explicit truncation, parallel derives the certified
+    bound and must agree with the sequential auto engine."""
+    _, db = DATABASES[0]
+    for qname, query in _queries(AB):
+        if qname == "negated-filter":
+            continue  # unsafe without a bound: certification rejects it
+        sequential = sorted(
+            _SESSION.evaluate(query, db, engine="auto", workers=1)
+        )
+        got = sorted(
+            _SESSION.evaluate(query, db, engine=_parallel_engine(2, 3))
+        )
+        assert got == sequential, f"{qname}: certified-bound disagreement"
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_algebra_engine_with_workers_matches_sequential(workers):
+    """The algebra engine's sharded selections are also differential:
+    worker counts never change db(E ↓ l)."""
+    dbname, db = DATABASES[2]
+    bound = db.max_string_length() + 1
+    for qname, query in _queries(db.alphabet):
+        refs = _references(dbname, qname, query, db, bound)
+        got = sorted(
+            _SESSION.evaluate(
+                query, db, length=bound, engine="algebra",
+                workers=workers, shards=3,
+            )
+        )
+        assert got == refs["algebra"], (
+            f"{qname}: algebra workers={workers} disagrees"
+        )
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_auto_with_workers_matches_sequential_auto(workers):
+    """auto folds into the parallel engine above the size threshold;
+    the fold must be invisible in the answer set."""
+    dbname, db = DATABASES[0]
+    bound = db.max_string_length() + 1
+    for qname, query in _queries(db.alphabet):
+        sequential = sorted(
+            _SESSION.evaluate(
+                query, db, length=bound, engine="auto", workers=1
+            )
+        )
+        got = sorted(
+            _SESSION.evaluate(
+                query, db, length=bound, engine="auto", workers=workers
+            )
+        )
+        assert got == sequential, f"{qname}: auto workers={workers} disagrees"

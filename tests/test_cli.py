@@ -94,6 +94,50 @@ class TestQuery:
         lines = capsys.readouterr().out.split()
         assert "abab" in lines and "bb" in lines
 
+    def test_parallel_workers_and_stats(self, capsys, db_file):
+        sequential = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "--length",
+                "3",
+                "--engine",
+                "naive",
+                "R2(x) & [x]l(x = 'a')",
+            ]
+        )
+        assert sequential == 0
+        expected = capsys.readouterr().out
+
+        code = main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "--length",
+                "3",
+                "--engine",
+                "parallel",
+                "--workers",
+                "2",
+                "--shards",
+                "3",
+                "--stats",
+                "R2(x) & [x]l(x = 'a')",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == expected
+        assert "parallel runs=1" in captured.err
+
     def test_explicit_engine_choice(self, capsys, db_file):
         for engine in ("naive", "planner", "algebra", "auto"):
             code = main(

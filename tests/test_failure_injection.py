@@ -141,6 +141,147 @@ class TestStructuralValidation:
             q.evaluate(db, length=2, engine="planner")
 
 
+class TestParallelFaultInjection:
+    """Chaos-injected shard failures: the executor must retry with
+    re-split shards and still produce the exact sequential answer, or
+    surface a typed :class:`ParallelExecutionError` when the retry
+    budget is exhausted — never a wrong answer or a raw traceback.
+
+    The query is evaluated with an explicit ``domain`` so the naive
+    candidate space is sharded (planner-shaped evaluation would bind
+    every variable relationally and leave nothing to inject into).
+    Chaos policies key on shard generation: re-split children carry
+    ``generation + 1`` and execute cleanly, which is exactly the
+    transient-fault shape the retry loop is built for.
+    """
+
+    @staticmethod
+    def _setup():
+        from repro.core import shorthands as sh
+        from repro.engine import QueryEngine
+        from repro.workloads.generators import example_database
+
+        db = example_database(AB, seed=3, size=4, max_length=3)
+        query = Query(
+            ("x", "y"),
+            rel("R1", "x", "y") & lift(sh.prefix_of("x", "y")),
+            AB,
+        )
+        session = QueryEngine()
+        domain = session.domain_for(AB, 3)
+        reference = session.evaluate(query, db, domain=domain, engine="naive")
+        return session, query, db, domain, reference
+
+    @staticmethod
+    def _engine(**kwargs):
+        from repro.engine import ParallelEngine
+
+        return ParallelEngine(workers=2, min_parallel_items=1, **kwargs)
+
+    def test_failing_shards_are_retried_to_the_correct_answer(self):
+        from repro.parallel import ChaosPolicy
+
+        session, query, db, domain, reference = self._setup()
+        engine = self._engine(
+            shards=3, chaos=ChaosPolicy(fail_generations=(0,))
+        )
+        answers = session.evaluate(query, db, domain=domain, engine=engine)
+        assert answers == reference
+        report = engine.last_report
+        assert report.retries == 3 and report.resplits == 3
+        assert report.failures >= 3
+        # Every failed shard was re-split in two, so more shards
+        # completed than were originally planned.
+        assert report.shards_completed > report.shards_planned
+
+    def test_hanging_shard_times_out_and_recovers(self):
+        from repro.parallel import ChaosPolicy
+
+        session, query, db, domain, reference = self._setup()
+        engine = self._engine(
+            shards=2,
+            timeout=0.2,
+            chaos=ChaosPolicy(
+                hang_generations=(0,), only_indices=(0,), hang_seconds=5.0
+            ),
+        )
+        answers = session.evaluate(query, db, domain=domain, engine=engine)
+        assert answers == reference
+        report = engine.last_report
+        assert report.timeouts >= 1
+        assert report.resplits >= 1
+
+    def test_worker_crash_breaks_pool_but_not_the_answer(self):
+        from repro.parallel import ChaosPolicy
+
+        session, query, db, domain, reference = self._setup()
+        engine = self._engine(
+            shards=3,
+            chaos=ChaosPolicy(crash_generations=(0,), only_indices=(0,)),
+        )
+        answers = session.evaluate(query, db, domain=domain, engine=engine)
+        assert answers == reference
+        assert engine.last_report.resplits >= 1
+
+    def test_exhausted_retries_raise_typed_error(self):
+        from repro.errors import ParallelExecutionError
+        from repro.parallel import ChaosPolicy
+
+        session, query, db, domain, _ = self._setup()
+        engine = self._engine(
+            shards=2,
+            max_retries=1,
+            chaos=ChaosPolicy(fail_generations=(0, 1, 2, 3)),
+        )
+        with pytest.raises(ParallelExecutionError):
+            session.evaluate(query, db, domain=domain, engine=engine)
+
+    def test_exhausted_timeouts_raise_shard_timeout_error(self):
+        from repro.errors import ParallelExecutionError, ShardTimeoutError
+        from repro.parallel import ChaosPolicy
+
+        session, query, db, domain, _ = self._setup()
+        engine = self._engine(
+            shards=1,
+            timeout=0.15,
+            max_retries=0,
+            chaos=ChaosPolicy(hang_generations=(0,), hang_seconds=5.0),
+        )
+        with pytest.raises(ShardTimeoutError):
+            session.evaluate(query, db, domain=domain, engine=engine)
+        assert issubclass(ShardTimeoutError, ParallelExecutionError)
+
+    def test_sequential_chaos_stays_in_process(self):
+        """With one worker the chaos hooks degrade gracefully: a crash
+        injection must not take down the test process, and the typed
+        error still surfaces."""
+        from repro.engine import ParallelEngine
+        from repro.errors import ParallelExecutionError
+        from repro.parallel import ChaosPolicy
+
+        session, query, db, domain, _ = self._setup()
+        engine = ParallelEngine(
+            workers=1,
+            shards=2,
+            min_parallel_items=1,
+            max_retries=0,
+            chaos=ChaosPolicy(crash_generations=(0,)),
+        )
+        with pytest.raises(ParallelExecutionError):
+            session.evaluate(query, db, domain=domain, engine=engine)
+
+    def test_parallel_error_hierarchy(self):
+        from repro.errors import (
+            ParallelExecutionError,
+            ShardTimeoutError,
+            WorkerCrashError,
+        )
+
+        assert issubclass(ParallelExecutionError, EvaluationError)
+        assert issubclass(ShardTimeoutError, ParallelExecutionError)
+        assert issubclass(WorkerCrashError, ParallelExecutionError)
+
+
 class TestCLIFailures:
     def test_unknown_relation_is_empty_not_crash(self, tmp_path):
         import json
