@@ -94,20 +94,24 @@ def _evaluate_select(
             for tape, value in zip(span, row):
                 fixed[tape] = value
         fixed_list.append(fixed)
+    from repro.observability import current_tracer
     from repro.parallel.generation import generated_for_fixed
 
     generated_sets = generated_for_fixed(
         select.machine, length, fixed_list, session=session, executor=executor
     )
     results: set[tuple[str, ...]] = set()
-    for fixed, generated in zip(fixed_list, generated_sets):
-        for outputs in generated:
-            merged = [""] * width
-            for tape, value in fixed.items():
-                merged[tape] = value
-            for tape, value in zip(generated_tapes, outputs):
-                merged[tape] = value
-            results.add(tuple(merged))
+    with current_tracer().span(
+        "fold.select", stage="fold", rows=len(fixed_list)
+    ):
+        for fixed, generated in zip(fixed_list, generated_sets):
+            for outputs in generated:
+                merged = [""] * width
+                for tape, value in fixed.items():
+                    merged[tape] = value
+                for tape, value in zip(generated_tapes, outputs):
+                    merged[tape] = value
+                results.add(tuple(merged))
     return frozenset(results)
 
 

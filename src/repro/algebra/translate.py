@@ -258,16 +258,21 @@ def calculus_to_algebra(
     atoms' selection machines — engine sessions pass their cached
     compile so translations share machines with evaluation.
     """
+    from repro.observability import current_tracer
+
     free = free_variables(formula)
     if set(head) != free or len(set(head)) != len(head):
         raise EvaluationError(
             f"head {head!r} must list the free variables {sorted(free)} exactly"
         )
-    expression = _translate(formula, alphabet, compiler)
-    ordered = _columns_invariant(formula)
-    wanted = tuple(ordered.index(var) for var in head)
-    if wanted != tuple(range(len(ordered))):
-        expression = Project(expression, wanted)
+    with current_tracer().span(
+        "translate.build", stage="translate", head=len(head)
+    ):
+        expression = _translate(formula, alphabet, compiler)
+        ordered = _columns_invariant(formula)
+        wanted = tuple(ordered.index(var) for var in head)
+        if wanted != tuple(range(len(ordered))):
+            expression = Project(expression, wanted)
     return expression
 
 

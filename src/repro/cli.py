@@ -17,6 +17,14 @@ Four subcommands expose the library's main workflows:
   (text listing or Graphviz DOT);
 * ``limit``   — run the Theorem 5.2 limitation analysis.
 
+``query`` exposes the observability layer
+(:mod:`repro.observability`): ``--stats`` prints the legacy
+cache/engine/parallel summary, ``--profile`` a per-stage time profile,
+``--trace`` the full span tree, and ``--metrics-out PATH`` writes the
+schema-stable JSON :class:`~repro.observability.TraceReport`.  All
+human-readable instrumentation goes to stderr so stdout stays a clean
+tuple stream.
+
 Formulas use the concrete syntax of :mod:`repro.core.parser`.
 """
 
@@ -33,6 +41,7 @@ from repro.core.semantics import check_string_formula
 from repro.core.syntax import string_variables
 from repro.engine import QueryEngine, available_engines
 from repro.errors import ReproError
+from repro.observability import Tracer
 
 
 def _alphabet(text: str) -> Alphabet:
@@ -68,11 +77,13 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    """Run one query; print answers to stdout, instrumentation to stderr."""
     alphabet = _alphabet(args.alphabet)
     database = Database.from_json(args.db, alphabet)
     formula = parse_formula(args.formula)
     query = Query(tuple(args.head), formula, alphabet)
-    session = QueryEngine()
+    tracing = bool(args.trace or args.profile or args.metrics_out)
+    session = QueryEngine(tracer=Tracer() if tracing else None)
     answers = session.evaluate(
         query,
         database,
@@ -84,8 +95,16 @@ def cmd_query(args: argparse.Namespace) -> int:
     for row in sorted(answers):
         print("\t".join(value if value else "ε" for value in row))
     print(f"-- {len(answers)} tuple(s)", file=sys.stderr)
+    report = session.trace_report()
     if args.stats:
-        print(session.stats.describe(), file=sys.stderr)
+        print(report.summary(), file=sys.stderr)
+    if args.profile:
+        print(report.describe(), file=sys.stderr)
+    if args.trace:
+        print(report.tree(), file=sys.stderr)
+    if args.metrics_out:
+        report.write(args.metrics_out)
+        print(f"-- metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -178,6 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine cache/timing and parallel-execution "
         "instrumentation to stderr",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="record the evaluation as hierarchical spans and print "
+        "the span tree to stderr",
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="record spans and print a per-pipeline-stage time "
+        "profile (plus counters and gauges) to stderr",
+    )
+    query.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="record spans and write the JSON TraceReport "
+        "(schema repro.trace-report/1) to PATH",
     )
     query.add_argument("formula")
     query.set_defaults(handler=cmd_query)

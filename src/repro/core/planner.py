@@ -64,8 +64,19 @@ def decompose_conjunctive(
     Returns ``None`` when the formula does not have the supported
     shape (e.g. nested quantifiers under negation, disjunctions).
     The result is a pure function of the formula — engine sessions
-    cache it as the query's *plan*.
+    cache it as the query's *plan*.  Recorded as a ``plan``-stage span
+    on the ambient tracer.
     """
+    from repro.observability import current_tracer
+
+    with current_tracer().span("plan.decompose", stage="plan"):
+        return _decompose_conjunctive(formula)
+
+
+def _decompose_conjunctive(
+    formula: Formula,
+) -> tuple[list[Var], list[_Literal]] | None:
+    """The uninstrumented shape analysis behind :func:`decompose_conjunctive`."""
     quantified: list[Var] = []
     body = formula
     while isinstance(body, Exists):
@@ -217,6 +228,9 @@ def evaluate_conjunctive(
     in-process (they are cheap dictionary passes over materialized
     bindings).
     """
+    from repro.observability import current_tracer
+
+    tracer = current_tracer()
     if session is not None:
         decomposed = session.plan(formula)
     else:
@@ -259,14 +273,17 @@ def evaluate_conjunctive(
             break
         pending.remove(literal)
         progress = True
-        if action == "filter":
-            bindings = _filter_bound(bindings, literal, db)
-        elif action == "join":
-            bindings = _join_relational(bindings, literal, db)
-        else:
-            bindings = _generate(
-                bindings, literal, alphabet, cap, session, executor
-            )
+        with tracer.span(
+            f"execute.{action}", stage="execute", bindings=len(bindings)
+        ):
+            if action == "filter":
+                bindings = _filter_bound(bindings, literal, db)
+            elif action == "join":
+                bindings = _join_relational(bindings, literal, db)
+            else:
+                bindings = _generate(
+                    bindings, literal, alphabet, cap, session, executor
+                )
         if not bindings:
             return frozenset()
         # Joins and generators can produce duplicate bindings; dedupe

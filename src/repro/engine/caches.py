@@ -30,6 +30,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -39,6 +40,12 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> dict[str, float | int]:
+        """A plain-dict view: hits, misses, hit_rate, miss seconds.
+
+        Returns:
+            A JSON-friendly dict with the counter values (``hit_rate``
+            rounded to four decimals).
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -66,6 +73,16 @@ class KeyedCache:
         self._max_entries = max_entries
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss.
+
+        Args:
+            key: The (hashable, structural) cache key.
+            compute: Zero-argument callable producing the value; its
+                wall-clock time is accounted as miss seconds.
+
+        Returns:
+            The cached or freshly computed value.
+        """
         value = self._store.get(key, _MISSING)
         if value is not _MISSING:
             self.stats.hits += 1
@@ -122,6 +139,7 @@ class KeyedCache:
         return key in self._store
 
     def clear(self) -> None:
+        """Drop every entry (the stats are deliberately kept)."""
         self._store.clear()
 
 
@@ -135,18 +153,36 @@ class EngineStats:
     parallel: dict[str, float | int] = field(default_factory=dict)
 
     def register_cache(self, cache: KeyedCache) -> KeyedCache:
+        """Adopt ``cache``'s stats into this session's accounting.
+
+        Args:
+            cache: The cache whose :class:`CacheStats` to track.
+
+        Returns:
+            The cache itself, for chaining at construction sites.
+        """
         self.caches[cache.name] = cache.stats
         return cache
 
     def record_evaluation(self, engine_name: str, seconds: float) -> None:
+        """Count one engine evaluation and its wall-clock time.
+
+        Args:
+            engine_name: The registry name of the strategy that ran.
+            seconds: The evaluation's wall-clock duration.
+        """
         self.evaluations[engine_name] = self.evaluations.get(engine_name, 0) + 1
         self.engine_seconds[engine_name] = (
             self.engine_seconds.get(engine_name, 0.0) + seconds
         )
 
     def record_parallel(self, report: Any) -> None:
-        """Fold one :class:`~repro.parallel.executor.ExecutionReport`
-        into the session-wide parallel accounting."""
+        """Fold one execution report into the parallel accounting.
+
+        Args:
+            report: An :class:`~repro.parallel.executor
+                .ExecutionReport` (anything with its ``snapshot()``).
+        """
         snapshot = report.snapshot()
         totals = self.parallel
         totals["runs"] = totals.get("runs", 0) + 1
@@ -180,6 +216,12 @@ class EngineStats:
         }
 
     def describe(self) -> str:
+        """The human-readable cache/engine/parallel lines of ``--stats``.
+
+        Returns:
+            One line per cache, per engine, and (when any parallel run
+            happened) one parallel-totals line.
+        """
         lines = []
         for name in sorted(self.caches):
             stats = self.caches[name]

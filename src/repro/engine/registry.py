@@ -42,6 +42,7 @@ class Engine(Protocol):
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
+        """Evaluate ``query`` on ``db``, returning the answer set."""
         ...  # pragma: no cover - protocol
 
 

@@ -28,6 +28,7 @@ from repro.core.database import Database
 from repro.engine.caches import EngineStats, KeyedCache
 from repro.engine.registry import Engine, get_engine
 from repro.errors import SafetyError
+from repro.observability import NULL_TRACER, TraceReport, activate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algebra.expressions import Expression
@@ -35,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.syntax import Formula, StringFormula, Var
     from repro.fsa.compile import CompiledFormula
     from repro.fsa.machine import FSA
+    from repro.observability import NullTracer, Tracer
     from repro.safety.domain_independence import SafetyReport
 
 
@@ -57,7 +59,13 @@ class QueryEngine:
     redundant recomputation under races is harmless).
     """
 
-    def __init__(self, *, max_generated_entries: int | None = 4096) -> None:
+    def __init__(
+        self,
+        *,
+        max_generated_entries: int | None = 4096,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = EngineStats()
         register = self.stats.register_cache
         self._compile = register(KeyedCache("compile"))
@@ -75,6 +83,59 @@ class QueryEngine:
         self._domains: dict[Alphabet, tuple[int, tuple[str, ...]]] = {}
         self._domain_floor: dict[Alphabet, int] = {}
 
+    # -- tracing helpers -------------------------------------------------
+
+    def _activated(self, compute):
+        """Wrap a cache-miss thunk so it runs under this session's tracer.
+
+        Lower layers (the Theorem 3.1 compiler, Lemma 3.1
+        specialization, the algebra translator, the planner) open their
+        own stage-tagged spans through the ambient
+        :func:`~repro.observability.current_tracer`; activation routes
+        those spans into this session's tracer.  With tracing disabled
+        the thunk is returned untouched, so cache misses pay nothing.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return compute
+
+        def wrapped():
+            with activate(tracer):
+                return compute()
+
+        return wrapped
+
+    def _staged(self, stage: str, name: str, compute):
+        """Like :meth:`_activated`, adding an explicit stage span.
+
+        Used for computations whose implementing layer is not itself
+        instrumented (e.g. the Section 5 safety analysis behind the
+        ``plan`` stage).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return compute
+
+        def wrapped():
+            with activate(tracer), tracer.span(name, stage=stage):
+                return compute()
+
+        return wrapped
+
+    def trace_report(self) -> TraceReport:
+        """The unified :class:`~repro.observability.TraceReport`.
+
+        Merges this session's tracer data (spans per pipeline stage,
+        counters, gauges — including worker-side spans folded back by
+        the parallel executor) with the cache/engine/parallel
+        accounting of :attr:`stats`.
+
+        Returns:
+            A schema-stable report; with tracing disabled the span
+            sections are empty but every section is still present.
+        """
+        return TraceReport.build(self.tracer, self.stats)
+
     # -- cached compiled artifacts --------------------------------------
 
     def compile(
@@ -89,7 +150,9 @@ class QueryEngine:
         layout = resolve_layout(formula, variables)
         return self._compile.get_or_compute(
             (formula, alphabet, layout),
-            lambda: build_string_formula(formula, alphabet, layout),
+            self._activated(
+                lambda: build_string_formula(formula, alphabet, layout)
+            ),
         )
 
     def minimized(
@@ -111,7 +174,7 @@ class QueryEngine:
             )
 
         return self._minimize.get_or_compute(
-            (formula, alphabet, layout), build
+            (formula, alphabet, layout), self._activated(build)
         )
 
     def specialized(
@@ -122,7 +185,8 @@ class QueryEngine:
 
         key = (fsa, tuple(sorted(fixed.items())), prune)
         return self._specialize.get_or_compute(
-            key, lambda: specialize(fsa, dict(fixed), prune=prune)
+            key,
+            self._activated(lambda: specialize(fsa, dict(fixed), prune=prune)),
         )
 
     def generated(
@@ -131,16 +195,22 @@ class QueryEngine:
         max_length: int,
         fixed: Mapping[int, str] | None = None,
     ) -> frozenset[tuple[str, ...]]:
-        """``accepted_tuples`` with both the specialization and the
-        generated answer set cached — the generator-machine fast path
-        behind the planner and the algebra's ``σ_A(F × (Σ*)^n)``."""
+        """``accepted_tuples`` with specialization and answers cached.
+
+        The generator-machine fast path behind the planner and the
+        algebra's ``σ_A(F × (Σ*)^n)``.
+        """
         from repro.fsa.generate import accepted_tuples
 
         fixed_key = tuple(sorted(fixed.items())) if fixed else ()
         machine = self.specialized(fsa, fixed) if fixed else fsa
         return self._generate.get_or_compute(
             (fsa, max_length, fixed_key),
-            lambda: accepted_tuples(machine, max_length=max_length),
+            self._staged(
+                "execute",
+                "execute.generate",
+                lambda: accepted_tuples(machine, max_length=max_length),
+            ),
         )
 
     def peek_generated(
@@ -170,13 +240,21 @@ class QueryEngine:
     def limit_report(
         self, formula: "Formula", alphabet: Alphabet
     ) -> "SafetyReport | None":
-        """The certified limit function of ``formula`` (or ``None``),
-        cached — including the negative outcome."""
+        """The certified limit function of ``formula``, cached.
+
+        ``None`` — the "no bound certifiable" outcome — is cached too.
+        """
         from repro.safety.domain_independence import limit_function
 
         return self._limit.get_or_compute(
             (formula, alphabet),
-            lambda: limit_function(formula, alphabet, compiler=self.compile),
+            self._staged(
+                "plan",
+                "plan.limit",
+                lambda: limit_function(
+                    formula, alphabet, compiler=self.compile
+                ),
+            ),
         )
 
     def translation(self, query: "Query") -> "Expression":
@@ -185,21 +263,26 @@ class QueryEngine:
 
         return self._translate.get_or_compute(
             (query.formula, query.head, query.alphabet),
-            lambda: calculus_to_algebra(
-                query.formula,
-                query.head,
-                query.alphabet,
-                compiler=self.compile,
+            self._activated(
+                lambda: calculus_to_algebra(
+                    query.formula,
+                    query.head,
+                    query.alphabet,
+                    compiler=self.compile,
+                )
             ),
         )
 
     def plan(self, formula: "Formula"):
-        """The planner's conjunctive decomposition of ``formula``
-        (quantifier prefix + literal list), cached per formula."""
+        """The planner's conjunctive decomposition of ``formula``, cached.
+
+        Returns the quantifier prefix plus literal list, cached per
+        formula.
+        """
         from repro.core.planner import decompose_conjunctive
 
         return self._plan.get_or_compute(
-            formula, lambda: decompose_conjunctive(formula)
+            formula, self._activated(lambda: decompose_conjunctive(formula))
         )
 
     def certified_length(self, query: "Query", db: Database) -> int:
@@ -247,9 +330,11 @@ class QueryEngine:
             return pool[: alphabet.count_strings(length)]
         target = max(length, self._domain_floor.get(alphabet, -1))
         started = perf_counter()
-        pool = tuple(alphabet.strings(target))
+        with self.tracer.span("plan.domain", stage="plan", length=target):
+            pool = tuple(alphabet.strings(target))
         self._domain_stats.seconds += perf_counter() - started
         self._domain_stats.misses += 1
+        self.tracer.gauge("domain.pool_size", len(pool))
         self._domains[alphabet] = (target, pool)
         if target == length:
             return pool
@@ -286,9 +371,18 @@ class QueryEngine:
                 strategy = configured(workers=workers, shards=shards)
         fixed_domain = tuple(domain) if domain is not None else None
         started = perf_counter()
-        result = strategy.evaluate(
-            query, db, self, length=length, domain=fixed_domain
-        )
+        tracer = self.tracer
+        if tracer.enabled:
+            with activate(tracer), tracer.span(
+                "engine.evaluate", engine=strategy.name, head=len(query.head)
+            ):
+                result = strategy.evaluate(
+                    query, db, self, length=length, domain=fixed_domain
+                )
+        else:
+            result = strategy.evaluate(
+                query, db, self, length=length, domain=fixed_domain
+            )
         self.stats.record_evaluation(strategy.name, perf_counter() - started)
         return result
 

@@ -59,11 +59,32 @@ class NaiveEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
+        """Check every candidate head tuple against the reference semantics.
+
+        Args:
+            query: The calculus query to evaluate.
+            db: The database instance.
+            session: The invoking session (supplies the certified
+                length and the memoized domain).
+            length: Optional explicit truncation bound.
+            domain: Optional explicit candidate domain (overrides
+                ``length``).
+
+        Returns:
+            The answer set as a frozenset of head tuples.
+        """
+        tracer = session.tracer
         if domain is None:
             if length is None:
                 length = session.certified_length(query, db)
             domain = session.domain_for(query.alphabet, length)
-        return evaluate_naive(query.formula, query.head, db, domain)
+        tracer.gauge(
+            "naive.candidate_space", len(domain) ** len(query.head)
+        )
+        with tracer.span(
+            "execute.naive", stage="execute", domain=len(domain)
+        ):
+            return evaluate_naive(query.formula, query.head, db, domain)
 
 
 class PlannerEngine:
@@ -80,6 +101,22 @@ class PlannerEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
+        """Run the conjunctive planner against the session's caches.
+
+        Args:
+            query: The calculus query to evaluate.
+            db: The database instance.
+            session: The invoking session (plan/compile/generate caches).
+            length: Optional explicit generation cap.
+            domain: Optional explicit domain; only its maximum string
+                length is used (as the cap).
+
+        Returns:
+            The answer set as a frozenset of head tuples.
+
+        Raises:
+            EvaluationError: If the query is not planner-shaped.
+        """
         cap = length
         if cap is None:
             if domain is not None:
@@ -118,19 +155,32 @@ class AlgebraEngine:
     def configured(
         self, workers: int | None = None, shards: int | None = None
     ) -> "AlgebraEngine":
+        """Return a copy parameterized with worker/shard counts.
+
+        Args:
+            workers: Worker-process count, or ``None`` to keep the
+                current setting.
+            shards: Shard-count override, or ``None`` to keep the
+                current setting.
+
+        Returns:
+            A new :class:`AlgebraEngine` with the merged settings.
+        """
         return AlgebraEngine(
             workers if workers is not None else self.workers,
             shards if shards is not None else self.shards,
         )
 
-    def _executor(self) -> "ParallelExecutor | None":
+    def _executor(self, session: "QueryEngine") -> "ParallelExecutor | None":
         if self.workers is None and self.shards is None:
             return None
         from repro.parallel.executor import ParallelExecutor
         from repro.parallel.sharding import ShardPlanner
 
         return ParallelExecutor(
-            self.workers, planner=ShardPlanner(self.shards)
+            self.workers,
+            planner=ShardPlanner(self.shards),
+            tracer=session.tracer,
         )
 
     def evaluate(
@@ -142,6 +192,19 @@ class AlgebraEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
+        """Translate the query (cached) and evaluate the expression.
+
+        Args:
+            query: The calculus query to evaluate.
+            db: The database instance.
+            session: The invoking session (translation cache, tracer).
+            length: Optional explicit evaluation bound.
+            domain: Optional explicit domain; only its maximum string
+                length is used (as the bound).
+
+        Returns:
+            The answer set as a frozenset of head tuples.
+        """
         from repro.algebra.evaluate import evaluate_expression
 
         expression = session.translation(query)
@@ -151,7 +214,7 @@ class AlgebraEngine:
                 bound = max((len(s) for s in domain), default=0)
             else:
                 bound = session.certified_length(query, db)
-        executor = self._executor()
+        executor = self._executor(session)
         try:
             return evaluate_expression(
                 expression, db, length=bound, session=session,
@@ -209,6 +272,19 @@ class ParallelEngine:
         shards: int | None = None,
         **overrides,
     ) -> "ParallelEngine":
+        """Return a copy parameterized with worker/shard/robustness settings.
+
+        Args:
+            workers: Worker-process count, or ``None`` to keep the
+                current setting.
+            shards: Shard-count override, or ``None`` to keep the
+                current setting.
+            **overrides: Optional ``timeout``, ``max_retries``,
+                ``chaos``, ``min_parallel_items`` replacements.
+
+        Returns:
+            A new :class:`ParallelEngine` with the merged settings.
+        """
         return ParallelEngine(
             workers if workers is not None else self.workers,
             shards if shards is not None else self.shards,
@@ -220,7 +296,7 @@ class ParallelEngine:
             ),
         )
 
-    def _executor(self) -> "ParallelExecutor":
+    def _executor(self, session: "QueryEngine") -> "ParallelExecutor":
         from repro.parallel.executor import (
             DEFAULT_MIN_PARALLEL_ITEMS,
             ParallelExecutor,
@@ -238,6 +314,7 @@ class ParallelEngine:
                 else DEFAULT_MIN_PARALLEL_ITEMS
             ),
             planner=ShardPlanner(self.shards),
+            tracer=session.tracer,
         )
 
     def evaluate(
@@ -249,7 +326,20 @@ class ParallelEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
-        executor = self._executor()
+        """Evaluate with sharded workers, planner-first then naive.
+
+        Args:
+            query: The calculus query to evaluate.
+            db: The database instance.
+            session: The invoking session (caches, stats, tracer).
+            length: Optional explicit truncation bound.
+            domain: Optional explicit candidate domain.
+
+        Returns:
+            The answer set — identical to the sequential engines for
+            every worker and shard count.
+        """
+        executor = self._executor(session)
         explicit_domain = domain is not None
         if length is None and domain is None:
             length = session.certified_length(query, db)
@@ -283,6 +373,21 @@ class ParallelEngine:
         domain: tuple[str, ...],
         executor: "ParallelExecutor",
     ) -> frozenset[tuple[str, ...]]:
+        """Shard the candidate space ``domain^k`` across the pool.
+
+        Args:
+            query: The calculus query (its head fixes the tuple width).
+            db: The database instance.
+            domain: The explicit candidate domain.
+            executor: The executor sharding and running the tasks.
+
+        Returns:
+            The union of the per-shard answer sets.
+
+        Raises:
+            AssignmentError: If the formula has free variables missing
+                from the head (the candidate space cannot cover them).
+        """
         from repro.parallel.tasks import NaiveShardTask
 
         missing = free_variables(query.formula) - set(query.head)
@@ -292,14 +397,19 @@ class ParallelEngine:
             )
         width = len(query.head)
         total = len(domain) ** width if width else 1
+        executor.tracer.gauge("naive.candidate_space", total)
         shards = executor.plan(total)
         tasks = [
             NaiveShardTask(shard, query.formula, query.head, db, domain)
             for shard in shards
         ]
+        shard_results = executor.run(tasks)
         answers: set[tuple[str, ...]] = set()
-        for partial in executor.run(tasks):
-            answers.update(partial)
+        with executor.tracer.span(
+            "fold.naive", stage="fold", shards=len(shard_results)
+        ):
+            for partial in shard_results:
+                answers.update(partial)
         return frozenset(answers)
 
 
@@ -329,6 +439,17 @@ class AutoEngine:
     def configured(
         self, workers: int | None = None, shards: int | None = None
     ) -> "AutoEngine":
+        """Return a copy parameterized with worker/shard counts.
+
+        Args:
+            workers: Worker-process count, or ``None`` to keep the
+                current setting.
+            shards: Shard-count override, or ``None`` to keep the
+                current setting.
+
+        Returns:
+            A new :class:`AutoEngine` with the merged settings.
+        """
         return AutoEngine(
             workers if workers is not None else self.workers,
             shards if shards is not None else self.shards,
@@ -355,6 +476,18 @@ class AutoEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
+        """Route the query to the cheapest equivalent strategy.
+
+        Args:
+            query: The calculus query to evaluate.
+            db: The database instance.
+            session: The invoking session.
+            length: Optional explicit truncation bound.
+            domain: Optional explicit candidate domain.
+
+        Returns:
+            The answer set — the same set every routing choice yields.
+        """
         if domain is None and length is None:
             if self._effective_workers() > 1:
                 return self._parallel().evaluate(query, db, session)
@@ -379,6 +512,7 @@ class AutoEngine:
             total = (
                 len(pool) ** len(query.head) if query.head else 1
             )
+            session.tracer.gauge("auto.candidate_space", total)
             if total >= AUTO_PARALLEL_THRESHOLD:
                 return self._parallel().evaluate(
                     query, db, session, length=length, domain=domain

@@ -44,6 +44,7 @@ from repro.core.syntax import (
 )
 from repro.errors import ArityError
 from repro.fsa.machine import FSA, STAY, Transition
+from repro.observability import current_tracer
 
 
 @dataclass(frozen=True)
@@ -412,20 +413,29 @@ def build_string_formula(
     :func:`resolve_layout`).  :func:`compile_string_formula` wraps this
     with the module-level memo; :class:`repro.engine.QueryEngine`
     sessions call it directly so their instrumented caches own the
-    artifact.
+    artifact.  When a tracer is active
+    (:func:`repro.observability.current_tracer`) the construction is
+    recorded as a ``compile``-stage span plus ``compile.*`` counters.
     """
-    compiler = _Compiler(variables, alphabet)
-    frag = compiler.concatenate(compiler.initial_guard(), compiler.build(formula))
-    states = frozenset(frag.states())
-    finals = frozenset({frag.final} if frag.final is not None else ())
-    fsa = FSA(
-        len(variables),
-        states,
-        frag.start,
-        finals,
-        frozenset(frag.transitions),
-        alphabet,
-    )
+    tracer = current_tracer()
+    with tracer.span("compile.build", stage="compile", tapes=len(variables)):
+        compiler = _Compiler(variables, alphabet)
+        frag = compiler.concatenate(
+            compiler.initial_guard(), compiler.build(formula)
+        )
+        states = frozenset(frag.states())
+        finals = frozenset({frag.final} if frag.final is not None else ())
+        fsa = FSA(
+            len(variables),
+            states,
+            frag.start,
+            finals,
+            frozenset(frag.transitions),
+            alphabet,
+        )
+    tracer.add("compile.machines_built")
+    tracer.add("compile.states_built", len(states))
+    tracer.add("compile.transitions_built", len(frag.transitions))
     return CompiledFormula(fsa, variables)
 
 

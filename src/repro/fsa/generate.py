@@ -26,6 +26,7 @@ from itertools import product
 from repro.core.alphabet import LEFT_END, RIGHT_END
 from repro.fsa.machine import FSA
 from repro.fsa.specialize import specialize
+from repro.observability import current_tracer
 
 
 @dataclass(frozen=True)
@@ -116,6 +117,9 @@ def _generate_free(
                 if nxt not in visited:
                     visited.add(nxt)
                     frontier.append(nxt)
+    tracer = current_tracer()
+    tracer.add("generate.machine_runs")
+    tracer.add("generate.search_states", len(visited))
     results: set[tuple[str, ...]] = set()
     pool_cache: dict[int, list[str]] = {}
     for _, tapes in accepted_states:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.errors import ArityError
 from repro.fsa.machine import FSA, Transition, tape_symbol
+from repro.observability import current_tracer
 
 
 @dataclass(frozen=True)
@@ -84,17 +85,22 @@ def accepts(fsa: FSA, inputs: Sequence[str]) -> bool:
     start = initial_configuration(fsa)
     visited = {start}
     frontier = [start]
+    accepted = False
     while frontier:
         configuration = frontier.pop()
         enabled = enabled_transitions(fsa, configuration, inputs)
         if not enabled and configuration.state in fsa.finals:
-            return True
+            accepted = True
+            break
         for transition in enabled:
             nxt = step(configuration, transition)
             if nxt not in visited:
                 visited.add(nxt)
                 frontier.append(nxt)
-    return False
+    tracer = current_tracer()
+    tracer.add("simulate.runs")
+    tracer.add("simulate.configurations", len(visited))
+    return accepted
 
 
 def accepts_batch(

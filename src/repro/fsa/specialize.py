@@ -15,6 +15,7 @@ from itertools import product
 
 from repro.errors import ArityError
 from repro.fsa.machine import FSA, Transition, tape_symbol
+from repro.observability import current_tracer
 
 
 def specialize(
@@ -30,7 +31,22 @@ def specialize(
     With ``prune=True`` (default) states unreachable from the start are
     dropped; pass ``prune=False`` to obtain the paper's full product
     for size measurements.
+
+    The construction is recorded on the ambient tracer as a
+    ``specialize``-stage span plus ``specialize.*`` counters.
     """
+    tracer = current_tracer()
+    with tracer.span(
+        "specialize.machine", stage="specialize", fixed=len(fixed)
+    ):
+        machine = _specialize(fsa, fixed, prune)
+    tracer.add("specialize.machines_built")
+    tracer.add("specialize.states_built", len(machine.states))
+    return machine
+
+
+def _specialize(fsa: FSA, fixed: Mapping[int, str], prune: bool) -> FSA:
+    """The uninstrumented Lemma 3.1 product construction."""
     for tape, content in fixed.items():
         if not 0 <= tape < fsa.arity:
             raise ArityError(f"tape {tape} outside 0..{fsa.arity - 1}")

@@ -1,0 +1,146 @@
+"""Pluggable span sinks: ring buffer, JSON-lines file, stderr summary.
+
+A sink is any object with an ``emit(record)`` method taking a
+:class:`~repro.observability.tracer.SpanRecord`; an optional
+``close()`` hook runs when the owning tracer is flushed.  Sinks see
+every finished span *as it finishes* (including spans dropped from the
+tracer's bounded in-memory list), which makes them the right place for
+streaming export:
+
+* :class:`RingBufferSink` — keeps the last ``capacity`` records in
+  memory, for embedding dashboards and tests;
+* :class:`JsonLinesSink` — appends one JSON object per span to a file,
+  round-trippable via :meth:`JsonLinesSink.read`;
+* :class:`StderrSummarySink` — aggregates per-stage span counts and
+  seconds, printing a compact table on ``close()``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import IO, Any
+
+from repro.observability.tracer import STAGES, SpanRecord
+
+
+class RingBufferSink:
+    """An in-memory sink retaining the most recent spans.
+
+    Args:
+        capacity: Maximum records retained; older records are evicted
+            first once the buffer is full.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._buffer: deque[SpanRecord] = deque(maxlen=capacity)
+
+    def emit(self, record: SpanRecord) -> None:
+        """Append ``record``, evicting the oldest when full."""
+        self._buffer.append(record)
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        """The retained records, oldest first."""
+        return tuple(self._buffer)
+
+    def clear(self) -> None:
+        """Drop every retained record."""
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        """Number of records currently retained."""
+        return len(self._buffer)
+
+
+class JsonLinesSink:
+    """Streams spans to a file as one JSON object per line.
+
+    The file is opened lazily on the first emit and appended to, so a
+    long-lived process can rotate the file externally.  Lines are the
+    :meth:`~repro.observability.tracer.SpanRecord.to_dict` layout;
+    :meth:`read` reverses it.
+
+    Args:
+        path: Target file path (created on first emit).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: IO[str] | None = None
+
+    def emit(self, record: SpanRecord) -> None:
+        """Serialize ``record`` as one JSON line."""
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(record.to_dict(), self._handle, sort_keys=True)
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read(path: str) -> list[SpanRecord]:
+        """Parse a JSON-lines span file back into records.
+
+        Args:
+            path: A file previously written by this sink.
+
+        Returns:
+            The records, in file (emission) order.
+
+        Raises:
+            OSError: If the file cannot be read.
+            ValueError: If a line is not valid JSON.
+        """
+        records: list[SpanRecord] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(SpanRecord.from_dict(json.loads(line)))
+        return records
+
+
+class StderrSummarySink:
+    """Aggregates spans per stage and prints a summary on close.
+
+    Args:
+        stream: Output stream; defaults to ``sys.stderr`` at close
+            time (so pytest's capture sees it).
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream
+        self._spans: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+        self._total = 0
+
+    def emit(self, record: SpanRecord) -> None:
+        """Fold ``record`` into the per-stage aggregates."""
+        self._total += 1
+        stage = record.stage or "(untagged)"
+        self._spans[stage] = self._spans.get(stage, 0) + 1
+        self._seconds[stage] = self._seconds.get(stage, 0.0) + record.duration
+
+    def summary(self) -> str:
+        """The per-stage table this sink prints on :meth:`close`."""
+        lines = [f"trace summary: {self._total} span(s)"]
+        for stage in (*STAGES, "(untagged)"):
+            if stage in self._spans:
+                lines.append(
+                    f"  stage {stage:<10} spans={self._spans[stage]:<6} "
+                    f"seconds={self._seconds[stage]:.4f}"
+                )
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        """Print the summary table to the configured stream."""
+        stream: Any = self.stream if self.stream is not None else sys.stderr
+        print(self.summary(), file=stream)

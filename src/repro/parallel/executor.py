@@ -40,6 +40,7 @@ from __future__ import annotations
 import os
 from collections import deque
 from collections.abc import Callable, Sequence
+from contextlib import nullcontext
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -56,6 +57,7 @@ from repro.errors import (
     ShardTimeoutError,
     WorkerCrashError,
 )
+from repro.observability import NULL_TRACER, activate
 from repro.parallel.sharding import ShardPlanner
 from repro.parallel.tasks import ChaosPolicy, execute_task
 
@@ -88,6 +90,7 @@ class ExecutionReport:
     cache_hits: int = 0
 
     def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of the report, stable for tests and JSON."""
         return {
             "mode": self.mode,
             "workers": self.workers,
@@ -103,6 +106,7 @@ class ExecutionReport:
         }
 
     def describe(self) -> str:
+        """The one-line human-readable summary used by ``--stats``."""
         return (
             f"parallel mode={self.mode} workers={self.workers} "
             f"shards={self.shards_completed}/{self.shards_planned} "
@@ -138,6 +142,7 @@ def shutdown_pools() -> None:
 
 
 def default_worker_count() -> int:
+    """The CPU count of this machine (at least 1)."""
     return os.cpu_count() or 1
 
 
@@ -159,7 +164,30 @@ class ParallelExecutor:
         chaos: ChaosPolicy | None = None,
         min_parallel_items: int = DEFAULT_MIN_PARALLEL_ITEMS,
         planner: ShardPlanner | None = None,
+        tracer=None,
     ) -> None:
+        """Configure the executor; no workers start until :meth:`run`.
+
+        Args:
+            workers: Worker-process count (default: CPU count).
+            timeout: Per-shard deadline in seconds; ``None`` disables
+                timeout handling.
+            max_retries: Retry-generation budget per shard chain.
+            chaos: Optional deterministic fault-injection policy; its
+                presence forces a private worker pool.
+            min_parallel_items: Total-item threshold below which the
+                sequential fallback is used.
+            planner: Shard planner (default: a fresh
+                :class:`~repro.parallel.sharding.ShardPlanner`).
+            tracer: An :class:`~repro.observability.Tracer` recording
+                shard planning and execution spans; worker-side spans
+                are folded back into it.  Defaults to the no-op
+                :data:`~repro.observability.NULL_TRACER`.
+
+        Raises:
+            ParallelExecutionError: If ``max_retries`` is negative or
+                ``workers`` is not positive.
+        """
         if max_retries < 0:
             raise ParallelExecutionError("max_retries must be non-negative")
         self.workers = workers if workers is not None else default_worker_count()
@@ -170,13 +198,19 @@ class ParallelExecutor:
         self.chaos = chaos
         self.min_parallel_items = min_parallel_items
         self.planner = planner or ShardPlanner()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.report = ExecutionReport(workers=self.workers)
 
     # -- planning helpers ----------------------------------------------
 
     def plan(self, total: int):
         """Shard ``[0, total)`` with this executor's planner + workers."""
-        return self.planner.plan(total, self.workers)
+        with self.tracer.span(
+            "shard.plan", stage="shard", total=total, workers=self.workers
+        ):
+            shards = self.planner.plan(total, self.workers)
+        self.tracer.add("shard.shards_planned", len(shards))
+        return shards
 
     # -- execution ------------------------------------------------------
 
@@ -196,13 +230,20 @@ class ParallelExecutor:
             self.workers > 1 and total_items >= self.min_parallel_items
         )
         started = perf_counter()
-        try:
-            if use_pool:
-                self.report.mode = "parallel"
-                return self._run_pooled(list(tasks))
-            return self._run_sequential(list(tasks))
-        finally:
-            self.report.wall_seconds += perf_counter() - started
+        with self.tracer.span(
+            "executor.run",
+            mode="parallel" if use_pool else "sequential",
+            workers=self.workers,
+            tasks=len(tasks),
+            items=total_items,
+        ):
+            try:
+                if use_pool:
+                    self.report.mode = "parallel"
+                    return self._run_pooled(list(tasks))
+                return self._run_sequential(list(tasks))
+            finally:
+                self.report.wall_seconds += perf_counter() - started
 
     # -- shared failure handling ----------------------------------------
 
@@ -221,35 +262,70 @@ class ParallelExecutor:
         return ParallelExecutionError(f"{detail}: last failure was an error")
 
     def _retry_tasks(self, task: Any, kind: str) -> list[Any]:
-        """Re-split a failed task into retry tasks, or raise."""
+        """Re-split a failed task into retry tasks, or raise.
+
+        Args:
+            task: The failed shard task.
+            kind: The failure class — ``"failure"``, ``"timeout"`` or
+                ``"crash"`` — selecting the error type when the retry
+                budget is exhausted.
+
+        Returns:
+            The replacement tasks (usually the two halves of the shard
+            with a bumped generation).
+
+        Raises:
+            ParallelExecutionError: When ``task`` has already used its
+                ``max_retries`` generations (a typed subclass matching
+                ``kind``).
+        """
         self.report.failures += 1
+        self.tracer.add("executor.failures")
         if kind == "timeout":
             self.report.timeouts += 1
+            self.tracer.add("executor.timeouts")
         if task.shard.generation >= self.max_retries:
             raise self._giving_up(task, kind)
         children = task.shard.split(2)
         if len(children) > 1:
             self.report.resplits += 1
+            self.tracer.add("executor.resplits")
         self.report.retries += 1
+        self.tracer.add("executor.retries")
         return [task.narrowed(shard) for shard in children]
 
     # -- sequential fallback --------------------------------------------
 
     def _run_sequential(self, tasks: list[Any]) -> list[Any]:
+        """Run every task in-process under this executor's tracer."""
+        tracer = self.tracer
         results: list[Any] = []
         queue = deque(tasks)
-        while queue:
-            task = queue.popleft()
-            try:
-                result, seconds = execute_task(
-                    task, self.chaos, in_worker=False
-                )
-            except Exception:
-                queue.extend(self._retry_tasks(task, "failure"))
-                continue
-            results.append(result)
-            self.report.shards_completed += 1
-            self.report.task_seconds += seconds
+        # Only claim the ambient-tracer slot when actually tracing:
+        # activating the null tracer would silence any caller-activated
+        # tracer for the duration of the run.
+        scope = activate(tracer) if tracer.enabled else nullcontext()
+        with scope:
+            while queue:
+                task = queue.popleft()
+                try:
+                    with tracer.span(
+                        "execute.shard",
+                        stage="execute",
+                        kind=type(task).__name__,
+                        start=task.shard.start,
+                        stop=task.shard.stop,
+                        generation=task.shard.generation,
+                    ):
+                        result, seconds, _ = execute_task(
+                            task, self.chaos, in_worker=False
+                        )
+                except Exception:
+                    queue.extend(self._retry_tasks(task, "failure"))
+                    continue
+                results.append(result)
+                self.report.shards_completed += 1
+                self.report.task_seconds += seconds
         return results
 
     # -- pooled execution -----------------------------------------------
@@ -275,6 +351,7 @@ class ParallelExecutor:
     ) -> list[Any]:
         results: list[Any] = []
         pending: dict[Future, tuple[Any, float | None]] = {}
+        traced = self.tracer.enabled
 
         def submit(task: Any) -> None:
             nonlocal pool
@@ -282,10 +359,14 @@ class ParallelExecutor:
                 monotonic() + self.timeout if self.timeout is not None else None
             )
             try:
-                future = pool.submit(execute_task, task, self.chaos)
+                future = pool.submit(
+                    execute_task, task, self.chaos, traced=traced
+                )
             except BrokenProcessPool:
                 pool = self._replace_pool(pool, private)
-                future = pool.submit(execute_task, task, self.chaos)
+                future = pool.submit(
+                    execute_task, task, self.chaos, traced=traced
+                )
             pending[future] = (task, deadline)
 
         for task in tasks:
@@ -305,7 +386,7 @@ class ParallelExecutor:
             for future in done:
                 task, _deadline = pending.pop(future)
                 try:
-                    result, seconds = future.result()
+                    result, seconds, trace = future.result()
                 except BrokenProcessPool:
                     broken = True
                     retry_queue.extend(self._retry_tasks(task, "crash"))
@@ -315,6 +396,11 @@ class ParallelExecutor:
                     results.append(result)
                     self.report.shards_completed += 1
                     self.report.task_seconds += seconds
+                    if trace is not None:
+                        pid, records, counters, gauges = trace
+                        self.tracer.absorb(
+                            records, counters, gauges, worker=pid
+                        )
             # Scan for overdue shards: abandon their futures (a running
             # worker cannot be interrupted) and re-split the work.
             now = monotonic()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
+from repro.observability import current_tracer
 from repro.parallel.sharding import Shard
 from repro.parallel.tasks import (
     GenerateShardTask,
@@ -44,7 +45,23 @@ def generated_for_fixed(
     session: "QueryEngine | None" = None,
     executor: "ParallelExecutor | None" = None,
 ) -> list[frozenset[tuple[str, ...]]]:
-    """Answer sets for each ``fixed`` binding, in input order."""
+    """Answer sets for each ``fixed`` binding, in input order.
+
+    Args:
+        fsa: The generator machine (shared by every binding).
+        max_length: Generation cap passed to ``accepted_tuples``.
+        fixed_list: One ``{tape: value}`` binding per requested run.
+        session: Optional :class:`~repro.engine.QueryEngine` whose
+            ``generate`` cache serves repeat bindings and absorbs
+            worker results.
+        executor: Optional :class:`~repro.parallel.ParallelExecutor`
+            that shards the unresolved bindings across workers.
+
+    Returns:
+        The per-binding answer sets, positionally aligned with
+        ``fixed_list``.
+    """
+    tracer = executor.tracer if executor is not None else current_tracer()
     keys = [fixed_items(fixed) for fixed in fixed_list]
     values: list = [_MISS] * len(keys)
     if session is not None:
@@ -58,10 +75,11 @@ def generated_for_fixed(
         if values[position] is _MISS:
             unique.setdefault(key, _MISS)
     pending = list(unique)
+    hits = sum(1 for value in values if value is not _MISS)
+    if hits:
+        tracer.add("generate.cache_hits", hits)
     if executor is not None:
-        executor.report.cache_hits += sum(
-            1 for value in values if value is not _MISS
-        )
+        executor.report.cache_hits += hits
     if pending:
         if executor is not None:
             shards = executor.plan(len(pending))
@@ -74,9 +92,16 @@ def generated_for_fixed(
                 )
                 for shard in shards
             ]
-            for pairs in executor.run(tasks):
-                for position, answers in pairs:
-                    unique[pending[position]] = answers
+            shard_results = executor.run(tasks)
+            with tracer.span(
+                "fold.generate",
+                stage="fold",
+                shards=len(shard_results),
+                bindings=len(pending),
+            ):
+                for pairs in shard_results:
+                    for position, answers in pairs:
+                        unique[pending[position]] = answers
         else:
             from repro.fsa.generate import accepted_tuples
 
@@ -104,7 +129,18 @@ def filter_accepted(
     *,
     executor: "ParallelExecutor | None" = None,
 ) -> frozenset[tuple[str, ...]]:
-    """The rows accepted by ``fsa`` — sharded when an executor is given."""
+    """The rows accepted by ``fsa`` — sharded when an executor is given.
+
+    Args:
+        fsa: The acceptance machine to run on each row.
+        rows: The candidate rows (tuples of strings, one per tape).
+        executor: Optional :class:`~repro.parallel.ParallelExecutor`;
+            when given the acceptance checks are sharded as
+            :class:`~repro.parallel.tasks.SimulateShardTask` batches.
+
+    Returns:
+        The subset of ``rows`` the machine accepts.
+    """
     rows = list(rows)
     if executor is None:
         from repro.fsa.simulate import accepts
@@ -117,11 +153,15 @@ def filter_accepted(
         )
         for shard in shards
     ]
+    shard_results = executor.run(tasks)
     kept = set()
-    for pairs in executor.run(tasks):
-        for position, verdict in pairs:
-            if verdict:
-                kept.add(rows[position])
+    with executor.tracer.span(
+        "fold.filter", stage="fold", shards=len(shard_results), rows=len(rows)
+    ):
+        for pairs in shard_results:
+            for position, verdict in pairs:
+                if verdict:
+                    kept.add(rows[position])
     return frozenset(kept)
 
 

@@ -1,5 +1,6 @@
-"""Deterministic sharding of candidate spaces — the planning half of
-:mod:`repro.parallel`.
+"""Deterministic sharding of candidate spaces.
+
+This is the planning half of :mod:`repro.parallel`.
 
 The alignment-algebra semantics make evaluation embarrassingly
 parallel: the ``Σ^{<=l}`` domain pool, the naive engine's head-tuple
@@ -58,6 +59,7 @@ class Shard:
 
     @property
     def size(self) -> int:
+        """The number of indices the shard covers."""
         return self.stop - self.start
 
     def cache_key(self) -> tuple:
@@ -122,6 +124,16 @@ class ShardPlanner:
 
     @staticmethod
     def suggested_shards(total: int, workers: int) -> int:
+        """The default plan width: oversharded per worker, size-capped.
+
+        Args:
+            total: The candidate-space size.
+            workers: The worker-process count.
+
+        Returns:
+            ``workers × OVERSHARD_FACTOR`` clamped to ``[1, total]``
+            (0 for an empty space).
+        """
         if total <= 0:
             return 0
         return max(1, min(total, max(1, workers) * OVERSHARD_FACTOR))

@@ -107,9 +107,11 @@ class NaiveShardTask:
     domain: tuple[str, ...]
 
     def narrowed(self, shard: Shard) -> "NaiveShardTask":
+        """A copy of this task restricted to the sub-range ``shard``."""
         return replace(self, shard=shard)
 
     def run(self) -> frozenset[tuple[str, ...]]:
+        """The satisfying head tuples in this shard's candidate range."""
         from repro.core.semantics import satisfies
 
         width = len(self.head)
@@ -144,6 +146,7 @@ class GenerateShardTask:
             )
 
     def narrowed(self, shard: Shard) -> "GenerateShardTask":
+        """A copy restricted to ``shard``, slicing the binding batch."""
         offset = shard.start - self.shard.start
         return replace(
             self,
@@ -152,6 +155,7 @@ class GenerateShardTask:
         )
 
     def run(self) -> tuple[tuple[int, frozenset[tuple[str, ...]]], ...]:
+        """``(global position, answers)`` pairs for the binding batch."""
         from repro.fsa.generate import accepted_tuples_batch
 
         produced = accepted_tuples_batch(
@@ -179,6 +183,7 @@ class SimulateShardTask:
             )
 
     def narrowed(self, shard: Shard) -> "SimulateShardTask":
+        """A copy restricted to ``shard``, slicing the row batch."""
         offset = shard.start - self.shard.start
         return replace(
             self,
@@ -187,6 +192,7 @@ class SimulateShardTask:
         )
 
     def run(self) -> tuple[tuple[int, bool], ...]:
+        """``(global position, accepted?)`` verdicts for the row batch."""
         from repro.fsa.simulate import accepts_batch
 
         verdicts = accepts_batch(self.fsa, self.rows)
@@ -201,17 +207,59 @@ def fixed_items(fixed: Mapping[int, str] | None) -> FixedItems:
     return tuple(sorted(fixed.items())) if fixed else ()
 
 
-def execute_task(
-    task: Any, chaos: ChaosPolicy | None = None, in_worker: bool = True
-) -> tuple[Any, float]:
-    """The worker entry point: run one task, timing it.
+#: The picklable trace payload a traced worker ships back with its
+#: result: ``(pid, records, counters, gauges)`` — the worker's process
+#: id followed by the ``Tracer.export()`` triple — or ``None`` when
+#: the run was untraced.
+TraceState = "tuple[int, tuple, dict, dict] | None"
 
-    Returns ``(result, seconds)`` so the parent can aggregate per-shard
-    compute time into the :class:`~repro.parallel.executor
-    .ExecutionReport` without a second round trip.
+
+def execute_task(
+    task: Any,
+    chaos: ChaosPolicy | None = None,
+    in_worker: bool = True,
+    traced: bool = False,
+) -> tuple[Any, float, Any]:
+    """The worker entry point: run one task, timing (and tracing) it.
+
+    Args:
+        task: Any shard task from this module (``task.run()`` does the
+            work, ``task.shard`` locates it in the plan).
+        chaos: Optional fault-injection policy, applied before the run.
+        in_worker: Whether this call executes inside a pool worker;
+            the sequential fallback passes ``False`` to soften chaos
+            crashes into exceptions.
+        traced: When true, the run happens under a private worker-side
+            :class:`~repro.observability.Tracer` whose exported state
+            rides back with the result for the parent to
+            ``absorb()`` — worker processes share no tracer with the
+            parent, so the spans must travel by value.
+
+    Returns:
+        ``(result, seconds, trace_state)`` — the task's raw result,
+        its compute time for :class:`~repro.parallel.executor
+        .ExecutionReport` aggregation, and the worker's
+        ``(pid, records, counters, gauges)`` trace payload (``None``
+        when ``traced`` is false).
     """
     started = perf_counter()
-    if chaos is not None:
-        chaos.apply(task.shard, in_worker=in_worker)
-    result = task.run()
-    return result, perf_counter() - started
+    if not traced:
+        if chaos is not None:
+            chaos.apply(task.shard, in_worker=in_worker)
+        return task.run(), perf_counter() - started, None
+    from repro.observability import Tracer, activate
+
+    tracer = Tracer()
+    with activate(tracer):
+        with tracer.span(
+            "execute.shard",
+            stage="execute",
+            kind=type(task).__name__,
+            start=task.shard.start,
+            stop=task.shard.stop,
+            generation=task.shard.generation,
+        ):
+            if chaos is not None:
+                chaos.apply(task.shard, in_worker=in_worker)
+            result = task.run()
+    return result, perf_counter() - started, (os.getpid(), *tracer.export())

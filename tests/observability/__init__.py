@@ -1,0 +1,1 @@
+"""Tests for the unified observability layer (tracing + metrics)."""

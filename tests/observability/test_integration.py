@@ -1,0 +1,160 @@
+"""End-to-end tracing through the engine and the process pool.
+
+Covers the acceptance-critical properties: a traced session fills all
+seven canonical pipeline stages, worker-side spans and counters fold
+back into the parent tracer across pool workers, and tracing never
+changes query answers.
+"""
+
+import os
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB
+from repro.core.query import Query
+from repro.core.syntax import And, exists, lift, rel
+from repro.engine import ParallelEngine, QueryEngine
+from repro.observability import STAGES, Tracer
+from repro.workloads.generators import example_database
+
+
+@pytest.fixture()
+def db():
+    return example_database(AB, seed=3, size=4, max_length=3)
+
+
+def _prefix_query():
+    return Query(
+        ("x", "y"),
+        And(rel("R1", "x", "y"), lift(sh.prefix_of("x", "y"))),
+        AB,
+    )
+
+
+def _concat_query():
+    return Query(
+        ("x",),
+        exists(
+            ["y", "z"],
+            And(
+                And(rel("R2", "y"), rel("R2", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        ),
+        AB,
+    )
+
+
+def _pooled_engine(workers=2):
+    return ParallelEngine(workers=workers, shards=4, min_parallel_items=1)
+
+
+class TestStageCoverage:
+    def test_one_session_fills_all_seven_stages(self, db):
+        session = QueryEngine(tracer=Tracer())
+        session.evaluate(_concat_query(), db, engine=_pooled_engine())
+        session.evaluate(_prefix_query(), db, engine="algebra", length=3)
+        report = session.trace_report()
+        empty = [
+            stage
+            for stage in STAGES
+            if report.stages[stage]["spans"] < 1
+        ]
+        assert not empty, f"stages without spans: {empty}"
+        assert report.enabled
+
+    def test_metrics_document_covers_all_seven_stages(self, db, tmp_path):
+        session = QueryEngine(tracer=Tracer())
+        session.evaluate(_concat_query(), db, engine=_pooled_engine())
+        session.evaluate(_prefix_query(), db, engine="algebra", length=3)
+        path = tmp_path / "metrics.json"
+        session.trace_report().write(str(path))
+        import json
+
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert set(data["stages"]) == set(STAGES)
+        for stage in STAGES:
+            assert data["stages"][stage]["spans"] >= 1
+
+
+class TestWorkerFoldBack:
+    def test_pool_spans_come_back_worker_tagged(self, db):
+        session = QueryEngine(tracer=Tracer())
+        engine = _pooled_engine(workers=2)
+        session.evaluate(_concat_query(), db, engine=engine)
+        assert engine.last_report.mode == "parallel"
+        workers = {
+            record.worker
+            for record in session.tracer.records()
+            if record.worker is not None
+        }
+        assert workers, "no worker-tagged spans folded back"
+        assert os.getpid() not in workers
+
+    def test_absorbed_worker_spans_nest_under_the_run(self, db):
+        session = QueryEngine(tracer=Tracer())
+        session.evaluate(_concat_query(), db, engine=_pooled_engine())
+        records = session.tracer.records()
+        by_id = {record.span_id: record for record in records}
+        worker_roots = [
+            record
+            for record in records
+            if record.worker is not None
+            and (record.parent_id is None
+                 or by_id[record.parent_id].worker is None)
+        ]
+        assert worker_roots
+        for record in worker_roots:
+            assert record.parent_id is not None, (
+                "worker root span was not re-parented under the run"
+            )
+            assert by_id[record.parent_id].name == "executor.run"
+
+    def test_counters_aggregate_identically_across_pool_sizes(self, db):
+        query = _concat_query()
+        sequential = QueryEngine(tracer=Tracer())
+        sequential.evaluate(query, db, engine=_pooled_engine(workers=1))
+        pooled = QueryEngine(tracer=Tracer())
+        pooled.evaluate(query, db, engine=_pooled_engine(workers=2))
+        name = "generate.machine_runs"
+        assert sequential.tracer.counters.get(name, 0) > 0
+        assert (
+            pooled.tracer.counters.get(name, 0)
+            == sequential.tracer.counters[name]
+        )
+
+
+class TestTracingIsInert:
+    def test_traced_and_untraced_answers_are_identical(self, db):
+        # the naive engine needs an explicit truncation bound: the
+        # certified limit of the concat query is too loose to enumerate
+        for kwargs_factory in (
+            lambda: {"engine": _pooled_engine(workers=2)},
+            lambda: {"engine": "planner"},
+            lambda: {"engine": "naive", "length": 3},
+        ):
+            untraced = QueryEngine().evaluate(
+                _concat_query(), db, **kwargs_factory()
+            )
+            traced = QueryEngine(tracer=Tracer()).evaluate(
+                _concat_query(), db, **kwargs_factory()
+            )
+            assert traced == untraced
+
+    def test_traced_algebra_matches_untraced(self, db):
+        untraced = QueryEngine().evaluate(
+            _prefix_query(), db, engine="algebra", length=3
+        )
+        traced = QueryEngine(tracer=Tracer()).evaluate(
+            _prefix_query(), db, engine="algebra", length=3
+        )
+        assert traced == untraced
+
+    def test_untraced_session_reports_disabled_but_stable_schema(self, db):
+        session = QueryEngine()
+        session.evaluate(_prefix_query(), db, engine="planner")
+        report = session.trace_report()
+        assert report.enabled is False
+        assert tuple(report.to_dict()["stages"]) == STAGES
+        assert report.spans == []

@@ -1,0 +1,102 @@
+"""Sink tests: ring buffer retention, JSON-lines round-trip, summary."""
+
+import io
+
+import pytest
+
+from repro.observability import (
+    JsonLinesSink,
+    RingBufferSink,
+    StderrSummarySink,
+    Tracer,
+)
+
+
+def _traced(sink):
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("plan.decompose", stage="plan"):
+        with tracer.span("compile.build", stage="compile", tapes=2):
+            pass
+    with tracer.span("untagged"):
+        pass
+    tracer.flush()
+    return tracer
+
+
+class TestRingBufferSink:
+    def test_retains_in_emission_order(self):
+        sink = RingBufferSink(capacity=8)
+        _traced(sink)
+        assert [record.name for record in sink.records()] == [
+            "compile.build",
+            "plan.decompose",
+            "untagged",
+        ]
+
+    def test_evicts_oldest_when_full(self):
+        sink = RingBufferSink(capacity=2)
+        _traced(sink)
+        assert len(sink) == 2
+        assert [record.name for record in sink.records()] == [
+            "plan.decompose",
+            "untagged",
+        ]
+
+    def test_clear(self):
+        sink = RingBufferSink(capacity=4)
+        _traced(sink)
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_sees_spans_dropped_from_tracer_retention(self):
+        sink = RingBufferSink(capacity=16)
+        tracer = Tracer(sinks=[sink], max_spans=1)
+        for index in range(3):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.records()) == 1
+        assert len(sink) == 3
+
+
+class TestJsonLinesSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = _traced(JsonLinesSink(str(path)))
+        loaded = JsonLinesSink.read(str(path))
+        assert tuple(loaded) == tracer.records()
+
+    def test_appends_across_tracers(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        first = _traced(JsonLinesSink(str(path)))
+        second = _traced(JsonLinesSink(str(path)))
+        loaded = JsonLinesSink.read(str(path))
+        assert tuple(loaded) == first.records() + second.records()
+
+    def test_close_is_idempotent_and_lazy(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.close()
+        sink.close()
+        assert not path.exists()
+
+
+class TestStderrSummarySink:
+    def test_summary_aggregates_per_stage(self):
+        stream = io.StringIO()
+        sink = StderrSummarySink(stream=stream)
+        _traced(sink)
+        text = sink.summary()
+        assert "3 span(s)" in text
+        assert "stage plan" in text
+        assert "stage compile" in text
+        assert "(untagged)" in text
+
+    def test_close_prints_to_stream(self):
+        stream = io.StringIO()
+        sink = StderrSummarySink(stream=stream)
+        _traced(sink)
+        assert "trace summary" in stream.getvalue()

@@ -238,6 +238,80 @@ class TestQuery:
         assert "ε" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    QUERY = "R2(x) & [x]l(x = 'a')"
+
+    def _run(self, db_file, *extra):
+        return main(
+            [
+                "query",
+                "--alphabet",
+                "ab",
+                "--db",
+                db_file,
+                "--head=x",
+                "--length",
+                "3",
+                *extra,
+                self.QUERY,
+            ]
+        )
+
+    def test_metrics_out_emits_schema_stable_json(self, capsys, db_file, tmp_path):
+        path = tmp_path / "metrics.json"
+        code = self._run(
+            db_file,
+            "--engine",
+            "parallel",
+            "--workers",
+            "2",
+            "--shards",
+            "3",
+            "--metrics-out",
+            str(path),
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "ab"
+        assert "metrics written to" in captured.err
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == "repro.trace-report/1"
+        assert data["enabled"] is True
+        assert set(data["stages"]) == {
+            "compile",
+            "specialize",
+            "translate",
+            "plan",
+            "shard",
+            "execute",
+            "fold",
+        }
+        for bucket in data["stages"].values():
+            assert set(bucket) == {"spans", "seconds"}
+        assert data["spans"], "traced CLI run recorded no spans"
+
+    def test_trace_prints_span_tree(self, capsys, db_file):
+        code = self._run(db_file, "--trace")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "engine.evaluate" in err
+
+    def test_profile_prints_stage_table(self, capsys, db_file):
+        code = self._run(db_file, "--profile")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "stage        spans    seconds" in err
+        for stage in ("compile", "translate", "fold"):
+            assert stage in err
+
+    def test_stats_alone_leaves_tracing_disabled(self, capsys, db_file):
+        code = self._run(db_file, "--stats")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "cache compile" in err
+        assert "trace spans" not in err
+
+
 class TestCompile:
     def test_text_listing(self, capsys):
         code = main(["compile", "--alphabet", "ab", "[x]l(x = 'a')"])

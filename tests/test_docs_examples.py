@@ -1,0 +1,91 @@
+"""Doctest the fenced ``python`` examples in docs/*.md and README.md.
+
+Documentation drifts unless it executes.  This module extracts every
+fenced ``python`` code block containing doctest prompts (``>>>``) from
+the markdown handbook pages and the README and runs them through
+:mod:`doctest`.  Within one file the blocks share a globals namespace
+(``clear_globs=False``), so a page can build up a session across
+blocks exactly as a reader would at the REPL.
+
+Blocks without ``>>>`` prompts — illustrative snippets, shell
+transcripts, JSON examples — are deliberately skipped: only examples
+that claim concrete output are held to it.
+"""
+
+from __future__ import annotations
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The markdown files whose examples must execute.
+DOCUMENTS = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+
+def _python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(start_line, source)`` for each fenced ``python`` block."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    inside = False
+    current: list[str] = []
+    start_line = 0
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not inside and stripped.startswith("```python"):
+            inside = True
+            current = []
+            start_line = number + 1
+        elif inside and stripped == "```":
+            inside = False
+            blocks.append((start_line, "\n".join(current)))
+        elif inside:
+            current.append(line)
+    return blocks
+
+
+def _doctest_blocks(path: Path) -> list[tuple[int, str]]:
+    text = path.read_text(encoding="utf-8")
+    return [
+        (lineno, block)
+        for lineno, block in _python_blocks(text)
+        if ">>>" in block
+    ]
+
+
+@pytest.mark.parametrize(
+    "path", DOCUMENTS, ids=lambda path: str(path.relative_to(ROOT))
+)
+def test_fenced_examples_execute(path):
+    """Every ``>>>`` example in the document produces its shown output."""
+    blocks = _doctest_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no doctest-style examples")
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    )
+    globs: dict = {}
+    for lineno, block in blocks:
+        test = parser.get_doctest(
+            block, globs, f"{path.name}:{lineno}", str(path), lineno
+        )
+        # carry the namespace forward so later blocks in the same file
+        # continue the session started by earlier ones
+        runner.run(test, clear_globs=False)
+        globs.update(test.globs)
+    assert runner.failures == 0, (
+        f"{runner.failures} doctest failure(s) in {path} "
+        "(see captured stdout for details)"
+    )
+
+
+def test_extractor_sees_the_handbook_examples():
+    """Guard the extractor itself: the handbook pages must contribute."""
+    counted = {
+        path.name: len(_doctest_blocks(path)) for path in DOCUMENTS
+    }
+    assert counted.get("architecture.md", 0) >= 1
+    assert counted.get("observability.md", 0) >= 1

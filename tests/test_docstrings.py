@@ -1,0 +1,82 @@
+"""Docstring conventions for the public API, enforced without ruff.
+
+CI runs ``ruff check --select D`` (pydocstyle rules) over
+``src/repro/{engine,parallel,observability}``; this test enforces the
+load-bearing subset locally — in environments without ruff — so the
+convention cannot silently rot between CI runs:
+
+* every module, public class and public function/method in the scoped
+  packages has a docstring;
+* the docstring opens with a one-line summary that ends with a period
+  (or other sentence-final punctuation).
+
+Private names (leading underscore), dunders and nested ``def``s are
+exempt, matching the ruff D configuration in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The packages whose public API the docstring convention covers.
+SCOPED_PACKAGES = ("engine", "parallel", "observability")
+
+
+def _scoped_files() -> list[Path]:
+    files = []
+    for package in SCOPED_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    assert files, f"no sources found under {SRC}"
+    return files
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _summary_problem(docstring: str) -> str | None:
+    lines = [line.strip() for line in docstring.strip().splitlines()]
+    if not lines or not lines[0]:
+        return "docstring has no summary line"
+    if not lines[0].endswith((".", "!", "?", ":", "::")):
+        return f"summary line does not end with punctuation: {lines[0]!r}"
+    return None
+
+
+def _check_node(node, where: str, problems: list[str]) -> None:
+    docstring = ast.get_docstring(node)
+    if not docstring:
+        problems.append(f"{where}: missing docstring")
+        return
+    problem = _summary_problem(docstring)
+    if problem:
+        problems.append(f"{where}: {problem}")
+
+
+def _walk(scope, prefix: str, path: Path, problems: list[str]) -> None:
+    for node in scope.body:
+        if isinstance(node, ast.ClassDef):
+            if _is_public(node.name):
+                _check_node(node, f"{path}:{node.lineno} {prefix}{node.name}", problems)
+                _walk(node, f"{prefix}{node.name}.", path, problems)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name):
+                _check_node(
+                    node, f"{path}:{node.lineno} {prefix}{node.name}", problems
+                )
+
+
+def test_public_api_docstrings():
+    """Every scoped public module/class/function has a summary docstring."""
+    problems: list[str] = []
+    for path in _scoped_files():
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        rel = path.relative_to(SRC.parent.parent)
+        _check_node(tree, f"{rel}:1 <module>", problems)
+        _walk(tree, "", rel, problems)
+    assert not problems, "docstring convention violations:\n" + "\n".join(
+        problems
+    )
