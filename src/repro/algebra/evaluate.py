@@ -53,11 +53,17 @@ def _evaluate_select(
     Factors that are ``Σ*`` become generated tapes; all other factors
     are evaluated and iterated, their columns fixed in the machine via
     Lemma 3.1.  With a ``session`` (:class:`repro.engine.QueryEngine`)
-    the specialize/generate steps are served from its caches; with an
-    ``executor`` (:class:`repro.parallel.ParallelExecutor`) the
-    per-row machine runs — acceptance checks and generator runs alike
-    — are sharded across its worker pool.
+    the machine is first replaced by its cached bisimulation quotient
+    (which preserves the accepted language, hence both filtering and
+    generation) and the specialize/generate steps are served from the
+    session caches; with an ``executor``
+    (:class:`repro.parallel.ParallelExecutor`) the per-row machine
+    runs — acceptance checks and generator runs alike — are sharded
+    across its worker pool.
     """
+    machine = select.machine
+    if session is not None:
+        machine = session.minimized_machine(machine)
     factors = _flatten_product(select.inner)
     if not any(isinstance(f, SigmaStar) for f in factors):
         inner = _evaluate(select.inner, db, length, session, executor)
@@ -65,10 +71,10 @@ def _evaluate_select(
             from repro.parallel.generation import filter_accepted
 
             return filter_accepted(
-                select.machine, sorted(inner), executor=executor
+                machine, sorted(inner), executor=executor
             )
         return frozenset(
-            row for row in inner if accepts(select.machine, row)
+            row for row in inner if accepts(machine, row)
         )
     generated_tapes: list[int] = []
     concrete: list[tuple[int, ...]] = []  # column spans of concrete factors
@@ -98,7 +104,7 @@ def _evaluate_select(
     from repro.parallel.generation import generated_for_fixed
 
     generated_sets = generated_for_fixed(
-        select.machine, length, fixed_list, session=session, executor=executor
+        machine, length, fixed_list, session=session, executor=executor
     )
     results: set[tuple[str, ...]] = set()
     with current_tracer().span(

@@ -19,9 +19,12 @@ Four subcommands expose the library's main workflows:
 
 ``query`` exposes the observability layer
 (:mod:`repro.observability`): ``--stats`` prints the legacy
-cache/engine/parallel summary, ``--profile`` a per-stage time profile,
-``--trace`` the full span tree, and ``--metrics-out PATH`` writes the
-schema-stable JSON :class:`~repro.observability.TraceReport`.  All
+cache/engine/parallel summary (including planner-rejection counts),
+``--profile`` a per-stage time profile, ``--trace`` the full span
+tree, and ``--metrics-out PATH`` writes the schema-stable JSON
+:class:`~repro.observability.TraceReport`.  ``--explain`` prints the
+normalized :mod:`repro.ir` plan — cost estimates, fired rewrite rules
+and the optimized algebra expression — instead of evaluating.  All
 human-readable instrumentation goes to stderr so stdout stays a clean
 tuple stream.
 
@@ -84,6 +87,11 @@ def cmd_query(args: argparse.Namespace) -> int:
     query = Query(tuple(args.head), formula, alphabet)
     tracing = bool(args.trace or args.profile or args.metrics_out)
     session = QueryEngine(tracer=Tracer() if tracing else None)
+    if args.explain:
+        from repro.ir.explain import explain_query
+
+        print(explain_query(session, query, database, length=args.length))
+        return 0
     answers = session.evaluate(
         query,
         database,
@@ -193,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard count for sharded evaluation (default: 4 per worker)",
     )
     query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the normalized plan (with cost estimates and "
+        "fired rewrite rules) and the optimized algebra expression "
+        "instead of evaluating",
+    )
+    query.add_argument(
         "--stats",
         action="store_true",
         help="print engine cache/timing and parallel-execution "
@@ -215,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="record spans and write the JSON TraceReport "
-        "(schema repro.trace-report/1) to PATH",
+        "(schema repro.trace-report/2) to PATH",
     )
     query.add_argument("formula")
     query.set_defaults(handler=cmd_query)

@@ -151,6 +151,7 @@ class EngineStats:
     evaluations: dict[str, int] = field(default_factory=dict)
     engine_seconds: dict[str, float] = field(default_factory=dict)
     parallel: dict[str, float | int] = field(default_factory=dict)
+    rejects: dict[str, int] = field(default_factory=dict)
 
     def register_cache(self, cache: KeyedCache) -> KeyedCache:
         """Adopt ``cache``'s stats into this session's accounting.
@@ -175,6 +176,15 @@ class EngineStats:
         self.engine_seconds[engine_name] = (
             self.engine_seconds.get(engine_name, 0.0) + seconds
         )
+
+    def record_reject(self, reason: str) -> None:
+        """Count one planner rejection (fallback to naive evaluation).
+
+        Args:
+            reason: The stable rejection reason from the plan's
+                :class:`~repro.ir.plan.NaivePlan` root.
+        """
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
 
     def record_parallel(self, report: Any) -> None:
         """Fold one execution report into the parallel accounting.
@@ -213,6 +223,7 @@ class EngineStats:
             "evaluations": dict(self.evaluations),
             "engine_seconds": dict(self.engine_seconds),
             "parallel": dict(self.parallel),
+            "rejects": dict(self.rejects),
         }
 
     def describe(self) -> str:
@@ -234,6 +245,10 @@ class EngineStats:
             lines.append(
                 f"engine {name:<9} runs={self.evaluations[name]:<6} "
                 f"seconds={self.engine_seconds.get(name, 0.0):.4f}"
+            )
+        for reason in sorted(self.rejects):
+            lines.append(
+                f"reject {reason:<20} count={self.rejects[reason]}"
             )
         if self.parallel.get("runs"):
             totals = self.parallel

@@ -77,6 +77,8 @@ class QueryEngine:
         self._limit = register(KeyedCache("limit"))
         self._translate = register(KeyedCache("translate"))
         self._plan = register(KeyedCache("plan"))
+        self._ir = register(KeyedCache("ir"))
+        self._optimize = register(KeyedCache("optimize"))
         self._domain_stats = register(KeyedCache("domain")).stats
         # alphabet -> (enumerated_length, tuple_of_strings); plus
         # reserved enumeration floors so batches enumerate once.
@@ -284,6 +286,137 @@ class QueryEngine:
         return self._plan.get_or_compute(
             formula, self._activated(lambda: decompose_conjunctive(formula))
         )
+
+    def query_plan(self, query: "Query", db: Database, cap: int):
+        """The normalized :class:`~repro.ir.plan.QueryPlan`, cached.
+
+        Keyed by the formula, head, alphabet, the database's relation
+        *size signature* and the cap — equal-sized databases share one
+        cost-ranked plan.  Recorded under the ``normalize`` stage.
+
+        Args:
+            query: The query to normalize.
+            db: The database feeding the cost model.
+            cap: The truncation / generation bound.
+
+        Returns:
+            The cached :class:`~repro.ir.plan.QueryPlan`.
+        """
+        from repro.ir.cost import CostModel
+        from repro.ir.normalize import build_query_plan
+
+        model = CostModel.for_database(db, query.alphabet, cap)
+        key = (
+            query.formula,
+            query.head,
+            query.alphabet,
+            model.relation_sizes,
+            cap,
+        )
+        def compute():
+            tracer = self.tracer
+            with activate(tracer), tracer.span(
+                "normalize.plan", stage="normalize"
+            ) as span:
+                plan = build_query_plan(query.formula, query.head, model)
+                if plan.fallback_reason is not None:
+                    span.set(fallback=plan.fallback_reason)
+                return plan
+
+        return self._ir.get_or_compute(key, compute)
+
+    def optimized_translation(self, query: "Query"):
+        """The rewritten algebra expression plus fired rules, cached.
+
+        Simplifies the formula, translates it branch-by-branch when it
+        splits into disjuncts (plain Theorem 4.2 translation
+        otherwise), then runs the :mod:`repro.ir.rewrite` passes with
+        fused and minimized machines served from this session's
+        caches.  Recorded under the ``optimize`` stage.
+
+        Args:
+            query: The query to translate and optimize.
+
+        Returns:
+            The ``(expression, rules)`` pair where ``rules`` lists the
+            fired rewrite rules as sorted ``(name, count)`` entries.
+
+        Raises:
+            EvaluationError: If the head does not match the formula's
+                free variables (the algebra route's precondition).
+        """
+        from repro.algebra.translate import calculus_to_algebra
+        from repro.ir.normalize import simplify
+        from repro.ir.rewrite import optimize_expression, translate_branches
+
+        key = ("expr", query.formula, query.head, query.alphabet)
+
+        def build():
+            simplified = simplify(query.formula)
+            expression = translate_branches(
+                simplified, query.head, query.alphabet, compiler=self.compile
+            )
+            if expression is None:
+                expression = calculus_to_algebra(
+                    simplified, query.head, query.alphabet,
+                    compiler=self.compile,
+                )
+            return optimize_expression(expression, session=self)
+
+        return self._optimize.get_or_compute(
+            key, self._staged("optimize", "optimize.translate", build)
+        )
+
+    def fused_select(self, first: "FSA", second: "FSA") -> "FSA":
+        """The sequencing product ``seq(first, second)``, cached.
+
+        The optimizer's selection-fusion rule bottoms out here, so
+        repeated queries fusing the same machine pair build the
+        product once per session.
+        """
+        from repro.fsa.product import sequence_machines
+
+        return self._optimize.get_or_compute(
+            ("fuse", first, second),
+            self._staged(
+                "optimize",
+                "optimize.fuse",
+                lambda: sequence_machines(first, second),
+            ),
+        )
+
+    def minimized_machine(self, fsa: "FSA") -> "FSA":
+        """The bisimulation quotient of a bare machine, cached.
+
+        The machine-level sibling of :meth:`minimized` (which is keyed
+        by formula); the algebra evaluation route minimizes selection
+        machines through this entry.
+        """
+        from repro.fsa.minimize import bisimulation_quotient
+
+        return self._minimize.get_or_compute(
+            ("machine", fsa),
+            self._activated(lambda: bisimulation_quotient(fsa)),
+        )
+
+    def note_rejection(self, plan) -> None:
+        """Record an *actually taken* naive fallback, exactly once.
+
+        Engines call this only when they are the one doing the
+        fallback work (``auto`` delegates, so it never notes).  The
+        reason lands in :attr:`stats` (visible in ``--stats`` without
+        tracing) and — when tracing is enabled — as a
+        ``plan.reject.<reason>`` counter.
+
+        Args:
+            plan: The :class:`~repro.ir.plan.QueryPlan` whose root was
+                rejected; no-op for plans with conjunctive roots.
+        """
+        reason = plan.fallback_reason
+        if reason is None:
+            return
+        self.stats.record_reject(reason)
+        self.tracer.add(f"plan.reject.{reason}")
 
     def certified_length(self, query: "Query", db: Database) -> int:
         """``W_φ(db)`` from the cached safety analysis.

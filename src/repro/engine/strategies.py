@@ -5,17 +5,30 @@ protocol and routes its machinery through the invoking session so that
 compiled machines, specializations, limit reports and ``Σ^{<=l}``
 enumerations are shared across calls:
 
-* ``naive``    — the reference model checker over an explicit domain;
-* ``planner``  — the conjunctive planner (joins, then generation);
-* ``algebra``  — Theorem 4.2 translation, then expression evaluation
+Every strategy consumes the session's normalized
+:class:`~repro.ir.plan.QueryPlan` (``session.query_plan``):
+
+* ``naive``    — the reference model checker over an explicit domain,
+  evaluating the plan's *simplified* formula;
+* ``planner``  — executes the plan's conjunctive branches; raises when
+  the plan degraded to a naive fallback;
+* ``algebra``  — Theorem 4.2 translation rewritten by the
+  :mod:`repro.ir.rewrite` passes, then expression evaluation
   (sharding its selections across workers when configured);
 * ``parallel`` — the process-pool layer of :mod:`repro.parallel`:
-  planner-shaped queries shard their generator runs, everything else
-  shards the naive candidate space — the answer set is identical to
-  the sequential engines for every worker and shard count;
-* ``auto``     — planner-first with naive fallback, upgraded to the
-  ``parallel`` strategy when more than one worker is available and
-  the size heuristic says the candidate space is worth sharding.
+  plannable queries shard their generator runs branch-by-branch,
+  everything else shards the naive candidate space — the answer set
+  is identical to the sequential engines for every worker and shard
+  count;
+* ``auto``     — plan-first with per-branch strategy choice: branches
+  whose cost estimate clears :data:`AUTO_PARALLEL_THRESHOLD` run on
+  the worker pool, cheap branches stay in-process.
+
+When a plan's root is a :class:`~repro.ir.plan.NaivePlan`, the engine
+that actually performs the fallback work calls
+``session.note_rejection`` — exactly once per evaluation — so silent
+naive fallbacks are observable in ``--stats`` and as
+``plan.reject.<reason>`` counters.
 
 Sharding-capable strategies expose ``configured(workers=…, shards=…)``
 returning a parameterized copy; ``QueryEngine.evaluate(workers=…)``
@@ -26,11 +39,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.planner import evaluate_conjunctive
 from repro.core.semantics import evaluate_naive
 from repro.core.syntax import free_variables
 from repro.engine.registry import register_engine
 from repro.errors import AssignmentError, EvaluationError
+from repro.ir.execute import execute_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.database import Database
@@ -39,9 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.parallel.executor import ParallelExecutor
     from repro.parallel.tasks import ChaosPolicy
 
-#: Candidate-space size (``|domain|^k``) above which the ``auto``
-#: strategy upgrades an explicit-truncation evaluation to the
-#: ``parallel`` engine, provided more than one worker is available.
+#: Estimated branch cost (and, for explicit truncations, candidate-
+#: space size ``|domain|^k``) above which the ``auto`` strategy routes
+#: work to the ``parallel`` engine, provided more than one worker is
+#: available.
 AUTO_PARALLEL_THRESHOLD = 2048
 
 
@@ -78,17 +92,24 @@ class NaiveEngine:
             if length is None:
                 length = session.certified_length(query, db)
             domain = session.domain_for(query.alphabet, length)
+        cap = (
+            length
+            if length is not None
+            else max((len(s) for s in domain), default=0)
+        )
+        plan = session.query_plan(query, db, cap)
+        session.note_rejection(plan)
         tracer.gauge(
             "naive.candidate_space", len(domain) ** len(query.head)
         )
         with tracer.span(
             "execute.naive", stage="execute", domain=len(domain)
         ):
-            return evaluate_naive(query.formula, query.head, db, domain)
+            return evaluate_naive(plan.simplified, query.head, db, domain)
 
 
 class PlannerEngine:
-    """The conjunctive planner; raises for unsupported query shapes."""
+    """The plan executor; raises for shapes the normalizer rejects."""
 
     name = "planner"
 
@@ -101,7 +122,7 @@ class PlannerEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
-        """Run the conjunctive planner against the session's caches.
+        """Execute the normalized plan against the session's caches.
 
         Args:
             query: The calculus query to evaluate.
@@ -115,7 +136,8 @@ class PlannerEngine:
             The answer set as a frozenset of head tuples.
 
         Raises:
-            EvaluationError: If the query is not planner-shaped.
+            EvaluationError: If the plan degraded to a naive fallback
+                (the rejection reason is noted and included).
         """
         cap = length
         if cap is None:
@@ -123,14 +145,17 @@ class PlannerEngine:
                 cap = max((len(s) for s in domain), default=0)
             else:
                 cap = session.certified_length(query, db)
-        planned = evaluate_conjunctive(
-            query.formula, query.head, db, query.alphabet, cap, session=session
-        )
-        if planned is None:
+        plan = session.query_plan(query, db, cap)
+        reason = plan.fallback_reason
+        if reason is not None:
+            session.note_rejection(plan)
             raise EvaluationError(
-                "query shape not supported by the conjunctive planner"
+                "query shape not supported by the conjunctive planner "
+                f"({reason})"
             )
-        return planned
+        return execute_plan(
+            plan, db, query.alphabet, cap, session=session, domain=domain
+        )
 
 
 class AlgebraEngine:
@@ -192,12 +217,13 @@ class AlgebraEngine:
         length: int | None = None,
         domain: tuple[str, ...] | None = None,
     ) -> frozenset[tuple[str, ...]]:
-        """Translate the query (cached) and evaluate the expression.
+        """Translate + optimize the query (cached), then evaluate.
 
         Args:
             query: The calculus query to evaluate.
             db: The database instance.
-            session: The invoking session (translation cache, tracer).
+            session: The invoking session (translation and rewrite
+                caches, tracer).
             length: Optional explicit evaluation bound.
             domain: Optional explicit domain; only its maximum string
                 length is used (as the bound).
@@ -207,7 +233,7 @@ class AlgebraEngine:
         """
         from repro.algebra.evaluate import evaluate_expression
 
-        expression = session.translation(query)
+        expression, _ = session.optimized_translation(query)
         bound = length
         if bound is None:
             if domain is not None:
@@ -345,22 +371,32 @@ class ParallelEngine:
             length = session.certified_length(query, db)
         try:
             result = None
+            formula = query.formula
             if not explicit_domain:
-                result = evaluate_conjunctive(
-                    query.formula,
-                    query.head,
-                    db,
-                    query.alphabet,
-                    length,
-                    session=session,
-                    executor=executor,
-                )
+                # Explicit domains carry their own semantics; the plan
+                # route's padding assumes Σ^{<=l} truncation, so only
+                # the length-bounded regime goes through it.
+                plan = session.query_plan(query, db, length)
+                if plan.fallback_reason is None:
+                    result = execute_plan(
+                        plan,
+                        db,
+                        query.alphabet,
+                        length,
+                        session=session,
+                        executor=executor,
+                    )
+                else:
+                    session.note_rejection(plan)
+                    formula = plan.simplified
             if result is None:
                 if domain is None:
                     # Only the naive fallback materializes Σ^{<=l};
-                    # planner-shaped queries never pay for it.
+                    # plannable queries never pay for it.
                     domain = session.domain_for(query.alphabet, length)
-                result = self._naive_sharded(query, db, domain, executor)
+                result = self._naive_sharded(
+                    query, db, domain, executor, formula
+                )
         finally:
             self.last_report = executor.report
             session.stats.record_parallel(executor.report)
@@ -372,6 +408,7 @@ class ParallelEngine:
         db: "Database",
         domain: tuple[str, ...],
         executor: "ParallelExecutor",
+        formula=None,
     ) -> frozenset[tuple[str, ...]]:
         """Shard the candidate space ``domain^k`` across the pool.
 
@@ -380,6 +417,9 @@ class ParallelEngine:
             db: The database instance.
             domain: The explicit candidate domain.
             executor: The executor sharding and running the tasks.
+            formula: The formula each shard checks; defaults to the
+                query's own (the plan route passes its simplified
+                form, which has the same answers).
 
         Returns:
             The union of the per-shard answer sets.
@@ -390,7 +430,9 @@ class ParallelEngine:
         """
         from repro.parallel.tasks import NaiveShardTask
 
-        missing = free_variables(query.formula) - set(query.head)
+        if formula is None:
+            formula = query.formula
+        missing = free_variables(formula) - set(query.head)
         if missing:
             raise AssignmentError(
                 f"free variables {sorted(missing)} are not in the query head"
@@ -400,7 +442,7 @@ class ParallelEngine:
         executor.tracer.gauge("naive.candidate_space", total)
         shards = executor.plan(total)
         tasks = [
-            NaiveShardTask(shard, query.formula, query.head, db, domain)
+            NaiveShardTask(shard, formula, query.head, db, domain)
             for shard in shards
         ]
         shard_results = executor.run(tasks)
@@ -414,18 +456,21 @@ class ParallelEngine:
 
 
 class AutoEngine:
-    """Planner-first selection with naive fallback, parallel-aware.
+    """Plan-first selection with per-branch strategy choice.
 
     With no explicit ``length``/``domain`` the certified limit function
-    is derived and the planner tried first — certified bounds are sound
-    but loose, and only generation-based evaluation stays practical
-    under them.  With an explicit truncation the naive reference
-    semantics is used directly.  In either regime, when more than one
-    worker is available the work is routed through the ``parallel``
-    strategy (whose planner-first/naive-fallback policy mirrors this
-    one), gated by :data:`AUTO_PARALLEL_THRESHOLD` on the candidate
-    space for the explicit-truncation case — so ``auto`` never changes
-    an answer, only where it is computed.
+    is derived and the normalized plan executed — certified bounds are
+    sound but loose, and only generation-based evaluation stays
+    practical under them.  When more than one worker is available each
+    conjunctive branch picks its own executor: branches whose cost
+    estimate clears :data:`AUTO_PARALLEL_THRESHOLD` shard their
+    generator runs across the pool, cheap branches stay in-process.
+    Plans that degraded to a naive fallback delegate to the
+    ``parallel`` or ``naive`` strategy (which note the rejection); with
+    an explicit truncation the naive reference semantics is used
+    directly, upgraded to ``parallel`` when the candidate space clears
+    the same threshold — so ``auto`` never changes an answer, only
+    where it is computed.
     """
 
     name = "auto"
@@ -467,6 +512,62 @@ class AutoEngine:
             workers=self._effective_workers(), shards=self.shards
         )
 
+    def _execute_plan(
+        self,
+        plan,
+        query: "Query",
+        db: "Database",
+        session: "QueryEngine",
+        cap: int,
+    ) -> frozenset[tuple[str, ...]]:
+        """Run a conjunctive plan, choosing an executor per branch.
+
+        Branches whose cost estimate clears
+        :data:`AUTO_PARALLEL_THRESHOLD` shard their generator runs
+        across the worker pool; the rest run in-process.  The pool is
+        created only when some branch actually qualifies.
+
+        Args:
+            plan: The normalized plan (conjunctive root).
+            query: The calculus query being evaluated.
+            db: The database instance.
+            session: The invoking session.
+            cap: The certified generation bound.
+
+        Returns:
+            The answer set.
+        """
+        workers = self._effective_workers()
+        expensive = workers > 1 and any(
+            branch.est_cost >= AUTO_PARALLEL_THRESHOLD
+            for branch in plan.branches()
+        )
+        if not expensive:
+            return execute_plan(
+                plan, db, query.alphabet, cap, session=session
+            )
+        from repro.parallel.executor import ParallelExecutor
+        from repro.parallel.sharding import ShardPlanner
+
+        executor = ParallelExecutor(
+            workers, planner=ShardPlanner(self.shards), tracer=session.tracer
+        )
+        try:
+            return execute_plan(
+                plan,
+                db,
+                query.alphabet,
+                cap,
+                session=session,
+                executor_for=lambda branch: (
+                    executor
+                    if branch.est_cost >= AUTO_PARALLEL_THRESHOLD
+                    else None
+                ),
+            )
+        finally:
+            session.stats.record_parallel(executor.report)
+
     def evaluate(
         self,
         query: "Query",
@@ -489,19 +590,13 @@ class AutoEngine:
             The answer set — the same set every routing choice yields.
         """
         if domain is None and length is None:
-            if self._effective_workers() > 1:
-                return self._parallel().evaluate(query, db, session)
             cap = session.certified_length(query, db)
-            planned = evaluate_conjunctive(
-                query.formula,
-                query.head,
-                db,
-                query.alphabet,
-                cap,
-                session=session,
-            )
-            if planned is not None:
-                return planned
+            plan = session.query_plan(query, db, cap)
+            if plan.fallback_reason is None:
+                return self._execute_plan(plan, query, db, session, cap)
+            if self._effective_workers() > 1:
+                # The parallel strategy notes the rejection itself.
+                return self._parallel().evaluate(query, db, session)
             length = cap
         if self._effective_workers() > 1:
             pool = (

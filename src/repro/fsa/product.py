@@ -1,0 +1,148 @@
+"""Sequencing products of k-FSAs — conjunction as one machine.
+
+The optimizer's selection-fusion rule rewrites stacked selections
+``σ_A(σ_B(E))`` into a single selection by one machine accepting
+``L(A) ∩ L(B)``.  For *two-way* multitape machines the classical
+synchronous product does not apply (the two head vectors move
+independently), so the intersection machine is built as a *sequencing
+product*: run ``A`` to acceptance, rewind every head to ``⊢``, then
+run ``B`` on the same tapes.
+
+The paper's acceptance condition (Theorem 3.3) is *halting* in a final
+state — a final configuration with enabled transitions does not
+accept.  The construction is exact about this: the hand-off from ``A``
+to the rewind gadget fires only on read combinations that no outgoing
+transition of the final state matches, i.e. exactly when ``A`` would
+have halted there.  Hence ``seq(A, B)`` accepts a tuple iff both ``A``
+and ``B`` accept it, for arbitrary two-way machines.
+
+The hand-off and rewind transitions enumerate ``(|Σ|+2)^k`` read
+combinations, so fusion is gated by :func:`fusion_supported` on a
+combination budget; callers fall back to stacked selections when the
+budget is exceeded.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+
+from repro.core.alphabet import LEFT_END
+from repro.errors import ArityError
+from repro.fsa.machine import FSA, STAY, Transition
+
+#: Budget on ``(|Σ|+2)^arity`` read combinations enumerated by the
+#: rewind gadget; above it :func:`fusion_supported` says no.
+FUSION_COMBO_LIMIT = 4096
+
+_REWIND = ("rw",)
+
+
+def _combo_count(fsa: FSA) -> int:
+    return (len(fsa.alphabet.symbols) + 2) ** fsa.arity
+
+
+def fusion_supported(first: FSA, second: FSA) -> bool:
+    """Whether :func:`sequence_machines` may fuse this pair.
+
+    Requires matching alphabets and a positive, shared arity, and the
+    rewind gadget's read-combination count within
+    :data:`FUSION_COMBO_LIMIT`.
+
+    Args:
+        first: The machine that would run first.
+        second: The machine that would run second.
+
+    Returns:
+        True iff the pair is fusable within budget.
+    """
+    return (
+        first.alphabet == second.alphabet
+        and first.arity == second.arity
+        and first.arity > 0
+        and _combo_count(first) <= FUSION_COMBO_LIMIT
+    )
+
+
+def sequence_machines(first: FSA, second: FSA) -> FSA:
+    """A machine accepting ``L(first) ∩ L(second)``.
+
+    Runs ``first`` to a halting accepting configuration, rewinds every
+    head to ``⊢``, then runs ``second``; the result's finals are
+    ``second``'s, so overall acceptance is the conjunction of both
+    machines' (halting) acceptance.
+
+    Args:
+        first: The machine run first (put the most selective one here —
+            generation explores its language before filtering by the
+            second).
+        second: The machine run second.
+
+    Returns:
+        The sequencing product, pruned and deterministically
+        renumbered.
+
+    Raises:
+        ArityError: If the pair is not fusable (see
+            :func:`fusion_supported`).
+    """
+    if not fusion_supported(first, second):
+        raise ArityError(
+            "machines are not fusable: alphabets/arities must match and "
+            f"(|Σ|+2)^arity must stay within {FUSION_COMBO_LIMIT}"
+        )
+    arity = first.arity
+    alphabet = first.alphabet
+    combos = list(iproduct(alphabet.tape_symbols(), repeat=arity))
+    transitions: list[Transition] = []
+    for transition in first.transitions:
+        transitions.append(
+            Transition(
+                ("a", transition.source),
+                transition.reads,
+                ("a", transition.target),
+                transition.moves,
+            )
+        )
+    for transition in second.transitions:
+        transitions.append(
+            Transition(
+                ("b", transition.source),
+                transition.reads,
+                ("b", transition.target),
+                transition.moves,
+            )
+        )
+    stay = (STAY,) * arity
+    for final in first.finals:
+        matched = {t.reads for t in first.outgoing(final)}
+        for combo in combos:
+            if combo not in matched:
+                # ``first`` halts here on this read combination — hand
+                # off to the rewind gadget without moving any head.
+                transitions.append(
+                    Transition(("a", final), combo, _REWIND, stay)
+                )
+    for combo in combos:
+        if all(symbol == LEFT_END for symbol in combo):
+            transitions.append(
+                Transition(_REWIND, combo, ("b", second.start), stay)
+            )
+        else:
+            moves = tuple(
+                STAY if symbol == LEFT_END else -1 for symbol in combo
+            )
+            transitions.append(Transition(_REWIND, combo, _REWIND, moves))
+    states = (
+        {("a", state) for state in first.states}
+        | {("b", state) for state in second.states}
+        | {_REWIND}
+    )
+    fused = FSA(
+        arity,
+        frozenset(states),
+        ("a", first.start),
+        frozenset(("b", state) for state in second.finals),
+        frozenset(transitions),
+        alphabet,
+    )
+    return fused.pruned().renumbered()

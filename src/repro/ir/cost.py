@@ -1,0 +1,136 @@
+"""The cost model feeding conjunct reordering and strategy choice.
+
+Deliberately simple — relation cardinalities from the
+:class:`~repro.core.database.Database` plus the alphabet's string
+counts under the certified truncation cap — but entirely
+deterministic: every estimate is arithmetic over those integers, and
+ties between equally-priced steps break on the literal's string
+rendering, so the same query against same-sized relations always
+produces the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import Alphabet
+from repro.core.database import Database
+
+#: Cap on the per-variable generation estimate; certified caps can be
+#: astronomically loose and the cost model only needs an ordering.
+GENERATION_CEILING = 1e9
+
+#: Assumed selectivity of a fully-bound filter literal.
+FILTER_SELECTIVITY = 0.5
+
+#: Assumed selectivity of a generator machine relative to the free
+#: product of its unbound variables' domains.
+GENERATOR_SELECTIVITY = 0.25
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cardinality estimates for one (database, alphabet, cap) context.
+
+    ``relation_sizes`` is the sorted ``(name, rows)`` signature that
+    also serves as the database component of plan cache keys: two
+    databases with equal signatures cost-rank plans identically.
+    """
+
+    relation_sizes: tuple[tuple[str, int], ...]
+    alphabet_size: int
+    cap: int
+    domain_size: float
+
+    @classmethod
+    def for_database(
+        cls, db: Database, alphabet: Alphabet, cap: int
+    ) -> "CostModel":
+        """Build the model for a database under a truncation cap.
+
+        Args:
+            db: The database supplying relation cardinalities.
+            alphabet: The query alphabet.
+            cap: The truncation / generation bound (``W(db)`` or an
+                explicit length).
+
+        Returns:
+            The populated :class:`CostModel`.
+        """
+        sizes = tuple(
+            sorted(
+                (name, len(db.relation(name)))
+                for name in db.relation_names
+            )
+        )
+        bounded_cap = max(0, min(cap, 64))
+        domain = min(
+            float(alphabet.count_strings(bounded_cap)), GENERATION_CEILING
+        )
+        return cls(sizes, len(alphabet.symbols), cap, domain)
+
+    def relation_rows(self, name: str) -> int:
+        """The cardinality of relation ``name`` (0 when unknown)."""
+        for known, size in self.relation_sizes:
+            if known == name:
+                return size
+        return 0
+
+    def join_estimate(
+        self, rows: float, size: int, arity: int, bound_args: int
+    ) -> tuple[float, float]:
+        """Estimate a join step: ``(cost, rows_after)``.
+
+        A join scans ``rows × size`` pairs; the surviving fraction
+        shrinks with the number of already-bound argument positions
+        (each bound position acts as an equality predicate).
+
+        Args:
+            rows: The current estimated binding count.
+            size: The relation's cardinality.
+            arity: The atom's argument count.
+            bound_args: How many argument positions are already bound.
+
+        Returns:
+            The ``(cost, rows_after)`` estimates.
+        """
+        base = max(size, 1)
+        cost = rows * base
+        width = max(arity, 1)
+        free_fraction = (width - min(bound_args, width)) / width
+        rows_after = rows * max(base**free_fraction, 1.0)
+        return cost, rows_after
+
+    def generate_estimate(
+        self, rows: float, unbound: int
+    ) -> tuple[float, float]:
+        """Estimate a generator step: ``(cost, rows_after)``.
+
+        Each binding runs the compiled machine, producing at most
+        ``domain^unbound`` value tuples; the machine is assumed to be
+        selective (:data:`GENERATOR_SELECTIVITY`).
+
+        Args:
+            rows: The current estimated binding count.
+            unbound: The number of variables the machine generates.
+
+        Returns:
+            The ``(cost, rows_after)`` estimates.
+        """
+        produced = min(
+            self.domain_size ** max(unbound, 1), GENERATION_CEILING
+        )
+        cost = rows * produced
+        rows_after = max(rows * produced * GENERATOR_SELECTIVITY, 1.0)
+        return cost, rows_after
+
+    def filter_estimate(self, rows: float) -> tuple[float, float]:
+        """Estimate a filter step: ``(cost, rows_after)``.
+
+        Args:
+            rows: The current estimated binding count.
+
+        Returns:
+            The ``(cost, rows_after)`` estimates.
+        """
+        return rows, max(rows * FILTER_SELECTIVITY, 1.0)

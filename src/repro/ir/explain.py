@@ -1,0 +1,178 @@
+"""Deterministic plan rendering for the CLI's ``--explain`` flag.
+
+Everything printed here is golden-tested, so the renderer avoids any
+source of nondeterminism: formulae and algebra expressions render via
+their (deterministic) ``__str__``, machines render as state/transition
+*counts* (their reprs would expose hash ordering), and floats render
+through :func:`_num` which never emits platform-dependent noise.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    Diff,
+    Expression,
+    Product,
+    Project,
+    Rel,
+    Select,
+    SigmaL,
+    SigmaStar,
+    Union,
+)
+from repro.errors import EvaluationError, SafetyError
+from repro.fsa.machine import FSA
+from repro.ir.plan import ConjunctivePlan, NaivePlan, QueryPlan, UnionPlan
+
+#: Cost-model cap used for estimates when no bound is certifiable.
+FALLBACK_EXPLAIN_CAP = 4
+
+
+def _num(value: float) -> str:
+    """Render an estimate compactly and platform-independently."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def machine_label(machine: FSA) -> str:
+    """A machine as counts, e.g. ``M(7s/12t)`` — stable across runs."""
+    return f"M({len(machine.states)}s/{len(machine.transitions)}t)"
+
+
+def _rules_line(rules: tuple[tuple[str, int], ...]) -> str:
+    if not rules:
+        return "(none)"
+    return ", ".join(f"{name}×{count}" for name, count in rules)
+
+
+def render_plan(plan: QueryPlan) -> str:
+    """The normalized plan tree with per-node cost estimates.
+
+    Args:
+        plan: The plan to render.
+
+    Returns:
+        A multi-line string; deterministic for equal plans.
+    """
+    lines = [
+        f"head: ({', '.join(str(v) for v in plan.head)})",
+        f"source: {plan.source}",
+        f"normalize rules: {_rules_line(plan.rules)}",
+    ]
+    root = plan.root
+    if isinstance(root, NaivePlan):
+        lines.append(f"plan: naive fallback [{root.reason}]")
+        lines.append(f"  formula: {root.formula}")
+        return "\n".join(lines)
+    branches = plan.branches()
+    if isinstance(root, UnionPlan):
+        lines.append(
+            f"plan: union of {len(branches)} branches "
+            f"est_cost={_num(root.est_cost)}"
+        )
+    else:
+        lines.append(f"plan: single branch est_cost={_num(root.est_cost)}")
+    for index, branch in enumerate(branches):
+        lines.extend(_render_branch(branch, index))
+    return "\n".join(lines)
+
+
+def _render_branch(branch: ConjunctivePlan, index: int) -> list[str]:
+    lines = [
+        f"  branch {index}: est_cost={_num(branch.est_cost)} "
+        f"est_rows={_num(branch.est_rows)}"
+    ]
+    if branch.quantified:
+        names = ", ".join(str(v) for v in branch.quantified)
+        lines.append(f"    ∃ {names}")
+    for step in branch.steps:
+        binds = (
+            f" binds=({', '.join(str(v) for v in step.binds)})"
+            if step.binds
+            else ""
+        )
+        lines.append(
+            f"    {step.describe()}{binds} "
+            f"cost={_num(step.est_cost)} rows={_num(step.est_rows)}"
+        )
+    if branch.free_head:
+        names = ", ".join(str(v) for v in branch.free_head)
+        lines.append(f"    pad Σ^≤cap for ({names})")
+    return lines
+
+
+def render_expression(expression: Expression, indent: int = 0) -> str:
+    """An algebra expression as an indented tree.
+
+    Args:
+        expression: The expression to render.
+        indent: The starting indentation level.
+
+    Returns:
+        A multi-line string with machines shown as count labels.
+    """
+    pad = "  " * indent
+    if isinstance(expression, Rel):
+        return f"{pad}Rel {expression.name}/{expression.arity}"
+    if isinstance(expression, SigmaStar):
+        return f"{pad}Σ*"
+    if isinstance(expression, SigmaL):
+        return f"{pad}Σ^≤{expression.bound}"
+    if isinstance(expression, Select):
+        inner = render_expression(expression.inner, indent + 1)
+        return f"{pad}Select {machine_label(expression.machine)}\n{inner}"
+    if isinstance(expression, Project):
+        columns = ",".join(map(str, expression.columns))
+        inner = render_expression(expression.inner, indent + 1)
+        return f"{pad}Project ({columns})\n{inner}"
+    if isinstance(expression, (Union, Diff, Product)):
+        name = type(expression).__name__
+        left = render_expression(expression.left, indent + 1)
+        right = render_expression(expression.right, indent + 1)
+        return f"{pad}{name}\n{left}\n{right}"
+    raise TypeError(f"not an algebra expression: {expression!r}")
+
+
+def explain_query(session, query, db, length: int | None = None) -> str:
+    """The full ``--explain`` text for one query against one database.
+
+    Composes the normalized plan (with cost estimates from the
+    database's relation sizes and the certified or explicit bound) and
+    — when the query is algebra-translatable — the optimized algebra
+    expression with its fired rewrite rules.
+
+    Args:
+        session: The :class:`repro.engine.QueryEngine` session.
+        query: The query to explain.
+        db: The database supplying relation sizes.
+        length: An explicit truncation bound; ``None`` uses the
+            certified limit when one exists.
+
+    Returns:
+        The deterministic multi-line explanation.
+    """
+    lines = []
+    if length is not None:
+        cap = length
+        lines.append(f"length: {cap} (explicit)")
+    else:
+        try:
+            cap = session.certified_length(query, db)
+            lines.append(f"length: {cap} (certified)")
+        except SafetyError:
+            cap = FALLBACK_EXPLAIN_CAP
+            lines.append(
+                f"length: not certified (estimates assume {cap})"
+            )
+    plan = session.query_plan(query, db, cap)
+    lines.append(render_plan(plan))
+    try:
+        expression, rules = session.optimized_translation(query)
+    except EvaluationError:
+        lines.append("algebra: not translatable (head ≠ free variables)")
+    else:
+        lines.append(f"optimize rules: {_rules_line(rules)}")
+        lines.append("algebra:")
+        lines.append(render_expression(expression, 1))
+    return "\n".join(lines)

@@ -1,0 +1,395 @@
+"""The algebra expression rewriter: optimization passes over plans.
+
+Four passes run in a fixed order, each a bottom-up traversal applied
+to its own fixpoint:
+
+1. **select pushdown** — ``σ_A`` moves through ``Union`` always and
+   through ``Product`` when the machine provably ignores one factor's
+   tapes (every transition reads ``⊢`` and stays there — the shape
+   :func:`~repro.fsa.ops.widen` produces), narrowing the machine with
+   :func:`~repro.fsa.ops.drop_tape`.
+2. **select fusion** — stacked ``σ_A(σ_B(E))`` fuses into one
+   selection by the sequencing product ``seq(A, B)``
+   (:mod:`repro.fsa.product`); *generative fusion* additionally lifts
+   a ``σ_A((Σ*)^k)`` product factor into the enclosing selection so
+   the generator explores one constrained language instead of a cross
+   product.
+3. **projection pass** — stacked projections fuse, identity
+   projections vanish, projections push through ``Union`` and through
+   ``Product`` factors that can never be empty.
+4. **select minimization** — selection machines are replaced by their
+   bisimulation quotients when strictly smaller (via the session's
+   cache when one is attached).
+
+Every rewrite preserves the truncation-evaluation answer set exactly;
+the differential tests in ``tests/ir/`` hold the passes to that.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    Diff,
+    Expression,
+    Product,
+    Project,
+    Select,
+    SigmaL,
+    SigmaStar,
+    Union,
+)
+from repro.core.alphabet import LEFT_END
+from repro.fsa.machine import FSA, STAY
+from repro.fsa.ops import drop_tape, widen
+from repro.fsa.product import fusion_supported, sequence_machines
+
+#: Safety cap on whole-pass fixpoint iterations.
+MAX_PASS_ROUNDS = 16
+
+
+class RewriteContext:
+    """Carries the optional engine session and the rule-fire counts."""
+
+    def __init__(self, session=None) -> None:
+        self.session = session
+        self.counts: dict[str, int] = {}
+
+    def fire(self, rule: str) -> None:
+        """Record one firing of ``rule``."""
+        self.counts[rule] = self.counts.get(rule, 0) + 1
+
+    def fused(self, first: FSA, second: FSA) -> FSA:
+        """``seq(first, second)``, served from the session when present."""
+        if self.session is not None:
+            return self.session.fused_select(first, second)
+        return sequence_machines(first, second)
+
+    def minimized(self, machine: FSA) -> FSA:
+        """The bisimulation quotient, served from the session when present."""
+        if self.session is not None:
+            return self.session.minimized_machine(machine)
+        from repro.fsa.minimize import bisimulation_quotient
+
+        return bisimulation_quotient(machine)
+
+    def snapshot(self) -> tuple[tuple[str, int], ...]:
+        """The ``(rule, count)`` pairs, sorted by rule name."""
+        return tuple(sorted(self.counts.items()))
+
+
+# ---------------------------------------------------------------------------
+# structural helpers
+# ---------------------------------------------------------------------------
+
+
+def _ignored_tapes(machine: FSA) -> frozenset[int]:
+    """Tapes the machine never reads: always ``⊢`` with a stay move."""
+    ignored = set(range(machine.arity))
+    for transition in machine.transitions:
+        for tape in tuple(ignored):
+            if (
+                transition.reads[tape] != LEFT_END
+                or transition.moves[tape] != STAY
+            ):
+                ignored.discard(tape)
+    return frozenset(ignored)
+
+
+def _drop_tapes(machine: FSA, tapes: frozenset[int]) -> FSA:
+    for tape in sorted(tapes, reverse=True):
+        machine = drop_tape(machine, tape)
+    return machine
+
+
+def _all_sigma(expression: Expression) -> bool:
+    """Is the expression a (product of) domain symbol(s) only?"""
+    if isinstance(expression, (SigmaStar, SigmaL)):
+        return True
+    if isinstance(expression, Product):
+        return _all_sigma(expression.left) and _all_sigma(expression.right)
+    return False
+
+
+def _never_empty(expression: Expression) -> bool:
+    """Conservatively: can the expression never evaluate to ∅?
+
+    Domain symbols always contain ``ε``; products of never-empty
+    factors are never empty.  Everything else counts as possibly
+    empty.
+    """
+    return _all_sigma(expression)
+
+
+def _product_factors(expression: Expression) -> list[Expression]:
+    if isinstance(expression, Product):
+        return _product_factors(expression.left) + _product_factors(
+            expression.right
+        )
+    return [expression]
+
+
+def _reproduct(factors: list[Expression]) -> Expression:
+    result = factors[0]
+    for factor in factors[1:]:
+        result = Product(result, factor)
+    return result
+
+
+def _map_children(expression: Expression, fn) -> Expression:
+    if isinstance(expression, Union):
+        return Union(fn(expression.left), fn(expression.right))
+    if isinstance(expression, Diff):
+        return Diff(fn(expression.left), fn(expression.right))
+    if isinstance(expression, Product):
+        return Product(fn(expression.left), fn(expression.right))
+    if isinstance(expression, Project):
+        return Project(fn(expression.inner), expression.columns)
+    if isinstance(expression, Select):
+        return Select(fn(expression.inner), expression.machine)
+    return expression
+
+
+def _bottom_up(expression: Expression, rule, context: RewriteContext):
+    rewritten = _map_children(
+        expression, lambda child: _bottom_up(child, rule, context)
+    )
+    for _ in range(MAX_PASS_ROUNDS):
+        replacement = rule(rewritten, context)
+        if replacement is None:
+            return rewritten
+        rewritten = _map_children(
+            replacement, lambda child: _bottom_up(child, rule, context)
+        )
+    return rewritten
+
+
+# ---------------------------------------------------------------------------
+# pass 1: selection pushdown
+# ---------------------------------------------------------------------------
+
+
+def _select_pushdown(
+    expression: Expression, context: RewriteContext
+) -> Expression | None:
+    if not isinstance(expression, Select):
+        return None
+    inner = expression.inner
+    machine = expression.machine
+    if isinstance(inner, Union):
+        context.fire("select-pushdown-union")
+        return Union(
+            Select(inner.left, machine), Select(inner.right, machine)
+        )
+    if isinstance(inner, Product):
+        ignored = _ignored_tapes(machine)
+        left_span = frozenset(range(inner.left.arity))
+        right_span = frozenset(range(inner.left.arity, inner.arity))
+        if right_span and right_span <= ignored:
+            context.fire("select-pushdown-product")
+            return Product(
+                Select(inner.left, _drop_tapes(machine, right_span)),
+                inner.right,
+            )
+        if left_span and left_span <= ignored:
+            context.fire("select-pushdown-product")
+            return Product(
+                inner.left,
+                Select(inner.right, _drop_tapes(machine, left_span)),
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# pass 2: selection fusion
+# ---------------------------------------------------------------------------
+
+
+def _select_fuse(
+    expression: Expression, context: RewriteContext
+) -> Expression | None:
+    if not isinstance(expression, Select):
+        return None
+    inner = expression.inner
+    machine = expression.machine
+    if isinstance(inner, Select) and fusion_supported(
+        machine, inner.machine
+    ):
+        context.fire("select-fuse")
+        return Select(inner.inner, context.fused(machine, inner.machine))
+    if isinstance(inner, Product):
+        factors = _product_factors(inner)
+        offset = 0
+        for index, factor in enumerate(factors):
+            if (
+                isinstance(factor, Select)
+                and _all_sigma(factor.inner)
+                and factor.machine.alphabet == machine.alphabet
+            ):
+                lifted = widen(
+                    factor.machine,
+                    inner.arity,
+                    tuple(range(offset, offset + factor.arity)),
+                )
+                if fusion_supported(machine, lifted):
+                    context.fire("generative-fuse")
+                    replaced = list(factors)
+                    replaced[index] = factor.inner
+                    # The outer (constraining) machine runs first so
+                    # generation explores its language, not the free
+                    # product of the lifted factor's domains.
+                    return Select(
+                        Select(_reproduct(replaced), lifted), machine
+                    )
+            offset += factor.arity
+    return None
+
+
+# ---------------------------------------------------------------------------
+# pass 3: projections
+# ---------------------------------------------------------------------------
+
+
+def _project_pass(
+    expression: Expression, context: RewriteContext
+) -> Expression | None:
+    if not isinstance(expression, Project):
+        return None
+    inner = expression.inner
+    columns = expression.columns
+    if isinstance(inner, Project):
+        context.fire("project-fuse")
+        return Project(
+            inner.inner, tuple(inner.columns[c] for c in columns)
+        )
+    if columns == tuple(range(inner.arity)):
+        context.fire("project-identity")
+        return inner
+    if isinstance(inner, SigmaStar) and columns == ():
+        context.fire("project-trivial")
+        return Project(SigmaL(0), ())
+    if isinstance(inner, Union):
+        context.fire("project-pushdown-union")
+        return Union(
+            Project(inner.left, columns), Project(inner.right, columns)
+        )
+    if isinstance(inner, Product):
+        left_arity = inner.left.arity
+        if all(c < left_arity for c in columns) and _never_empty(
+            inner.right
+        ):
+            context.fire("project-pushdown-product")
+            return Project(inner.left, columns)
+        if all(c >= left_arity for c in columns) and _never_empty(
+            inner.left
+        ):
+            context.fire("project-pushdown-product")
+            return Project(
+                inner.right, tuple(c - left_arity for c in columns)
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# pass 4: machine minimization
+# ---------------------------------------------------------------------------
+
+
+def _select_minimize(
+    expression: Expression, context: RewriteContext
+) -> Expression | None:
+    if not isinstance(expression, Select):
+        return None
+    smaller = context.minimized(expression.machine)
+    if len(smaller.states) < len(expression.machine.states):
+        context.fire("select-minimize")
+        return Select(expression.inner, smaller)
+    return None
+
+
+_PASSES = (_select_pushdown, _select_fuse, _project_pass, _select_minimize)
+
+
+def optimize_expression(
+    expression: Expression, session=None
+) -> tuple[Expression, tuple[tuple[str, int], ...]]:
+    """Run all rewrite passes over an algebra expression.
+
+    Args:
+        expression: The translated expression to optimize.
+        session: An optional :class:`repro.engine.QueryEngine`; fused
+            and minimized machines are then served from its caches.
+
+    Returns:
+        The ``(optimized expression, fired rules)`` pair; the rule list
+        is ``(name, count)`` sorted by name and empty when nothing
+        applied.
+    """
+    context = RewriteContext(session)
+    for rewrite_pass in _PASSES:
+        for _ in range(MAX_PASS_ROUNDS):
+            rewritten = _bottom_up(expression, rewrite_pass, context)
+            if rewritten == expression:
+                break
+            expression = rewritten
+    return expression, context.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# branch-aware translation
+# ---------------------------------------------------------------------------
+
+
+def translate_branches(formula, head, alphabet, compiler=None):
+    """Translate a disjunctive formula branch-by-branch.
+
+    Splits the (already simplified) formula into its disjuncts, runs
+    the Theorem 4.2 translation on each branch against the branch's
+    own free variables, pads head variables a branch does not mention
+    with ``Σ*`` columns, reorders every branch to head order and
+    unions them.  This turns the paper's ``¬(¬φ ∧ ¬ψ)`` disjunction
+    encoding — whose direct translation is a doubly-nested
+    difference — into a plain union of per-branch plans the rewriter
+    can push selections into.
+
+    Args:
+        formula: The simplified calculus formula.
+        head: The full answer-variable tuple; must equal the formula's
+            free variables as a set.
+        alphabet: The query alphabet.
+        compiler: An optional compile cache (the session's
+            :meth:`~repro.engine.QueryEngine.compile`).
+
+    Returns:
+        The union expression, or ``None`` when the formula has a
+        single branch (plain translation is then identical) or the
+        branch split exceeds the budget.
+    """
+    from repro.algebra.expressions import product_of
+    from repro.algebra.translate import calculus_to_algebra
+    from repro.core.syntax import free_variables
+    from repro.ir.normalize import split_disjuncts
+
+    branches = split_disjuncts(formula)
+    if branches is None or len(branches) <= 1:
+        return None
+    head = tuple(head)
+    parts = []
+    for branch in branches:
+        mentioned = free_variables(branch)
+        branch_head = tuple(v for v in head if v in mentioned)
+        missing = tuple(v for v in head if v not in mentioned)
+        translated = calculus_to_algebra(
+            branch, branch_head, alphabet, compiler=compiler
+        )
+        if missing:
+            padded = product_of(
+                [translated] + [SigmaStar() for _ in missing]
+            )
+            layout = branch_head + missing
+            translated = Project(
+                padded, tuple(layout.index(v) for v in head)
+            )
+        parts.append(translated)
+    union = parts[0]
+    for part in parts[1:]:
+        union = Union(union, part)
+    return union

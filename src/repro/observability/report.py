@@ -5,7 +5,7 @@ reports) used to be the only instrumentation surface; the trace report
 unifies them with the span/counter data of a
 :class:`~repro.observability.tracer.Tracer` into a single JSON-stable
 document.  The schema always contains a ``stages`` section keyed by
-*exactly* the seven canonical pipeline stages
+*exactly* the nine canonical pipeline stages
 (:data:`~repro.observability.tracer.STAGES`), whether or not the run
 exercised them, so downstream tooling can index stages
 unconditionally.
@@ -31,8 +31,10 @@ from typing import Any
 from repro.observability.tracer import STAGES, NullTracer, SpanRecord, Tracer
 
 #: Version tag embedded in every serialized report; bump on any
-#: backwards-incompatible layout change.
-TRACE_REPORT_SCHEMA = "repro.trace-report/1"
+#: backwards-incompatible layout change.  ``/2`` extends ``/1``
+#: compatibly — two stages (``normalize``, ``optimize``) and a
+#: ``rejects`` section were added; every ``/1`` key is unchanged.
+TRACE_REPORT_SCHEMA = "repro.trace-report/2"
 
 
 def _empty_stages() -> dict[str, dict[str, float | int]]:
@@ -47,7 +49,7 @@ class TraceReport:
         enabled: Whether a real tracer produced the span data (a
             disabled session still reports caches and counters).
         stages: Per-stage span counts and seconds, keyed by exactly
-            the seven canonical stages.  Seconds sum *stage-root*
+            the nine canonical stages.  Seconds sum *stage-root*
             spans only: a span nested inside a same-stage parent is
             already covered by the parent's duration.
         counters: Accumulated typed counters (worker counters folded
@@ -56,6 +58,7 @@ class TraceReport:
         caches: Per-cache hit/miss/seconds snapshots from the session.
         engines: Per-engine evaluation counts and seconds.
         parallel: Session-wide parallel execution accounting.
+        rejects: Planner rejection reasons with fallback counts.
         spans: Retained span records (completion order).
         dropped_spans: Spans beyond the tracer's retention cap.
     """
@@ -69,6 +72,7 @@ class TraceReport:
     caches: dict[str, dict[str, float | int]] = field(default_factory=dict)
     engines: dict[str, dict[str, float | int]] = field(default_factory=dict)
     parallel: dict[str, float | int] = field(default_factory=dict)
+    rejects: dict[str, int] = field(default_factory=dict)
     spans: list[SpanRecord] = field(default_factory=list)
     dropped_spans: int = 0
 
@@ -118,6 +122,7 @@ class TraceReport:
                 for name in sorted(set(evaluations) | set(seconds))
             }
             report.parallel = dict(snapshot.get("parallel", {}))
+            report.rejects = dict(snapshot.get("rejects", {}))
         return report
 
     # -- machine-readable renderings ------------------------------------
@@ -128,10 +133,10 @@ class TraceReport:
         Returns:
             A JSON-serializable dict whose top-level keys — ``schema``,
             ``enabled``, ``stages``, ``counters``, ``gauges``,
-            ``caches``, ``engines``, ``parallel``, ``spans``,
-            ``dropped_spans`` — are always present, and whose
-            ``stages`` section is keyed by exactly the seven canonical
-            pipeline stages.
+            ``caches``, ``engines``, ``parallel``, ``rejects``,
+            ``spans``, ``dropped_spans`` — are always present, and
+            whose ``stages`` section is keyed by exactly the nine
+            canonical pipeline stages.
         """
         return {
             "schema": TRACE_REPORT_SCHEMA,
@@ -145,6 +150,7 @@ class TraceReport:
             "caches": {name: dict(data) for name, data in self.caches.items()},
             "engines": {name: dict(data) for name, data in self.engines.items()},
             "parallel": dict(self.parallel),
+            "rejects": dict(self.rejects),
             "spans": [record.to_dict() for record in self.spans],
             "dropped_spans": self.dropped_spans,
         }
@@ -244,6 +250,10 @@ class TraceReport:
             lines.append(
                 f"engine {name:<9} runs={data.get('evaluations', 0):<6} "
                 f"seconds={data.get('seconds', 0.0):.4f}"
+            )
+        for reason in sorted(self.rejects):
+            lines.append(
+                f"reject {reason:<20} count={self.rejects[reason]}"
             )
         if self.parallel.get("runs"):
             totals = self.parallel

@@ -12,11 +12,11 @@ worker processes — reach the active tracer through the ambient
 
 Every span carries an optional ``stage`` tag naming the pipeline stage
 it belongs to; the canonical stages, in pipeline order, are
-:data:`STAGES` — ``compile → specialize → translate → plan → shard →
-execute → fold``.  :class:`~repro.observability.report.TraceReport`
-aggregates per-stage span counts and seconds over exactly this set, so
-the report schema is stable whether or not a given run exercised a
-stage.
+:data:`STAGES` — ``compile → specialize → normalize → translate →
+optimize → plan → shard → execute → fold``.
+:class:`~repro.observability.report.TraceReport` aggregates per-stage
+span counts and seconds over exactly this set, so the report schema is
+stable whether or not a given run exercised a stage.
 
 Worker processes cannot write into the parent's tracer.  Instead the
 worker entry point builds a private :class:`Tracer`, runs the shard
@@ -40,7 +40,9 @@ from typing import Any
 STAGES: tuple[str, ...] = (
     "compile",
     "specialize",
+    "normalize",
     "translate",
+    "optimize",
     "plan",
     "shard",
     "execute",

@@ -95,9 +95,21 @@ class TestPlanner:
             ("b", "b"),
         }
 
+    def test_query_planner_handles_disjunction(self):
+        # Disjunctions used to be rejected wholesale; the normalizer
+        # now splits them into a union of conjunctive branches.
+        formula = f_or(rel("R2", "x"), rel("R1", "x", "x"))
+        q = Query(("x",), formula, AB)
+        expected = evaluate_naive(
+            formula, ("x",), db(), tuple(AB.strings(2))
+        )
+        assert q.evaluate(db(), length=2, engine="planner") == expected
+
     def test_query_planner_rejects_unsupported(self):
         from repro.errors import EvaluationError
 
-        q = Query(("x",), f_or(rel("R2", "x"), rel("R2", "x")), AB)
+        # A negated quantifier is not a literal, so the plan degrades
+        # to a naive fallback and the planner strategy refuses it.
+        q = Query(("x",), Not(exists("y", rel("R1", "x", "y"))), AB)
         with pytest.raises(EvaluationError):
             q.evaluate(db(), length=2, engine="planner")

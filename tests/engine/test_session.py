@@ -103,7 +103,7 @@ class TestWarmEvaluation:
         assert caches["specialize"].hits > 0
         assert caches["generate"].hits > 0
         assert caches["limit"].hits > 0
-        assert caches["plan"].hits > 0
+        assert caches["ir"].hits > 0
 
     def test_sessions_are_isolated(self):
         q = generation_query()
@@ -129,7 +129,7 @@ class TestWarmEvaluation:
         a = session.evaluate(q, db(), length=6, engine="algebra")
         b = session.evaluate(q, db(), length=6, engine="algebra")
         assert a == b
-        assert session.stats.caches["translate"].hits == 1
+        assert session.stats.caches["optimize"].hits >= 1
 
 
 class TestDomainPool:

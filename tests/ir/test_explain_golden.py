@@ -1,0 +1,78 @@
+"""Golden-file tests for ``--explain``: the output is a contract.
+
+Each case renders ``python -m repro.cli query --explain`` for a fixed
+database/query and compares byte-for-byte against a checked-in golden
+file.  Regenerate after an intentional change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/ir/test_explain_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+DB = {
+    "R1": [["a", "b"], ["ab", "ab"], ["b", "b"]],
+    "R2": [["ab"], ["b"], ["ba"]],
+}
+
+CASES = {
+    "disjunction": dict(
+        head="x", length="2", formula="R2(x) | R1(x, x)"
+    ),
+    "conjunctive-selection": dict(
+        head="x,y",
+        length="3",
+        formula="R1(x, y) & R2(y) & [x,y]l(x = y)* . [x,y]l(x = y = eps)",
+    ),
+    "naive-fallback": dict(
+        head="x", length="2", formula="!(exists y: R1(x, y))"
+    ),
+    "certified-bound": dict(head="x", length=None, formula="R2(x)"),
+}
+
+
+@pytest.fixture()
+def db_path(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(json.dumps(DB))
+    return str(path)
+
+
+@pytest.mark.parametrize("case", sorted(CASES), ids=sorted(CASES))
+def test_explain_output_matches_golden(case, db_path, capsys):
+    spec = CASES[case]
+    argv = ["query", "--alphabet", "ab", "--db", db_path, "--head", spec["head"]]
+    if spec["length"] is not None:
+        argv += ["--length", spec["length"]]
+    argv += ["--explain", spec["formula"]]
+    assert main(argv) == 0
+    got = capsys.readouterr().out
+    golden = GOLDEN / f"{case}.txt"
+    if os.environ.get("REGEN_GOLDEN"):
+        golden.write_text(got)
+    assert golden.exists(), f"golden file missing: {golden}"
+    assert got == golden.read_text(), (
+        f"--explain drifted from {golden.name}; if intentional, "
+        "regenerate with REGEN_GOLDEN=1"
+    )
+
+
+def test_explain_is_deterministic_across_sessions(db_path, capsys):
+    spec = CASES["disjunction"]
+    argv = [
+        "query", "--alphabet", "ab", "--db", db_path,
+        "--head", spec["head"], "--length", spec["length"],
+        "--explain", spec["formula"],
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second

@@ -1,7 +1,7 @@
 """End-to-end tracing through the engine and the process pool.
 
 Covers the acceptance-critical properties: a traced session fills all
-seven canonical pipeline stages, worker-side spans and counters fold
+nine canonical pipeline stages, worker-side spans and counters fold
 back into the parent tracer across pool workers, and tracing never
 changes query answers.
 """
@@ -51,7 +51,7 @@ def _pooled_engine(workers=2):
 
 
 class TestStageCoverage:
-    def test_one_session_fills_all_seven_stages(self, db):
+    def test_one_session_fills_all_nine_stages(self, db):
         session = QueryEngine(tracer=Tracer())
         session.evaluate(_concat_query(), db, engine=_pooled_engine())
         session.evaluate(_prefix_query(), db, engine="algebra", length=3)
@@ -64,7 +64,7 @@ class TestStageCoverage:
         assert not empty, f"stages without spans: {empty}"
         assert report.enabled
 
-    def test_metrics_document_covers_all_seven_stages(self, db, tmp_path):
+    def test_metrics_document_covers_all_nine_stages(self, db, tmp_path):
         session = QueryEngine(tracer=Tracer())
         session.evaluate(_concat_query(), db, engine=_pooled_engine())
         session.evaluate(_prefix_query(), db, engine="algebra", length=3)

@@ -19,13 +19,14 @@ TOP_LEVEL_KEYS = {
     "caches",
     "engines",
     "parallel",
+    "rejects",
     "spans",
     "dropped_spans",
 }
 
 
 class TestSchemaStability:
-    def test_disabled_tracer_still_keys_all_seven_stages(self):
+    def test_disabled_tracer_still_keys_all_nine_stages(self):
         report = TraceReport.build(NULL_TRACER)
         data = report.to_dict()
         assert set(data) == TOP_LEVEL_KEYS

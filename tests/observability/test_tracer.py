@@ -19,7 +19,9 @@ class TestStages:
         assert STAGES == (
             "compile",
             "specialize",
+            "normalize",
             "translate",
+            "optimize",
             "plan",
             "shard",
             "execute",

@@ -275,12 +275,14 @@ class TestObservabilityFlags:
         assert captured.out.strip() == "ab"
         assert "metrics written to" in captured.err
         data = json.loads(path.read_text(encoding="utf-8"))
-        assert data["schema"] == "repro.trace-report/1"
+        assert data["schema"] == "repro.trace-report/2"
         assert data["enabled"] is True
         assert set(data["stages"]) == {
             "compile",
             "specialize",
+            "normalize",
             "translate",
+            "optimize",
             "plan",
             "shard",
             "execute",
