@@ -1,0 +1,115 @@
+"""Compiled simulation kernel vs. the reference Theorem 3.3 search.
+
+The same acceptance workloads — one-way selection machines and a
+two-way manifold machine, over synthetic generator rows — run through
+the seed dataclass worklist search (``reference_accepts``) and through
+the compiled integer kernel (``repro.fsa.kernel``).  The equivalence
+assertion and the ≥3× speedup assertion make this file the harness
+row for the PR-5 kernel acceptance criterion.
+
+Run directly
+(``PYTHONPATH=src python benchmarks/bench_simulate_kernel.py``) for a
+quick per-workload report, or through pytest-benchmark for calibrated
+timings.
+"""
+
+import time
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, DNA
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.kernel import kernel_for
+from repro.fsa.simulate import reference_accepts
+from repro.workloads.generators import (
+    manifold_strings,
+    uniform_strings,
+    with_planted_motif,
+)
+
+#: The acceptance-criterion floor: kernel ≥3× over the reference BFS.
+SPEEDUP_FLOOR = 3.0
+
+
+def _workloads():
+    """``(name, machine, rows)`` acceptance workloads, generator-fed."""
+    eq = compile_string_formula(sh.equals("x", "y"), AB).fsa
+    words = uniform_strings(AB, 24, 32, min_length=16, seed=3)
+    yield "equality", eq, [
+        (word, word if index % 2 else word[::-1])
+        for index, word in enumerate(words)
+    ]
+    occurs = compile_string_formula(sh.occurs_in("x", "y"), DNA).fsa
+    haystacks = with_planted_motif(DNA, "gcgc", count=24, max_length=24, seed=5)
+    yield "motif", occurs, [("gcgc", haystack) for haystack in haystacks]
+    manifold = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+    yield "manifold", manifold, [
+        (base * 8, base)
+        for _, base in manifold_strings(
+            AB, count=12, max_base_length=3, max_repeats=1, seed=7
+        )
+    ]
+
+
+def _run_reference(fsa, rows):
+    return tuple(reference_accepts(fsa, row) for row in rows)
+
+
+def _run_kernel(fsa, rows):
+    return kernel_for(fsa).accepts_batch(rows)
+
+
+def _best_of(runs, fn):
+    best = float("inf")
+    for _ in range(runs):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize(
+    "name,fsa,rows", list(_workloads()), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_reference_workload(benchmark, name, fsa, rows):
+    verdicts = benchmark(lambda: _run_reference(fsa, rows))
+    assert any(verdicts)
+
+
+@pytest.mark.parametrize(
+    "name,fsa,rows", list(_workloads()), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_kernel_workload(benchmark, name, fsa, rows):
+    verdicts = benchmark(lambda: _run_kernel(fsa, rows))
+    assert any(verdicts)
+
+
+def test_kernel_speedup_floor():
+    """Acceptance criterion: the kernel is ≥3× faster than the seed
+    search on every acceptance workload, with identical verdicts."""
+    for name, fsa, rows in _workloads():
+        expected = _run_reference(fsa, rows)
+        assert _run_kernel(fsa, rows) == expected, name
+        reference = _best_of(3, lambda: _run_reference(fsa, rows))
+        kernel = _best_of(3, lambda: _run_kernel(fsa, rows))
+        assert reference >= SPEEDUP_FLOOR * kernel, (
+            f"{name}: kernel ({kernel * 1e3:.2f} ms) not ≥{SPEEDUP_FLOOR}× "
+            f"faster than reference ({reference * 1e3:.2f} ms)"
+        )
+
+
+def main() -> None:
+    for name, fsa, rows in _workloads():
+        assert _run_kernel(fsa, rows) == _run_reference(fsa, rows)
+        reference = _best_of(3, lambda: _run_reference(fsa, rows))
+        kernel = _best_of(3, lambda: _run_kernel(fsa, rows))
+        print(
+            f"{name:<10} reference: {reference * 1e3:8.2f} ms   "
+            f"kernel: {kernel * 1e3:8.2f} ms   "
+            f"speedup: {reference / kernel:5.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -31,7 +31,7 @@ from repro.algebra.expressions import (
 from repro.core.database import Database
 from repro.errors import EvaluationError, UnboundedQueryError
 from repro.fsa.generate import accepted_tuples
-from repro.fsa.simulate import accepts
+from repro.fsa.kernel import kernel_for
 
 Relation = frozenset[tuple[str, ...]]
 
@@ -52,11 +52,15 @@ def _evaluate_select(
 
     Factors that are ``Σ*`` become generated tapes; all other factors
     are evaluated and iterated, their columns fixed in the machine via
-    Lemma 3.1.  With a ``session`` (:class:`repro.engine.QueryEngine`)
-    the machine is first replaced by its cached bisimulation quotient
-    (which preserves the accepted language, hence both filtering and
-    generation) and the specialize/generate steps are served from the
-    session caches; with an ``executor``
+    Lemma 3.1.  Non-generative selections run through the machine's
+    compiled simulation kernel (:mod:`repro.fsa.kernel`), batched so
+    the whole inner relation shares one compiled dispatch table and
+    one set of scratch buffers.  With a ``session``
+    (:class:`repro.engine.QueryEngine`) the machine is first replaced
+    by its cached bisimulation quotient (which preserves the accepted
+    language, hence both filtering and generation), the kernel comes
+    from the session's ``kernel`` cache and the specialize/generate
+    steps are served from the session caches; with an ``executor``
     (:class:`repro.parallel.ParallelExecutor`) the per-row machine
     runs — acceptance checks and generator runs alike — are sharded
     across its worker pool.
@@ -73,8 +77,16 @@ def _evaluate_select(
             return filter_accepted(
                 machine, sorted(inner), executor=executor
             )
+        kernel = (
+            session.kernel(machine)
+            if session is not None
+            else kernel_for(machine)
+        )
+        rows = sorted(inner)
         return frozenset(
-            row for row in inner if accepts(machine, row)
+            row
+            for row, verdict in zip(rows, kernel.accepts_batch(rows))
+            if verdict
         )
     generated_tapes: list[int] = []
     concrete: list[tuple[int, ...]] = []  # column spans of concrete factors

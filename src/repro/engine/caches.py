@@ -1,7 +1,8 @@
 """Instrumented caches backing a :class:`~repro.engine.QueryEngine`.
 
 Every compiled artifact the engine reuses — Theorem 3.1 machines,
-Lemma 3.1 specializations, generated answer sets, Theorem 4.2 algebra
+compiled simulation kernels (:mod:`repro.fsa.kernel`), Lemma 3.1
+specializations, generated answer sets, Theorem 4.2 algebra
 translations, Section 5 limit reports — lives in a :class:`KeyedCache`
 keyed by *structural* identity: formulae, alphabets and machines are
 frozen values, so two independently constructed but equal formulae

@@ -69,6 +69,7 @@ class QueryEngine:
         self.stats = EngineStats()
         register = self.stats.register_cache
         self._compile = register(KeyedCache("compile"))
+        self._kernel = register(KeyedCache("kernel"))
         self._minimize = register(KeyedCache("minimize"))
         self._specialize = register(KeyedCache("specialize"))
         self._generate = register(
@@ -177,6 +178,28 @@ class QueryEngine:
 
         return self._minimize.get_or_compute(
             (formula, alphabet, layout), self._activated(build)
+        )
+
+    def kernel(self, fsa: "FSA"):
+        """The compiled simulation kernel for ``fsa``, cached structurally.
+
+        Two independently built but equal machines share one
+        :class:`~repro.fsa.kernel.CompiledKernel` per session; the
+        kernel is additionally stashed on the machine instance by
+        :func:`~repro.fsa.kernel.kernel_for`, so the acceptance hot
+        paths (the algebra's non-generative selection, the planner's
+        row filters) never recompile.
+
+        Args:
+            fsa: The machine to compile.
+
+        Returns:
+            The session-cached :class:`~repro.fsa.kernel.CompiledKernel`.
+        """
+        from repro.fsa.kernel import kernel_for
+
+        return self._kernel.get_or_compute(
+            fsa, self._activated(lambda: kernel_for(fsa))
         )
 
     def specialized(

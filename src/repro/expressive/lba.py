@@ -28,6 +28,7 @@ require the string to end there (see EXPERIMENTS.md, item T66).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.alphabet import Alphabet
@@ -118,10 +119,10 @@ class LBA:
         """An accepting computation as encoded configurations, or None."""
         start = (tuple(word), 1, self.start)
         parents: dict = {start: None}
-        frontier = [start]
+        frontier = deque([start])
         goal = None
         while frontier:
-            config = frontier.pop(0)
+            config = frontier.popleft()
             if config[2] == self.accept:
                 goal = config
                 break

@@ -3,14 +3,17 @@
 from repro.fsa.compile import CompiledFormula, compile_string_formula
 from repro.fsa.decompile import decompile, normalize_for_decompile
 from repro.fsa.generate import accepted_tuples
+from repro.fsa.kernel import CompiledKernel, compile_kernel, kernel_for
 from repro.fsa.machine import FSA, State, Transition, make_fsa, tape_symbol
 from repro.fsa.ops import disregard_tape, drop_tape, permute_tapes, widen
 from repro.fsa.simulate import (
     Configuration,
     accepting_run,
     accepts,
+    accepts_batch,
     language,
     reachable_configurations,
+    reference_accepts,
 )
 from repro.fsa.specialize import specialize
 
@@ -20,6 +23,9 @@ __all__ = [
     "decompile",
     "normalize_for_decompile",
     "accepted_tuples",
+    "CompiledKernel",
+    "compile_kernel",
+    "kernel_for",
     "FSA",
     "State",
     "Transition",
@@ -32,7 +38,9 @@ __all__ = [
     "Configuration",
     "accepting_run",
     "accepts",
+    "accepts_batch",
     "language",
     "reachable_configurations",
+    "reference_accepts",
     "specialize",
 ]

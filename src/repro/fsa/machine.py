@@ -118,6 +118,18 @@ class FSA:
             index[transition.source].append(transition)
         object.__setattr__(self, "_outgoing", index)
 
+    def __getstate__(self) -> dict:
+        """Pickle the fields and adjacency index, not the kernel stash.
+
+        :func:`repro.fsa.kernel.kernel_for` caches the compiled
+        simulation kernel on the instance; workers rebuild it locally
+        (one compile per machine per process), so shipping it would
+        only inflate shard payloads.
+        """
+        state = self.__dict__.copy()
+        state.pop("_kernel", None)
+        return state
+
     # -- observation ----------------------------------------------------
 
     @property

@@ -13,10 +13,13 @@ Theorem 3.3.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
+from itertools import product
 
 from repro.errors import ArityError
+from repro.fsa.kernel import kernel_for
 from repro.fsa.machine import FSA, Transition, tape_symbol
 from repro.observability import current_tracer
 
@@ -77,9 +80,22 @@ def _check_arity(fsa: FSA, inputs: Sequence[str]) -> None:
 def accepts(fsa: FSA, inputs: Sequence[str]) -> bool:
     """Does ``fsa`` accept the input tuple?  (Theorem 3.3 algorithm.)
 
-    Breadth-first search of the configuration graph from the initial
-    configuration, looking for a reachable *halting* configuration in a
-    final state.
+    Delegates to the machine's compiled simulation kernel
+    (:mod:`repro.fsa.kernel`): the same configuration-graph search,
+    run over dense-integer tables instead of ``Configuration``
+    dataclasses.  Exactly equivalent to :func:`reference_accepts`.
+    """
+    return kernel_for(fsa).accepts(inputs)
+
+
+def reference_accepts(fsa: FSA, inputs: Sequence[str]) -> bool:
+    """The uncompiled reference acceptance search (Theorem 3.3 verbatim).
+
+    Worklist search of the configuration graph from the initial
+    configuration, looking for a reachable *halting* configuration in
+    a final state, one :class:`Configuration` dataclass per node.
+    Kept as the executable specification the compiled kernel is
+    differentially tested (and benchmarked) against.
     """
     _check_arity(fsa, inputs)
     start = initial_configuration(fsa)
@@ -110,9 +126,11 @@ def accepts_batch(
 
     The shard entry point of :mod:`repro.parallel` for selection
     filtering: one pickled machine answers a whole slice of rows in
-    the worker.
+    the worker.  The kernel is compiled (or fetched) once for the
+    whole batch, rows are validated in one pass, and the search's
+    scratch buffers are reused across rows.
     """
-    return tuple(accepts(fsa, row) for row in rows)
+    return kernel_for(fsa).accepts_batch(rows)
 
 
 def accepting_run(
@@ -126,10 +144,10 @@ def accepting_run(
     _check_arity(fsa, inputs)
     start = initial_configuration(fsa)
     parents: dict[Configuration, Configuration | None] = {start: None}
-    frontier = [start]
+    frontier = deque([start])
     goal: Configuration | None = None
     while frontier:
-        configuration = frontier.pop(0)
+        configuration = frontier.popleft()
         enabled = enabled_transitions(fsa, configuration, inputs)
         if not enabled and configuration.state in fsa.finals:
             goal = configuration
@@ -178,8 +196,6 @@ def language(
     Brute-force enumeration used as an oracle in tests; the smarter
     generation lives in :mod:`repro.fsa.generate`.
     """
-    from itertools import product
-
     pool = list(fsa.alphabet.strings(max_length))
     return frozenset(
         candidate

@@ -229,7 +229,7 @@ class TraceReport:
         return "\n".join(lines)
 
     def summary(self) -> str:
-        """The legacy ``--stats`` lines: caches, engines, parallel totals.
+        """The legacy ``--stats`` lines: caches, engines, parallel, kernel.
 
         Format-compatible with ``EngineStats.describe()`` so existing
         consumers (and tests) keep parsing it, with a trailing stage
@@ -270,6 +270,25 @@ class TraceReport:
                     cache_hits=totals.get("cache_hits", 0),
                     wall=totals.get("wall_seconds", 0.0),
                     cpu=totals.get("task_seconds", 0.0),
+                )
+            )
+        counters = self.counters
+        if any(
+            name in counters
+            for name in (
+                "kernel.compile",
+                "kernel.hits",
+                "simulate.kernel_configurations",
+            )
+        ):
+            lines.append(
+                "kernel compiles={compiles} hits={hits} "
+                "configurations={configurations}".format(
+                    compiles=int(counters.get("kernel.compile", 0)),
+                    hits=int(counters.get("kernel.hits", 0)),
+                    configurations=int(
+                        counters.get("simulate.kernel_configurations", 0)
+                    ),
                 )
             )
         if self.enabled:

@@ -143,9 +143,14 @@ def filter_accepted(
     """
     rows = list(rows)
     if executor is None:
-        from repro.fsa.simulate import accepts
+        from repro.fsa.simulate import accepts_batch
 
-        return frozenset(row for row in rows if accepts(fsa, row))
+        # One compiled kernel, one validation pass, shared scratch
+        # buffers for the whole row batch (repro.fsa.kernel).
+        verdicts = accepts_batch(fsa, rows)
+        return frozenset(
+            row for row, verdict in zip(rows, verdicts) if verdict
+        )
     shards = executor.plan(len(rows))
     tasks = [
         SimulateShardTask(

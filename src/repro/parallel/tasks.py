@@ -192,10 +192,16 @@ class SimulateShardTask:
         )
 
     def run(self) -> tuple[tuple[int, bool], ...]:
-        """``(global position, accepted?)`` verdicts for the row batch."""
-        from repro.fsa.simulate import accepts_batch
+        """``(global position, accepted?)`` verdicts for the row batch.
 
-        verdicts = accepts_batch(self.fsa, self.rows)
+        The machine is compiled to its simulation kernel once per
+        shard in the worker (:func:`repro.fsa.kernel.kernel_for`
+        caches it on the unpickled machine instance), so every row of
+        the batch runs on the same dense dispatch tables.
+        """
+        from repro.fsa.kernel import kernel_for
+
+        verdicts = kernel_for(self.fsa).accepts_batch(self.rows)
         return tuple(
             (self.shard.start + offset, verdict)
             for offset, verdict in enumerate(verdicts)

@@ -66,6 +66,37 @@ class TestCacheKeying:
         assert xy.variables != yx.variables
         assert session.stats.caches["compile"].misses == 2
 
+    def test_structurally_equal_machines_share_kernel(self):
+        session = QueryEngine()
+        first = session.compile(sh.equals("x", "y"), AB).fsa
+        # An independently constructed but structurally equal machine.
+        other = QueryEngine().compile(sh.equals("x", "y"), AB).fsa
+        assert first is not other and first == other
+        assert session.kernel(first) is session.kernel(other)
+        stats = session.stats.caches["kernel"]
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_different_machines_get_distinct_kernels(self):
+        session = QueryEngine()
+        eq = session.compile(sh.equals("x", "y"), AB).fsa
+        prefix = session.compile(sh.prefix_of("x", "y"), AB).fsa
+        assert session.kernel(eq) is not session.kernel(prefix)
+        stats = session.stats.caches["kernel"]
+        assert stats.hits == 0 and stats.misses == 2
+
+    def test_algebra_route_populates_kernel_cache(self):
+        session = QueryEngine()
+        query = Query(
+            ("x", "y"),
+            And(rel("R1", "x", "y"), lift(sh.prefix_of("x", "y"))),
+            AB,
+        )
+        first = session.evaluate(query, db(), length=4, engine="algebra")
+        second = session.evaluate(query, db(), length=4, engine="algebra")
+        assert first == second
+        stats = session.stats.caches["kernel"]
+        assert stats.lookups > 0
+
     def test_limit_reports_cached_including_negative(self):
         session = QueryEngine()
         safe = rel("R2", "x")

@@ -1,9 +1,10 @@
 """Docstring conventions for the public API, enforced without ruff.
 
 CI runs ``ruff check --select D`` (pydocstyle rules) over
-``src/repro/{engine,parallel,observability,ir}``; this test enforces the
-load-bearing subset locally — in environments without ruff — so the
-convention cannot silently rot between CI runs:
+``src/repro/{engine,parallel,observability,ir}`` and
+``src/repro/fsa/kernel.py``; this test enforces the load-bearing
+subset locally — in environments without ruff — so the convention
+cannot silently rot between CI runs:
 
 * every module, public class and public function/method in the scoped
   packages has a docstring;
@@ -24,11 +25,17 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 #: The packages whose public API the docstring convention covers.
 SCOPED_PACKAGES = ("engine", "parallel", "observability", "ir")
 
+#: Individual modules covered in addition to the scoped packages.
+SCOPED_MODULES = ("fsa/kernel.py",)
+
 
 def _scoped_files() -> list[Path]:
     files = []
     for package in SCOPED_PACKAGES:
         files.extend(sorted((SRC / package).rglob("*.py")))
+    for module in SCOPED_MODULES:
+        files.append(SRC / module)
+    assert all(path.is_file() for path in files), f"missing sources under {SRC}"
     assert files, f"no sources found under {SRC}"
     return files
 
