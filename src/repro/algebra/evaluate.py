@@ -141,7 +141,9 @@ def _evaluate(
     executor=None,
 ) -> Relation:
     if isinstance(expression, Rel):
-        return db.relation(expression.name)
+        # The view's backing frozenset: the algebra operators below
+        # combine relations with set algebra, so take the raw set.
+        return db.relation(expression.name).tuples
     if isinstance(expression, SigmaStar):
         # Bare Σ* outside a generative selection: truncate.
         return frozenset((s,) for s in db.alphabet.strings(length))

@@ -24,9 +24,11 @@ cache/engine/parallel summary (including planner-rejection counts),
 tree, and ``--metrics-out PATH`` writes the schema-stable JSON
 :class:`~repro.observability.TraceReport`.  ``--explain`` prints the
 normalized :mod:`repro.ir` plan — cost estimates, fired rewrite rules
-and the optimized algebra expression — instead of evaluating.  All
-human-readable instrumentation goes to stderr so stdout stays a clean
-tuple stream.
+and the optimized algebra expression — instead of evaluating.
+``--storage ngram`` (optionally with ``--index-dir``) loads relations
+into the positional n-gram index backend (:mod:`repro.storage`) the
+planner probes for pushed-down selection factors.  All human-readable
+instrumentation goes to stderr so stdout stays a clean tuple stream.
 
 Formulas use the concrete syntax of :mod:`repro.core.parser`.
 """
@@ -45,6 +47,7 @@ from repro.core.syntax import string_variables
 from repro.engine import QueryEngine, available_engines
 from repro.errors import ReproError
 from repro.observability import Tracer
+from repro.storage import STORAGE_KINDS, storage_factory
 
 
 def _alphabet(text: str) -> Alphabet:
@@ -82,7 +85,10 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     """Run one query; print answers to stdout, instrumentation to stderr."""
     alphabet = _alphabet(args.alphabet)
-    database = Database.from_json(args.db, alphabet)
+    factory = None
+    if args.storage != "memory" or args.index_dir:
+        factory = storage_factory(args.storage, index_dir=args.index_dir)
+    database = Database.from_json(args.db, alphabet, storage_factory=factory)
     formula = parse_formula(args.formula)
     query = Query(tuple(args.head), formula, alphabet)
     tracing = bool(args.trace or args.profile or args.metrics_out)
@@ -199,6 +205,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard count for sharded evaluation (default: 4 per worker)",
+    )
+    query.add_argument(
+        "--storage",
+        choices=STORAGE_KINDS,
+        default="memory",
+        help="relation storage backend (default: memory — plain "
+        "frozensets; ngram builds positional n-gram indexes the "
+        "planner probes for pushed-down selection factors). Answers "
+        "are identical for every backend.",
+    )
+    query.add_argument(
+        "--index-dir",
+        metavar="DIR",
+        default=None,
+        help="with --storage ngram: persist the index artifacts under "
+        "DIR (built once, mmap'd read-only on later runs and shared "
+        "by parallel workers)",
     )
     query.add_argument(
         "--explain",

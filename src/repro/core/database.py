@@ -3,6 +3,16 @@
 A database (paper, Section 2) maps each relation symbol ``R_i`` of
 arity ``a(R_i)`` to a *finite* subset of ``(Σ*)^{a(R_i)}``: every
 column of every tuple holds a finite string over the fixed alphabet.
+
+How each finite set is physically held is delegated to the
+:mod:`repro.storage` protocol: the constructor validates raw tuple
+iterables and hands them to a *storage factory* (in-memory frozensets
+by default, positional n-gram indexes via ``storage="ngram"`` or
+:func:`repro.storage.storage_factory`), while already-constructed
+storages are adopted as-is — which is what makes functional updates
+O(changed relation).  :meth:`relation` returns a
+:class:`~repro.storage.base.Relation` view that iterates, sizes,
+membership-tests and compares like the frozenset it used to be.
 """
 
 from __future__ import annotations
@@ -13,6 +23,17 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.alphabet import Alphabet
 from repro.errors import ArityError, AlphabetError
+from repro.storage import (
+    EMPTY_STORAGE,
+    Relation,
+    RelationStorage,
+    StorageFactory,
+    is_storage,
+    resolve_storage_factory,
+)
+
+#: Sentinel distinguishing "no default given" in :meth:`Database.arity`.
+_MISSING = object()
 
 
 class Database:
@@ -24,21 +45,27 @@ class Database:
     (2, 2)
     """
 
-    __slots__ = ("_alphabet", "_relations", "_arities")
+    __slots__ = ("_alphabet", "_relations", "_hash")
 
     def __init__(
         self,
         alphabet: Alphabet,
-        relations: Mapping[str, Iterable[tuple[str, ...]]],
+        relations: "Mapping[str, Iterable[tuple[str, ...]] | RelationStorage]",
+        storage: "str | StorageFactory | None" = None,
     ) -> None:
+        factory = resolve_storage_factory(storage)
         self._alphabet = alphabet
-        self._relations: dict[str, frozenset[tuple[str, ...]]] = {}
-        self._arities: dict[str, int] = {}
-        for name, tuples in relations.items():
-            frozen = frozenset(tuple(t) for t in tuples)
-            arity = self._check_relation(name, frozen)
-            self._relations[name] = frozen
-            self._arities[name] = arity
+        self._relations: dict[str, RelationStorage] = {}
+        self._hash: int | None = None
+        for name, value in relations.items():
+            if is_storage(value):
+                # Adopted storages are pre-validated — the O(changed
+                # relation) path with_relation/declare rely on.
+                self._relations[name] = value
+            else:
+                frozen = frozenset(tuple(t) for t in value)
+                self._check_relation(name, frozen)
+                self._relations[name] = factory(name, frozen, alphabet)
 
     def _check_relation(
         self, name: str, tuples: frozenset[tuple[str, ...]]
@@ -69,38 +96,95 @@ class Database:
         """Relation symbols with an assigned value, sorted."""
         return tuple(sorted(self._relations))
 
-    def relation(self, name: str) -> frozenset[tuple[str, ...]]:
-        """The finite relation assigned to ``name``.
+    def relation(self, name: str) -> Relation:
+        """The finite relation assigned to ``name``, as a view.
 
         Unknown symbols denote the empty relation, mirroring the paper
-        where ``db`` is total on the infinite supply of symbols.
+        where ``db`` is total on the infinite supply of symbols.  The
+        returned :class:`~repro.storage.base.Relation` iterates, sizes
+        and compares like a frozenset; use its ``.tuples`` property
+        when an actual frozenset is required.
         """
-        return self._relations.get(name, frozenset())
+        return Relation(name, self._relations.get(name, EMPTY_STORAGE))
 
-    def arity(self, name: str) -> int:
-        """Arity of ``name``; raises for symbols never mentioned."""
-        try:
-            return self._arities[name]
-        except KeyError:
-            raise ArityError(f"relation {name!r} has no tuples and no known arity") from None
+    def storage(self, name: str) -> RelationStorage:
+        """The raw storage backend behind ``name`` (empty when unknown)."""
+        return self._relations.get(name, EMPTY_STORAGE)
+
+    def arity(self, name: str, default: object = _MISSING) -> int:
+        """Arity of ``name``; raises for symbols never mentioned.
+
+        Args:
+            name: The relation symbol.
+            default: When given, returned instead of raising for
+                unknown symbols — so planners can cost queries over
+                undeclared relations without try/except.
+
+        Returns:
+            The relation's column count (or ``default``).
+
+        Raises:
+            ArityError: For unknown symbols when no default is given.
+        """
+        found = self._relations.get(name)
+        if found is not None:
+            return found.arity
+        if default is not _MISSING:
+            return default
+        raise ArityError(
+            f"relation {name!r} has no tuples and no known arity"
+        )
+
+    def declare(self, name: str, arity: int) -> "Database":
+        """Functionally declare ``name`` with an explicit arity.
+
+        Returns a database where ``name`` exists (empty unless already
+        populated) with the given arity, so :meth:`arity` stops
+        raising.  Existing storages are reused — the update is O(1).
+
+        Args:
+            name: The relation symbol to declare.
+            arity: Its column count.
+
+        Returns:
+            The updated database (``self`` when already consistent).
+
+        Raises:
+            ArityError: If ``name`` already has a different arity.
+        """
+        from repro.storage import InMemoryStorage
+
+        existing = self._relations.get(name)
+        if existing is not None:
+            if existing.arity != arity and existing.size() > 0:
+                raise ArityError(
+                    f"relation {name!r} holds tuples of arity "
+                    f"{existing.arity}, cannot redeclare as {arity}"
+                )
+            if existing.arity == arity:
+                return self
+        relations = dict(self._relations)
+        relations[name] = InMemoryStorage(frozenset(), arity=arity)
+        return Database(self._alphabet, relations)
 
     def contains(self, name: str, row: tuple[str, ...]) -> bool:
         """Membership test ``row ∈ db(name)``."""
-        return row in self.relation(name)
+        return self._relations.get(name, EMPTY_STORAGE).contains(row)
 
     def max_string_length(self, *names: str) -> int:
         """``max(R, db)`` of the paper's Eq. (2), over the given relations.
 
         With no arguments, ranges over every relation in the database.
         Returns 0 for empty relations — the longest string in no tuples
-        is the empty one.
+        is the empty one.  Answered from storage statistics, so indexed
+        backends never decode their tuples for it.
         """
         selected = names if names else self.relation_names
         longest = 0
         for name in selected:
-            for row in self.relation(name):
-                for value in row:
-                    longest = max(longest, len(value))
+            stats = self._relations.get(name, EMPTY_STORAGE).stats()
+            for column in stats.columns:
+                longest = max(longest, column.max_length)
         return longest
 
     def active_strings(self, *names: str) -> frozenset[str]:
@@ -108,7 +192,7 @@ class Database:
         selected = names if names else self.relation_names
         found: set[str] = set()
         for name in selected:
-            for row in self.relation(name):
+            for row in self._relations.get(name, EMPTY_STORAGE).scan():
                 found.update(row)
         return frozenset(found)
 
@@ -119,6 +203,7 @@ class Database:
         cls,
         source: "str | os.PathLike[str] | Mapping",
         alphabet: Alphabet | None = None,
+        storage_factory: "str | StorageFactory | None" = None,
     ) -> "Database":
         """Build a database from a JSON file path or a parsed mapping.
 
@@ -134,6 +219,17 @@ class Database:
         constructor's usual boundary check), so a successful round trip
         through ``to_json``/``from_json`` reproduces the database
         exactly.
+
+        Args:
+            source: The JSON path or parsed mapping.
+            alphabet: The alphabet (required for the bare layout).
+            storage_factory: Forwarded to the constructor's
+                ``storage=`` — a kind name (``"memory"``, ``"ngram"``)
+                or a factory callable deciding how each relation is
+                held.
+
+        Returns:
+            The populated database.
         """
         if isinstance(source, (str, os.PathLike)):
             with open(source) as handle:
@@ -175,7 +271,7 @@ class Database:
                     f"{type(rows).__name__}"
                 )
             frozen[name] = [tuple(row) for row in rows]
-        return cls(alphabet, frozen)
+        return cls(alphabet, frozen, storage=storage_factory)
 
     def to_json(self) -> dict:
         """The self-describing JSON mapping of this database.
@@ -186,8 +282,8 @@ class Database:
         return {
             "alphabet": "".join(self._alphabet.symbols),
             "relations": {
-                name: [list(row) for row in sorted(rows)]
-                for name, rows in sorted(self._relations.items())
+                name: [list(row) for row in sorted(store.tuples)]
+                for name, store in sorted(self._relations.items())
             },
         }
 
@@ -198,30 +294,81 @@ class Database:
             handle.write("\n")
 
     def with_relation(
-        self, name: str, tuples: Iterable[tuple[str, ...]]
+        self,
+        name: str,
+        tuples: "Iterable[tuple[str, ...]] | RelationStorage",
+        storage: "str | StorageFactory | None" = None,
     ) -> "Database":
-        """Functional update returning a new database."""
-        relations: dict[str, Iterable[tuple[str, ...]]] = dict(self._relations)
+        """Functional update returning a new database.
+
+        Only the *changed* relation is validated and (re)stored; every
+        other relation's already-validated storage is adopted untouched,
+        so the update costs O(changed relation), not O(database).
+
+        Args:
+            name: The relation symbol to replace.
+            tuples: Its new rows (or a pre-built storage to adopt).
+            storage: How to hold the new rows; defaults to in-memory.
+
+        Returns:
+            The updated database.
+        """
+        relations: dict = dict(self._relations)
         relations[name] = tuples
+        return Database(self._alphabet, relations, storage=storage)
+
+    def with_storage(
+        self, storage: "str | StorageFactory | None"
+    ) -> "Database":
+        """Re-house every relation under a different storage backend.
+
+        The tuples are already validated, so only the backends are
+        rebuilt — e.g. ``db.with_storage("ngram")`` indexes an existing
+        in-memory database.
+
+        Args:
+            storage: The kind name or factory for the new backends.
+
+        Returns:
+            An equal database over the new storages.
+        """
+        factory = resolve_storage_factory(storage)
+        relations = {
+            name: factory(name, store.tuples, self._alphabet)
+            for name, store in self._relations.items()
+        }
         return Database(self._alphabet, relations)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):
             return NotImplemented
-        return (
-            self._alphabet == other._alphabet
-            and self._relations == other._relations
+        if self._alphabet != other._alphabet:
+            return False
+        if set(self._relations) != set(other._relations):
+            return False
+        return all(
+            store.tuples == other._relations[name].tuples
+            and store.arity == other._relations[name].arity
+            for name, store in self._relations.items()
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (self._alphabet, tuple(sorted(self._relations.items())))
-        )
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self._alphabet,
+                    tuple(
+                        (name, store.arity, store.tuples)
+                        for name, store in sorted(self._relations.items())
+                    ),
+                )
+            )
+        return self._hash
 
     def __repr__(self) -> str:
         parts = ", ".join(
-            f"{name}[{self._arities[name]}]:{len(rows)}"
-            for name, rows in sorted(self._relations.items())
+            f"{name}[{store.arity}]:{store.size()}"
+            for name, store in sorted(self._relations.items())
         )
         return f"Database({parts})"
 

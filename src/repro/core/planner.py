@@ -106,9 +106,41 @@ def _decompose_conjunctive(
 def _join_relational(
     bindings: list[Binding], literal: _Literal, db: Database
 ) -> list[Binding]:
+    """Extend bindings with the rows of the literal's relation.
+
+    When the literal is a :class:`~repro.ir.plan.PlanStep` carrying
+    pushed-down index ``prefilter`` factors *and* the relation's
+    storage backend answers candidate probes, only the candidate rows
+    are scanned — the ``index.pruned`` counter records how many rows
+    the probe excluded.  Backends without an index (or literals
+    without prefilters) scan the full relation, exactly as before.
+    """
+    from repro.observability import current_tracer
+    from repro.storage import probe_candidates
+
     atom: RelAtom = literal.atom
+    view = db.relation(atom.name)
+    rows = view
+    prefilter = getattr(literal, "prefilter", ())
+    if prefilter:
+        storage = view.storage
+        rows_for = getattr(storage, "rows_for", None)
+        candidates: frozenset[int] | None = None
+        for column, factors in prefilter:
+            found = probe_candidates(storage, column, factors)
+            if found is None:
+                continue
+            candidates = (
+                found if candidates is None else candidates & found
+            )
+            if not candidates:
+                break
+        if candidates is not None and rows_for is not None:
+            current_tracer().add(
+                "index.pruned", storage.size() - len(candidates)
+            )
+            rows = tuple(rows_for(candidates))
     out: list[Binding] = []
-    rows = db.relation(atom.name)
     for binding in bindings:
         for row in rows:
             extended = dict(binding)
@@ -122,19 +154,48 @@ def _join_relational(
 
 
 def _filter_bound(
-    bindings: list[Binding], literal: _Literal, db: Database
+    bindings: list[Binding],
+    literal: _Literal,
+    db: Database,
+    alphabet: Alphabet | None = None,
+    session=None,
 ) -> list[Binding]:
+    """Keep the bindings on which the fully-bound literal holds.
+
+    Relational atoms test membership against the database.  String
+    atoms run the compiled machine's integer acceptance kernel in one
+    batch when a ``session`` (and the query ``alphabet``) is available
+    — Theorem 3.1 makes machine acceptance coincide with formula
+    satisfaction — and fall back to the reference checker otherwise.
+    """
     from repro.core.semantics import check_string_formula
 
-    out = []
-    for binding in bindings:
-        if isinstance(literal.atom, RelAtom):
+    out: list[Binding] = []
+    if isinstance(literal.atom, RelAtom):
+        for binding in bindings:
             held = db.contains(
                 literal.atom.name,
                 tuple(binding[v] for v in literal.atom.args),
             )
-        else:
-            held = check_string_formula(literal.atom.formula, binding)
+            if held != literal.negated:
+                out.append(binding)
+        return out
+    if session is not None and alphabet is not None and bindings:
+        compiled = session.compile(literal.atom.formula, alphabet)
+        if compiled.variables:
+            kernel = session.kernel(compiled.fsa)
+            rows = [
+                tuple(binding[var] for var in compiled.variables)
+                for binding in bindings
+            ]
+            verdicts = kernel.accepts_batch(rows)
+            return [
+                binding
+                for binding, held in zip(bindings, verdicts)
+                if held != literal.negated
+            ]
+    for binding in bindings:
+        held = check_string_formula(literal.atom.formula, binding)
         if held != literal.negated:
             out.append(binding)
     return out
@@ -277,7 +338,9 @@ def evaluate_conjunctive(
             f"execute.{action}", stage="execute", bindings=len(bindings)
         ):
             if action == "filter":
-                bindings = _filter_bound(bindings, literal, db)
+                bindings = _filter_bound(
+                    bindings, literal, db, alphabet, session
+                )
             elif action == "join":
                 bindings = _join_relational(bindings, literal, db)
             else:

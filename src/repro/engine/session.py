@@ -314,8 +314,17 @@ class QueryEngine:
         """The normalized :class:`~repro.ir.plan.QueryPlan`, cached.
 
         Keyed by the formula, head, alphabet, the database's relation
-        *size signature* and the cap — equal-sized databases share one
-        cost-ranked plan.  Recorded under the ``normalize`` stage.
+        *statistics signature* (per-column distinct counts and length
+        histograms, from each storage backend's ``stats()``) and the
+        cap — statistically identical databases share one cost-ranked
+        plan, and a database whose contents shift enough to change its
+        statistics gets replanned.  After normalization the
+        index-prefilter pushdown pass
+        (:func:`repro.ir.rewrite.attach_index_prefilters`) derives
+        mandatory substring factors from the branch's selection
+        machines — compiled through this session's cache — and attaches
+        them to the join steps.  Recorded under the ``normalize``
+        stage.
 
         Args:
             query: The query to normalize.
@@ -327,13 +336,14 @@ class QueryEngine:
         """
         from repro.ir.cost import CostModel
         from repro.ir.normalize import build_query_plan
+        from repro.ir.rewrite import attach_index_prefilters
 
         model = CostModel.for_database(db, query.alphabet, cap)
         key = (
             query.formula,
             query.head,
             query.alphabet,
-            model.relation_sizes,
+            model.signature,
             cap,
         )
         def compute():
@@ -342,6 +352,12 @@ class QueryEngine:
                 "normalize.plan", stage="normalize"
             ) as span:
                 plan = build_query_plan(query.formula, query.head, model)
+                plan = attach_index_prefilters(
+                    plan,
+                    query.alphabet,
+                    compiler=self.compile,
+                    model=model,
+                )
                 if plan.fallback_reason is not None:
                     span.set(fallback=plan.fallback_reason)
                 return plan

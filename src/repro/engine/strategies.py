@@ -10,8 +10,10 @@ Every strategy consumes the session's normalized
 
 * ``naive``    — the reference model checker over an explicit domain,
   evaluating the plan's *simplified* formula;
-* ``planner``  — executes the plan's conjunctive branches; raises when
-  the plan degraded to a naive fallback;
+* ``planner``  — executes the plan's conjunctive branches (join steps
+  probe the relation storage's n-gram index for pushed-down selection
+  factors when one is available); raises when the plan degraded to a
+  naive fallback;
 * ``algebra``  — Theorem 4.2 translation rewritten by the
   :mod:`repro.ir.rewrite` passes, then expression evaluation
   (sharding its selections across workers when configured);

@@ -53,6 +53,14 @@ class LimitationError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """A relation storage backend could not be built or used."""
+
+
+class ArtifactError(StorageError):
+    """An on-disk index artifact is missing, corrupt or incompatible."""
+
+
 class EvaluationError(ReproError):
     """A query or algebra expression could not be evaluated."""
 

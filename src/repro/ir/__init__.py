@@ -5,14 +5,17 @@ evaluation strategy consumes:
 
 * :mod:`repro.ir.plan` — the IR nodes (conjunctive branches, unions,
   the observable naive fallback);
-* :mod:`repro.ir.cost` — the cost model fed from database relation
-  sizes and the certified truncation bound;
+* :mod:`repro.ir.cost` — the cost model fed from per-column storage
+  statistics (distinct counts, length histograms) and the certified
+  truncation bound;
 * :mod:`repro.ir.normalize` — calculus-level passes (simplify, De
   Morgan disjunct splitting, quantifier hoisting, cost-ranked conjunct
   ordering);
 * :mod:`repro.ir.rewrite` — algebra-level passes (selection pushdown,
   selection fusion via the sequencing product, projection pushdown,
-  machine minimization);
+  machine minimization) plus the index-prefilter pushdown over
+  normalized plans (mandatory selection factors pushed onto join
+  steps for n-gram index probing);
 * :mod:`repro.ir.execute` — plan execution shared by the planner,
   parallel and auto strategies;
 * :mod:`repro.ir.explain` — the deterministic ``--explain`` renderer.
@@ -29,7 +32,12 @@ from repro.ir.plan import (
     QueryPlan,
     UnionPlan,
 )
-from repro.ir.rewrite import optimize_expression, translate_branches
+from repro.ir.rewrite import (
+    attach_index_prefilters,
+    optimize_expression,
+    required_factors,
+    translate_branches,
+)
 
 __all__ = [
     "ConjunctivePlan",
@@ -38,11 +46,13 @@ __all__ = [
     "PlanStep",
     "QueryPlan",
     "UnionPlan",
+    "attach_index_prefilters",
     "build_query_plan",
     "execute_branch",
     "execute_plan",
     "explain_query",
     "optimize_expression",
+    "required_factors",
     "render_expression",
     "render_plan",
     "simplify",

@@ -1,12 +1,12 @@
 """The cost model feeding conjunct reordering and strategy choice.
 
-Deliberately simple — relation cardinalities from the
-:class:`~repro.core.database.Database` plus the alphabet's string
-counts under the certified truncation cap — but entirely
-deterministic: every estimate is arithmetic over those integers, and
-ties between equally-priced steps break on the literal's string
-rendering, so the same query against same-sized relations always
-produces the same plan.
+Deterministic arithmetic over real storage statistics: relation
+cardinalities *and* per-column distinct counts / length histograms
+come from each backend's :meth:`~repro.storage.base.RelationStorage.stats`,
+the alphabet supplies string counts under the certified truncation
+cap, and ties between equally-priced steps break on the literal's
+string rendering — so the same query against statistically identical
+databases always produces the same plan.
 """
 
 from __future__ import annotations
@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.alphabet import Alphabet
 from repro.core.database import Database
+from repro.storage import RelationStats
 
 #: Cap on the per-variable generation estimate; certified caps can be
 #: astronomically loose and the cost model only needs an ordering.
@@ -27,17 +28,24 @@ FILTER_SELECTIVITY = 0.5
 #: product of its unbound variables' domains.
 GENERATOR_SELECTIVITY = 0.25
 
+#: Assumed surviving fraction per index-prefilter factor on a join —
+#: applied when a step carries pushed-down required substrings.
+PREFILTER_SELECTIVITY = 0.25
+
 
 @dataclass(frozen=True)
 class CostModel:
     """Cardinality estimates for one (database, alphabet, cap) context.
 
-    ``relation_sizes`` is the sorted ``(name, rows)`` signature that
-    also serves as the database component of plan cache keys: two
-    databases with equal signatures cost-rank plans identically.
+    ``relation_sizes`` is the sorted ``(name, rows)`` signature kept
+    for observability and quick lookups; ``relation_stats`` carries
+    the full per-column statistics and — being a tuple of frozen
+    values — doubles as the database component of plan cache keys:
+    two databases with equal statistics cost-rank plans identically.
     """
 
     relation_sizes: tuple[tuple[str, int], ...]
+    relation_stats: tuple[tuple[str, RelationStats], ...]
     alphabet_size: int
     cap: int
     domain_size: float
@@ -49,7 +57,7 @@ class CostModel:
         """Build the model for a database under a truncation cap.
 
         Args:
-            db: The database supplying relation cardinalities.
+            db: The database supplying relation statistics.
             alphabet: The query alphabet.
             cap: The truncation / generation bound (``W(db)`` or an
                 explicit length).
@@ -57,17 +65,23 @@ class CostModel:
         Returns:
             The populated :class:`CostModel`.
         """
-        sizes = tuple(
+        stats = tuple(
             sorted(
-                (name, len(db.relation(name)))
+                (name, db.relation(name).stats())
                 for name in db.relation_names
             )
         )
+        sizes = tuple((name, stat.rows) for name, stat in stats)
         bounded_cap = max(0, min(cap, 64))
         domain = min(
             float(alphabet.count_strings(bounded_cap)), GENERATION_CEILING
         )
-        return cls(sizes, len(alphabet.symbols), cap, domain)
+        return cls(sizes, stats, len(alphabet.symbols), cap, domain)
+
+    @property
+    def signature(self) -> tuple:
+        """The hashable database component of plan cache keys."""
+        return self.relation_stats
 
     def relation_rows(self, name: str) -> int:
         """The cardinality of relation ``name`` (0 when unknown)."""
@@ -76,30 +90,70 @@ class CostModel:
                 return size
         return 0
 
+    def stats_for(self, name: str) -> RelationStats | None:
+        """The stored statistics for ``name`` (``None`` when unknown)."""
+        for known, stats in self.relation_stats:
+            if known == name:
+                return stats
+        return None
+
+    def column_distinct(self, name: str, column: int) -> int:
+        """Distinct count of one column (1 when unknown — no selectivity)."""
+        stats = self.stats_for(name)
+        if stats is None or column >= len(stats.columns):
+            return 1
+        return max(stats.columns[column].distinct, 1)
+
     def join_estimate(
-        self, rows: float, size: int, arity: int, bound_args: int
+        self,
+        rows: float,
+        name: str,
+        arity: int,
+        bound_columns: tuple[int, ...] = (),
     ) -> tuple[float, float]:
         """Estimate a join step: ``(cost, rows_after)``.
 
-        A join scans ``rows × size`` pairs; the surviving fraction
-        shrinks with the number of already-bound argument positions
-        (each bound position acts as an equality predicate).
+        A join scans ``rows × size`` pairs; each already-bound argument
+        position acts as an equality predicate whose selectivity is
+        ``1 / distinct(column)`` from the stored column statistics —
+        the classic ``|R| / Π V(R, c)`` estimate.
 
         Args:
             rows: The current estimated binding count.
-            size: The relation's cardinality.
+            name: The relation symbol being joined.
             arity: The atom's argument count.
-            bound_args: How many argument positions are already bound.
+            bound_columns: The argument positions already bound.
 
         Returns:
             The ``(cost, rows_after)`` estimates.
         """
-        base = max(size, 1)
+        base = max(self.relation_rows(name), 1)
         cost = rows * base
-        width = max(arity, 1)
-        free_fraction = (width - min(bound_args, width)) / width
-        rows_after = rows * max(base**free_fraction, 1.0)
+        matches = float(base)
+        for column in bound_columns:
+            matches /= self.column_distinct(name, column)
+        rows_after = rows * max(matches, 1.0)
         return cost, rows_after
+
+    def prefilter_estimate(
+        self, cost: float, rows_after: float, factors: int
+    ) -> tuple[float, float]:
+        """Discount a join estimate for pushed-down index prefilters.
+
+        Each required factor is assumed to keep a
+        :data:`PREFILTER_SELECTIVITY` fraction of the scanned rows;
+        both the scan cost and the surviving rows shrink accordingly.
+
+        Args:
+            cost: The undiscounted join cost.
+            rows_after: The undiscounted surviving-row estimate.
+            factors: How many required factors the step pushes down.
+
+        Returns:
+            The discounted ``(cost, rows_after)`` estimates.
+        """
+        discount = PREFILTER_SELECTIVITY ** max(factors, 0)
+        return max(cost * discount, 1.0), max(rows_after * discount, 1.0)
 
     def generate_estimate(
         self, rows: float, unbound: int

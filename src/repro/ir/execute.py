@@ -68,7 +68,9 @@ def execute_branch(
             f"execute.{step.action}", stage="execute", bindings=len(bindings)
         ):
             if step.action == "filter":
-                bindings = _filter_bound(bindings, step, db)
+                bindings = _filter_bound(
+                    bindings, step, db, alphabet, session
+                )
             elif step.action == "join":
                 bindings = _join_relational(bindings, step, db)
             else:

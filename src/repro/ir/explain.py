@@ -92,8 +92,15 @@ def _render_branch(branch: ConjunctivePlan, index: int) -> list[str]:
             if step.binds
             else ""
         )
+        prefilter = ""
+        if step.prefilter:
+            rendered = ", ".join(
+                f"col{column}∋{'+'.join(repr(f) for f in factors)}"
+                for column, factors in step.prefilter
+            )
+            prefilter = f" prefilter[{rendered}]"
         lines.append(
-            f"    {step.describe()}{binds} "
+            f"    {step.describe()}{binds}{prefilter} "
             f"cost={_num(step.est_cost)} rows={_num(step.est_rows)}"
         )
     if branch.free_head:

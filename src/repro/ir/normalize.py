@@ -307,9 +307,13 @@ def order_steps(
                 action = "join"
                 cost, rows_after = model.join_estimate(
                     rows,
-                    model.relation_rows(literal.atom.name),
+                    literal.atom.name,
                     len(literal.atom.args),
-                    sum(1 for a in literal.atom.args if a in bound),
+                    tuple(
+                        position
+                        for position, arg in enumerate(literal.atom.args)
+                        if arg in bound
+                    ),
                 )
             elif (
                 isinstance(literal.atom, StringAtom) and not literal.negated

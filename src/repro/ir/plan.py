@@ -37,6 +37,14 @@ class PlanStep:
     ``binds`` lists the variables the step newly binds; ``est_rows``
     and ``est_cost`` are the cost model's estimates of the binding
     count after the step and of the step's work.
+
+    ``prefilter`` carries pushed-down index prefilters for ``"join"``
+    steps: ``(column, factors)`` pairs meaning every value of that
+    argument position must contain each factor as a substring (derived
+    from the mandatory transitions of co-occurring selection machines —
+    see :func:`repro.ir.rewrite.attach_index_prefilters`).  Executors
+    probe the relation's storage index with them to shrink the scanned
+    row set; storages without an index simply ignore them.
     """
 
     action: str
@@ -45,6 +53,7 @@ class PlanStep:
     binds: tuple[Var, ...]
     est_rows: float
     est_cost: float
+    prefilter: tuple[tuple[int, tuple[str, ...]], ...] = ()
 
     def variables(self) -> frozenset[Var]:
         """The variables the underlying literal mentions."""

@@ -23,9 +23,21 @@ to its own fixpoint:
 
 Every rewrite preserves the truncation-evaluation answer set exactly;
 the differential tests in ``tests/ir/`` hold the passes to that.
+
+The module also hosts the *index-prefilter pushdown* pass over
+normalized :class:`~repro.ir.plan.QueryPlan`\\ s:
+:func:`required_factors` derives, from a selection machine's
+transition graph, substrings every accepted value of one tape must
+contain (its **mandatory factors**), and
+:func:`attach_index_prefilters` pushes those factors down onto the
+plan's join steps, where storage backends with positional n-gram
+indexes (:mod:`repro.storage.ngram`) use them to shrink the scanned
+row set before exact kernel acceptance.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.algebra.expressions import (
     Diff,
@@ -38,9 +50,11 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.core.alphabet import LEFT_END
-from repro.fsa.machine import FSA, STAY
+from repro.core.syntax import RelAtom, StringAtom
+from repro.fsa.machine import FSA, RIGHT_MOVE, STAY
 from repro.fsa.ops import drop_tape, widen
 from repro.fsa.product import fusion_supported, sequence_machines
+from repro.ir.plan import ConjunctivePlan, QueryPlan, UnionPlan
 
 #: Safety cap on whole-pass fixpoint iterations.
 MAX_PASS_ROUNDS = 16
@@ -393,3 +407,227 @@ def translate_branches(formula, head, alphabet, compiler=None):
     for part in parts[1:]:
         union = Union(union, part)
     return union
+
+
+# ---------------------------------------------------------------------------
+# Index-prefilter pushdown over normalized plans
+# ---------------------------------------------------------------------------
+
+#: Machines with more transitions than this skip factor derivation —
+#: the mandatory-edge test is quadratic in the transition count and
+#: planning time must stay bounded.
+MAX_PREFILTER_TRANSITIONS = 400
+
+#: Cap on derived factor length; chains longer than this stop growing.
+MAX_FACTOR_LENGTH = 8
+
+#: Factors shorter than this are not pushed down — they prune too
+#: little and are shorter than any useful gram size anyway.
+MIN_PREFILTER_FACTOR = 2
+
+
+def _reaches_final_avoiding(machine: FSA, excluded) -> bool:
+    """Whether some start→final state path avoids transition ``excluded``."""
+    if machine.start in machine.finals:
+        return True
+    seen = {machine.start}
+    frontier = [machine.start]
+    while frontier:
+        state = frontier.pop()
+        for transition in machine.outgoing(state):
+            if transition is excluded or transition.target in seen:
+                continue
+            if transition.target in machine.finals:
+                return True
+            seen.add(transition.target)
+            frontier.append(transition.target)
+    return False
+
+
+def _extend_factor(
+    machine: FSA, tape: int, edge, sigma: frozenset, limit: int
+) -> str:
+    """Grow a mandatory symbol rightward into a longer mandatory factor.
+
+    Starting from a mandatory transition reading ``σ ∈ Σ`` on ``tape``,
+    the factor extends by one symbol whenever every current transition
+    advances the tape's head (``+1``), every reachable target state is
+    non-final with at least one outgoing transition, and *all* those
+    outgoing transitions agree on the next tape symbol — then every
+    accepting run that crosses the mandatory edge must read that symbol
+    at the next position, so the concatenation is itself mandatory.
+    """
+    factor = edge.reads[tape]
+    edges = (edge,)
+    while len(factor) < limit:
+        if any(t.moves[tape] != RIGHT_MOVE for t in edges):
+            break
+        targets = {t.target for t in edges}
+        if targets & machine.finals:
+            break
+        following: list = []
+        for state in targets:
+            outgoing = machine.outgoing(state)
+            if not outgoing:
+                return factor
+            following.extend(outgoing)
+        symbols = {t.reads[tape] for t in following}
+        if len(symbols) != 1:
+            break
+        symbol = symbols.pop()
+        if symbol not in sigma:
+            break
+        factor += symbol
+        edges = tuple(following)
+    return factor
+
+
+def required_factors(
+    machine: FSA, tape: int, limit: int = MAX_FACTOR_LENGTH
+) -> tuple[str, ...]:
+    """Substrings every value accepted on ``tape`` must contain.
+
+    A transition is *mandatory* when no start→final path in the pruned
+    machine avoids it; a mandatory transition reading ``σ ∈ Σ`` on
+    ``tape`` proves every accepted value of that tape contains ``σ``
+    (heads only read alphabet symbols on content positions).  Each
+    mandatory symbol is then extended rightward into the longest
+    provably-mandatory chain (:func:`_extend_factor`).
+
+    The result is sound for *pruning*: a stored value that lacks one of
+    the returned substrings can never satisfy the selection, whatever
+    the other tapes hold.  It is deliberately incomplete — machines
+    with alternative accepting paths simply yield fewer (or no)
+    factors.
+
+    Args:
+        machine: The compiled selection machine.
+        tape: The tape index of the variable being constrained.
+        limit: Maximum factor length to derive.
+
+    Returns:
+        The deduplicated factors, sorted; factors that are substrings
+        of longer derived factors are dropped.
+    """
+    machine = machine.pruned()
+    if not machine.finals:
+        return ()
+    if len(machine.transitions) > MAX_PREFILTER_TRANSITIONS:
+        return ()
+    sigma = frozenset(machine.alphabet.symbols)
+    found: set[str] = set()
+    for edge in machine.transitions:
+        if edge.reads[tape] not in sigma:
+            continue
+        if _reaches_final_avoiding(machine, edge):
+            continue
+        found.add(_extend_factor(machine, tape, edge, sigma, limit))
+    kept: list[str] = []
+    for factor in sorted(found, key=lambda f: (-len(f), f)):
+        if not any(factor in longer for longer in kept):
+            kept.append(factor)
+    return tuple(sorted(kept))
+
+
+def _branch_prefilters(
+    branch: ConjunctivePlan, alphabet, compiler, model
+) -> tuple[ConjunctivePlan, int]:
+    variable_factors: dict = {}
+    for step in branch.steps:
+        if step.negated or not isinstance(step.atom, StringAtom):
+            continue
+        compiled = compiler(step.atom.formula, alphabet)
+        for variable in compiled.variables:
+            factors = required_factors(
+                compiled.fsa, compiled.tape_of(variable)
+            )
+            useful = [f for f in factors if len(f) >= MIN_PREFILTER_FACTOR]
+            if useful:
+                variable_factors.setdefault(variable, set()).update(useful)
+    if not variable_factors:
+        return branch, 0
+    attached = 0
+    steps = []
+    for step in branch.steps:
+        if (
+            step.action == "join"
+            and isinstance(step.atom, RelAtom)
+            and not step.negated
+        ):
+            prefilter = []
+            for position, argument in enumerate(step.atom.args):
+                factors = variable_factors.get(argument)
+                if factors:
+                    prefilter.append((position, tuple(sorted(factors))))
+            if prefilter:
+                attached += 1
+                est_cost, est_rows = step.est_cost, step.est_rows
+                if model is not None:
+                    est_cost, est_rows = model.prefilter_estimate(
+                        est_cost,
+                        est_rows,
+                        sum(len(factors) for _, factors in prefilter),
+                    )
+                step = replace(
+                    step,
+                    prefilter=tuple(prefilter),
+                    est_cost=est_cost,
+                    est_rows=est_rows,
+                )
+        steps.append(step)
+    return replace(branch, steps=tuple(steps)), attached
+
+
+def attach_index_prefilters(
+    plan: QueryPlan, alphabet, compiler=None, model=None
+) -> QueryPlan:
+    """Push mandatory selection factors down onto a plan's join steps.
+
+    For every conjunctive branch, each positive string-formula literal
+    is compiled and its per-variable :func:`required_factors` derived;
+    join steps over relational atoms whose argument variables carry
+    factors gain a :attr:`~repro.ir.plan.PlanStep.prefilter`.  This is
+    sound because branch literals are conjoined: any binding in the
+    branch answer satisfies the string atom, so a joined row whose
+    column value lacks a mandatory factor can never survive — pruning
+    it early only removes work, never answers.
+
+    Args:
+        plan: The normalized plan.
+        alphabet: The query alphabet.
+        compiler: ``(formula, alphabet) → CompiledFormula``; defaults
+            to :func:`repro.fsa.compile.compile_string_formula` — pass
+            a session's ``compile`` for cached machines.
+        model: An optional :class:`~repro.ir.cost.CostModel` used to
+            discount the estimates of prefiltered steps.
+
+    Returns:
+        The plan with prefilters attached (the input plan unchanged
+        when nothing was derived); when a prefilter fires, the plan's
+        rule counters gain a ``pushdown.index-prefilter`` entry.
+    """
+    branches = plan.branches()
+    if not branches:
+        return plan
+    if compiler is None:
+        from repro.fsa.compile import compile_string_formula
+
+        compiler = compile_string_formula
+    rewritten = []
+    attached = 0
+    for branch in branches:
+        new_branch, count = _branch_prefilters(
+            branch, alphabet, compiler, model
+        )
+        rewritten.append(new_branch)
+        attached += count
+    if not attached:
+        return plan
+    if isinstance(plan.root, UnionPlan):
+        root = UnionPlan(tuple(rewritten))
+    else:
+        root = rewritten[0]
+    rules = tuple(
+        sorted(plan.rules + (("pushdown.index-prefilter", attached),))
+    )
+    return replace(plan, root=root, rules=rules)

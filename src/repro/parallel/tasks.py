@@ -19,6 +19,13 @@ Results of the positional task kinds are ``(global_index, value)``
 pairs, so the parent can merge shard outputs without caring how the
 shards were split or re-split.
 
+Databases ride along by value, but their storage backends control
+their own pickling: an artifact-backed
+:class:`~repro.storage.NGramIndexStorage` reduces to *open this
+artifact path read-only*, so every worker mmaps the one on-disk index
+(sharing OS page cache) instead of receiving a serialized tuple set —
+the parent builds once, the fleet loads instantly.
+
 :class:`ChaosPolicy` is a first-class fault-injection hook: because
 worker processes share no state with the tests, deterministic chaos is
 keyed on the shard itself (its ``generation`` and plan ``index``) —
@@ -98,7 +105,12 @@ class ChaosPolicy:
 
 @dataclass(frozen=True)
 class NaiveShardTask:
-    """Reference-semantics evaluation of candidate range ``shard``."""
+    """Reference-semantics evaluation of candidate range ``shard``.
+
+    The embedded ``db`` pickles through its storage backends — an
+    artifact-backed index storage ships as a path and is re-opened
+    (mmap, read-only) in the worker rather than serialized row by row.
+    """
 
     shard: Shard
     formula: "Formula"

@@ -1,0 +1,315 @@
+"""The relation-storage protocol, per-column statistics and the default backend.
+
+The paper treats a database as a total map from relation symbols to
+finite subsets of ``(Σ*)^a`` (Section 2); *how* those finite sets are
+held is an implementation degree of freedom the calculus never
+constrains.  This module pins that degree of freedom down as a small
+protocol — :class:`RelationStorage` — so the same engines can run over
+a frozenset in memory (:class:`InMemoryStorage`) or over an on-disk
+positional n-gram index (:class:`repro.storage.ngram.NGramIndexStorage`)
+without changing a line of evaluation code.
+
+The protocol also standardizes *statistics*: every backend reports a
+:class:`RelationStats` with per-column distinct counts and length
+histograms, which the cost model consumes instead of raw cardinalities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ArityError
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for one column of a stored relation.
+
+    All fields are plain integers or tuples, so the object is hashable
+    and can ride inside cost-model signatures and plan cache keys.
+    """
+
+    #: Number of distinct strings in the column.
+    distinct: int
+    #: Total character count over all (non-distinct) column values.
+    total_chars: int
+    #: Shortest string length in the column (0 for an empty relation).
+    min_length: int
+    #: Longest string length in the column (0 for an empty relation).
+    max_length: int
+    #: Sorted ``(length, count)`` pairs over the column's values.
+    length_histogram: tuple[tuple[int, int], ...]
+
+    @property
+    def mean_length(self) -> float:
+        """The average value length (0.0 for an empty column)."""
+        total = sum(count for _, count in self.length_histogram)
+        return self.total_chars / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Statistics for a whole stored relation: rows plus per-column stats."""
+
+    #: Number of tuples in the relation.
+    rows: int
+    #: Number of columns per tuple.
+    arity: int
+    #: One :class:`ColumnStats` per column, in column order.
+    columns: tuple[ColumnStats, ...]
+
+
+def compute_stats(
+    rows: Iterable[tuple[str, ...]], arity: int
+) -> RelationStats:
+    """Compute :class:`RelationStats` by one pass over ``rows``.
+
+    Args:
+        rows: The relation's tuples.
+        arity: The relation's column count.
+
+    Returns:
+        The populated statistics value.
+    """
+    distinct: list[set[str]] = [set() for _ in range(arity)]
+    histograms: list[dict[int, int]] = [{} for _ in range(arity)]
+    totals = [0] * arity
+    count = 0
+    for row in rows:
+        count += 1
+        for column, value in enumerate(row):
+            distinct[column].add(value)
+            length = len(value)
+            totals[column] += length
+            histogram = histograms[column]
+            histogram[length] = histogram.get(length, 0) + 1
+    columns = tuple(
+        ColumnStats(
+            distinct=len(distinct[column]),
+            total_chars=totals[column],
+            min_length=min(histograms[column], default=0),
+            max_length=max(histograms[column], default=0),
+            length_histogram=tuple(sorted(histograms[column].items())),
+        )
+        for column in range(arity)
+    )
+    return RelationStats(rows=count, arity=arity, columns=columns)
+
+
+@runtime_checkable
+class RelationStorage(Protocol):
+    """What every relation backend must provide.
+
+    Backends are immutable once constructed; engines may cache their
+    observations freely.  ``arity`` and ``tuples`` are properties,
+    everything else is a method.  Index-backed storages may additionally
+    offer :meth:`candidates`-style prefilter probes — those are optional
+    and engines must degrade gracefully when they are absent (see
+    :func:`repro.storage.probe_candidates`).
+    """
+
+    @property
+    def arity(self) -> int:
+        """The relation's column count."""
+        ...
+
+    @property
+    def tuples(self) -> frozenset[tuple[str, ...]]:
+        """The relation as a frozenset (the historical representation)."""
+        ...
+
+    def scan(self) -> Iterator[tuple[str, ...]]:
+        """Iterate over every tuple, in backend-chosen order."""
+        ...
+
+    def contains(self, row: tuple[str, ...]) -> bool:
+        """Membership test ``row ∈ R``."""
+        ...
+
+    def column(self, index: int) -> tuple[str, ...]:
+        """The sorted distinct values of column ``index``."""
+        ...
+
+    def size(self) -> int:
+        """The number of tuples."""
+        ...
+
+    def stats(self) -> RelationStats:
+        """Per-column statistics for the cost model."""
+        ...
+
+
+def is_storage(value: object) -> bool:
+    """Whether ``value`` duck-types as a :class:`RelationStorage`.
+
+    Used by :class:`repro.core.database.Database` to tell adopted
+    (pre-validated) storages apart from raw tuple iterables; checked
+    structurally so third-party backends need not inherit anything.
+    """
+    return all(
+        hasattr(value, attribute)
+        for attribute in ("scan", "contains", "column", "size", "stats")
+    )
+
+
+class InMemoryStorage:
+    """The default backend: a frozenset of tuples, everything eager.
+
+    Matches the representation every prior release used internally, so
+    it is also the reference implementation the differential tests hold
+    other backends to.
+
+    >>> store = InMemoryStorage([("ab", "b"), ("a", "b")])
+    >>> store.size(), store.arity, store.column(1)
+    (2, 2, ('b',))
+    """
+
+    __slots__ = ("_tuples", "_arity", "_stats", "_columns")
+
+    def __init__(
+        self,
+        tuples: Iterable[tuple[str, ...]],
+        arity: int | None = None,
+    ) -> None:
+        frozen = frozenset(tuple(row) for row in tuples)
+        arities = {len(row) for row in frozen}
+        if len(arities) > 1:
+            raise ArityError(
+                f"storage mixes tuple arities {sorted(arities)}"
+            )
+        derived = arities.pop() if arities else None
+        if derived is not None and arity is not None and derived != arity:
+            raise ArityError(
+                f"declared arity {arity} does not match tuples of arity {derived}"
+            )
+        self._tuples = frozen
+        self._arity = derived if derived is not None else (arity or 0)
+        self._stats: RelationStats | None = None
+        self._columns: dict[int, tuple[str, ...]] = {}
+
+    @property
+    def arity(self) -> int:
+        """The relation's column count (declared, for empty relations)."""
+        return self._arity
+
+    @property
+    def tuples(self) -> frozenset[tuple[str, ...]]:
+        """The underlying frozenset itself — no copy."""
+        return self._tuples
+
+    def scan(self) -> Iterator[tuple[str, ...]]:
+        """Iterate the tuples (set order; callers must not rely on it)."""
+        return iter(self._tuples)
+
+    def contains(self, row: tuple[str, ...]) -> bool:
+        """O(1) membership via the frozenset."""
+        return row in self._tuples
+
+    def column(self, index: int) -> tuple[str, ...]:
+        """Sorted distinct values of column ``index``, cached."""
+        if index not in self._columns:
+            self._columns[index] = tuple(
+                sorted({row[index] for row in self._tuples})
+            )
+        return self._columns[index]
+
+    def size(self) -> int:
+        """The tuple count."""
+        return len(self._tuples)
+
+    def stats(self) -> RelationStats:
+        """Statistics computed on first request and cached."""
+        if self._stats is None:
+            self._stats = compute_stats(self._tuples, self._arity)
+        return self._stats
+
+    def __reduce__(self):
+        return (InMemoryStorage, (self._tuples, self._arity))
+
+    def __repr__(self) -> str:
+        return f"InMemoryStorage({len(self._tuples)} rows, arity {self._arity})"
+
+
+#: The storage every unknown relation symbol denotes: empty, arity 0.
+EMPTY_STORAGE = InMemoryStorage(frozenset())
+
+
+class Relation:
+    """A read-only view of one named relation behind a storage.
+
+    This is what :meth:`repro.core.database.Database.relation` returns.
+    It behaves like the frozenset it used to be — iterable, sized,
+    supports ``in``, compares and hashes equal to the corresponding
+    frozenset — while exposing the storage protocol's extras
+    (:meth:`column`, :meth:`stats`, :attr:`storage`).
+
+    >>> view = Relation("R", InMemoryStorage([("a",), ("b",)]))
+    >>> len(view), ("a",) in view, view == {("a",), ("b",)}
+    (2, True, True)
+    """
+
+    __slots__ = ("_name", "_storage")
+
+    def __init__(self, name: str, storage: RelationStorage) -> None:
+        self._name = name
+        self._storage = storage
+
+    @property
+    def name(self) -> str:
+        """The relation symbol this view is bound to."""
+        return self._name
+
+    @property
+    def storage(self) -> RelationStorage:
+        """The backend holding the tuples."""
+        return self._storage
+
+    @property
+    def arity(self) -> int:
+        """The relation's column count."""
+        return self._storage.arity
+
+    @property
+    def tuples(self) -> frozenset[tuple[str, ...]]:
+        """The relation as a plain frozenset (the back-compat surface)."""
+        return self._storage.tuples
+
+    def column(self, index: int) -> tuple[str, ...]:
+        """The sorted distinct values of column ``index``."""
+        return self._storage.column(index)
+
+    def stats(self) -> RelationStats:
+        """The backend's per-column statistics."""
+        return self._storage.stats()
+
+    def __iter__(self) -> Iterator[tuple[str, ...]]:
+        return self._storage.scan()
+
+    def __len__(self) -> int:
+        return self._storage.size()
+
+    def __contains__(self, row: object) -> bool:
+        return isinstance(row, tuple) and self._storage.contains(row)
+
+    def __bool__(self) -> bool:
+        return self._storage.size() > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self.tuples == other.tuples
+        if isinstance(other, (set, frozenset)):
+            return self.tuples == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Interchangeable with the frozenset it stands for, so views
+        # can live in sets / dict keys alongside raw frozensets.
+        return hash(self.tuples)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self._name!r}, {self._storage.size()} rows, "
+            f"arity {self._storage.arity})"
+        )

@@ -1,0 +1,360 @@
+"""The positional n-gram index backend.
+
+Every column of the relation gets an inverted index mapping each
+``n``-gram to the sorted ``(row id, position)`` pairs where it occurs —
+the simstring ``ngramdb_writer`` shape, specialized to one gram size.
+The index supports one query: :meth:`NGramIndexStorage.candidates`
+takes a required *factor* (a substring every matching column value must
+contain, derived by the planner from a selection machine's transition
+graph) and returns the row ids that could satisfy it.  Positions make
+the probe precise for factors longer than ``n``: the factor's
+constituent grams must occur at *consecutive* positions, not merely
+somewhere in the value.
+
+The index lives either fully in memory (:meth:`build`) or behind a
+memory-mapped on-disk artifact (:meth:`open` / :meth:`ensure`) that
+builds once and loads instantly across sessions and parallel workers;
+artifact-backed instances pickle as just their path, so shipping a
+database to a worker process costs bytes, not tuple sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import ArityError, ArtifactError
+from repro.storage import artifact as artifact_format
+from repro.storage.base import RelationStats, compute_stats
+
+#: The default gram size; 3 balances directory size against probe
+#: selectivity on small (e.g. DNA) alphabets.
+DEFAULT_N = 3
+
+
+def _canonical(tuples: Iterable[tuple[str, ...]]) -> tuple[tuple[str, ...], ...]:
+    rows = tuple(sorted({tuple(row) for row in tuples}))
+    arities = {len(row) for row in rows}
+    if len(arities) > 1:
+        raise ArityError(f"storage mixes tuple arities {sorted(arities)}")
+    return rows
+
+
+class NGramIndexStorage:
+    """A relation stored with positional n-gram indexes per column.
+
+    Construct via :meth:`build` (in memory), :meth:`open` (an existing
+    artifact) or :meth:`ensure` (open-if-current, else build + write).
+
+    >>> store = NGramIndexStorage.build([("gcgc",), ("aaaa",)], n=3)
+    >>> sorted(store.candidates(0, "gcgc"))
+    [1]
+    >>> next(store.rows_for([1]))
+    ('gcgc',)
+    """
+
+    def __init__(
+        self,
+        rows: tuple[tuple[str, ...], ...],
+        n: int,
+        arity: int,
+        reader: "artifact_format.ArtifactReader | None" = None,
+        stats: RelationStats | None = None,
+        postings: list[dict[str, tuple[tuple[int, int], ...]]] | None = None,
+    ) -> None:
+        self._rows = rows
+        self._n = n
+        self._arity = arity
+        self._reader = reader
+        self._stats = stats
+        self._postings = postings
+        self._row_cache: list[tuple[str, ...] | None] | None = None
+        self._tuples: frozenset[tuple[str, ...]] | None = None
+        self._columns: dict[int, tuple[str, ...]] = {}
+        self._gram_cache: dict[tuple[int, str], tuple[tuple[int, int], ...]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        tuples: Iterable[tuple[str, ...]],
+        n: int = DEFAULT_N,
+        arity: int | None = None,
+    ) -> "NGramIndexStorage":
+        """Build the index in memory from an iterable of tuples.
+
+        Args:
+            tuples: The relation's rows (deduplicated, sorted
+                canonically so row ids are deterministic).
+            n: The gram size.
+            arity: Declared arity for an empty relation.
+
+        Returns:
+            The populated storage; records an ``index.build`` counter.
+        """
+        from repro.observability import current_tracer
+
+        rows = _canonical(tuples)
+        derived = len(rows[0]) if rows else (arity or 0)
+        if rows and arity is not None and derived != arity:
+            raise ArityError(
+                f"declared arity {arity} does not match tuples of "
+                f"arity {derived}"
+            )
+        tracer = current_tracer()
+        with tracer.span("index.build", stage="index", rows=len(rows)):
+            postings = [
+                {
+                    gram: tuple(entries)
+                    for gram, entries in artifact_format._column_postings(
+                        rows, column, n
+                    ).items()
+                }
+                for column in range(derived)
+            ]
+        tracer.add("index.build")
+        return cls(
+            rows,
+            n,
+            derived,
+            stats=compute_stats(rows, derived),
+            postings=postings,
+        )
+
+    @classmethod
+    def open(cls, path: "str | Path") -> "NGramIndexStorage":
+        """Memory-map an existing artifact (validating its checksum).
+
+        Args:
+            path: The artifact file written by :meth:`write`.
+
+        Returns:
+            A lazily-decoding storage over the map.
+
+        Raises:
+            ArtifactError: If the file is absent, corrupt or has an
+                incompatible version.
+        """
+        reader = artifact_format.ArtifactReader(path)
+        return cls(
+            (),
+            reader.n,
+            reader.arity,
+            reader=reader,
+            stats=reader.stats,
+        )
+
+    @classmethod
+    def ensure(
+        cls,
+        path: "str | Path",
+        tuples: Iterable[tuple[str, ...]],
+        n: int = DEFAULT_N,
+        arity: int | None = None,
+    ) -> "NGramIndexStorage":
+        """Open ``path`` if it already indexes exactly these tuples, else rebuild.
+
+        The check compares content fingerprints (rows + gram size), so
+        a stale or corrupt artifact is silently replaced; the build
+        therefore happens once per (content, n) and every later session
+        or worker just maps the file.
+
+        Args:
+            path: The artifact location.
+            tuples: The relation's rows.
+            n: The gram size.
+            arity: Declared arity for an empty relation.
+
+        Returns:
+            An artifact-backed storage.
+        """
+        rows = _canonical(tuples)
+        fingerprint = artifact_format.content_fingerprint(rows, n)
+        try:
+            opened = cls.open(path)
+            if opened._reader is not None and (
+                opened._reader.content_sha == fingerprint
+            ):
+                return opened
+            opened._reader.close()
+        except ArtifactError:
+            pass
+        built = cls.build(rows, n=n, arity=arity)
+        built.write(path)
+        return cls.open(path)
+
+    def write(self, path: "str | Path") -> None:
+        """Serialize this (in-memory) index to an artifact file.
+
+        Args:
+            path: The destination; written atomically.
+        """
+        data = artifact_format.pack(self._all_rows(), self._n, self.stats())
+        artifact_format.write_artifact(path, data)
+
+    # -- the storage protocol -------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """The gram size the index was built with."""
+        return self._n
+
+    @property
+    def arity(self) -> int:
+        """The relation's column count."""
+        return self._arity
+
+    @property
+    def path(self) -> "Path | None":
+        """The backing artifact path (``None`` for in-memory builds)."""
+        return self._reader.path if self._reader is not None else None
+
+    @property
+    def tuples(self) -> frozenset[tuple[str, ...]]:
+        """The relation as a frozenset (decoded once, then cached)."""
+        if self._tuples is None:
+            self._tuples = frozenset(self._all_rows())
+        return self._tuples
+
+    def scan(self) -> Iterator[tuple[str, ...]]:
+        """Iterate tuples in row-id (canonical sorted) order."""
+        return iter(self._all_rows())
+
+    def contains(self, row: tuple[str, ...]) -> bool:
+        """Membership via the cached frozenset."""
+        return row in self.tuples
+
+    def column(self, index: int) -> tuple[str, ...]:
+        """Sorted distinct values of column ``index``, cached."""
+        if index not in self._columns:
+            self._columns[index] = tuple(
+                sorted({row[index] for row in self._all_rows()})
+            )
+        return self._columns[index]
+
+    def size(self) -> int:
+        """The tuple count (from the header for artifact-backed stores)."""
+        if self._reader is not None:
+            return self._reader.row_count
+        return len(self._rows)
+
+    def stats(self) -> RelationStats:
+        """Statistics — precomputed at build time, stored in the artifact."""
+        if self._stats is None:
+            self._stats = compute_stats(self._all_rows(), self._arity)
+        return self._stats
+
+    # -- index probes ---------------------------------------------------
+
+    def candidates(self, column: int, factor: str) -> frozenset[int] | None:
+        """Row ids whose ``column`` value *may* contain ``factor``.
+
+        Sound, not complete in reverse: every row whose value contains
+        the factor is returned; rows returned need not contain it only
+        when ``factor`` is shorter than the gram size, in which case
+        ``None`` signals "cannot prefilter on this factor".
+
+        Args:
+            column: The column index to probe.
+            factor: The required substring.
+
+        Returns:
+            The candidate row-id set, or ``None`` when the factor is
+            too short to probe.  Records an ``index.probe`` counter.
+        """
+        from repro.observability import current_tracer
+
+        if len(factor) < self._n:
+            return None
+        current_tracer().add("index.probe")
+        grams = [
+            factor[start : start + self._n]
+            for start in range(len(factor) - self._n + 1)
+        ]
+        survivors: dict[int, set[int]] = {}
+        for row_id, position in self._gram_postings(column, grams[0]):
+            survivors.setdefault(row_id, set()).add(position)
+        for offset, gram in enumerate(grams[1:], start=1):
+            if not survivors:
+                break
+            positions: dict[int, set[int]] = {}
+            for row_id, position in self._gram_postings(column, gram):
+                if row_id in survivors:
+                    positions.setdefault(row_id, set()).add(position)
+            survivors = {
+                row_id: kept
+                for row_id, starts in survivors.items()
+                if (
+                    kept := {
+                        start
+                        for start in starts
+                        if start + offset in positions.get(row_id, ())
+                    }
+                )
+            }
+        return frozenset(survivors)
+
+    def rows_for(self, row_ids: Iterable[int]) -> Iterator[tuple[str, ...]]:
+        """Decode the tuples with the given row ids, in sorted id order.
+
+        Args:
+            row_ids: Candidate ids from :meth:`candidates`.
+
+        Yields:
+            The corresponding tuples.
+        """
+        for row_id in sorted(set(row_ids)):
+            yield self._row(row_id)
+
+    # -- internals ------------------------------------------------------
+
+    def _gram_postings(
+        self, column: int, gram: str
+    ) -> tuple[tuple[int, int], ...]:
+        if self._postings is not None:
+            return self._postings[column].get(gram, ())
+        key = (column, gram)
+        if key not in self._gram_cache:
+            self._gram_cache[key] = self._reader.postings(column, gram)
+        return self._gram_cache[key]
+
+    def _row(self, row_id: int) -> tuple[str, ...]:
+        if self._reader is None:
+            return self._rows[row_id]
+        if self._row_cache is None:
+            self._row_cache = [None] * self._reader.row_count
+        cached = self._row_cache[row_id]
+        if cached is None:
+            cached = self._reader.row(row_id)
+            self._row_cache[row_id] = cached
+        return cached
+
+    def _all_rows(self) -> tuple[tuple[str, ...], ...]:
+        if self._reader is not None and not self._rows:
+            self._rows = tuple(
+                self._reader.row(row_id)
+                for row_id in range(self._reader.row_count)
+            )
+        return self._rows
+
+    def __reduce__(self):
+        if self._reader is not None:
+            return (NGramIndexStorage.open, (str(self._reader.path),))
+        return (_rebuild, (self._rows, self._n, self._arity))
+
+    def __repr__(self) -> str:
+        backing = (
+            f"artifact={self._reader.path}" if self._reader else "in-memory"
+        )
+        return (
+            f"NGramIndexStorage({self.size()} rows, arity {self._arity}, "
+            f"n={self._n}, {backing})"
+        )
+
+
+def _rebuild(
+    rows: tuple[tuple[str, ...], ...], n: int, arity: int
+) -> NGramIndexStorage:
+    """Unpickle helper: rebuild an in-memory index from its rows."""
+    return NGramIndexStorage.build(rows, n=n, arity=arity or None)

@@ -1,0 +1,166 @@
+"""The storage protocol, the in-memory backend and the Relation view."""
+
+import pickle
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.errors import ArityError
+from repro.storage import (
+    EMPTY_STORAGE,
+    InMemoryStorage,
+    NGramIndexStorage,
+    Relation,
+    RelationStorage,
+    compute_stats,
+    is_storage,
+    resolve_storage_factory,
+    storage_factory,
+)
+
+ROWS = frozenset({("ab", "b"), ("a", ""), ("ba", "ab")})
+
+
+def test_in_memory_storage_protocol_surface():
+    store = InMemoryStorage(ROWS)
+    assert isinstance(store, RelationStorage)
+    assert is_storage(store)
+    assert store.arity == 2
+    assert store.size() == 3
+    assert frozenset(store.scan()) == ROWS
+    assert store.contains(("ab", "b"))
+    assert not store.contains(("b", "ab"))
+    assert store.column(0) == ("a", "ab", "ba")
+    assert store.column(1) == ("", "ab", "b")
+
+
+def test_in_memory_storage_rejects_mixed_and_mismatched_arity():
+    with pytest.raises(ArityError):
+        InMemoryStorage({("a",), ("a", "b")})
+    with pytest.raises(ArityError):
+        InMemoryStorage({("a", "b")}, arity=3)
+    empty = InMemoryStorage(frozenset(), arity=2)
+    assert empty.arity == 2
+    assert empty.size() == 0
+
+
+def test_compute_stats_per_column():
+    stats = compute_stats((("a", "xyz"), ("a", "x"), ("bb", "x")), 2)
+    assert stats.rows == 3
+    assert stats.arity == 2
+    first, second = stats.columns
+    assert first.distinct == 2
+    assert second.distinct == 2
+    assert first.min_length == 1 and first.max_length == 2
+    assert second.min_length == 1 and second.max_length == 3
+    assert second.total_chars == 5
+    assert dict(first.length_histogram) == {1: 2, 2: 1}
+    assert first.mean_length == pytest.approx(4 / 3)
+
+
+def test_stats_agree_across_backends():
+    memory = InMemoryStorage(ROWS)
+    indexed = NGramIndexStorage.build(ROWS, n=2)
+    assert memory.stats() == indexed.stats()
+
+
+def test_relation_view_behaves_like_the_frozenset_it_wraps():
+    view = Relation("R1", InMemoryStorage(ROWS))
+    assert view.name == "R1"
+    assert view.arity == 2
+    assert len(view) == 3
+    assert set(view) == ROWS
+    assert ("ab", "b") in view
+    assert ("zz", "zz") not in view
+    assert "ab" not in view  # non-tuples are never members
+    assert bool(view)
+    assert not Relation("E", EMPTY_STORAGE)
+    assert view.column(1) == ("", "ab", "b")
+    # Equality against Relation, set and frozenset; hash matches tuples.
+    assert view == Relation("other-name", InMemoryStorage(ROWS))
+    assert view == ROWS
+    assert view == set(ROWS)
+    assert ROWS == view.tuples
+    assert hash(view) == hash(ROWS)
+    assert view != {("zz", "zz")}
+    assert "R1" in repr(view)
+
+
+def test_database_relation_returns_view_and_tuples_back_compat():
+    db = Database(AB, {"R": [("a", "b")]})
+    view = db.relation("R")
+    assert isinstance(view, Relation)
+    assert view.tuples == frozenset({("a", "b")})
+    assert db.relation("missing").tuples == frozenset()
+    assert len(db.relation("missing")) == 0
+
+
+def test_database_arity_default_and_declare():
+    db = Database(AB, {"R": [("a", "b")]})
+    assert db.arity("R") == 2
+    with pytest.raises(ArityError):
+        db.arity("missing")
+    assert db.arity("missing", default=None) is None
+    assert db.arity("missing", default=7) == 7
+    declared = db.declare("S", 3)
+    assert declared.arity("S") == 3
+    assert declared.relation("S").tuples == frozenset()
+    # Re-declaring the same arity is a no-op returning self.
+    assert declared.declare("S", 3) is declared
+    assert declared.declare("R", 2) is declared
+    with pytest.raises(ArityError):
+        declared.declare("R", 3)
+
+
+def test_with_relation_is_incremental_in_the_changed_relation():
+    db = Database(AB, {"R": [("a",)], "S": [("b", "b")]})
+    untouched = db.storage("S")
+    updated = db.with_relation("R", {("b",), ("ab",)})
+    # The unchanged relation's backend is adopted, not rebuilt.
+    assert updated.storage("S") is untouched
+    assert updated.relation("R").tuples == frozenset({("b",), ("ab",)})
+    assert db.relation("R").tuples == frozenset({("a",)})
+
+
+def test_database_storage_constructor_and_with_storage():
+    factory = storage_factory("ngram")
+    db = Database(AB, {"R": [("ab", "b")]}, storage=factory)
+    assert isinstance(db.storage("R"), NGramIndexStorage)
+    swapped = db.with_storage(storage_factory("memory"))
+    assert isinstance(swapped.storage("R"), InMemoryStorage)
+    assert swapped == db  # equality is value-level, not backend-level
+    assert hash(swapped) == hash(db)
+
+
+def test_from_json_storage_factory_hook(tmp_path):
+    source = tmp_path / "db.json"
+    source.write_text('{"R": [["ab", "ba"]]}')
+    db = Database.from_json(source, AB, storage_factory=storage_factory("ngram"))
+    assert isinstance(db.storage("R"), NGramIndexStorage)
+    assert db.relation("R").tuples == frozenset({("ab", "ba")})
+
+
+def test_resolve_storage_factory_accepts_names_and_callables():
+    from repro.errors import StorageError
+
+    assert resolve_storage_factory(None)("R", frozenset(), AB).size() == 0
+    named = resolve_storage_factory("ngram")
+    assert isinstance(named("R", frozenset({("a",)}), AB), NGramIndexStorage)
+    passthrough = resolve_storage_factory(
+        lambda name, tuples, alphabet: InMemoryStorage(tuples)
+    )
+    assert isinstance(passthrough("R", frozenset(), AB), InMemoryStorage)
+    with pytest.raises(StorageError):
+        resolve_storage_factory("btree")
+    with pytest.raises(StorageError):
+        storage_factory("btree")
+
+
+def test_databases_pickle_with_both_backends():
+    plain = Database(AB, {"R": [("ab", "b")]})
+    indexed = plain.with_storage(storage_factory("ngram"))
+    for db in (plain, indexed):
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone == db
+        assert clone.relation("R").tuples == frozenset({("ab", "b")})
