@@ -1,11 +1,18 @@
-"""Compiled simulation kernel vs. the reference Theorem 3.3 search.
+"""Acceptance kernels vs. the reference Theorem 3.3 search — and v2 vs v1.
 
-The same acceptance workloads — one-way selection machines and a
-two-way manifold machine, over synthetic generator rows — run through
-the seed dataclass worklist search (``reference_accepts``) and through
-the compiled integer kernel (``repro.fsa.kernel``).  The equivalence
-assertion and the ≥3× speedup assertion make this file the harness
-row for the PR-5 kernel acceptance criterion.
+Two benchmark families share this file:
+
+* the PR-5 criterion — one-way selection machines and a two-way
+  manifold machine over synthetic generator rows, run through the seed
+  dataclass worklist search (``reference_accepts``) and through the
+  compiled integer kernel (``repro.fsa.kernel``), gated at ≥3×;
+* the kernel-v2 criterion — per-fragment *batch* workloads
+  (unidirectional and right-restricted machines on large row batches,
+  plus a two-way fallback control) run through the v1 worklist kernel
+  and the determinized v2 scan kernel
+  (``repro.fsa.determinize``), gated at v2 ≥2× v1 on the
+  unidirectional batch and recorded as the ``BENCH_kernel.json``
+  trajectory.
 
 Run directly
 (``PYTHONPATH=src python benchmarks/bench_simulate_kernel.py``) for a
@@ -13,14 +20,18 @@ quick per-workload report, or through pytest-benchmark for calibrated
 timings.
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.core import shorthands as sh
-from repro.core.alphabet import AB, DNA
+from repro.core.alphabet import AB, DNA, LEFT_END, RIGHT_END
 from repro.fsa.compile import compile_string_formula
+from repro.fsa.determinize import classify_fragment
 from repro.fsa.kernel import kernel_for
+from repro.fsa.machine import make_fsa
 from repro.fsa.simulate import reference_accepts
 from repro.workloads.generators import (
     manifold_strings,
@@ -30,6 +41,13 @@ from repro.workloads.generators import (
 
 #: The acceptance-criterion floor: kernel ≥3× over the reference BFS.
 SPEEDUP_FLOOR = 3.0
+
+#: The kernel-v2 criterion floor: the determinized scan ≥2× the v1
+#: worklist kernel on the unidirectional batch workload.
+V2_SPEEDUP_FLOOR = 2.0
+
+#: Where the v1-vs-v2 trajectory is recorded for the ROADMAP.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 
 def _workloads():
@@ -99,6 +117,115 @@ def test_kernel_speedup_floor():
         )
 
 
+# -- kernel v2: per-fragment batch workloads ---------------------------
+
+
+def _contains_ab_machine():
+    """A nondeterministic unidirectional matcher (contains ``ab``)."""
+    return make_fsa(
+        1,
+        AB,
+        "s",
+        ["f"],
+        [
+            ("s", (LEFT_END,), "scan", (+1,)),
+            ("scan", ("a",), "scan", (+1,)),
+            ("scan", ("b",), "scan", (+1,)),
+            ("scan", ("a",), "saw_a", (+1,)),
+            ("saw_a", ("a",), "saw_a", (+1,)),
+            ("saw_a", ("b",), "win", (+1,)),
+            ("win", ("a",), "win", (+1,)),
+            ("win", ("b",), "win", (+1,)),
+            ("win", (RIGHT_END,), "f", (0,)),
+        ],
+    )
+
+
+def _batch_workloads():
+    """``(name, fragment, machine, rows)`` per-fragment batch workloads.
+
+    One workload per fragment tier — unidirectional (arity 1),
+    right-restricted (lockstep arity 2) — plus a two-way machine as
+    the fallback control: there v2 must transparently equal v1.
+    """
+    unidirectional = _contains_ab_machine()
+    yield "unidirectional-batch", "unidirectional", unidirectional, [
+        (word,)
+        for word in uniform_strings(AB, 512, 64, min_length=32, seed=3)
+    ]
+    eq = compile_string_formula(sh.equals("x", "y"), AB).fsa
+    words = list(uniform_strings(AB, 256, 48, min_length=24, seed=5))
+    yield "right-restricted-batch", "right-restricted", eq, [
+        (word, word if index % 2 else word[::-1])
+        for index, word in enumerate(words)
+    ]
+    manifold = compile_string_formula(sh.manifold("x", "y"), AB).fsa
+    yield "two-way-fallback", None, manifold, [
+        (base * 8, base)
+        for _, base in manifold_strings(
+            AB, count=12, max_base_length=3, max_repeats=1, seed=7
+        )
+    ]
+
+
+def _run_mode(fsa, rows, mode):
+    return kernel_for(fsa, mode).accepts_batch(rows)
+
+
+@pytest.mark.parametrize(
+    "name,fragment,fsa,rows",
+    list(_batch_workloads()),
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_v2_batch_workload(benchmark, name, fragment, fsa, rows):
+    assert classify_fragment(fsa) == fragment
+    verdicts = benchmark(lambda: _run_mode(fsa, rows, "v2"))
+    assert any(verdicts)
+
+
+def _v2_measurements():
+    """The per-workload v1/v2 timings backing the gate and the report."""
+    results = []
+    for name, fragment, fsa, rows in _batch_workloads():
+        expected = _run_mode(fsa, rows, "v1")
+        assert _run_mode(fsa, rows, "v2") == expected, name
+        assert _run_mode(fsa, rows, "auto") == expected, name
+        v1 = _best_of(3, lambda: _run_mode(fsa, rows, "v1"))
+        v2 = _best_of(3, lambda: _run_mode(fsa, rows, "v2"))
+        results.append(
+            {
+                "workload": name,
+                "fragment": fragment,
+                "rows": len(rows),
+                "v1_seconds": round(v1, 4),
+                "v2_seconds": round(v2, 4),
+                "speedup": round(v1 / v2, 2),
+            }
+        )
+    return results
+
+
+def test_kernel_v2_speedup_floor():
+    """Kernel-v2 acceptance criterion: the determinized scan is ≥2×
+    faster than the v1 worklist kernel on the unidirectional batch
+    workload (identical verdicts everywhere, v1 fallback untaxed);
+    the measured trajectory is recorded in ``BENCH_kernel.json``."""
+    results = _v2_measurements()
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {"floor": V2_SPEEDUP_FLOOR, "workloads": results}, indent=2
+        )
+        + "\n"
+    )
+    by_name = {entry["workload"]: entry for entry in results}
+    gated = by_name["unidirectional-batch"]
+    assert gated["v1_seconds"] >= V2_SPEEDUP_FLOOR * gated["v2_seconds"], (
+        f"unidirectional batch: v2 ({gated['v2_seconds'] * 1e3:.2f} ms) "
+        f"not ≥{V2_SPEEDUP_FLOOR}× faster than v1 "
+        f"({gated['v1_seconds'] * 1e3:.2f} ms)"
+    )
+
+
 def main() -> None:
     for name, fsa, rows in _workloads():
         assert _run_kernel(fsa, rows) == _run_reference(fsa, rows)
@@ -108,6 +235,12 @@ def main() -> None:
             f"{name:<10} reference: {reference * 1e3:8.2f} ms   "
             f"kernel: {kernel * 1e3:8.2f} ms   "
             f"speedup: {reference / kernel:5.1f}x"
+        )
+    for entry in _v2_measurements():
+        print(
+            f"{entry['workload']:<24} v1: {entry['v1_seconds'] * 1e3:8.2f} ms   "
+            f"v2: {entry['v2_seconds'] * 1e3:8.2f} ms   "
+            f"speedup: {entry['speedup']:5.1f}x"
         )
 
 

@@ -75,7 +75,12 @@ def _evaluate_select(
             from repro.parallel.generation import filter_accepted
 
             return filter_accepted(
-                machine, sorted(inner), executor=executor
+                machine,
+                sorted(inner),
+                executor=executor,
+                kernel_mode=(
+                    session.kernel_mode if session is not None else "auto"
+                ),
             )
         kernel = (
             session.kernel(machine)

@@ -27,7 +27,11 @@ normalized :mod:`repro.ir` plan — cost estimates, fired rewrite rules
 and the optimized algebra expression — instead of evaluating.
 ``--storage ngram`` (optionally with ``--index-dir``) loads relations
 into the positional n-gram index backend (:mod:`repro.storage`) the
-planner probes for pushed-down selection factors.  All human-readable
+planner probes for pushed-down selection factors.  ``--kernel
+{v1,v2,auto}`` selects the acceptance kernel tier
+(:mod:`repro.fsa.determinize`; the default ``auto`` serves
+in-fragment machines from the determinized v2 scan tables and falls
+back to the v1 worklist kernel otherwise).  All human-readable
 instrumentation goes to stderr so stdout stays a clean tuple stream.
 
 Formulas use the concrete syntax of :mod:`repro.core.parser`.
@@ -92,7 +96,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     formula = parse_formula(args.formula)
     query = Query(tuple(args.head), formula, alphabet)
     tracing = bool(args.trace or args.profile or args.metrics_out)
-    session = QueryEngine(tracer=Tracer() if tracing else None)
+    session = QueryEngine(
+        tracer=Tracer() if tracing else None, kernel_mode=args.kernel
+    )
     if args.explain:
         from repro.ir.explain import explain_query
 
@@ -205,6 +211,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard count for sharded evaluation (default: 4 per worker)",
+    )
+    query.add_argument(
+        "--kernel",
+        choices=("v1", "v2", "auto"),
+        default="auto",
+        help="acceptance-kernel mode (default: auto — the determinized "
+        "scan kernel for machines in the unidirectional / "
+        "right-restricted fragment, the compiled worklist kernel "
+        "otherwise; v1 forces the worklist kernel everywhere; v2 "
+        "requests the scan kernel with transparent v1 fallback). "
+        "Answers are identical for every mode.",
     )
     query.add_argument(
         "--storage",

@@ -64,7 +64,18 @@ class QueryEngine:
         *,
         max_generated_entries: int | None = 4096,
         tracer: "Tracer | NullTracer | None" = None,
+        kernel_mode: str = "auto",
     ) -> None:
+        from repro.fsa.kernel import KERNEL_MODES
+
+        if kernel_mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {kernel_mode!r}; "
+                f"expected one of {KERNEL_MODES}"
+            )
+        #: The session-wide acceptance-kernel mode (``"v1"``, ``"v2"``
+        #: or ``"auto"``); see :func:`repro.fsa.kernel.kernel_for`.
+        self.kernel_mode = kernel_mode
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = EngineStats()
         register = self.stats.register_cache
@@ -180,26 +191,39 @@ class QueryEngine:
             (formula, alphabet, layout), self._activated(build)
         )
 
-    def kernel(self, fsa: "FSA"):
-        """The compiled simulation kernel for ``fsa``, cached structurally.
+    def kernel(self, fsa: "FSA", mode: str | None = None):
+        """The acceptance kernel for ``fsa``, cached structurally.
 
-        Two independently built but equal machines share one
-        :class:`~repro.fsa.kernel.CompiledKernel` per session; the
-        kernel is additionally stashed on the machine instance by
+        Two independently built but equal machines share one kernel
+        per session *and per kernel tier*: cache keys are
+        ``(tier, machine)`` where the tier is ``"v1"`` for the
+        worklist :class:`~repro.fsa.kernel.CompiledKernel` and
+        ``"v2"`` for the determinized
+        :class:`~repro.fsa.determinize.DeterministicKernel`, so a
+        forced-v1 lookup can never collide with a v2 one.  The kernel
+        is additionally stashed on the machine instance by
         :func:`~repro.fsa.kernel.kernel_for`, so the acceptance hot
         paths (the algebra's non-generative selection, the planner's
         row filters) never recompile.
 
         Args:
             fsa: The machine to compile.
+            mode: Kernel mode override; defaults to the session's
+                :attr:`kernel_mode`.
 
         Returns:
-            The session-cached :class:`~repro.fsa.kernel.CompiledKernel`.
+            The session-cached kernel for the resolved mode.
         """
-        from repro.fsa.kernel import kernel_for
+        from repro.fsa.determinize import classify_fragment
+        from repro.fsa.kernel import KERNEL_V1, KERNEL_V2, kernel_for
 
+        resolved = self.kernel_mode if mode is None else mode
+        if resolved == KERNEL_V1 or classify_fragment(fsa) is None:
+            tier = KERNEL_V1
+        else:
+            tier = KERNEL_V2
         return self._kernel.get_or_compute(
-            fsa, self._activated(lambda: kernel_for(fsa))
+            (tier, fsa), self._activated(lambda: kernel_for(fsa, resolved))
         )
 
     def specialized(
@@ -407,21 +431,33 @@ class QueryEngine:
         )
 
     def fused_select(self, first: "FSA", second: "FSA") -> "FSA":
-        """The sequencing product ``seq(first, second)``, cached.
+        """One machine accepting ``L(first) ∩ L(second)``, cached.
 
         The optimizer's selection-fusion rule bottoms out here, so
         repeated queries fusing the same machine pair build the
-        product once per session.
+        product once per session.  When both conjuncts sit inside the
+        Theorem 5.2 fragment (and the session is not pinned to kernel
+        v1) the intersection is built as a determinized scan-table
+        product (:func:`repro.fsa.determinize.lockstep_intersection`)
+        — the fused machine is then itself in fragment, so the whole
+        optimized selection runs as **one linear v2 pass**; otherwise
+        the two-way sequencing product of
+        :func:`repro.fsa.product.sequence_machines` is used.
         """
+        from repro.fsa.determinize import lockstep_intersection
+        from repro.fsa.kernel import KERNEL_V1
         from repro.fsa.product import sequence_machines
 
+        def build() -> "FSA":
+            if self.kernel_mode != KERNEL_V1:
+                fused = lockstep_intersection(first, second)
+                if fused is not None:
+                    return fused
+            return sequence_machines(first, second)
+
         return self._optimize.get_or_compute(
-            ("fuse", first, second),
-            self._staged(
-                "optimize",
-                "optimize.fuse",
-                lambda: sequence_machines(first, second),
-            ),
+            ("fuse", self.kernel_mode == KERNEL_V1, first, second),
+            self._staged("optimize", "optimize.fuse", build),
         )
 
     def minimized_machine(self, fsa: "FSA") -> "FSA":

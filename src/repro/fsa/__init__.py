@@ -2,8 +2,24 @@
 
 from repro.fsa.compile import CompiledFormula, compile_string_formula
 from repro.fsa.decompile import decompile, normalize_for_decompile
+from repro.fsa.determinize import (
+    DeterministicKernel,
+    classify_fragment,
+    determinize,
+    determinized_for,
+    dfa_to_fsa,
+    lockstep_intersection,
+)
 from repro.fsa.generate import accepted_tuples
-from repro.fsa.kernel import CompiledKernel, compile_kernel, kernel_for
+from repro.fsa.kernel import (
+    KERNEL_AUTO,
+    KERNEL_MODES,
+    KERNEL_V1,
+    KERNEL_V2,
+    CompiledKernel,
+    compile_kernel,
+    kernel_for,
+)
 from repro.fsa.machine import FSA, State, Transition, make_fsa, tape_symbol
 from repro.fsa.ops import disregard_tape, drop_tape, permute_tapes, widen
 from repro.fsa.simulate import (
@@ -24,8 +40,18 @@ __all__ = [
     "normalize_for_decompile",
     "accepted_tuples",
     "CompiledKernel",
+    "DeterministicKernel",
+    "KERNEL_AUTO",
+    "KERNEL_MODES",
+    "KERNEL_V1",
+    "KERNEL_V2",
+    "classify_fragment",
     "compile_kernel",
+    "determinize",
+    "determinized_for",
+    "dfa_to_fsa",
     "kernel_for",
+    "lockstep_intersection",
     "FSA",
     "State",
     "Transition",

@@ -1,0 +1,655 @@
+"""Crossing-sequence determinization — Theorem 5.2 as a dense DFA scan.
+
+The compiled kernel (:mod:`repro.fsa.kernel`, "v1") still explores the
+configuration graph with a worklist, one packed integer at a time.
+For the paper's Theorem 5.2 fragment that search is overkill: when no
+head ever moves *left*, the crossing sequences of a computation
+degenerate to single states, so the classical subset construction
+applies and acceptance collapses into **one linear scan** over the
+endmarked input — no worklist, no visited set, no per-configuration
+dispatch.
+
+Two fragment shapes are recognized by :func:`classify_fragment`:
+
+* ``"unidirectional"`` — single-tape machines whose only moves are
+  *stay* and *right* (the paper's unidirectional variables);
+* ``"right-restricted"`` — multitape machines whose transitions move
+  **all** heads right together or keep **all** heads still.  The
+  lockstep restriction keeps every reachable configuration's heads at
+  one shared position, so the tuple of symbols under the heads is a
+  single *column* of the endmarked input tuple and the machine reads
+  its input column-by-column like a one-tape device.
+
+Everything else — any left move, or multitape machines whose heads
+desynchronize — is out of fragment and stays on the v1 worklist
+kernel; :func:`repro.fsa.kernel.kernel_for` falls back transparently
+(counter ``kernel.fallback``).
+
+:func:`determinize` runs an on-the-fly subset construction over the
+*reachable* subsets only (never the ``2^Q`` powerset), with the
+paper's halting acceptance folded in: a subset/column entry whose
+stay-closure contains a final state with **no** enabled transition
+jumps to a sticky ``ACCEPT`` state, and an empty successor subset is
+the sticky ``DEAD`` state.  The result is a
+:class:`DeterministicKernel`: one flat ``array('l')`` transition table
+(premultiplied targets, so a scan step is one add and one index) whose
+batch entry point runs whole candidate batches column-wise.
+
+:func:`lockstep_intersection` multiplies two determinized tables into
+one machine accepting ``L(A) ∩ L(B)`` — the in-fragment replacement
+for the two-way sequencing product of :mod:`repro.fsa.product`, so
+optimized plans whose fused selections stay inside the fragment
+compile to one machine and one pass.
+
+Tracer counters: ``kernel.determinize`` (one per subset construction),
+``kernel.dfa_states`` (DFA states built), ``kernel.v2_hits``
+(instance-cache hits), ``simulate.runs`` and ``simulate.scan_symbols``
+(columns consumed by v2 scans).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+
+from repro.core.alphabet import LEFT_END, RIGHT_END
+from repro.errors import AlphabetError, ArityError
+from repro.fsa.machine import (
+    FSA,
+    LEFT_MOVE,
+    RIGHT_MOVE,
+    STAY,
+    Transition,
+    make_fsa,
+)
+from repro.observability import current_tracer
+
+#: Fragment label for single-tape stay/right machines.
+UNIDIRECTIONAL = "unidirectional"
+
+#: Fragment label for multitape lockstep (all-stay / all-right) machines.
+RIGHT_RESTRICTED = "right-restricted"
+
+#: Cap on transition-table cells (DFA states × columns) built by the
+#: subset construction; beyond it :func:`determinize` declines and the
+#: machine stays on the v1 kernel.
+MAX_DFA_CELLS = 1 << 20
+
+#: Fixed DFA state ids: the sticky reject sink, the sticky accept
+#: sink, and the start subset ``{s}``.
+DEAD, ACCEPT, START = 0, 1, 2
+
+#: Stash attribute for the per-instance determinization verdict.
+_STASH = "_kernel_v2"
+
+#: Stash marker for "determinization declined" (out of fragment or
+#: over the cell budget), so the verdict is computed once per machine.
+_UNSUPPORTED = "unsupported"
+
+
+def classify_fragment(fsa: FSA) -> str | None:
+    """The Theorem 5.2 fragment label of ``fsa``, or ``None``.
+
+    The verdict is *sound*: a non-``None`` label guarantees
+    :func:`determinize`'s scan semantics are exact for the machine
+    (every reachable configuration keeps all heads at one shared,
+    never-decreasing position).
+
+    Args:
+        fsa: The machine to classify.
+
+    Returns:
+        :data:`UNIDIRECTIONAL` for one-tape stay/right machines,
+        :data:`RIGHT_RESTRICTED` for multitape lockstep machines,
+        ``None`` for everything else (including arity-0 machines,
+        whose acceptance has no scan to speak of).
+    """
+    if fsa.arity == 0:
+        return None
+    lockstep = True
+    for transition in fsa.transitions:
+        moves = set(transition.moves)
+        if LEFT_MOVE in moves:
+            return None
+        if len(moves) > 1:
+            lockstep = False
+    if fsa.arity == 1:
+        return UNIDIRECTIONAL
+    return RIGHT_RESTRICTED if lockstep else None
+
+
+class DeterministicKernel:
+    """An in-fragment :class:`~repro.fsa.machine.FSA` as a dense DFA.
+
+    Built by :func:`determinize` (or the caching
+    :func:`determinized_for`).  The whole machine is one flat
+    ``array('l')`` of premultiplied targets: entry
+    ``table[state·ncols + column]`` is ``next_state·ncols``, so a scan
+    step is a single add and index.  State :data:`DEAD` (``0``) is the
+    sticky reject sink, :data:`ACCEPT` (``1``) the sticky accept sink
+    — a row's verdict is simply whether its scan ends in ``ACCEPT``.
+
+    >>> from repro.core.alphabet import AB, LEFT_END, RIGHT_END
+    >>> from repro.fsa.machine import make_fsa
+    >>> contains_ab = make_fsa(1, AB, "s", ["f"], [
+    ...     ("s", (LEFT_END,), "scan", (+1,)),
+    ...     ("scan", ("a",), "scan", (+1,)),
+    ...     ("scan", ("b",), "scan", (+1,)),
+    ...     ("scan", ("a",), "saw_a", (+1,)),
+    ...     ("saw_a", ("b",), "win", (+1,)),
+    ...     ("win", (RIGHT_END,), "f", (0,)),
+    ...     ("win", ("a",), "win", (+1,)),
+    ...     ("win", ("b",), "win", (+1,)),
+    ... ])
+    >>> kernel = determinize(contains_ab)
+    >>> kernel.fragment
+    'unidirectional'
+    >>> kernel.accepts_batch([("ab",), ("ba",), ("aab",), ("",)])
+    (True, False, True, False)
+    """
+
+    __slots__ = (
+        "fsa",
+        "fragment",
+        "arity",
+        "dfa_states",
+        "_ncols",
+        "_symbol_count",
+        "_char_ids",
+        "_table",
+    )
+
+    def __init__(
+        self,
+        fsa: FSA,
+        fragment: str,
+        table: array,
+        ncols: int,
+        symbol_count: int,
+        char_ids: dict[str, int],
+        dfa_states: int,
+    ) -> None:
+        self.fsa = fsa
+        self.fragment = fragment
+        self.arity = fsa.arity
+        self.dfa_states = dfa_states
+        self._ncols = ncols
+        self._symbol_count = symbol_count
+        self._char_ids = char_ids
+        self._table = table
+
+    def __reduce__(self):
+        """Pickle as the underlying machine; re-determinize on load.
+
+        Mirrors :meth:`~repro.fsa.kernel.CompiledKernel.__reduce__`:
+        the dense table is cheap to rebuild, so a kernel crossing a
+        process boundary travels as its machine and re-enters the
+        worker's instance stash on arrival.
+        """
+        return (_rebuild, (self.fsa,))
+
+    # -- input interning -------------------------------------------------
+
+    def _columns(self, inputs: Sequence[str]) -> list[int]:
+        """The packed column word of an endmarked input tuple.
+
+        Column ``n`` packs the symbols under the (synchronized) heads
+        at position ``n``; the scan length is ``min |wᵢ| + 2`` — the
+        lockstep heads can never pass the shortest tape's ``⊣``.
+        Raises :class:`~repro.errors.AlphabetError` for characters
+        outside Σ, exactly like the v1 interning pass.
+        """
+        char_ids = self._char_ids
+        symbol_count = self._symbol_count
+        left = symbol_count - 2
+        right = symbol_count - 1
+        rows = []
+        for content in inputs:
+            try:
+                row = [left]
+                row.extend(char_ids[char] for char in content)
+                row.append(right)
+            except KeyError:
+                for char in content:
+                    if char not in char_ids:
+                        raise AlphabetError(
+                            f"character {char!r} of {content!r} is not in "
+                            f"alphabet {self.fsa.alphabet}"
+                        ) from None
+                raise  # pragma: no cover - unreachable
+            rows.append(row)
+        if self.arity == 1:
+            return rows[0]
+        length = min(len(row) for row in rows)
+        columns = []
+        for position in range(length):
+            packed = 0
+            for row in rows:
+                packed = packed * symbol_count + row[position]
+            columns.append(packed)
+        return columns
+
+    # -- acceptance entry points -----------------------------------------
+
+    def accepts(self, inputs: Sequence[str]) -> bool:
+        """One linear scan: does the machine accept ``inputs``?
+
+        Exactly equivalent to
+        :func:`~repro.fsa.simulate.reference_accepts` (and hence to
+        the v1 kernel), including arity and alphabet validation.  The
+        scan exits early once it hits a sticky sink.
+
+        Args:
+            inputs: One string per tape.
+
+        Returns:
+            The acceptance verdict.
+        """
+        inputs = tuple(inputs)
+        if len(inputs) != self.arity:
+            raise ArityError(
+                f"{self.arity}-FSA fed {len(inputs)} input strings"
+            )
+        columns = self._columns(inputs)
+        table = self._table
+        ncols = self._ncols
+        settled = 2 * ncols
+        state = START * ncols
+        scanned = 0
+        for column in columns:
+            state = table[state + column]
+            scanned += 1
+            if state < settled:
+                break
+        tracer = current_tracer()
+        tracer.add("simulate.runs")
+        tracer.add("simulate.scan_symbols", scanned)
+        return state == ncols
+
+    def accepts_batch(
+        self, rows: Sequence[Sequence[str]]
+    ) -> tuple[bool, ...]:
+        """:meth:`accepts` over a batch of rows, column-wise.
+
+        Rows are validated and interned in one pass, grouped by scan
+        length, and each group is driven through the transition table
+        **column by column**: one list pass per input position updates
+        every row's DFA state with a single add-and-index into the
+        flat ``array('l')`` table.  Rows that hit a sticky sink simply
+        spin there for the remaining columns (one table read each), so
+        the sweep needs no per-row control flow.
+
+        Args:
+            rows: The input tuples, each one string per tape.
+
+        Returns:
+            Per-row verdicts, positionally aligned with ``rows``.
+        """
+        arity = self.arity
+        prepared = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise ArityError(
+                    f"{arity}-FSA fed {len(row)} input strings"
+                )
+            prepared.append(self._columns(row))
+        groups: dict[int, list[int]] = {}
+        for index, columns in enumerate(prepared):
+            groups.setdefault(len(columns), []).append(index)
+        table = self._table
+        ncols = self._ncols
+        accept_code = ACCEPT * ncols
+        start_code = START * ncols
+        verdicts = [False] * len(prepared)
+        scanned = 0
+        for length, members in groups.items():
+            states = [start_code] * len(members)
+            for column in zip(*(prepared[index] for index in members)):
+                states = [
+                    table[state + symbol]
+                    for state, symbol in zip(states, column)
+                ]
+            scanned += length * len(members)
+            for index, state in zip(members, states):
+                verdicts[index] = state == accept_code
+        tracer = current_tracer()
+        tracer.add("simulate.runs", len(prepared))
+        tracer.add("simulate.scan_symbols", scanned)
+        return tuple(verdicts)
+
+
+def _rebuild(fsa: FSA) -> DeterministicKernel:
+    """Unpickle hook: re-enter the worker's instance stash.
+
+    The pickled kernel existed, so the machine is in fragment and
+    within budget; the fresh process just pays one determinization.
+    """
+    kernel = determinized_for(fsa)
+    if kernel is None:  # pragma: no cover - the machine was determinizable
+        raise ArityError(
+            f"machine {fsa} no longer determinizes after unpickling"
+        )
+    return kernel
+
+
+def determinize(
+    fsa: FSA, *, max_cells: int = MAX_DFA_CELLS
+) -> DeterministicKernel | None:
+    """Subset-construct the dense DFA of an in-fragment machine.
+
+    On-the-fly construction: only subsets *reachable* from ``{start}``
+    are built (never the ``2^Q`` powerset), and the table grows one
+    row at a time until the frontier is exhausted or ``max_cells`` is
+    hit.  Acceptance semantics are the paper's halting acceptance: the
+    entry for (subset, column) is the sticky :data:`ACCEPT` state iff
+    the stay-closure of the subset under that column contains a final
+    state with no enabled transition.
+
+    Args:
+        fsa: The machine to determinize.
+        max_cells: Budget on table cells (states × columns).
+
+    Returns:
+        The compiled :class:`DeterministicKernel`, or ``None`` when
+        the machine is out of fragment or the construction would
+        exceed ``max_cells`` — callers then fall back to the v1
+        worklist kernel.
+    """
+    fragment = classify_fragment(fsa)
+    if fragment is None:
+        return None
+    tape_syms = fsa.alphabet.tape_symbols()
+    symbol_count = len(tape_syms)
+    ncols = symbol_count**fsa.arity
+    if 3 * ncols > max_cells:
+        return None
+    tracer = current_tracer()
+    with tracer.span(
+        "compile.determinize",
+        stage="compile",
+        states=len(fsa.states),
+        transitions=fsa.size,
+        fragment=fragment,
+    ):
+        sym_ids = {symbol: index for index, symbol in enumerate(tape_syms)}
+        order = [fsa.start] + sorted(
+            (state for state in fsa.states if state != fsa.start), key=repr
+        )
+        state_ids = {state: index for index, state in enumerate(order)}
+        final = [state in fsa.finals for state in order]
+        stay: dict[tuple[int, int], list[int]] = {}
+        advance: dict[tuple[int, int], list[int]] = {}
+        enabled: set[tuple[int, int]] = set()
+        for transition in fsa.transitions:
+            column = 0
+            for symbol in transition.reads:
+                column = column * symbol_count + sym_ids[symbol]
+            key = (state_ids[transition.source], column)
+            enabled.add(key)
+            target = state_ids[transition.target]
+            if transition.moves[0] == STAY:
+                stay.setdefault(key, []).append(target)
+            else:
+                advance.setdefault(key, []).append(target)
+        # Rows DEAD and ACCEPT are the sticky sinks; START is {start}.
+        table = array("l", [DEAD * ncols] * ncols)
+        table.extend([ACCEPT * ncols] * ncols)
+        start_subset = frozenset([state_ids[fsa.start]])
+        subset_ids: dict[frozenset[int], int] = {
+            frozenset(): DEAD,
+            start_subset: START,
+        }
+        table.extend([-1] * ncols)
+        frontier = [start_subset]
+        while frontier:
+            subset = frontier.pop()
+            base = subset_ids[subset] * ncols
+            for column in range(ncols):
+                closure = set(subset)
+                stack = list(subset)
+                while stack:
+                    state = stack.pop()
+                    for target in stay.get((state, column), ()):
+                        if target not in closure:
+                            closure.add(target)
+                            stack.append(target)
+                if any(
+                    final[state] and (state, column) not in enabled
+                    for state in closure
+                ):
+                    # A reachable halting-final configuration: the
+                    # input is accepted no matter what follows.
+                    table[base + column] = ACCEPT * ncols
+                    continue
+                successors: set[int] = set()
+                for state in closure:
+                    successors.update(advance.get((state, column), ()))
+                successor = frozenset(successors)
+                target_id = subset_ids.get(successor)
+                if target_id is None:
+                    target_id = len(subset_ids) + 1  # ACCEPT has no subset
+                    if (target_id + 1) * ncols > max_cells:
+                        return None
+                    subset_ids[successor] = target_id
+                    table.extend([-1] * ncols)
+                    frontier.append(successor)
+                table[base + column] = target_id * ncols
+        char_ids = {
+            symbol: sym_ids[symbol] for symbol in fsa.alphabet.symbols
+        }
+        dfa_states = len(subset_ids) + 1
+    tracer.add("kernel.determinize")
+    tracer.add("kernel.dfa_states", dfa_states)
+    return DeterministicKernel(
+        fsa, fragment, table, ncols, symbol_count, char_ids, dfa_states
+    )
+
+
+def determinized_for(fsa: FSA) -> DeterministicKernel | None:
+    """The determinized kernel of ``fsa``, cached on the instance.
+
+    Like :func:`~repro.fsa.kernel.kernel_for`, the kernel is stashed
+    via ``object.__setattr__`` so repeat lookups are one attribute
+    read; a "declined" verdict is stashed too, so out-of-fragment
+    machines pay the fragment check once.  The stash is excluded from
+    pickling (:meth:`~repro.fsa.machine.FSA.__getstate__`).
+
+    Args:
+        fsa: The machine whose determinized kernel is wanted.
+
+    Returns:
+        The cached (or freshly built) kernel, or ``None`` when the
+        machine is out of fragment / over budget.
+    """
+    cached = fsa.__dict__.get(_STASH)
+    if cached is not None:
+        if cached == _UNSUPPORTED:
+            return None
+        current_tracer().add("kernel.v2_hits")
+        return cached
+    kernel = determinize(fsa)
+    object.__setattr__(
+        fsa, _STASH, kernel if kernel is not None else _UNSUPPORTED
+    )
+    return kernel
+
+
+# -- decompiling tables back into machines ------------------------------
+
+
+def _decode_column(
+    column: int, arity: int, tape_syms: tuple[str, ...]
+) -> tuple[str, ...]:
+    """The read tuple a packed column id stands for."""
+    symbol_count = len(tape_syms)
+    reads = []
+    for _ in range(arity):
+        column, symbol = divmod(column, symbol_count)
+        reads.append(tape_syms[symbol])
+    reads.reverse()
+    return tuple(reads)
+
+
+def _table_to_fsa(
+    table: array, ncols: int, arity: int, alphabet, explored: int
+) -> FSA:
+    """An :class:`~repro.fsa.machine.FSA` equivalent to a scan table.
+
+    The encoding is exact under halting acceptance: advancing entries
+    become all-right transitions, ``ACCEPT`` entries become all-stay
+    transitions into a single final sink with no outgoing transitions
+    (which therefore halts and accepts), and ``DEAD`` entries are
+    simply omitted (the run halts in a non-final state).  Columns
+    mixing ``⊢`` with other symbols are skipped — lockstep heads see
+    ``⊢`` only at position 0, on every tape at once.
+    """
+    tape_syms = alphabet.tape_symbols()
+    all_stay = (STAY,) * arity
+    all_right = (RIGHT_MOVE,) * arity
+    transitions: list[Transition] = []
+    for state in range(START, explored):
+        base = state * ncols
+        for column in range(ncols):
+            reads = _decode_column(column, arity, tape_syms)
+            if LEFT_END in reads and any(
+                symbol != LEFT_END for symbol in reads
+            ):
+                continue
+            target = table[base + column] // ncols
+            if target == DEAD:
+                continue
+            if target == ACCEPT:
+                transitions.append(
+                    Transition(state, reads, "accept", all_stay)
+                )
+            else:
+                transitions.append(
+                    Transition(state, reads, target, all_right)
+                )
+    return make_fsa(
+        arity,
+        alphabet,
+        START,
+        ["accept"],
+        transitions,
+        extra_states=range(START, explored),
+    )
+
+
+def dfa_to_fsa(kernel: DeterministicKernel) -> FSA:
+    """Decompile a determinized kernel back into a one-way machine.
+
+    The result accepts exactly the kernel's language under the paper's
+    halting acceptance, is itself in fragment (all transitions are
+    all-stay or all-right), and re-determinizes into singleton subsets
+    — it is the DFA in machine clothing.  Used to materialize fused
+    machines for the optimizer (:func:`lockstep_intersection`).
+
+    Args:
+        kernel: The determinized kernel to decompile.
+
+    Returns:
+        The equivalent machine, pruned and renumbered.
+    """
+    machine = _table_to_fsa(
+        kernel._table,
+        kernel._ncols,
+        kernel.arity,
+        kernel.fsa.alphabet,
+        kernel.dfa_states,
+    )
+    return machine.pruned().renumbered()
+
+
+def lockstep_intersection(
+    first: FSA, second: FSA, *, max_cells: int = MAX_DFA_CELLS
+) -> FSA | None:
+    """One in-fragment machine accepting ``L(first) ∩ L(second)``.
+
+    The fragment replacement for the two-way sequencing product
+    (:func:`repro.fsa.product.sequence_machines`): both machines are
+    determinized and their scan tables multiplied — pair state
+    ``(a, b)`` steps both tables at once, dies when either side dies,
+    and accepts when both sides have reached their sticky accept.
+    Because each side's accept is sticky, the pair accepting state is
+    reached exactly when both machines accept the input, even if they
+    accept at different scan positions.  The product is decompiled
+    back into a (one-way, lockstep) machine, so optimized plans fuse
+    to **one machine, one pass** instead of a run–rewind–run chain.
+
+    Args:
+        first: One conjunct machine.
+        second: The other conjunct machine.
+        max_cells: Budget on product-table cells.
+
+    Returns:
+        The intersection machine, or ``None`` when the pair is not
+        fusable this way (mismatched alphabets/arities, either machine
+        out of fragment, or over budget) — callers then fall back to
+        the sequencing product.
+    """
+    if (
+        first.alphabet != second.alphabet
+        or first.arity != second.arity
+        or first.arity == 0
+    ):
+        return None
+    left = determinized_for(first)
+    right = determinized_for(second)
+    if left is None or right is None:
+        return None
+    ncols = left._ncols
+    table_a, table_b = left._table, right._table
+    accept_a = ACCEPT * ncols
+    accept_b = ACCEPT * ncols
+    start = (START * ncols, START * ncols)
+    pair_ids: dict[tuple[int, int], int] = {start: START}
+    table = array("l", [DEAD * ncols] * ncols)
+    table.extend([ACCEPT * ncols] * ncols)
+    table.extend([-1] * ncols)
+    frontier = [start]
+    while frontier:
+        pair = frontier.pop()
+        state_a, state_b = pair
+        base = pair_ids[pair] * ncols
+        for column in range(ncols):
+            next_a = table_a[state_a + column]
+            next_b = table_b[state_b + column]
+            if next_a == DEAD or next_b == DEAD:
+                table[base + column] = DEAD * ncols
+                continue
+            if next_a == accept_a and next_b == accept_b:
+                table[base + column] = ACCEPT * ncols
+                continue
+            successor = (next_a, next_b)
+            target_id = pair_ids.get(successor)
+            if target_id is None:
+                target_id = len(pair_ids) + 2  # DEAD/ACCEPT have no pair
+                if (target_id + 1) * ncols > max_cells:
+                    return None
+                pair_ids[successor] = target_id
+                table.extend([-1] * ncols)
+                frontier.append(successor)
+            table[base + column] = target_id * ncols
+    current_tracer().add("kernel.lockstep_fusions")
+    machine = _table_to_fsa(
+        table, ncols, first.arity, first.alphabet, len(pair_ids) + 2
+    )
+    return machine.pruned().renumbered()
+
+
+__all__ = [
+    "ACCEPT",
+    "DEAD",
+    "DeterministicKernel",
+    "MAX_DFA_CELLS",
+    "RIGHT_RESTRICTED",
+    "START",
+    "UNIDIRECTIONAL",
+    "classify_fragment",
+    "determinize",
+    "determinized_for",
+    "dfa_to_fsa",
+    "lockstep_intersection",
+]

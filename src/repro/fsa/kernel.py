@@ -35,8 +35,19 @@ machine instance itself (``kernel_for``), in
 :class:`~repro.engine.QueryEngine` sessions (the ``kernel`` keyed
 cache) and once per shard in parallel workers.
 
+Since kernel v2 (:mod:`repro.fsa.determinize`), this module is also
+the **mode dispatcher**: :func:`kernel_for` takes a kernel mode —
+:data:`KERNEL_V1` (always the worklist kernel), :data:`KERNEL_V2`
+(determinized scan, or v1 fallback when the machine is out of the
+Theorem 5.2 fragment) or :data:`KERNEL_AUTO` (the default: v2 when
+the fragment detector says yes, v1 otherwise) — and returns whichever
+kernel object will answer ``accepts``/``accepts_batch`` fastest while
+staying exactly equivalent to the reference search.
+
 Tracer counters: ``kernel.compile`` (one per compilation),
-``kernel.hits`` (instance-cache hits), ``simulate.runs`` and
+``kernel.hits`` (instance-cache hits), ``kernel.fallback`` (v2-eligible
+requests answered by v1 because the machine is out of fragment or over
+the DFA budget), ``simulate.runs`` and
 ``simulate.kernel_configurations`` (configurations explored per run).
 """
 
@@ -45,6 +56,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.errors import AlphabetError, ArityError
+from repro.fsa.determinize import DeterministicKernel, determinized_for
 from repro.fsa.machine import FSA
 from repro.observability import current_tracer
 
@@ -52,6 +64,20 @@ from repro.observability import current_tracer
 #: eviction is oldest-first, like :class:`~repro.engine.caches
 #: .KeyedCache`.
 MAX_BINDINGS = 64
+
+#: Kernel mode: always the v1 worklist kernel.
+KERNEL_V1 = "v1"
+
+#: Kernel mode: the determinized v2 scan kernel, falling back to v1
+#: (transparently, counter ``kernel.fallback``) out of fragment.
+KERNEL_V2 = "v2"
+
+#: Kernel mode: v2 when the fragment detector allows it, else v1.
+#: The default everywhere.
+KERNEL_AUTO = "auto"
+
+#: All recognized kernel modes, in precedence order.
+KERNEL_MODES = (KERNEL_V1, KERNEL_V2, KERNEL_AUTO)
 
 #: One bound shape: ``(radii, weights, state_weight, delta_table)``.
 _Binding = tuple[tuple[int, ...], tuple[int, ...], int, dict]
@@ -370,21 +396,42 @@ def compile_kernel(fsa: FSA) -> CompiledKernel:
     return kernel
 
 
-def kernel_for(fsa: FSA) -> CompiledKernel:
-    """The compiled kernel of ``fsa``, cached on the machine instance.
+def kernel_for(
+    fsa: FSA, mode: str = KERNEL_AUTO
+) -> CompiledKernel | DeterministicKernel:
+    """The acceptance kernel of ``fsa`` under ``mode``, instance-cached.
 
-    The kernel is stashed via ``object.__setattr__`` (the same trick
-    the frozen :class:`~repro.fsa.machine.FSA` uses for its adjacency
+    Kernels are stashed via ``object.__setattr__`` (the same trick the
+    frozen :class:`~repro.fsa.machine.FSA` uses for its adjacency
     index), so repeat lookups are one attribute read — no machine
-    hashing on the hot path.  The stash is excluded from pickling;
+    hashing on the hot path.  The stashes are excluded from pickling;
     a worker process compiles once per machine it receives.
+
+    Mode dispatch: :data:`KERNEL_V1` always returns the worklist
+    :class:`CompiledKernel`; :data:`KERNEL_V2` and :data:`KERNEL_AUTO`
+    return the determinized
+    :class:`~repro.fsa.determinize.DeterministicKernel` when the
+    machine is inside the Theorem 5.2 fragment and within the DFA
+    budget, and otherwise fall back to v1 **transparently** — the
+    verdicts are identical either way — bumping the
+    ``kernel.fallback`` counter so the fallback is observable.
 
     Args:
         fsa: The machine whose kernel is wanted.
+        mode: One of :data:`KERNEL_MODES` (default :data:`KERNEL_AUTO`).
 
     Returns:
-        The (possibly freshly compiled) kernel.
+        The (possibly freshly compiled) kernel for ``mode``.
     """
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
+        )
+    if mode != KERNEL_V1:
+        determinized = determinized_for(fsa)
+        if determinized is not None:
+            return determinized
+        current_tracer().add("kernel.fallback")
     kernel = fsa.__dict__.get("_kernel")
     if kernel is not None:
         current_tracer().add("kernel.hits")
@@ -394,4 +441,14 @@ def kernel_for(fsa: FSA) -> CompiledKernel:
     return kernel
 
 
-__all__ = ["CompiledKernel", "compile_kernel", "kernel_for", "MAX_BINDINGS"]
+__all__ = [
+    "CompiledKernel",
+    "DeterministicKernel",
+    "KERNEL_AUTO",
+    "KERNEL_MODES",
+    "KERNEL_V1",
+    "KERNEL_V2",
+    "compile_kernel",
+    "kernel_for",
+    "MAX_BINDINGS",
+]

@@ -119,15 +119,18 @@ class FSA:
         object.__setattr__(self, "_outgoing", index)
 
     def __getstate__(self) -> dict:
-        """Pickle the fields and adjacency index, not the kernel stash.
+        """Pickle the fields and adjacency index, not the kernel stashes.
 
         :func:`repro.fsa.kernel.kernel_for` caches the compiled
-        simulation kernel on the instance; workers rebuild it locally
-        (one compile per machine per process), so shipping it would
-        only inflate shard payloads.
+        simulation kernel on the instance and
+        :func:`repro.fsa.determinize.determinized_for` the determinized
+        v2 kernel (or its "unsupported" verdict); workers rebuild both
+        locally (one compile per machine per process), so shipping
+        them would only inflate shard payloads.
         """
         state = self.__dict__.copy()
         state.pop("_kernel", None)
+        state.pop("_kernel_v2", None)
         return state
 
     # -- observation ----------------------------------------------------

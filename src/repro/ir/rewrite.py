@@ -72,9 +72,21 @@ class RewriteContext:
         self.counts[rule] = self.counts.get(rule, 0) + 1
 
     def fused(self, first: FSA, second: FSA) -> FSA:
-        """``seq(first, second)``, served from the session when present."""
+        """``L(first) ∩ L(second)``, served from the session when present.
+
+        Sessionless fusion mirrors
+        :meth:`repro.engine.QueryEngine.fused_select`: in-fragment
+        pairs fuse through the determinized scan-table product so the
+        result stays a one-pass kernel-v2 machine, everything else
+        through the two-way sequencing product.
+        """
         if self.session is not None:
             return self.session.fused_select(first, second)
+        from repro.fsa.determinize import lockstep_intersection
+
+        fused = lockstep_intersection(first, second)
+        if fused is not None:
+            return fused
         return sequence_machines(first, second)
 
     def minimized(self, machine: FSA) -> FSA:

@@ -128,6 +128,7 @@ def filter_accepted(
     rows: Sequence[tuple[str, ...]],
     *,
     executor: "ParallelExecutor | None" = None,
+    kernel_mode: str = "auto",
 ) -> frozenset[tuple[str, ...]]:
     """The rows accepted by ``fsa`` — sharded when an executor is given.
 
@@ -137,6 +138,9 @@ def filter_accepted(
         executor: Optional :class:`~repro.parallel.ParallelExecutor`;
             when given the acceptance checks are sharded as
             :class:`~repro.parallel.tasks.SimulateShardTask` batches.
+        kernel_mode: Acceptance-kernel mode (``"v1"``, ``"v2"`` or
+            ``"auto"``), forwarded to the kernel dispatcher both
+            in-process and inside shard workers.
 
     Returns:
         The subset of ``rows`` the machine accepts.
@@ -146,15 +150,19 @@ def filter_accepted(
         from repro.fsa.simulate import accepts_batch
 
         # One compiled kernel, one validation pass, shared scratch
-        # buffers for the whole row batch (repro.fsa.kernel).
-        verdicts = accepts_batch(fsa, rows)
+        # buffers for the whole row batch (repro.fsa.kernel) — and
+        # one column-wise table sweep under the v2 scan kernel.
+        verdicts = accepts_batch(fsa, rows, kernel=kernel_mode)
         return frozenset(
             row for row, verdict in zip(rows, verdicts) if verdict
         )
     shards = executor.plan(len(rows))
     tasks = [
         SimulateShardTask(
-            shard, fsa, tuple(rows[shard.start : shard.stop])
+            shard,
+            fsa,
+            tuple(rows[shard.start : shard.stop]),
+            kernel_mode,
         )
         for shard in shards
     ]

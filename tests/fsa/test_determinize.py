@@ -1,0 +1,382 @@
+"""Differential and property tests for the determinized v2 kernel.
+
+The v2 contract has two halves, both enforced here:
+
+* **exactness** — for every machine the fragment detector admits, the
+  determinized scan returns exactly the verdicts of the reference
+  Theorem 3.3 search (`simulate.reference_accepts`), on *exhaustive*
+  ``Σ^{<=l}`` input spaces, not samples;
+* **soundness of the fallback** — machines outside the fragment are
+  never determinized: the detector says ``None``, ``determinize``
+  declines, and ``kernel_for`` transparently answers with the v1
+  worklist kernel while bumping the ``kernel.fallback`` counter.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, LEFT_END, RIGHT_END, Alphabet
+from repro.core.syntax import Var
+from repro.errors import AlphabetError, ArityError
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.determinize import (
+    MAX_DFA_CELLS,
+    RIGHT_RESTRICTED,
+    UNIDIRECTIONAL,
+    DeterministicKernel,
+    classify_fragment,
+    determinize,
+    determinized_for,
+    dfa_to_fsa,
+    lockstep_intersection,
+)
+from repro.fsa.kernel import CompiledKernel, kernel_for
+from repro.fsa.machine import make_fsa
+from repro.fsa.simulate import reference_accepts
+from repro.observability import Tracer, activate
+
+_TAPE_SYMBOLS = AB.tape_symbols()
+_NON_RIGHT_END = tuple(s for s in _TAPE_SYMBOLS if s != RIGHT_END)
+
+
+def _compiled(build):
+    return compile_string_formula(build(Var("x"), Var("y")), AB).fsa
+
+
+def _exhaustive_rows(arity, max_length):
+    pool = list(AB.strings(max_length))
+    if arity == 1:
+        return [(word,) for word in pool]
+    return [(u, v) for u in pool for v in pool]
+
+
+# -- hypothesis strategies ---------------------------------------------
+
+
+@st.composite
+def _in_fragment_machines(draw):
+    """Random unidirectional / right-restricted (lockstep) machines."""
+    arity = draw(st.integers(min_value=1, max_value=2))
+    state_count = draw(st.integers(min_value=1, max_value=4))
+    states = list(range(state_count))
+    finals = draw(st.lists(st.sampled_from(states), max_size=state_count))
+    transitions = []
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        source = draw(st.sampled_from(states))
+        target = draw(st.sampled_from(states))
+        advance = draw(st.booleans())
+        # All-right transitions may not read ⊣ (heads cannot move
+        # right off the endmarker), matching the FSA constructor.
+        symbols = _NON_RIGHT_END if advance else _TAPE_SYMBOLS
+        reads = tuple(
+            draw(st.sampled_from(symbols)) for _ in range(arity)
+        )
+        moves = ((+1 if advance else 0),) * arity
+        transitions.append((source, reads, target, moves))
+    return make_fsa(arity, AB, 0, finals, transitions, extra_states=states)
+
+
+@st.composite
+def _out_of_fragment_machines(draw):
+    """Random machines guaranteed outside the Theorem 5.2 fragment."""
+    arity = draw(st.integers(min_value=1, max_value=2))
+    state_count = draw(st.integers(min_value=1, max_value=4))
+    states = list(range(state_count))
+    finals = draw(st.lists(st.sampled_from(states), max_size=state_count))
+    transitions = []
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        source = draw(st.sampled_from(states))
+        target = draw(st.sampled_from(states))
+        reads = tuple(
+            draw(st.sampled_from(_TAPE_SYMBOLS)) for _ in range(arity)
+        )
+        moves = []
+        for symbol in reads:
+            options = [-1, 0, +1]
+            if symbol == LEFT_END:
+                options.remove(-1)
+            if symbol == RIGHT_END:
+                options.remove(+1)
+            moves.append(draw(st.sampled_from(options)))
+        transitions.append((source, reads, target, tuple(moves)))
+    # Plant one transition that breaks the fragment for sure: a left
+    # move (any arity) or a mixed stay/right move pair (arity 2).
+    source = draw(st.sampled_from(states))
+    target = draw(st.sampled_from(states))
+    if arity == 1 or draw(st.booleans()):
+        reads = tuple(
+            draw(st.sampled_from(("a", "b", RIGHT_END)))
+            for _ in range(arity)
+        )
+        moves = (-1,) + (0,) * (arity - 1)
+    else:
+        reads = tuple(
+            draw(st.sampled_from(_NON_RIGHT_END)) for _ in range(arity)
+        )
+        moves = (0, +1)
+    transitions.append((source, reads, target, moves))
+    return make_fsa(arity, AB, 0, finals, transitions, extra_states=states)
+
+
+# -- the differential property -----------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(fsa=_in_fragment_machines())
+def test_v2_equals_reference_exhaustively(fsa):
+    assert classify_fragment(fsa) is not None
+    kernel = determinize(fsa)
+    assert kernel is not None
+    rows = _exhaustive_rows(fsa.arity, 3 if fsa.arity == 1 else 2)
+    expected = tuple(reference_accepts(fsa, row) for row in rows)
+    assert tuple(kernel.accepts(row) for row in rows) == expected
+    assert kernel.accepts_batch(rows) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(fsa=_out_of_fragment_machines())
+def test_out_of_fragment_falls_back_to_v1(fsa):
+    assert classify_fragment(fsa) is None
+    assert determinize(fsa) is None
+    tracer = Tracer()
+    with activate(tracer):
+        kernel = kernel_for(fsa)
+    assert isinstance(kernel, CompiledKernel)
+    assert tracer.counters["kernel.fallback"] == 1
+    rows = _exhaustive_rows(fsa.arity, 2 if fsa.arity == 1 else 1)
+    for row in rows:
+        assert kernel.accepts(row) == reference_accepts(fsa, row)
+
+
+# -- the fragment detector as an artifact ------------------------------
+
+
+class TestClassifyFragment:
+    def test_paper_shorthand_machines(self):
+        assert classify_fragment(_compiled(sh.equals)) == RIGHT_RESTRICTED
+        assert classify_fragment(_compiled(sh.prefix_of)) == RIGHT_RESTRICTED
+        assert classify_fragment(_compiled(sh.occurs_in)) is None
+        assert classify_fragment(_compiled(sh.manifold)) is None
+
+    def test_single_tape_stay_right_is_unidirectional(self):
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", (LEFT_END,), "scan", (+1,)),
+                ("scan", ("a",), "scan", (+1,)),
+                ("scan", (RIGHT_END,), "f", (0,)),
+            ],
+        )
+        assert classify_fragment(fsa) == UNIDIRECTIONAL
+
+    def test_left_move_disqualifies(self):
+        fsa = make_fsa(
+            1, AB, "s", ["s"], [("s", ("a",), "s", (-1,))]
+        )
+        assert classify_fragment(fsa) is None
+
+    def test_desynchronized_heads_disqualify(self):
+        fsa = make_fsa(
+            2, AB, "s", ["s"], [("s", ("a", "a"), "s", (0, +1))]
+        )
+        assert classify_fragment(fsa) is None
+
+    def test_arity_zero_disqualifies(self):
+        fsa = make_fsa(0, AB, "s", ["f"], [("s", (), "f", ())])
+        assert classify_fragment(fsa) is None
+
+
+class TestDeterminizeCaps:
+    def test_cell_budget_declines(self):
+        fsa = _compiled(sh.equals)
+        assert determinize(fsa, max_cells=8) is None
+
+    def test_default_budget_admits_paper_machines(self):
+        assert MAX_DFA_CELLS >= 1 << 16
+        kernel = determinize(_compiled(sh.equals))
+        assert isinstance(kernel, DeterministicKernel)
+        assert kernel.dfa_states >= 3  # dead, accept, start at least
+
+
+# -- validation parity --------------------------------------------------
+
+
+class TestValidation:
+    def test_arity_error(self):
+        kernel = determinize(_compiled(sh.equals))
+        with pytest.raises(ArityError):
+            kernel.accepts(("a",))
+        with pytest.raises(ArityError):
+            kernel.accepts_batch([("a", "a"), ("a",)])
+
+    def test_alphabet_error(self):
+        kernel = determinize(_compiled(sh.equals))
+        with pytest.raises(AlphabetError):
+            kernel.accepts(("a", "xz"))
+        with pytest.raises(AlphabetError):
+            kernel.accepts_batch([("a", "a"), ("a", "z")])
+
+    def test_endmarker_characters_rejected(self):
+        kernel = determinize(_compiled(sh.equals))
+        with pytest.raises(AlphabetError):
+            kernel.accepts((LEFT_END, LEFT_END))
+        with pytest.raises(AlphabetError):
+            kernel.accepts((RIGHT_END, RIGHT_END))
+
+
+# -- counters and instance caching -------------------------------------
+
+
+class TestCountersAndCache:
+    def test_determinize_counters(self):
+        fsa = _compiled(sh.equals)
+        # compile_string_formula memoizes machines process-wide, so an
+        # earlier test may already have stashed a kernel on this exact
+        # instance; drop it to observe the first-build counters.
+        fsa.__dict__.pop("_kernel_v2", None)
+        tracer = Tracer()
+        with activate(tracer):
+            kernel = determinized_for(fsa)
+            again = determinized_for(fsa)
+        assert again is kernel
+        assert tracer.counters["kernel.determinize"] == 1
+        assert tracer.counters["kernel.dfa_states"] == kernel.dfa_states
+        assert tracer.counters["kernel.v2_hits"] == 1
+
+    def test_scan_symbols_counter(self):
+        kernel = determinize(_compiled(sh.equals))
+        tracer = Tracer()
+        with activate(tracer):
+            kernel.accepts(("ab", "ab"))
+            kernel.accepts_batch([("a", "a"), ("b", "a")])
+        assert tracer.counters["simulate.runs"] == 3
+        assert tracer.counters["simulate.scan_symbols"] >= 3
+
+    def test_unsupported_verdict_is_cached(self):
+        fsa = _compiled(sh.manifold)
+        assert determinized_for(fsa) is None
+        assert fsa.__dict__["_kernel_v2"] == "unsupported"
+        assert determinized_for(fsa) is None  # served from the stash
+
+    def test_forced_v1_never_returns_v2(self):
+        fsa = _compiled(sh.equals)
+        assert isinstance(kernel_for(fsa), DeterministicKernel)
+        assert isinstance(kernel_for(fsa, "v1"), CompiledKernel)
+        assert isinstance(kernel_for(fsa, "v2"), DeterministicKernel)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_for(_compiled(sh.equals), "v3")
+
+
+# -- pickling (the satellite-3 regression) ------------------------------
+
+
+class TestPickling:
+    def test_machine_pickle_drops_v2_stash(self):
+        fsa = _compiled(sh.equals)
+        kernel_for(fsa)  # populates _kernel_v2
+        assert "_kernel_v2" in fsa.__dict__
+        clone = pickle.loads(pickle.dumps(fsa))
+        assert "_kernel_v2" not in clone.__dict__
+        assert "_kernel" not in clone.__dict__
+        assert clone == fsa
+
+    def test_unsupported_stash_dropped_too(self):
+        fsa = _compiled(sh.manifold)
+        kernel_for(fsa)  # stashes the "unsupported" verdict + v1 kernel
+        clone = pickle.loads(pickle.dumps(fsa))
+        assert "_kernel_v2" not in clone.__dict__
+
+    def test_kernel_pickle_travels_as_its_machine(self):
+        kernel = determinized_for(_compiled(sh.prefix_of))
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert isinstance(clone, DeterministicKernel)
+        assert clone.accepts(("ab", "abb"))
+        assert not clone.accepts(("b", "ab"))
+
+
+# -- decompilation and lockstep fusion ---------------------------------
+
+
+class TestDfaToFsa:
+    def test_round_trip_language(self):
+        fsa = _compiled(sh.equals)
+        machine = dfa_to_fsa(determinize(fsa))
+        assert classify_fragment(machine) == RIGHT_RESTRICTED
+        for row in _exhaustive_rows(2, 2):
+            assert reference_accepts(machine, row) == reference_accepts(
+                fsa, row
+            )
+
+    def test_unidirectional_round_trip(self):
+        fsa = make_fsa(
+            1,
+            AB,
+            "s",
+            ["f"],
+            [
+                ("s", (LEFT_END,), "scan", (+1,)),
+                ("scan", ("a",), "scan", (+1,)),
+                ("scan", ("b",), "odd", (+1,)),
+                ("odd", ("b",), "scan", (+1,)),
+                ("odd", ("a",), "odd", (+1,)),
+                ("scan", (RIGHT_END,), "f", (0,)),
+            ],
+        )
+        machine = dfa_to_fsa(determinize(fsa))
+        for row in _exhaustive_rows(1, 4):
+            assert reference_accepts(machine, row) == reference_accepts(
+                fsa, row
+            )
+
+
+class TestLockstepIntersection:
+    def test_intersection_language(self):
+        eq, prefix = _compiled(sh.equals), _compiled(sh.prefix_of)
+        fused = lockstep_intersection(eq, prefix)
+        assert fused is not None
+        assert classify_fragment(fused) == RIGHT_RESTRICTED
+        for row in _exhaustive_rows(2, 2):
+            want = reference_accepts(eq, row) and reference_accepts(
+                prefix, row
+            )
+            assert reference_accepts(fused, row) == want
+
+    def test_out_of_fragment_operand_declines(self):
+        assert (
+            lockstep_intersection(_compiled(sh.equals), _compiled(sh.manifold))
+            is None
+        )
+
+    def test_mismatched_shapes_decline(self):
+        eq = _compiled(sh.equals)
+        other = compile_string_formula(
+            sh.equals(Var("x"), Var("y")), Alphabet("abc")
+        ).fsa
+        assert lockstep_intersection(eq, other) is None
+        one_tape = make_fsa(
+            1, AB, "s", ["s"], [("s", ("a",), "s", (+1,))]
+        )
+        assert lockstep_intersection(eq, one_tape) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(first=_in_fragment_machines(), second=_in_fragment_machines())
+    def test_intersection_property(self, first, second):
+        if first.arity != second.arity:
+            assert lockstep_intersection(first, second) is None
+            return
+        fused = lockstep_intersection(first, second)
+        assert fused is not None
+        rows = _exhaustive_rows(first.arity, 2 if first.arity == 1 else 1)
+        for row in rows:
+            want = reference_accepts(first, row) and reference_accepts(
+                second, row
+            )
+            assert reference_accepts(fused, row) == want, row

@@ -238,16 +238,32 @@ class TestKernelCache:
         assert kernel_for(first) is not kernel_for(second)  # ...per instance
 
     def test_compile_and_hit_counters(self):
+        # The equality machine is in the v2 fragment, so the v1
+        # counters are observed by pinning the mode.
+        fsa = equality_machine()
+        tracer = Tracer()
+        with activate(tracer):
+            kernel_for(fsa, "v1")
+            kernel_for(fsa, "v1")
+            accepts(fsa, ("ab", "ab"), kernel="v1")
+        assert tracer.counters["kernel.compile"] == 1
+        assert tracer.counters["kernel.hits"] == 2
+        assert tracer.counters["simulate.runs"] == 1
+        assert tracer.counters["simulate.kernel_configurations"] > 0
+
+    def test_v2_counters_under_auto_default(self):
         fsa = equality_machine()
         tracer = Tracer()
         with activate(tracer):
             kernel_for(fsa)
             kernel_for(fsa)
             accepts(fsa, ("ab", "ab"))
-        assert tracer.counters["kernel.compile"] == 1
-        assert tracer.counters["kernel.hits"] == 2
+        assert tracer.counters["kernel.determinize"] == 1
+        assert tracer.counters["kernel.dfa_states"] > 0
+        assert tracer.counters["kernel.v2_hits"] == 2
         assert tracer.counters["simulate.runs"] == 1
-        assert tracer.counters["simulate.kernel_configurations"] > 0
+        assert tracer.counters["simulate.scan_symbols"] > 0
+        assert "kernel.compile" not in tracer.counters
 
     def test_pickled_machine_drops_kernel_stash(self):
         fsa = equality_machine()

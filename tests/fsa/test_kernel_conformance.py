@@ -1,0 +1,242 @@
+"""Kernel-mode conformance: v1 ≡ v2 ≡ auto across the whole stack.
+
+The kernel dispatcher's contract is that the kernel mode is *never*
+observable in answers: for every workload generator, every registered
+engine, every ``--kernel`` mode and every worker count, the evaluated
+answer sets must be byte-identical (compared as sorted tuple lists)
+to the v1-pinned naive reference.  This file drives exactly that
+matrix, plus the cache-keying half of the contract — a session's
+kernel :class:`~repro.engine.caches.KeyedCache` must keep v1 and v2
+kernels for one machine under distinct keys — and the pickling half:
+v2 scan tables survive the ``SimulateShardTask`` worker round trip.
+"""
+
+import pytest
+
+from repro.core import shorthands as sh
+from repro.core.alphabet import AB, Alphabet
+from repro.core.query import Query
+from repro.core.syntax import And, Not, Var, exists, lift, rel
+from repro.engine import ParallelEngine, QueryEngine
+from repro.fsa.compile import compile_string_formula
+from repro.fsa.determinize import DeterministicKernel
+from repro.fsa.kernel import KERNEL_MODES, CompiledKernel
+from repro.fsa.simulate import reference_accepts
+from repro.parallel import ParallelExecutor
+from repro.parallel.generation import filter_accepted
+from repro.workloads.generators import (
+    copy_language_strings,
+    example_database,
+    manifold_strings,
+    near_duplicates,
+    uniform_strings,
+    with_planted_motif,
+)
+
+DNA = Alphabet("acgt")
+
+#: The worker counts the conformance matrix must cover.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Every registered engine; ``parallel`` is driven via a configured
+#: :class:`~repro.engine.ParallelEngine` so tiny workloads still cross
+#: real process boundaries.
+ENGINES = ("naive", "planner", "algebra", "parallel", "auto")
+
+
+def _databases():
+    yield "uniform", example_database(AB, seed=3, size=4, max_length=3)
+    yield "motif", example_database(
+        AB,
+        singles=with_planted_motif(AB, "ab", count=5, max_length=3, seed=5),
+        seed=7,
+        size=3,
+        max_length=2,
+    )
+    yield "near-dup", example_database(
+        AB,
+        singles=near_duplicates(AB, "aba", count=4, max_edits=1, seed=11),
+        seed=13,
+        size=3,
+        max_length=3,
+    )
+    yield "copy-lang", example_database(
+        AB,
+        singles=copy_language_strings(count=5, max_half_length=2, seed=9),
+        seed=15,
+        size=3,
+        max_length=2,
+    )
+    yield "manifold", example_database(
+        AB,
+        pairs=manifold_strings(
+            AB, count=4, max_base_length=2, max_repeats=2, seed=21
+        ),
+        seed=17,
+        size=3,
+        max_length=2,
+    )
+    yield "dna", example_database(
+        DNA,
+        singles=uniform_strings(DNA, 3, 2, seed=17),
+        seed=19,
+        size=2,
+        max_length=2,
+    )
+
+
+def _queries(alphabet):
+    # select-prefix exercises the in-fragment (right-restricted) v2
+    # path; generate-concat and the manifold rows keep out-of-fragment
+    # machines (v1 fallback) in the same matrix.
+    yield "select-prefix", Query(
+        ("x", "y"),
+        And(rel("R1", "x", "y"), lift(sh.prefix_of("x", "y"))),
+        alphabet,
+    )
+    yield "join", Query(
+        ("x",),
+        exists("y", And(rel("R1", "x", "y"), rel("R2", "y"))),
+        alphabet,
+    )
+    yield "generate-concat", Query(
+        ("x",),
+        exists(
+            ["y", "z"],
+            And(
+                And(rel("R2", "y"), rel("R2", "z")),
+                lift(sh.concatenation("x", "y", "z")),
+            ),
+        ),
+        alphabet,
+    )
+    yield "negated-filter", Query(
+        ("x", "y"),
+        And(rel("R1", "x", "y"), Not(rel("R2", "y"))),
+        alphabet,
+    )
+
+
+DATABASES = list(_databases())
+DB_PARAMS = [pytest.param(name, db, id=name) for name, db in DATABASES]
+
+#: One long-lived session per kernel mode, so the matrix also
+#: exercises per-mode cache reuse across its cells.
+_SESSIONS = {mode: QueryEngine(kernel_mode=mode) for mode in KERNEL_MODES}
+_REFERENCES: dict = {}
+
+
+def _reference(dbname, qname, query, db, bound):
+    """The v1-pinned naive answer, computed once per (db, query)."""
+    key = (dbname, qname)
+    if key not in _REFERENCES:
+        _REFERENCES[key] = sorted(
+            _SESSIONS["v1"].evaluate(query, db, length=bound, engine="naive")
+        )
+    return _REFERENCES[key]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+@pytest.mark.parametrize("dbname,db", DB_PARAMS)
+def test_conformance_matrix(dbname, db, kernel_mode, workers):
+    """generator × engine × kernel mode × workers: identical answers."""
+    session = _SESSIONS[kernel_mode]
+    bound = db.max_string_length() + 1
+    for qname, query in _queries(db.alphabet):
+        reference = _reference(dbname, qname, query, db, bound)
+        for engine_name in ENGINES:
+            engine = (
+                ParallelEngine(
+                    workers=workers, shards=3, min_parallel_items=1
+                )
+                if engine_name == "parallel"
+                else engine_name
+            )
+            got = sorted(
+                session.evaluate(
+                    query,
+                    db,
+                    length=bound,
+                    engine=engine,
+                    workers=workers,
+                    shards=3,
+                )
+            )
+            assert got == reference, (
+                f"{dbname}/{qname}: engine={engine_name} "
+                f"kernel={kernel_mode} workers={workers} diverges from "
+                f"the v1 naive reference"
+            )
+
+
+# -- session cache keying ----------------------------------------------
+
+
+def _equals_machine():
+    return compile_string_formula(sh.equals(Var("x"), Var("y")), AB).fsa
+
+
+def _manifold_machine():
+    return compile_string_formula(sh.manifold(Var("x"), Var("y")), AB).fsa
+
+
+class TestSessionKernelCacheKeys:
+    def test_v1_and_v2_do_not_collide(self):
+        session = QueryEngine()
+        fsa = _equals_machine()
+        v2 = session.kernel(fsa)
+        v1 = session.kernel(fsa, "v1")
+        assert isinstance(v2, DeterministicKernel)
+        assert isinstance(v1, CompiledKernel)
+        # Stable keys: repeat lookups hit the same per-tier entries.
+        assert session.kernel(fsa) is v2
+        assert session.kernel(fsa, "v1") is v1
+        assert session.kernel(fsa, "v2") is v2
+
+    def test_structural_sharing_within_a_tier(self):
+        session = QueryEngine()
+        first, second = _equals_machine(), _equals_machine()
+        assert first == second
+        assert session.kernel(first) is session.kernel(second)
+        assert session.kernel(first, "v1") is session.kernel(second, "v1")
+
+    def test_out_of_fragment_shares_the_v1_entry(self):
+        # v2/auto requests for an out-of-fragment machine resolve to
+        # the v1 tier, so they share the forced-v1 cache entry
+        # instead of duplicating the kernel under a phantom v2 key.
+        session = QueryEngine()
+        fsa = _manifold_machine()
+        auto = session.kernel(fsa)
+        assert isinstance(auto, CompiledKernel)
+        assert session.kernel(fsa, "v1") is auto
+
+    def test_pinned_v1_session_never_builds_v2(self):
+        session = QueryEngine(kernel_mode="v1")
+        kernel = session.kernel(_equals_machine())
+        assert isinstance(kernel, CompiledKernel)
+
+    def test_invalid_session_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QueryEngine(kernel_mode="fast")
+
+
+# -- worker round trip (the satellite-3 pickle regression) --------------
+
+
+@pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+def test_v2_tables_survive_the_worker_path(kernel_mode):
+    """`SimulateShardTask` ships machines, not tables: verdicts from a
+    2-worker pool must match the reference for every kernel mode."""
+    fsa = _equals_machine()
+    rows = [
+        (u, v) for u in AB.strings(2) for v in AB.strings(2)
+    ]
+    expected = frozenset(
+        row for row in rows if reference_accepts(fsa, row)
+    )
+    executor = ParallelExecutor(workers=2, min_parallel_items=1)
+    got = filter_accepted(
+        fsa, rows, executor=executor, kernel_mode=kernel_mode
+    )
+    assert got == expected

@@ -1,8 +1,9 @@
 """Docstring conventions for the public API, enforced without ruff.
 
 CI runs ``ruff check --select D`` (pydocstyle rules) over
-``src/repro/{engine,parallel,observability,ir,storage}`` and
-``src/repro/fsa/kernel.py``; this test enforces the load-bearing
+``src/repro/{engine,parallel,observability,ir,storage}``,
+``src/repro/fsa/kernel.py`` and ``src/repro/fsa/determinize.py``;
+this test enforces the load-bearing
 subset locally — in environments without ruff — so the convention
 cannot silently rot between CI runs:
 
@@ -26,7 +27,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 SCOPED_PACKAGES = ("engine", "parallel", "observability", "ir", "storage")
 
 #: Individual modules covered in addition to the scoped packages.
-SCOPED_MODULES = ("fsa/kernel.py",)
+SCOPED_MODULES = ("fsa/kernel.py", "fsa/determinize.py")
 
 
 def _scoped_files() -> list[Path]:
