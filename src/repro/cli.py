@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command> …``.
 
-Four subcommands expose the library's main workflows:
+Six subcommands expose the library's main workflows:
 
 * ``check``   — evaluate a string formula on explicit strings::
 
@@ -15,7 +15,20 @@ Four subcommands expose the library's main workflows:
 
 * ``compile`` — show the Theorem 3.1 machine for a string formula
   (text listing or Graphviz DOT);
-* ``limit``   — run the Theorem 5.2 limitation analysis.
+* ``limit``   — run the Theorem 5.2 limitation analysis;
+* ``serve``   — run the long-lived query daemon (:mod:`repro.service`)
+  over one database, with a session pool, cost-based admission
+  control and per-request deadlines::
+
+      python -m repro.cli serve --alphabet ab --db db.json --port 7094
+
+* ``client``  — query a running daemon (or probe it with ``--health``
+  / ``--stats`` / ``--explain``)::
+
+      python -m repro.cli client --port 7094 --head x "R2(x)" --length 3
+
+  See ``docs/service.md`` for the wire protocol and the operations
+  runbook.
 
 ``query`` exposes the observability layer
 (:mod:`repro.observability`): ``--stats`` prints the legacy
@@ -40,6 +53,7 @@ Formulas use the concrete syntax of :mod:`repro.core.parser`.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.alphabet import Alphabet
@@ -158,6 +172,101 @@ def cmd_limit(args: argparse.Namespace) -> int:
     if report.limited:
         print(f"bound:   {report.limit.describe()}")
     return 0 if report.limited else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the query daemon until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal
+
+    from repro.service import QueryService
+
+    alphabet = _alphabet(args.alphabet)
+    factory = None
+    if args.storage != "memory" or args.index_dir:
+        factory = storage_factory(args.storage, index_dir=args.index_dir)
+    database = Database.from_json(args.db, alphabet, storage_factory=factory)
+
+    async def run() -> None:
+        service = QueryService(
+            database,
+            host=args.host,
+            port=args.port,
+            pool_size=args.pool_size,
+            max_cost=args.max_cost,
+            max_queue=args.max_queue,
+            default_deadline=args.deadline,
+            default_workers=args.workers,
+            default_shards=args.shards,
+            kernel_mode=args.kernel,
+            report_log=args.report_log,
+        )
+        await service.start()
+        host, port = service.address
+        print(f"-- serving {args.db} on {host}:{port}", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("-- draining", file=sys.stderr)
+        await service.drain()
+        print("-- drained, bye", file=sys.stderr)
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """One request against a running daemon; rows to stdout."""
+    import json as _json
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        connection = ServiceClient(args.host, args.port, timeout=args.timeout)
+    except OSError as error:
+        raise ServiceError(
+            f"cannot reach {args.host}:{args.port}: {error}"
+        ) from error
+    with connection as client:
+        if args.health:
+            print(_json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.stats:
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if not args.formula:
+            raise ReproError(
+                "a formula is required unless --health or --stats is given"
+            )
+        if args.explain:
+            print(
+                client.explain(
+                    args.formula,
+                    args.head,
+                    length=args.length,
+                    deadline=args.deadline,
+                )
+            )
+            return 0
+        rows = client.query(
+            args.formula,
+            args.head,
+            length=args.length,
+            engine=args.engine,
+            workers=args.workers,
+            shards=args.shards,
+            deadline=args.deadline,
+        )
+        for row in rows:
+            print("\t".join(value if value else "ε" for value in row))
+        print(f"-- {len(rows)} tuple(s)", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -297,6 +406,119 @@ def build_parser() -> argparse.ArgumentParser:
     )
     limit.add_argument("formula")
     limit.set_defaults(handler=cmd_limit)
+
+    from repro.service.pool import DEFAULT_POOL_SIZE
+    from repro.service.protocol import DEFAULT_PORT
+
+    serve = sub.add_parser(
+        "serve", help="run the query daemon (see docs/service.md)"
+    )
+    serve.add_argument("--alphabet", required=True)
+    serve.add_argument("--db", required=True, help="JSON file of relations")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help="concurrently evaluating requests "
+        f"(default {DEFAULT_POOL_SIZE}); all share one warm session",
+    )
+    serve.add_argument(
+        "--max-cost",
+        type=float,
+        default=None,
+        help="admission ceiling on the IR cost estimate (default: "
+        "no cost-based rejection)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="max requests waiting for a slot before 'queue-full' "
+        "rejections (default 64)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds, queue wait "
+        "included (default: none; clients may set their own)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="default worker processes for sharded evaluation",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="default shard count for sharded evaluation",
+    )
+    serve.add_argument(
+        "--kernel", choices=("v1", "v2", "auto"), default="auto"
+    )
+    serve.add_argument(
+        "--storage", choices=STORAGE_KINDS, default="memory"
+    )
+    serve.add_argument("--index-dir", metavar="DIR", default=None)
+    serve.add_argument(
+        "--report-log",
+        metavar="PATH",
+        default=None,
+        help="append one JSON TraceReport line per request to PATH",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="query a running daemon (see docs/service.md)"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=DEFAULT_PORT)
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    client.add_argument(
+        "--head",
+        type=_comma_list,
+        default=[],
+        help="answer variables, comma separated, in order",
+    )
+    client.add_argument("--length", type=int, default=None)
+    client.add_argument(
+        "--engine", choices=available_engines(), default=None
+    )
+    client.add_argument("--workers", type=int, default=None)
+    client.add_argument("--shards", type=int, default=None)
+    client.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="server-side deadline in seconds for this request",
+    )
+    client.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the server's plan explanation instead of rows",
+    )
+    client.add_argument(
+        "--health", action="store_true", help="print the health document"
+    )
+    client.add_argument(
+        "--stats", action="store_true", help="print service statistics"
+    )
+    client.add_argument("formula", nargs="?", default=None)
+    client.set_defaults(handler=cmd_client)
     return parser
 
 
@@ -308,6 +530,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The consumer closed stdout early (e.g. `repro client … | head`);
+        # park stdout on devnull so the interpreter's shutdown flush
+        # doesn't raise again, and exit quietly like other filters do.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

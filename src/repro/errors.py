@@ -85,3 +85,49 @@ class ShardTimeoutError(ParallelExecutionError):
 
 class WorkerCrashError(ParallelExecutionError):
     """A worker process died (rather than raised) on every retry."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service (daemon/client) failures.
+
+    Every error the :mod:`repro.service` layer raises deliberately —
+    protocol violations, admission rejections, expired deadlines —
+    subclasses this, and the wire protocol maps each subclass to a
+    stable machine-readable error code (see
+    :mod:`repro.service.protocol`).
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """A wire frame violated the newline-delimited JSON protocol.
+
+    Covers undecodable JSON, frames that are not objects, frames over
+    the size limit, and requests with missing or malformed fields.
+    """
+
+
+class AdmissionError(ServiceError):
+    """The admission controller refused to run a request.
+
+    Carries a machine-readable ``reason`` (``"cost-exceeded"`` or
+    ``"queue-full"``) plus the offending estimate/threshold, so
+    clients can decide whether to retry, narrow the query, or back
+    off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "cost-exceeded",
+        est_cost: float | None = None,
+        max_cost: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.est_cost = est_cost
+        self.max_cost = max_cost
+
+
+class DeadlineError(ServiceError):
+    """A request missed its deadline (queue wait plus evaluation)."""

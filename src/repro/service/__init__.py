@@ -1,0 +1,77 @@
+"""The query service: an asyncio daemon over warm shared sessions.
+
+Everything below the service — the Theorem 3.1 compiler, the
+acceptance kernels, the IR planner, the storage indexes — is fast
+*once warm*; what used to be missing is a way for many clients to
+share that warmth.  This package fronts the
+:class:`~repro.engine.QueryEngine` layer with a long-running TCP
+daemon:
+
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire
+  format (``query`` / ``batch`` / ``explain`` / ``stats`` /
+  ``health`` ops, stable machine-readable error codes);
+* :mod:`repro.service.pool` — the :class:`SessionPool` multiplexing
+  every client onto one shared warm session under a slot bound;
+* :mod:`repro.service.admission` — cost-based admission control
+  reusing the :mod:`repro.ir` cost estimates;
+* :mod:`repro.service.server` — the asyncio :class:`QueryService`
+  daemon (deadlines, graceful drain, per-request
+  :class:`~repro.observability.TraceReport` emission);
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`.
+
+The CLI wraps both ends as ``repro serve`` and ``repro client``; the
+operations handbook is ``docs/service.md``.
+"""
+
+from repro.service.admission import (
+    REASON_COST,
+    REASON_QUEUE,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.service.client import ServiceClient
+from repro.service.pool import DEFAULT_POOL_SIZE, SessionPool
+from repro.service.protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    OPS,
+    PROTOCOL_SCHEMA,
+    Request,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    rows_from_wire,
+    rows_to_wire,
+)
+from repro.service.server import (
+    QueryService,
+    ServiceHandle,
+    serve_in_thread,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DEFAULT_POOL_SIZE",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_SCHEMA",
+    "QueryService",
+    "REASON_COST",
+    "REASON_QUEUE",
+    "Request",
+    "ServiceClient",
+    "ServiceHandle",
+    "SessionPool",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "rows_from_wire",
+    "rows_to_wire",
+    "serve_in_thread",
+]

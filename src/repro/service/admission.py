@@ -1,0 +1,203 @@
+"""Cost-based admission control: reject expensive plans up front.
+
+A long-running daemon cannot let one pathological query monopolize
+the pool while cheap interactive traffic queues behind it.  The
+admission controller prices every request *before* it runs, reusing
+the exact arithmetic the planner already trusts: the request's
+normalized :class:`~repro.ir.plan.QueryPlan` (served from the shared
+session's ``ir`` cache, so pricing a repeated query is a dict lookup)
+carries the :class:`~repro.ir.cost.CostModel` estimates of each
+branch, and naive-fallback plans are priced at the candidate-space
+size the naive engine would actually enumerate.
+
+Two machine-readable rejection reasons exist (surfaced verbatim in
+the wire protocol's ``admission-rejected`` error):
+
+* :data:`REASON_COST` — the plan's estimated cost exceeds the
+  configured ceiling; retrying will not help, narrow the query;
+* :data:`REASON_QUEUE` — every pool slot is busy and the wait queue
+  is at capacity; backing off and retrying is reasonable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError, SafetyError
+from repro.ir.cost import GENERATION_CEILING, CostModel
+from repro.ir.plan import NaivePlan
+
+#: Rejection reason: the cost estimate exceeds the ceiling.
+REASON_COST = "cost-exceeded"
+
+#: Rejection reason: the wait queue is full.
+REASON_QUEUE = "queue-full"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one request.
+
+    Attributes:
+        admitted: Whether the request may proceed to a pool slot.
+        reason: ``None`` when admitted, else :data:`REASON_COST` or
+            :data:`REASON_QUEUE`.
+        est_cost: The plan-cost estimate (``None`` when no truncation
+            bound was available to price the query).
+        max_cost: The ceiling the estimate was compared against.
+    """
+
+    admitted: bool
+    reason: str | None = None
+    est_cost: float | None = None
+    max_cost: float | None = None
+
+    def raise_if_rejected(self) -> None:
+        """Raise :class:`~repro.errors.AdmissionError` when rejected."""
+        if self.admitted:
+            return
+        if self.reason == REASON_QUEUE:
+            message = "admission queue is full; back off and retry"
+        else:
+            message = (
+                f"estimated plan cost {self.est_cost:.3g} exceeds the "
+                f"admission ceiling {self.max_cost:.3g}"
+            )
+        raise AdmissionError(
+            message,
+            reason=self.reason or REASON_COST,
+            est_cost=self.est_cost,
+            max_cost=self.max_cost,
+        )
+
+
+class AdmissionController:
+    """Prices requests against a cost ceiling and a queue cap.
+
+    Args:
+        max_cost: The plan-cost ceiling; ``None`` disables cost-based
+            rejection (every query is admitted, queue permitting).
+        max_queue: How many requests may *wait* for a pool slot beyond
+            the ones running; ``None`` allows unbounded queueing.
+
+    The controller is stateless apart from its configuration — the
+    server owns the live queue-depth numbers and passes them in — so
+    one instance can serve every connection concurrently.
+    """
+
+    #: The unconditional green light (no estimate, no ceiling).
+    ADMITTED: "AdmissionDecision"
+
+    def __init__(
+        self,
+        max_cost: float | None = None,
+        max_queue: int | None = None,
+    ) -> None:
+        if max_cost is not None and max_cost <= 0:
+            raise ValueError("max_cost must be positive (or None)")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (or None)")
+        self.max_cost = max_cost
+        self.max_queue = max_queue
+
+    # -- cost pricing ---------------------------------------------------
+
+    def estimate(self, session, query, db, length=None) -> float | None:
+        """The cost estimate the request would be admitted under.
+
+        Uses the session-cached normalized plan: conjunctive and union
+        roots are priced at their summed step estimates, naive
+        fallbacks at the ``domain^k`` candidate space the naive engine
+        would enumerate (capped at the cost model's generation
+        ceiling).
+
+        Args:
+            session: The shared :class:`~repro.engine.QueryEngine`.
+            query: The parsed query.
+            db: The served database.
+            length: Explicit truncation bound; ``None`` uses the
+                certified limit when one exists.
+
+        Returns:
+            The estimate, or ``None`` when no bound is available to
+            price against (the query then proceeds straight to
+            evaluation, which raises its own
+            :class:`~repro.errors.SafetyError`).
+        """
+        if length is not None:
+            cap = length
+        else:
+            try:
+                cap = session.certified_length(query, db)
+            except SafetyError:
+                return None
+        plan = session.query_plan(query, db, cap)
+        root = plan.root
+        if isinstance(root, NaivePlan):
+            model = CostModel.for_database(db, query.alphabet, cap)
+            return min(
+                model.domain_size ** max(len(query.head), 1),
+                GENERATION_CEILING,
+            )
+        return float(root.est_cost)
+
+    def assess(self, session, query, db, length=None) -> AdmissionDecision:
+        """Price one query and compare it against the ceiling.
+
+        Args:
+            session: The shared :class:`~repro.engine.QueryEngine`.
+            query: The parsed query.
+            db: The served database.
+            length: Explicit truncation bound, if any.
+
+        Returns:
+            The :class:`AdmissionDecision`; ``admitted`` unless the
+            estimate exceeds ``max_cost``.
+        """
+        estimate = self.estimate(session, query, db, length=length)
+        return self.assess_cost(estimate)
+
+    def assess_cost(self, estimate: float | None) -> AdmissionDecision:
+        """Compare a pre-computed estimate against the ceiling.
+
+        Args:
+            estimate: A cost estimate, or ``None`` for unpriceable
+                requests (always admitted on the cost axis).
+
+        Returns:
+            The :class:`AdmissionDecision`.
+        """
+        if (
+            estimate is not None
+            and self.max_cost is not None
+            and estimate > self.max_cost
+        ):
+            return AdmissionDecision(
+                admitted=False,
+                reason=REASON_COST,
+                est_cost=estimate,
+                max_cost=self.max_cost,
+            )
+        return AdmissionDecision(
+            admitted=True, est_cost=estimate, max_cost=self.max_cost
+        )
+
+    # -- queue capacity -------------------------------------------------
+
+    def assess_queue(self, waiting: int) -> AdmissionDecision:
+        """Decide whether one more request may join the wait queue.
+
+        Args:
+            waiting: Requests currently waiting for a pool slot (not
+                counting the ones already running).
+
+        Returns:
+            Rejected with :data:`REASON_QUEUE` when ``waiting`` has
+            reached ``max_queue``; admitted otherwise.
+        """
+        if self.max_queue is not None and waiting >= self.max_queue:
+            return AdmissionDecision(admitted=False, reason=REASON_QUEUE)
+        return AdmissionDecision(admitted=True)
+
+
+AdmissionController.ADMITTED = AdmissionDecision(admitted=True)

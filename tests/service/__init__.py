@@ -1,0 +1,1 @@
+"""Tests for repro.service: protocol, daemon, admission, equivalence."""

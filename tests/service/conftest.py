@@ -1,0 +1,62 @@
+"""Shared fixtures: a served database, clients, and a slow engine."""
+
+import time
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.engine import (
+    available_engines,
+    register_engine,
+    unregister_engine,
+)
+from repro.service import ServiceClient, serve_in_thread
+
+
+class SleepyEngine:
+    """An engine that sleeps before answering — deterministic slowness.
+
+    Registered process-globally (the server thread resolves engines
+    through the same registry), so deadline and queue tests do not
+    depend on a machine-speed-sensitive workload being slow enough.
+    """
+
+    name = "sleepy"
+    #: Seconds each evaluation sleeps; tests may tune this.
+    delay = 0.5
+
+    def evaluate(self, query, db, session, *, length=None, domain=None):
+        time.sleep(self.delay)
+        return frozenset()
+
+
+@pytest.fixture()
+def sleepy_engine():
+    """The registered slow engine's name (cleaned up afterwards)."""
+    if "sleepy" not in available_engines():
+        register_engine(SleepyEngine())
+    yield "sleepy"
+    unregister_engine("sleepy")
+
+
+@pytest.fixture()
+def db():
+    """The small two-relation database every service test serves."""
+    return Database(
+        AB,
+        {
+            "R1": [("a", "ab"), ("b", "ba")],
+            "R2": [("a",), ("ab",), ("b",)],
+        },
+    )
+
+
+@pytest.fixture()
+def server(db):
+    """A running daemon plus one connected client."""
+    handle = serve_in_thread(db)
+    client = ServiceClient(*handle.address)
+    yield handle, client
+    client.close()
+    handle.stop()

@@ -1,0 +1,99 @@
+"""The admission controller: pricing, ceilings and queue caps."""
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.core.parser import parse_formula
+from repro.core.query import Query
+from repro.engine import QueryEngine
+from repro.errors import AdmissionError
+from repro.ir.cost import GENERATION_CEILING
+from repro.service import (
+    REASON_COST,
+    REASON_QUEUE,
+    AdmissionController,
+)
+
+
+def make_query(text, head=("x",)):
+    return Query(tuple(head), parse_formula(text), AB)
+
+
+@pytest.fixture()
+def session():
+    return QueryEngine()
+
+
+class TestConfiguration:
+    def test_nonpositive_cost_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_cost=0)
+
+    def test_negative_queue_cap_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+    def test_admitted_sentinel(self):
+        assert AdmissionController.ADMITTED.admitted
+        AdmissionController.ADMITTED.raise_if_rejected()
+
+
+class TestCostAxis:
+    def test_no_ceiling_admits_everything(self):
+        controller = AdmissionController()
+        assert controller.assess_cost(1e30).admitted
+
+    def test_unpriceable_estimates_are_admitted(self):
+        controller = AdmissionController(max_cost=1.0)
+        decision = controller.assess_cost(None)
+        assert decision.admitted
+        assert decision.est_cost is None
+
+    def test_ceiling_rejects_with_reason_and_numbers(self):
+        controller = AdmissionController(max_cost=10.0)
+        decision = controller.assess_cost(11.0)
+        assert not decision.admitted
+        assert decision.reason == REASON_COST
+        assert decision.est_cost == 11.0
+        assert decision.max_cost == 10.0
+        with pytest.raises(AdmissionError) as info:
+            decision.raise_if_rejected()
+        assert info.value.reason == REASON_COST
+
+    def test_estimate_prices_relational_queries(self, session, db):
+        controller = AdmissionController()
+        estimate = controller.estimate(
+            session, make_query("R2(x)"), db, length=3
+        )
+        assert estimate is not None
+        assert 0 < estimate <= GENERATION_CEILING
+
+    def test_estimate_is_none_without_any_bound(self, session, db):
+        # Negated atoms defeat the certified-limit analysis, and no
+        # explicit length is given: unpriceable, admitted, and left to
+        # fail (or not) inside evaluation.
+        controller = AdmissionController(max_cost=1e-3)
+        query = make_query("!R2(x)")
+        assert controller.estimate(session, query, db) is None
+        assert controller.assess(session, query, db).admitted
+
+    def test_repeated_pricing_hits_the_plan_cache(self, session, db):
+        controller = AdmissionController()
+        query = make_query("R2(x)")
+        first = controller.estimate(session, query, db, length=3)
+        second = controller.estimate(session, query, db, length=3)
+        assert first == second
+        assert session.stats.caches["ir"].hits >= 1
+
+
+class TestQueueAxis:
+    def test_unbounded_queue(self):
+        controller = AdmissionController()
+        assert controller.assess_queue(10_000).admitted
+
+    def test_cap_rejects_at_capacity(self):
+        controller = AdmissionController(max_queue=2)
+        assert controller.assess_queue(1).admitted
+        decision = controller.assess_queue(2)
+        assert not decision.admitted
+        assert decision.reason == REASON_QUEUE

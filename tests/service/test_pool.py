@@ -1,0 +1,129 @@
+"""The session pool: slot accounting, shared session, honest release."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service import SessionPool
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConfiguration:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionPool(size=0)
+
+    def test_one_shared_session(self):
+        pool = SessionPool(size=3)
+        assert pool.session is pool.session
+        pool.shutdown()
+
+    def test_adopts_a_provided_session(self):
+        from repro.engine import QueryEngine
+
+        session = QueryEngine()
+        pool = SessionPool(size=1, session=session)
+        assert pool.session is session
+        pool.shutdown()
+
+
+class TestSlots:
+    def test_acquire_release_accounting(self):
+        async def scenario():
+            pool = SessionPool(size=2)
+            assert not pool.busy
+            await pool.acquire()
+            await pool.acquire()
+            assert pool.busy
+            assert pool.active == 2
+            assert pool.waiting == 0
+            pool.release()
+            pool.release()
+            assert pool.active == 0
+            assert pool.served == 2
+            pool.shutdown()
+            return pool.stats()
+
+        stats = run(scenario())
+        assert stats["peak_active"] == 2
+        assert stats["peak_waiting"] == 0
+
+    def test_waiters_are_counted_only_when_blocked(self):
+        async def scenario():
+            pool = SessionPool(size=1)
+            await pool.acquire()
+
+            async def contender():
+                await pool.acquire()
+                pool.release()
+
+            task = asyncio.create_task(contender())
+            await asyncio.sleep(0.05)
+            waiting_while_blocked = pool.waiting
+            pool.release()
+            await task
+            pool.shutdown()
+            return waiting_while_blocked, pool.peak_waiting
+
+        blocked, peak = run(scenario())
+        assert blocked == 1
+        assert peak == 1
+
+    def test_run_releases_slot_only_when_thread_finishes(self):
+        """An abandoned evaluation keeps its slot until it completes."""
+        release_gate = threading.Event()
+
+        def slow():
+            release_gate.wait(5.0)
+            return "done"
+
+        async def scenario():
+            pool = SessionPool(size=1)
+            await pool.acquire()
+            future = pool.run(slow)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.shield(future), 0.05)
+            # The coroutine gave up, but the thread still runs: the
+            # slot must remain occupied.
+            assert pool.active == 1
+            release_gate.set()
+            assert await future == "done"
+            deadline = time.monotonic() + 5.0
+            while pool.active and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            assert pool.active == 0
+            assert pool.served == 1
+            pool.shutdown()
+
+        run(scenario())
+
+    def test_run_propagates_exceptions(self):
+        async def scenario():
+            pool = SessionPool(size=1)
+            await pool.acquire()
+
+            def boom():
+                raise ValueError("evaluation failed")
+
+            with pytest.raises(ValueError, match="evaluation failed"):
+                await pool.run(boom)
+            pool.shutdown()
+
+        run(scenario())
+
+    def test_drain_waits_for_active_work(self):
+        async def scenario():
+            pool = SessionPool(size=1)
+            await pool.acquire()
+            future = pool.run(lambda: time.sleep(0.1))
+            await pool.drain()
+            assert pool.active == 0
+            assert future.done()
+            pool.shutdown()
+
+        run(scenario())

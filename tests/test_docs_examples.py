@@ -89,3 +89,4 @@ def test_extractor_sees_the_handbook_examples():
     }
     assert counted.get("architecture.md", 0) >= 1
     assert counted.get("observability.md", 0) >= 1
+    assert counted.get("service.md", 0) >= 1

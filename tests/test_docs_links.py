@@ -1,0 +1,117 @@
+"""Keep the handbook pages honest: every reference must resolve.
+
+Docs drift silently — a renamed module or a moved page leaves dead
+links that no doctest catches.  This module enforces two invariants
+over ``docs/*.md`` and ``README.md``:
+
+* every **markdown link** to a local target resolves to an existing
+  file (relative to the page containing it), and a ``#fragment`` on a
+  markdown page names a real heading there (GitHub anchor slugging);
+* every **``src/repro…`` path** mentioned anywhere in the prose
+  refers to a file or directory that exists in the tree.
+
+External links (``http(s)://``, ``mailto:``) are out of scope — CI
+must not depend on the network.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The pages held to the invariants (same set the doctest runner uses).
+PAGES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+)\)")
+_SRC_PATH = re.compile(r"src/repro[A-Za-z0-9_./-]*[A-Za-z0-9_]")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _without_fences(text: str) -> str:
+    """The page's prose with fenced code blocks blanked out."""
+    kept: list[str] = []
+    inside = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            inside = not inside
+            continue
+        kept.append("" if inside else line)
+    return "\n".join(kept)
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    for line in _without_fences(
+        path.read_text(encoding="utf-8")
+    ).splitlines():
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_github_anchor(match.group(1)))
+    return anchors
+
+
+@pytest.mark.parametrize(
+    "page", PAGES, ids=lambda page: str(page.relative_to(ROOT))
+)
+def test_markdown_links_resolve(page):
+    """Local links point at existing files; fragments at real headings."""
+    prose = _without_fences(page.read_text(encoding="utf-8"))
+    problems: list[str] = []
+    for target in _LINK.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            page if not path_part else (page.parent / path_part).resolve()
+        )
+        if not resolved.exists():
+            problems.append(f"{target!r}: {path_part} does not exist")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                problems.append(
+                    f"{target!r}: no heading for #{fragment} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, (
+        f"dead link(s) in {page.relative_to(ROOT)}:\n  "
+        + "\n  ".join(problems)
+    )
+
+
+@pytest.mark.parametrize(
+    "page", PAGES, ids=lambda page: str(page.relative_to(ROOT))
+)
+def test_mentioned_source_paths_exist(page):
+    """Every ``src/repro…`` path the page cites exists in the tree."""
+    text = page.read_text(encoding="utf-8")
+    missing = sorted(
+        {
+            mention
+            for mention in _SRC_PATH.findall(text)
+            if not (ROOT / mention).exists()
+        }
+    )
+    assert not missing, (
+        f"{page.relative_to(ROOT)} mentions nonexistent source "
+        f"path(s): {missing}"
+    )
+
+
+def test_checker_sees_the_pages():
+    """Guard the checker itself: the handbook pages must be scanned."""
+    names = {page.name for page in PAGES}
+    assert {"architecture.md", "observability.md", "service.md"} <= names
+    assert "README.md" in names

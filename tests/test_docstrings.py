@@ -1,7 +1,7 @@
 """Docstring conventions for the public API, enforced without ruff.
 
 CI runs ``ruff check --select D`` (pydocstyle rules) over
-``src/repro/{engine,parallel,observability,ir,storage}``,
+``src/repro/{engine,parallel,observability,ir,storage,service}``,
 ``src/repro/fsa/kernel.py`` and ``src/repro/fsa/determinize.py``;
 this test enforces the load-bearing
 subset locally — in environments without ruff — so the convention
@@ -24,7 +24,14 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: The packages whose public API the docstring convention covers.
-SCOPED_PACKAGES = ("engine", "parallel", "observability", "ir", "storage")
+SCOPED_PACKAGES = (
+    "engine",
+    "parallel",
+    "observability",
+    "ir",
+    "storage",
+    "service",
+)
 
 #: Individual modules covered in addition to the scoped packages.
 SCOPED_MODULES = ("fsa/kernel.py", "fsa/determinize.py")
