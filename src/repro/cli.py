@@ -23,9 +23,11 @@ Six subcommands expose the library's main workflows:
       python -m repro.cli serve --alphabet ab --db db.json --port 7094
 
 * ``client``  — query a running daemon (or probe it with ``--health``
-  / ``--stats`` / ``--explain``)::
+  / ``--stats`` / ``--explain``, or mutate it with ``--update``)::
 
       python -m repro.cli client --port 7094 --head x "R2(x)" --length 3
+      python -m repro.cli client --port 7094 \
+          --update '{"insert": {"R2": [["bb"]]}}'
 
   See ``docs/service.md`` for the wire protocol and the operations
   runbook.
@@ -240,9 +242,29 @@ def cmd_client(args: argparse.Namespace) -> int:
         if args.stats:
             print(_json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
+        if args.update is not None:
+            try:
+                delta = _json.loads(args.update)
+            except _json.JSONDecodeError as error:
+                raise ReproError(
+                    f"--update must be a JSON object: {error}"
+                ) from error
+            if not isinstance(delta, dict):
+                raise ReproError(
+                    "--update must be a JSON object with 'insert' "
+                    "and/or 'delete' keys"
+                )
+            result = client.update(
+                insert=delta.get("insert"),
+                delete=delta.get("delete"),
+                deadline=args.deadline,
+            )
+            print(_json.dumps(result, indent=2, sort_keys=True))
+            return 0
         if not args.formula:
             raise ReproError(
-                "a formula is required unless --health or --stats is given"
+                "a formula is required unless --health, --stats or "
+                "--update is given"
             )
         if args.explain:
             print(
@@ -379,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="record spans and write the JSON TraceReport "
-        "(schema repro.trace-report/2) to PATH",
+        "(schema repro.trace-report/3) to PATH",
     )
     query.add_argument("formula")
     query.set_defaults(handler=cmd_query)
@@ -516,6 +538,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "--stats", action="store_true", help="print service statistics"
+    )
+    client.add_argument(
+        "--update",
+        metavar="JSON",
+        default=None,
+        help="apply a delta: a JSON object with 'insert' and/or "
+        "'delete' mapping relation names to row lists, e.g. "
+        '\'{"insert": {"R": [["ab", "b"]]}}\'',
     )
     client.add_argument("formula", nargs="?", default=None)
     client.set_defaults(handler=cmd_client)

@@ -13,18 +13,30 @@ storages are adopted as-is — which is what makes functional updates
 O(changed relation).  :meth:`relation` returns a
 :class:`~repro.storage.base.Relation` view that iterates, sizes,
 membership-tests and compares like the frozenset it used to be.
+
+Databases stay immutable under *updates* too: :meth:`Database.apply`
+takes a :class:`~repro.delta.Delta` and returns a **new** version
+sharing every untouched storage, with per-relation monotone version
+counters (:meth:`relation_version`) and a shared :attr:`lineage` id
+that let the engine's caches and materialized answers tell database
+states apart cheaply.  Equality and hashing remain content-based —
+two equal-content databases from different lineages still compare
+equal.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.core.alphabet import Alphabet
 from repro.errors import ArityError, AlphabetError
 from repro.storage import (
     EMPTY_STORAGE,
+    InMemoryStorage,
     Relation,
     RelationStorage,
     StorageFactory,
@@ -32,8 +44,22 @@ from repro.storage import (
     resolve_storage_factory,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delta import Delta
+
 #: Sentinel distinguishing "no default given" in :meth:`Database.arity`.
 _MISSING = object()
+
+#: Process-wide lineage ids: databases related by :meth:`Database.apply`
+#: share one lineage, every other construction starts a fresh one.
+#: ``next`` on an ``itertools.count`` is a single C call, so handing
+#: out ids is atomic under the GIL.
+_LINEAGES = itertools.count(1)
+
+#: Process-wide monotone version ticks.  Every relation touched by an
+#: ``apply`` gets the next tick as its new version, so versions are
+#: strictly increasing along (and unique across) every lineage.
+_VERSION_TICKS = itertools.count(1)
 
 
 class Database:
@@ -45,18 +71,23 @@ class Database:
     (2, 2)
     """
 
-    __slots__ = ("_alphabet", "_relations", "_hash")
+    __slots__ = ("_alphabet", "_relations", "_hash", "_versions", "_lineage")
 
     def __init__(
         self,
         alphabet: Alphabet,
         relations: "Mapping[str, Iterable[tuple[str, ...]] | RelationStorage]",
         storage: "str | StorageFactory | None" = None,
+        *,
+        versions: "Mapping[str, int] | None" = None,
+        lineage: int | None = None,
     ) -> None:
         factory = resolve_storage_factory(storage)
         self._alphabet = alphabet
         self._relations: dict[str, RelationStorage] = {}
         self._hash: int | None = None
+        self._versions: dict[str, int] = dict(versions) if versions else {}
+        self._lineage = lineage if lineage is not None else next(_LINEAGES)
         for name, value in relations.items():
             if is_storage(value):
                 # Adopted storages are pre-validated — the O(changed
@@ -152,8 +183,6 @@ class Database:
         Raises:
             ArityError: If ``name`` already has a different arity.
         """
-        from repro.storage import InMemoryStorage
-
         existing = self._relations.get(name)
         if existing is not None:
             if existing.arity != arity and existing.size() > 0:
@@ -170,6 +199,132 @@ class Database:
     def contains(self, name: str, row: tuple[str, ...]) -> bool:
         """Membership test ``row ∈ db(name)``."""
         return self._relations.get(name, EMPTY_STORAGE).contains(row)
+
+    # -- versioned mutation (repro.delta) -------------------------------
+
+    @property
+    def lineage(self) -> int:
+        """The update-lineage id this version belongs to.
+
+        Databases derived through :meth:`apply` share their ancestor's
+        lineage; every other construction (including
+        :meth:`with_relation` and :meth:`declare`) starts a fresh one.
+        Together with :meth:`relation_version` this lets caches and
+        materialized answers key "which database state" without
+        hashing tuple sets.
+        """
+        return self._lineage
+
+    def relation_version(self, name: str) -> int:
+        """The monotone version counter of relation ``name``.
+
+        Versions start at 0 and advance to a fresh process-wide tick
+        for every relation an :meth:`apply` actually changes, so two
+        different descendants of one database never share a version.
+        """
+        return self._versions.get(name, 0)
+
+    @property
+    def versions(self) -> dict[str, int]:
+        """``{relation: version}`` for every relation in the database."""
+        return {
+            name: self._versions.get(name, 0)
+            for name in self.relation_names
+        }
+
+    def insert(self, name: str, row: Iterable[str]) -> "Database":
+        """Functionally insert one row; see :meth:`apply`.
+
+        >>> from repro.core.alphabet import AB
+        >>> db = Database(AB, {"R": [("a",)]}).insert("R", ("b",))
+        >>> sorted(db.relation("R"))
+        [('a',), ('b',)]
+        """
+        from repro.delta import Delta
+
+        return self.apply(Delta(inserts=((name, tuple(row)),)))
+
+    def delete(self, name: str, row: Iterable[str]) -> "Database":
+        """Functionally delete one row; see :meth:`apply`."""
+        from repro.delta import Delta
+
+        return self.apply(Delta(deletes=((name, tuple(row)),)))
+
+    def apply(self, delta: "Delta") -> "Database":
+        """Apply a :class:`~repro.delta.Delta`, returning a new version.
+
+        Deletes apply before inserts.  Inserted rows are validated
+        against the alphabet and the target relation's arity; deleting
+        an absent row (or from an unknown relation) is a no-op.  Each
+        storage backend derives its successor through its
+        ``apply_delta`` hook when it has one (in-memory and n-gram
+        backends do), falling back to a rebuilt
+        :class:`~repro.storage.InMemoryStorage` otherwise.
+
+        The result shares this database's :attr:`lineage`; every
+        relation that actually changed gets a fresh monotone
+        :meth:`relation_version`.  A net no-op delta returns ``self``
+        unchanged — and unchanged relations keep their exact storage
+        objects, so the update costs O(changed relations), not
+        O(database).
+
+        Args:
+            delta: The canonical insert/delete sets to apply.
+
+        Returns:
+            The new database version (``self`` when nothing changed).
+
+        Raises:
+            ArityError: If inserted rows mix arities or contradict the
+                relation's known arity.
+            AlphabetError: If an inserted string leaves the alphabet.
+        """
+        if delta.is_empty:
+            return self
+        relations = dict(self._relations)
+        versions = dict(self._versions)
+        changed = False
+        for name in delta.relations():
+            inserts = delta.inserts_for(name)
+            deletes = delta.deletes_for(name)
+            self._check_relation(name, frozenset(inserts))
+            current = relations.get(name)
+            if current is None:
+                if not inserts:
+                    continue
+                updated: RelationStorage = InMemoryStorage(inserts)
+            else:
+                if inserts:
+                    want = len(next(iter(inserts)))
+                    known = current.arity
+                    if known != want and (current.size() > 0 or known != 0):
+                        raise ArityError(
+                            f"relation {name!r} has arity {known}, cannot "
+                            f"insert rows of arity {want}"
+                        )
+                apply_hook = getattr(current, "apply_delta", None)
+                if apply_hook is not None:
+                    updated = apply_hook(inserts, deletes)
+                else:
+                    frozen = (current.tuples - deletes) | inserts
+                    if frozen == current.tuples:
+                        continue
+                    updated = InMemoryStorage(
+                        frozen, arity=current.arity or None
+                    )
+                if updated is current:
+                    continue
+            relations[name] = updated
+            versions[name] = next(_VERSION_TICKS)
+            changed = True
+        if not changed:
+            return self
+        return Database(
+            self._alphabet,
+            relations,
+            versions=versions,
+            lineage=self._lineage,
+        )
 
     def max_string_length(self, *names: str) -> int:
         """``max(R, db)`` of the paper's Eq. (2), over the given relations.

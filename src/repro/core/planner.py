@@ -104,7 +104,10 @@ def _decompose_conjunctive(
 
 
 def _join_relational(
-    bindings: list[Binding], literal: _Literal, db: Database
+    bindings: list[Binding],
+    literal: _Literal,
+    db: Database,
+    restrict_rows: frozenset[tuple[str, ...]] | None = None,
 ) -> list[Binding]:
     """Extend bindings with the rows of the literal's relation.
 
@@ -114,15 +117,20 @@ def _join_relational(
     are scanned — the ``index.pruned`` counter records how many rows
     the probe excluded.  Backends without an index (or literals
     without prefilters) scan the full relation, exactly as before.
+
+    ``restrict_rows`` replaces the scanned row set entirely — the
+    semi-naive maintenance hook: incremental re-execution feeds the
+    delta's rows through this one step while every other step sees
+    the full database.
     """
     from repro.observability import current_tracer
     from repro.storage import probe_candidates
 
     atom: RelAtom = literal.atom
     view = db.relation(atom.name)
-    rows = view
+    rows = view if restrict_rows is None else restrict_rows
     prefilter = getattr(literal, "prefilter", ())
-    if prefilter:
+    if prefilter and restrict_rows is None:
         storage = view.storage
         rows_for = getattr(storage, "rows_for", None)
         candidates: frozenset[int] | None = None
@@ -159,6 +167,7 @@ def _filter_bound(
     db: Database,
     alphabet: Alphabet | None = None,
     session=None,
+    restrict_rows: frozenset[tuple[str, ...]] | None = None,
 ) -> list[Binding]:
     """Keep the bindings on which the fully-bound literal holds.
 
@@ -167,16 +176,21 @@ def _filter_bound(
     batch when a ``session`` (and the query ``alphabet``) is available
     — Theorem 3.1 makes machine acceptance coincide with formula
     satisfaction — and fall back to the reference checker otherwise.
+
+    ``restrict_rows`` narrows a *positive* relational membership test
+    to the given rows (the semi-naive maintenance hook); it is never
+    applied to negated or string literals.
     """
     from repro.core.semantics import check_string_formula
 
     out: list[Binding] = []
     if isinstance(literal.atom, RelAtom):
         for binding in bindings:
-            held = db.contains(
-                literal.atom.name,
-                tuple(binding[v] for v in literal.atom.args),
-            )
+            row = tuple(binding[v] for v in literal.atom.args)
+            if restrict_rows is not None and not literal.negated:
+                held = row in restrict_rows
+            else:
+                held = db.contains(literal.atom.name, row)
             if held != literal.negated:
                 out.append(binding)
         return out

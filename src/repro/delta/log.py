@@ -1,0 +1,168 @@
+"""The :class:`Delta` value and the :class:`DeltaLog` batching API.
+
+A delta is the unit of database mutation: two canonical tuples of
+``(relation, row)`` pairs — inserts and deletes — normalized so that
+equal mutations compare equal and a delta can serve as a cache key.
+Application semantics are *deletes first, then inserts*, so a row
+named on both sides is present afterwards; canonicalization therefore
+drops such rows from the delete side, making the two sides disjoint.
+
+:class:`DeltaLog` accumulates individual ``insert``/``delete`` calls
+in arrival order and coalesces them to their net effect: for each
+``(relation, row)`` pair only the *last* operation counts, which is
+exactly what applying the operations one by one would produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+#: One relation row: a tuple of strings over the database alphabet.
+Row = tuple[str, ...]
+
+
+def _canonical_entries(
+    entries: Iterable[tuple[str, Iterable[str]]],
+) -> frozenset[tuple[str, Row]]:
+    return frozenset((name, tuple(row)) for name, row in entries)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An immutable set of row inserts and deletes across relations.
+
+    Attributes:
+        inserts: Sorted, deduplicated ``(relation, row)`` pairs to add.
+        deletes: Sorted, deduplicated ``(relation, row)`` pairs to
+            remove; disjoint from :attr:`inserts` after
+            canonicalization (deletes apply first, so an insert of the
+            same row wins).
+
+    >>> delta = Delta(inserts=(("R", ("ab",)),), deletes=(("R", ("b",)),))
+    >>> delta.relations()
+    ('R',)
+    >>> sorted(delta.inserts_for("R"))
+    [('ab',)]
+    """
+
+    inserts: tuple[tuple[str, Row], ...] = ()
+    deletes: tuple[tuple[str, Row], ...] = ()
+
+    def __post_init__(self) -> None:
+        ins = _canonical_entries(self.inserts)
+        dels = _canonical_entries(self.deletes) - ins
+        object.__setattr__(self, "inserts", tuple(sorted(ins)))
+        object.__setattr__(self, "deletes", tuple(sorted(dels)))
+
+    @classmethod
+    def of(
+        cls,
+        inserts: Mapping[str, Iterable[Row]] | None = None,
+        deletes: Mapping[str, Iterable[Row]] | None = None,
+    ) -> "Delta":
+        """Build a delta from per-relation row mappings.
+
+        Args:
+            inserts: ``{relation: rows}`` to add.
+            deletes: ``{relation: rows}`` to remove.
+
+        Returns:
+            The canonical delta.
+        """
+        return cls(
+            inserts=tuple(
+                (name, tuple(row))
+                for name, rows in (inserts or {}).items()
+                for row in rows
+            ),
+            deletes=tuple(
+                (name, tuple(row))
+                for name, rows in (deletes or {}).items()
+                for row in rows
+            ),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the delta performs no mutation at all."""
+        return not self.inserts and not self.deletes
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def relations(self) -> tuple[str, ...]:
+        """The relation symbols this delta touches, sorted."""
+        return tuple(
+            sorted(
+                {name for name, _ in self.inserts}
+                | {name for name, _ in self.deletes}
+            )
+        )
+
+    def inserts_for(self, name: str) -> frozenset[Row]:
+        """The rows this delta inserts into relation ``name``."""
+        return frozenset(row for rel, row in self.inserts if rel == name)
+
+    def deletes_for(self, name: str) -> frozenset[Row]:
+        """The rows this delta deletes from relation ``name``."""
+        return frozenset(row for rel, row in self.deletes if rel == name)
+
+    @property
+    def size(self) -> int:
+        """Total number of row operations (inserts plus deletes)."""
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass
+class DeltaLog:
+    """A mutable accumulator of row operations, coalesced on build.
+
+    Operations are recorded in arrival order; for each
+    ``(relation, row)`` pair the *last* recorded operation wins, which
+    matches applying them sequentially.  ``insert``/``delete`` return
+    the log itself so calls chain fluently.
+
+    >>> log = DeltaLog()
+    >>> delta = log.insert("R", ("ab",)).delete("R", ("ab",)).build()
+    >>> delta.deletes
+    (('R', ('ab',)),)
+    """
+
+    _ops: dict[tuple[str, Row], bool] = field(default_factory=dict)
+
+    def insert(self, name: str, row: Iterable[str]) -> "DeltaLog":
+        """Record one row insert into relation ``name``."""
+        self._ops[(name, tuple(row))] = True
+        return self
+
+    def delete(self, name: str, row: Iterable[str]) -> "DeltaLog":
+        """Record one row delete from relation ``name``."""
+        self._ops[(name, tuple(row))] = False
+        return self
+
+    def extend(self, delta: Delta) -> "DeltaLog":
+        """Record every operation of ``delta`` (deletes, then inserts)."""
+        for name, row in delta.deletes:
+            self.delete(name, row)
+        for name, row in delta.inserts:
+            self.insert(name, row)
+        return self
+
+    def build(self) -> Delta:
+        """The net-effect :class:`Delta` of everything recorded."""
+        return Delta(
+            inserts=tuple(
+                key for key, is_insert in self._ops.items() if is_insert
+            ),
+            deletes=tuple(
+                key for key, is_insert in self._ops.items() if not is_insert
+            ),
+        )
+
+    def clear(self) -> None:
+        """Forget every recorded operation."""
+        self._ops.clear()
+
+    def __len__(self) -> int:
+        return len(self._ops)

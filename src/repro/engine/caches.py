@@ -13,7 +13,7 @@ reuse instead of guessing at it.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
@@ -28,6 +28,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     seconds: float = 0.0
+    invalidated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -45,13 +46,14 @@ class CacheStats:
 
         Returns:
             A JSON-friendly dict with the counter values (``hit_rate``
-            rounded to four decimals).
+            rounded to four decimals) plus the invalidation count.
         """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
             "seconds": self.seconds,
+            "invalidated": self.invalidated,
         }
 
 
@@ -63,23 +65,41 @@ class KeyedCache:
     for the repeated-query traffic the engine targets.  ``None`` values
     are cached like any other result (limit reports legitimately derive
     to "no bound certifiable").
+
+    Entries may carry *relation dependencies* — the ``(name, version)``
+    pairs of the database relations they were computed against — via
+    the ``depends`` argument of :meth:`get_or_compute` / :meth:`store`.
+    :meth:`invalidate_relations` then evicts exactly the entries whose
+    dependencies intersect an updated relation set, so a delta to one
+    relation leaves entries for every other relation warm.  Entries
+    stored without dependencies (compiled machines, specializations —
+    pure functions of the formula) are never invalidated.
     """
 
-    __slots__ = ("name", "stats", "_store", "_max_entries")
+    __slots__ = ("name", "stats", "_store", "_max_entries", "_depends")
 
     def __init__(self, name: str, max_entries: int | None = None) -> None:
         self.name = name
         self.stats = CacheStats()
         self._store: dict[Hashable, Any] = {}
         self._max_entries = max_entries
+        self._depends: dict[Hashable, tuple[tuple[str, int], ...]] = {}
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+    def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        depends: tuple[tuple[str, int], ...] | None = None,
+    ) -> Any:
         """Return the cached value for ``key``, computing it on a miss.
 
         Args:
             key: The (hashable, structural) cache key.
             compute: Zero-argument callable producing the value; its
                 wall-clock time is accounted as miss seconds.
+            depends: Optional ``(relation, version)`` dependencies
+                recorded on a miss, consumed by
+                :meth:`invalidate_relations`.
 
         Returns:
             The cached or freshly computed value.
@@ -92,12 +112,7 @@ class KeyedCache:
         value = compute()
         self.stats.seconds += perf_counter() - started
         self.stats.misses += 1
-        if (
-            self._max_entries is not None
-            and len(self._store) >= self._max_entries
-        ):
-            self._store.pop(next(iter(self._store)))
-        self._store[key] = value
+        self._insert(key, value, depends)
         return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
@@ -115,23 +130,69 @@ class KeyedCache:
         self.stats.hits += 1
         return value
 
-    def store(self, key: Hashable, value: Any, seconds: float = 0.0) -> Any:
+    def store(
+        self,
+        key: Hashable,
+        value: Any,
+        seconds: float = 0.0,
+        depends: tuple[tuple[str, int], ...] | None = None,
+    ) -> Any:
         """Insert an externally computed value (a worker's result).
 
         Accounted as a miss — the value *was* computed, just not by
         this process — with ``seconds`` of compute time attributed.
-        Re-storing an existing key only refreshes the value.
+        Re-storing an existing key refreshes the value (and its
+        recorded dependencies).
         """
         if key not in self._store:
             self.stats.misses += 1
             self.stats.seconds += seconds
-            if (
-                self._max_entries is not None
-                and len(self._store) >= self._max_entries
-            ):
-                self._store.pop(next(iter(self._store)))
-        self._store[key] = value
+        self._insert(key, value, depends)
         return value
+
+    def _insert(
+        self,
+        key: Hashable,
+        value: Any,
+        depends: tuple[tuple[str, int], ...] | None,
+    ) -> None:
+        if (
+            self._max_entries is not None
+            and key not in self._store
+            and len(self._store) >= self._max_entries
+        ):
+            evicted = next(iter(self._store))
+            self._store.pop(evicted)
+            self._depends.pop(evicted, None)
+        self._store[key] = value
+        if depends:
+            self._depends[key] = depends
+        else:
+            self._depends.pop(key, None)
+
+    def invalidate_relations(self, names: Iterable[str]) -> int:
+        """Evict every entry depending on any relation in ``names``.
+
+        Args:
+            names: The updated relation symbols.
+
+        Returns:
+            The number of entries evicted (also accumulated onto
+            ``stats.invalidated``).
+        """
+        updated = set(names)
+        if not updated or not self._depends:
+            return 0
+        doomed = [
+            key
+            for key, depends in self._depends.items()
+            if any(name in updated for name, _ in depends)
+        ]
+        for key in doomed:
+            self._store.pop(key, None)
+            self._depends.pop(key, None)
+        self.stats.invalidated += len(doomed)
+        return len(doomed)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -142,6 +203,7 @@ class KeyedCache:
     def clear(self) -> None:
         """Drop every entry (the stats are deliberately kept)."""
         self._store.clear()
+        self._depends.clear()
 
 
 @dataclass
@@ -237,11 +299,14 @@ class EngineStats:
         lines = []
         for name in sorted(self.caches):
             stats = self.caches[name]
-            lines.append(
+            line = (
                 f"cache {name:<10} hits={stats.hits:<6} "
                 f"misses={stats.misses:<6} hit_rate={stats.hit_rate:.0%} "
                 f"miss_seconds={stats.seconds:.4f}"
             )
+            if stats.invalidated:
+                line += f" invalidated={stats.invalidated}"
+            lines.append(line)
         for name in sorted(self.evaluations):
             lines.append(
                 f"engine {name:<9} runs={self.evaluations[name]:<6} "

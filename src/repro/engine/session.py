@@ -28,7 +28,12 @@ from repro.core.database import Database
 from repro.engine.caches import EngineStats, KeyedCache
 from repro.engine.registry import Engine, get_engine
 from repro.errors import SafetyError
-from repro.observability import NULL_TRACER, TraceReport, activate
+from repro.observability import (
+    NULL_TRACER,
+    TraceReport,
+    activate,
+    current_tracer,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.algebra.expressions import Expression
@@ -96,6 +101,16 @@ class QueryEngine:
         # reserved enumeration floors so batches enumerate once.
         self._domains: dict[Alphabet, tuple[int, tuple[str, ...]]] = {}
         self._domain_floor: dict[Alphabet, int] = {}
+        from repro.delta.materialize import MaterializedStore
+
+        #: Materialized answers maintained under deltas (repro.delta).
+        self._materialized = register(MaterializedStore())
+        # The (relation, version) dependencies of the evaluation in
+        # flight; cache writes made while it is set are tagged so
+        # invalidate_relations can evict exactly the dependent entries.
+        self._dep_context: tuple[tuple[str, int], ...] | None = None
+        # alphabet -> relation names whose databases fed domain sizing.
+        self._domain_deps: dict[Alphabet, set[str]] = {}
 
     # -- tracing helpers -------------------------------------------------
 
@@ -260,6 +275,7 @@ class QueryEngine:
                 "execute.generate",
                 lambda: accepted_tuples(machine, max_length=max_length),
             ),
+            depends=self._dep_context,
         )
 
     def peek_generated(
@@ -284,7 +300,9 @@ class QueryEngine:
         answers: frozenset[tuple[str, ...]],
     ) -> None:
         """Fold a worker-computed answer set back into the cache."""
-        self._generate.store((fsa, max_length, fixed_key), answers)
+        self._generate.store(
+            (fsa, max_length, fixed_key), answers, depends=self._dep_context
+        )
 
     def limit_report(
         self, formula: "Formula", alphabet: Alphabet
@@ -320,6 +338,7 @@ class QueryEngine:
                     compiler=self.compile,
                 )
             ),
+            depends=self._dep_context,
         )
 
     def plan(self, formula: "Formula"):
@@ -386,7 +405,7 @@ class QueryEngine:
                     span.set(fallback=plan.fallback_reason)
                 return plan
 
-        return self._ir.get_or_compute(key, compute)
+        return self._ir.get_or_compute(key, compute, depends=self._dep_context)
 
     def optimized_translation(self, query: "Query"):
         """The rewritten algebra expression plus fired rules, cached.
@@ -507,6 +526,156 @@ class QueryEngine:
             )
         return report.bound(db)
 
+    # -- deltas and materialized answers (repro.delta) ------------------
+
+    def _relation_deps(
+        self, query: "Query", db: Database
+    ) -> tuple[tuple[str, int], ...]:
+        """The ``(relation, version)`` pairs ``query`` depends on in ``db``."""
+        from repro.core.syntax import relation_names
+
+        return tuple(
+            (name, db.relation_version(name))
+            for name in sorted(relation_names(query.formula))
+        )
+
+    def invalidate_relations(self, names: Sequence[str]) -> int:
+        """Evict cache entries that depended on the named relations.
+
+        Only the relation-dependent caches are touched — generated
+        answer sets, normalized query plans, algebra translations and
+        the domain pool; compiled machines, kernels, specializations
+        and limit reports are pure functions of formulae and survive
+        every update.  Each eviction batch is recorded as a
+        ``cache.invalidate.<cache>`` counter.
+
+        Args:
+            names: The updated relation symbols.
+
+        Returns:
+            The total number of evicted entries.
+        """
+        tracer = self.tracer if self.tracer.enabled else current_tracer()
+        evicted = 0
+        for cache in (self._generate, self._ir, self._translate):
+            count = cache.invalidate_relations(names)
+            if count:
+                tracer.add(f"cache.invalidate.{cache.name}", count)
+            evicted += count
+        updated = set(names)
+        for alphabet in [
+            alphabet
+            for alphabet, deps in self._domain_deps.items()
+            if deps & updated
+        ]:
+            del self._domain_deps[alphabet]
+            if alphabet in self._domains:
+                del self._domains[alphabet]
+                self._domain_stats.invalidated += 1
+                tracer.add("cache.invalidate.domain")
+                evicted += 1
+        return evicted
+
+    def apply_delta(self, db: Database, delta) -> Database:
+        """Apply ``delta`` to ``db`` and keep this session consistent.
+
+        One call does the whole mutation path: derives the new
+        database version, evicts exactly the cache entries that
+        depended on the touched relations, and incrementally maintains
+        the materialized answers.  Recorded under the ``delta`` stage.
+
+        Args:
+            db: The database version to update.
+            delta: The :class:`repro.delta.Delta` to apply.
+
+        Returns:
+            The new database version (``db`` itself for a no-op).
+        """
+        if delta.is_empty:
+            return db
+        # An ambient tracer (e.g. the service's per-request tracer)
+        # records the update when the session itself has none.
+        tracer = self.tracer if self.tracer.enabled else current_tracer()
+        if not tracer.enabled:
+            return self._apply_delta(db, delta)
+        with activate(tracer), tracer.span(
+            "delta.apply", stage="delta", operations=delta.size
+        ):
+            return self._apply_delta(db, delta)
+
+    def _apply_delta(self, db: Database, delta) -> Database:
+        updated = db.apply(delta)
+        if updated is db:
+            return db
+        touched = delta.relations()
+        tracer = current_tracer()
+        tracer.add("delta.applied")
+        self.invalidate_relations(touched)
+        with tracer.span(
+            "delta.maintain", stage="delta", relations=len(touched)
+        ):
+            self._materialized.maintain(db, updated, delta, self)
+        return updated
+
+    def _materialized_key(self, query: "Query", length: int | None):
+        return (query.formula, query.head, query.alphabet, length)
+
+    def _materialize_miss(
+        self, query: "Query", db: Database, length: int | None
+    ) -> frozenset[tuple[str, ...]] | None:
+        """Materialize ``query`` at ``db``'s version, if its plan allows.
+
+        Returns ``None`` when the plan degrades to a naive root — the
+        caller falls through to a normal (unmaterialized) evaluation,
+        which is the documented fallback rule.
+        """
+        from repro.core.syntax import RelAtom, relation_names
+        from repro.delta.materialize import MaterializedAnswer
+        from repro.ir.execute import execute_branch
+
+        explicit = length is not None
+        cap = length if explicit else self.certified_length(query, db)
+        plan = self.query_plan(query, db, cap)
+        if plan.fallback_reason is not None:
+            self.note_rejection(plan)
+            self.tracer.add("delta.materialize.naive_fallback")
+            return None
+        branch_rows = tuple(
+            execute_branch(
+                branch, plan.head, db, query.alphabet, cap, self
+            )
+            for branch in plan.branches()
+        )
+        answer = (
+            frozenset().union(*branch_rows) if branch_rows else frozenset()
+        )
+        names = set(relation_names(query.formula))
+        for branch in plan.branches():
+            for step in branch.steps:
+                if isinstance(step.atom, RelAtom):
+                    names.add(step.atom.name)
+        relations = tuple(sorted(names))
+        self._materialized.put(
+            MaterializedAnswer(
+                key=self._materialized_key(query, length),
+                plan=plan,
+                alphabet=query.alphabet,
+                cap=cap,
+                explicit=explicit,
+                lineage=db.lineage,
+                versions=tuple(
+                    (name, db.relation_version(name)) for name in relations
+                ),
+                relations=relations,
+                max_lengths={
+                    name: db.max_string_length(name) for name in relations
+                },
+                branch_rows=branch_rows,
+                answer=answer,
+            )
+        )
+        return answer
+
     # -- the shared Σ^{<=l} domain pool ---------------------------------
 
     def reserve_domain(self, alphabet: Alphabet, length: int) -> None:
@@ -529,6 +698,10 @@ class QueryEngine:
         """
         if length < 0:
             return ()
+        if self._dep_context:
+            self._domain_deps.setdefault(alphabet, set()).update(
+                name for name, _ in self._dep_context
+            )
         cached = self._domains.get(alphabet)
         if cached is not None and cached[0] >= length:
             self._domain_stats.hits += 1
@@ -560,6 +733,7 @@ class QueryEngine:
         domain: Sequence[str] | None = None,
         workers: int | None = None,
         shards: int | None = None,
+        materialize: bool = False,
     ) -> frozenset[tuple[str, ...]]:
         """Evaluate one query through a registered strategy.
 
@@ -571,28 +745,64 @@ class QueryEngine:
         strategies ignore the hint — the answer set never depends on
         it.  See :meth:`repro.core.query.Query.evaluate` for the
         semantics of ``length`` and ``domain``.
+
+        With ``materialize=True`` the session keeps a
+        :class:`~repro.delta.MaterializedAnswer` for the query:
+        re-evaluating at the same database version is a pure
+        lineage-and-versions lookup, and :meth:`apply_delta` maintains
+        the stored answer incrementally.  Queries whose plan degrades
+        to a naive root (and calls passing an explicit ``domain``)
+        fall through to a normal evaluation — the answer never
+        depends on the flag.
         """
-        strategy = get_engine(engine)
-        if workers is not None or shards is not None:
-            configured = getattr(strategy, "configured", None)
-            if configured is not None:
-                strategy = configured(workers=workers, shards=shards)
-        fixed_domain = tuple(domain) if domain is not None else None
-        started = perf_counter()
-        tracer = self.tracer
-        if tracer.enabled:
-            with activate(tracer), tracer.span(
-                "engine.evaluate", engine=strategy.name, head=len(query.head)
-            ):
+        if materialize and domain is None:
+            started = perf_counter()
+            entry = self._materialized.lookup(
+                self._materialized_key(query, length), db
+            )
+            if entry is not None:
+                self.stats.record_evaluation(
+                    "materialized", perf_counter() - started
+                )
+                return entry.answer
+        previous = self._dep_context
+        self._dep_context = self._relation_deps(query, db)
+        try:
+            if materialize and domain is None:
+                started = perf_counter()
+                answer = self._materialize_miss(query, db, length)
+                if answer is not None:
+                    self.stats.record_evaluation(
+                        "materialized", perf_counter() - started
+                    )
+                    return answer
+            strategy = get_engine(engine)
+            if workers is not None or shards is not None:
+                configured = getattr(strategy, "configured", None)
+                if configured is not None:
+                    strategy = configured(workers=workers, shards=shards)
+            fixed_domain = tuple(domain) if domain is not None else None
+            started = perf_counter()
+            tracer = self.tracer
+            if tracer.enabled:
+                with activate(tracer), tracer.span(
+                    "engine.evaluate",
+                    engine=strategy.name,
+                    head=len(query.head),
+                ):
+                    result = strategy.evaluate(
+                        query, db, self, length=length, domain=fixed_domain
+                    )
+            else:
                 result = strategy.evaluate(
                     query, db, self, length=length, domain=fixed_domain
                 )
-        else:
-            result = strategy.evaluate(
-                query, db, self, length=length, domain=fixed_domain
+            self.stats.record_evaluation(
+                strategy.name, perf_counter() - started
             )
-        self.stats.record_evaluation(strategy.name, perf_counter() - started)
-        return result
+            return result
+        finally:
+            self._dep_context = previous
 
     def evaluate_many(
         self,
@@ -603,6 +813,7 @@ class QueryEngine:
         engine: "str | Engine" = "auto",
         workers: int | None = None,
         shards: int | None = None,
+        materialize: bool = False,
     ) -> list[frozenset[tuple[str, ...]]]:
         """Evaluate a batch of queries against one database.
 
@@ -611,8 +822,8 @@ class QueryEngine:
         pre-resolves every member's truncation bound so the ``Σ^{<=l}``
         pool is enumerated at most once per alphabet, at the batch
         maximum, with each query's domain a prefix slice of it.
-        ``workers``/``shards`` are forwarded to every member
-        evaluation.  Results are returned in query order.
+        ``workers``/``shards`` and ``materialize`` are forwarded to
+        every member evaluation.  Results are returned in query order.
         """
         for query in queries:
             if length is not None:
@@ -630,6 +841,7 @@ class QueryEngine:
                 engine=engine,
                 workers=workers,
                 shards=shards,
+                materialize=materialize,
             )
             for query in queries
         ]

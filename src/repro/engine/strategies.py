@@ -35,6 +35,16 @@ naive fallbacks are observable in ``--stats`` and as
 Sharding-capable strategies expose ``configured(workers=…, shards=…)``
 returning a parameterized copy; ``QueryEngine.evaluate(workers=…)``
 uses that hook, so unconfigured strategies keep working untouched.
+
+Orthogonally to the strategy choice,
+``QueryEngine.evaluate(materialize=True)`` keeps a
+:class:`~repro.delta.MaterializedAnswer` per (query, database
+version): re-evaluation at an unchanged version bypasses every
+strategy with a version-vector lookup, and
+``QueryEngine.apply_delta`` maintains the stored answer branch by
+branch.  The answer set never depends on the flag — queries whose
+plan degrades to a naive root simply fall through to the strategy
+path.
 """
 
 from __future__ import annotations

@@ -188,3 +188,28 @@ class CostModel:
             The ``(cost, rows_after)`` estimates.
         """
         return rows, max(rows * FILTER_SELECTIVITY, 1.0)
+
+
+def semi_naive_estimate(branch, delta_size: int) -> float:
+    """Estimated cost of one delta-restricted re-execution of ``branch``.
+
+    Restricting one relational step to a delta's rows scales the
+    binding flow through the branch by roughly ``|Δ| / est_rows``;
+    :meth:`repro.delta.MaterializedStore.maintain` compares this
+    against the branch's full ``est_cost`` and recomputes from scratch
+    when the delta is large enough that restriction buys nothing.
+
+    Args:
+        branch: A :class:`~repro.ir.plan.ConjunctivePlan`.
+        delta_size: The number of delta rows fed through the
+            restricted step.
+
+    Returns:
+        The estimated restricted-run cost, in the same (unitless)
+        currency as ``branch.est_cost``.
+    """
+    if not branch.steps:
+        return float(delta_size)
+    rows = max(branch.est_rows, 1.0)
+    scale = min(1.0, delta_size / rows)
+    return branch.est_cost * scale + delta_size

@@ -39,6 +39,7 @@ def execute_branch(
     session=None,
     executor=None,
     domain: tuple[str, ...] | None = None,
+    restrict: "dict[int, frozenset[tuple[str, ...]]] | None" = None,
 ) -> frozenset[tuple[str, ...]]:
     """Run one conjunctive branch and project to the full head.
 
@@ -54,6 +55,11 @@ def execute_branch(
             sharding the generate steps.
         domain: The padding domain for head variables the branch does
             not mention; defaults to ``Σ^{≤cap}``.
+        restrict: Step-index → row-set overrides for positive
+            relational steps — the semi-naive maintenance hook
+            (:meth:`repro.delta.MaterializedStore.maintain`): the
+            restricted step scans only the given rows while every
+            other step runs against the full database.
 
     Returns:
         The branch's answer tuples in head order, with head variables
@@ -63,16 +69,20 @@ def execute_branch(
 
     tracer = current_tracer()
     bindings: list[Binding] = [{}]
-    for step in branch.steps:
+    for index, step in enumerate(branch.steps):
+        restricted = restrict.get(index) if restrict else None
         with tracer.span(
             f"execute.{step.action}", stage="execute", bindings=len(bindings)
         ):
             if step.action == "filter":
                 bindings = _filter_bound(
-                    bindings, step, db, alphabet, session
+                    bindings, step, db, alphabet, session,
+                    restrict_rows=restricted,
                 )
             elif step.action == "join":
-                bindings = _join_relational(bindings, step, db)
+                bindings = _join_relational(
+                    bindings, step, db, restrict_rows=restricted
+                )
             else:
                 bindings = _generate(
                     bindings, step, alphabet, cap, session, executor

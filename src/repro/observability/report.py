@@ -5,7 +5,7 @@ reports) used to be the only instrumentation surface; the trace report
 unifies them with the span/counter data of a
 :class:`~repro.observability.tracer.Tracer` into a single JSON-stable
 document.  The schema always contains a ``stages`` section keyed by
-*exactly* the nine canonical pipeline stages
+*exactly* the ten canonical pipeline stages
 (:data:`~repro.observability.tracer.STAGES`), whether or not the run
 exercised them, so downstream tooling can index stages
 unconditionally.
@@ -33,8 +33,10 @@ from repro.observability.tracer import STAGES, NullTracer, SpanRecord, Tracer
 #: Version tag embedded in every serialized report; bump on any
 #: backwards-incompatible layout change.  ``/2`` extends ``/1``
 #: compatibly — two stages (``normalize``, ``optimize``) and a
-#: ``rejects`` section were added; every ``/1`` key is unchanged.
-TRACE_REPORT_SCHEMA = "repro.trace-report/2"
+#: ``rejects`` section were added; ``/3`` extends ``/2`` with the
+#: ``delta`` stage (the update path) and per-cache ``invalidated``
+#: counts.  Every earlier key is unchanged.
+TRACE_REPORT_SCHEMA = "repro.trace-report/3"
 
 
 def _empty_stages() -> dict[str, dict[str, float | int]]:
@@ -49,7 +51,7 @@ class TraceReport:
         enabled: Whether a real tracer produced the span data (a
             disabled session still reports caches and counters).
         stages: Per-stage span counts and seconds, keyed by exactly
-            the nine canonical stages.  Seconds sum *stage-root*
+            the ten canonical stages.  Seconds sum *stage-root*
             spans only: a span nested inside a same-stage parent is
             already covered by the parent's duration.
         counters: Accumulated typed counters (worker counters folded
@@ -135,7 +137,7 @@ class TraceReport:
             ``enabled``, ``stages``, ``counters``, ``gauges``,
             ``caches``, ``engines``, ``parallel``, ``rejects``,
             ``spans``, ``dropped_spans`` — are always present, and
-            whose ``stages`` section is keyed by exactly the nine
+            whose ``stages`` section is keyed by exactly the ten
             canonical pipeline stages.
         """
         return {

@@ -13,7 +13,9 @@ worker processes — reach the active tracer through the ambient
 Every span carries an optional ``stage`` tag naming the pipeline stage
 it belongs to; the canonical stages, in pipeline order, are
 :data:`STAGES` — ``compile → specialize → normalize → translate →
-optimize → plan → shard → execute → fold``.
+optimize → plan → shard → execute → fold`` plus ``delta``, the
+update path (:meth:`repro.engine.QueryEngine.apply_delta`) that runs
+between pipelines.
 :class:`~repro.observability.report.TraceReport` aggregates per-stage
 span counts and seconds over exactly this set, so the report schema is
 stable whether or not a given run exercised a stage.
@@ -47,6 +49,7 @@ STAGES: tuple[str, ...] = (
     "shard",
     "execute",
     "fold",
+    "delta",
 )
 
 #: Default cap on retained span records per tracer; spans beyond the

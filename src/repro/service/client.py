@@ -79,7 +79,7 @@ class ServiceClient:
 
         Args:
             op: The operation name (``query``, ``batch``, ``explain``,
-                ``stats``, ``health``).
+                ``stats``, ``health``, ``update``, ``batch_update``).
             params: The op's parameter object.
             deadline: Optional server-side deadline in seconds.
 
@@ -231,6 +231,72 @@ class ServiceClient:
             deadline=deadline,
         )
         return result["text"]
+
+    @staticmethod
+    def _delta_params(insert, delete) -> dict[str, Any]:
+        params: dict[str, Any] = {}
+        for key, mapping in (("insert", insert), ("delete", delete)):
+            if mapping:
+                params[key] = {
+                    name: [list(row) for row in rows]
+                    for name, rows in mapping.items()
+                }
+        return params
+
+    def update(
+        self,
+        *,
+        insert=None,
+        delete=None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        """Apply one delta to the served database.
+
+        The server holds every pool slot while applying, so clients
+        never observe a half-applied update; the result reports the
+        new per-relation version counters.
+
+        Args:
+            insert: ``{relation: rows}`` to add (rows are sequences of
+                strings).
+            delete: ``{relation: rows}`` to remove.
+            deadline: Server-side deadline in seconds (queue wait plus
+                application).
+
+        Returns:
+            The result object: ``applied`` / ``inserted`` / ``deleted``
+            operation counts, the new ``lineage`` and the per-relation
+            ``versions`` of every touched relation.
+        """
+        return self.call(
+            "update", self._delta_params(insert, delete), deadline=deadline
+        )
+
+    def batch_update(
+        self, updates, *, deadline: float | None = None
+    ) -> dict[str, Any]:
+        """Apply several deltas atomically, coalesced to one net delta.
+
+        Members apply in order with last-op-wins semantics (an insert
+        followed by a delete of the same row nets to the delete), and
+        the coalesced delta is applied as a single exclusive update.
+
+        Args:
+            updates: An iterable of ``{"insert": ..., "delete": ...}``
+                objects, each shaped like :meth:`update`'s arguments.
+            deadline: Server-side deadline in seconds.
+
+        Returns:
+            The result object, as for :meth:`update`, plus the member
+            count under ``updates``.
+        """
+        members = [
+            self._delta_params(entry.get("insert"), entry.get("delete"))
+            for entry in updates
+        ]
+        return self.call(
+            "batch_update", {"updates": members}, deadline=deadline
+        )
 
     def stats(self) -> dict[str, Any]:
         """Service counters, pool occupancy and the session report."""

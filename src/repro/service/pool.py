@@ -103,6 +103,32 @@ class SessionPool:
         self.served += 1
         self._slots.release()
 
+    async def acquire_all(self) -> None:
+        """Hold *every* slot — the exclusive lease for database updates.
+
+        With all slots held no evaluation can be running, so the
+        caller may swap the served database without any query
+        observing a half-applied state.  Slots are taken one by one;
+        a cancellation (e.g. an expired deadline while waiting)
+        releases the partial hold, so an abandoned update can never
+        wedge the pool.
+        """
+        acquired = 0
+        self.waiting += 1
+        self.peak_waiting = max(self.peak_waiting, self.waiting)
+        try:
+            for _ in range(self.size):
+                await self._slots.acquire()
+                acquired += 1
+        except BaseException:
+            for _ in range(acquired):
+                self._slots.release()
+            raise
+        finally:
+            self.waiting -= 1
+        self.active += 1
+        self.peak_active = max(self.peak_active, self.active)
+
     def run(self, fn: Callable[[], Any]) -> "asyncio.Future[Any]":
         """Run ``fn`` in the executor, releasing the held slot after it.
 
@@ -132,6 +158,41 @@ class SessionPool:
                 loop.call_soon_threadsafe(self.release)
             except RuntimeError:  # pragma: no cover - loop already closed
                 self.release()
+
+        future.add_done_callback(_done)
+        return asyncio.wrap_future(future)
+
+    def run_exclusive(self, fn: Callable[[], Any]) -> "asyncio.Future[Any]":
+        """Run ``fn`` under an exclusive hold (:meth:`acquire_all`).
+
+        Like :meth:`run`, the whole lease is returned when the
+        *thread* finishes — a deadline that abandons the awaiting
+        coroutine leaves every slot held until the update actually
+        completes, so a query admitted afterwards always sees the
+        finished swap.
+
+        Args:
+            fn: The blocking zero-argument update closure.
+
+        Returns:
+            An awaitable future for ``fn``'s result.
+        """
+        loop = asyncio.get_running_loop()
+        future = self._executor.submit(fn)
+
+        def _release_all() -> None:
+            self.active -= 1
+            self.served += 1
+            for _ in range(self.size):
+                self._slots.release()
+
+        def _done(completed) -> None:
+            if not completed.cancelled():
+                completed.exception()
+            try:
+                loop.call_soon_threadsafe(_release_all)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                _release_all()
 
         future.add_done_callback(_done)
         return asyncio.wrap_future(future)

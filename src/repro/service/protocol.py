@@ -55,7 +55,12 @@ DEFAULT_PORT = 7094
 MAX_FRAME_BYTES = 1 << 20
 
 #: The operations a server accepts.
-OPS = ("query", "batch", "explain", "stats", "health")
+OPS = ("query", "batch", "explain", "stats", "health", "update", "batch_update")
+
+#: Operations that mutate the served database; the server runs these
+#: holding *every* pool slot, so no evaluation ever observes a
+#: half-applied update.
+MUTATING_OPS = ("update", "batch_update")
 
 # -- stable error codes ------------------------------------------------
 

@@ -7,6 +7,15 @@ query through the :class:`~repro.service.admission.AdmissionController`
 before it may occupy a pool slot, and runs the blocking evaluation in
 the pool's thread executor under a per-request deadline.
 
+The database is served as one consistent version: ``update`` /
+``batch_update`` requests (admission-priced at their operation count,
+rejected while draining like any evaluation) run under an *exclusive*
+pool lease — every slot held, so no query is in flight while
+:meth:`~repro.engine.QueryEngine.apply_delta` swaps the served
+database, invalidates the dependent session caches and repairs the
+materialized answers.  Query bodies snapshot the database reference
+once, so each request evaluates entirely against a single version.
+
 Observability: every evaluated request runs under its *own*
 :class:`~repro.observability.Tracer` (activated ambiently in the
 worker thread, so cache-miss compiles, kernel builds and planner
@@ -37,6 +46,7 @@ from typing import Any, AsyncIterator, Callable
 from repro.core.database import Database
 from repro.core.parser import parse_formula
 from repro.core.query import Query
+from repro.delta import Delta, DeltaLog
 from repro.errors import (
     AdmissionError,
     ParseError,
@@ -57,6 +67,7 @@ from repro.service.protocol import (
     ERR_MALFORMED,
     ERR_PARSE,
     MAX_FRAME_BYTES,
+    MUTATING_OPS,
     PROTOCOL_SCHEMA,
     Request,
     decode_frame,
@@ -393,8 +404,14 @@ class QueryService:
                 return None
             return deadline - (perf_counter() - started)
 
+        # Mutating ops hold *every* slot while they run, so no
+        # evaluation ever observes a half-applied database swap.
+        exclusive = request.op in MUTATING_OPS
+        acquire = (
+            self.pool.acquire_all() if exclusive else self.pool.acquire()
+        )
         try:
-            await asyncio.wait_for(self.pool.acquire(), remaining())
+            await asyncio.wait_for(acquire, remaining())
         except asyncio.TimeoutError:
             self.tracer.add("service.deadline_expired")
             return error_response(
@@ -405,7 +422,9 @@ class QueryService:
                 deadline=deadline,
                 phase="queue",
             )
-        future = self.pool.run(work)
+        future = (
+            self.pool.run_exclusive(work) if exclusive else self.pool.run(work)
+        )
         try:
             result = await asyncio.wait_for(future, remaining())
         except asyncio.TimeoutError:
@@ -442,13 +461,19 @@ class QueryService:
     # -- op implementations ---------------------------------------------
 
     def _health(self) -> dict:
+        db = self.db
         return {
             "status": "draining" if self._draining else "ok",
             "schema": PROTOCOL_SCHEMA,
             "active": self.pool.active,
             "waiting": self.pool.waiting,
             "pool_size": self.pool.size,
-            "relations": list(self.db.relation_names),
+            "relations": list(db.relation_names),
+            "lineage": db.lineage,
+            "versions": {
+                name: db.relation_version(name)
+                for name in db.relation_names
+            },
         }
 
     def _stats(self) -> dict:
@@ -486,6 +511,54 @@ class QueryService:
             raise ServiceProtocolError("'engine' must be an engine name")
         return query, options
 
+    def _parse_delta(self, params: dict) -> Delta:
+        """Validate ``insert``/``delete`` row mappings into a delta."""
+        sides: dict[str, dict[str, list[tuple[str, ...]]]] = {}
+        for side in ("insert", "delete"):
+            mapping = params.get(side, {})
+            if not isinstance(mapping, dict):
+                raise ServiceProtocolError(
+                    f"{side!r} must map relation names to row lists"
+                )
+            by_name: dict[str, list[tuple[str, ...]]] = {}
+            for name, rows in mapping.items():
+                if not isinstance(name, str):
+                    raise ServiceProtocolError(
+                        "relation names must be strings"
+                    )
+                if not isinstance(rows, (list, tuple)):
+                    raise ServiceProtocolError(
+                        f"rows for {name!r} must be a list of rows"
+                    )
+                parsed = []
+                for row in rows:
+                    if not isinstance(row, (list, tuple)) or not all(
+                        isinstance(value, str) for value in row
+                    ):
+                        raise ServiceProtocolError(
+                            f"every row for {name!r} must be a list of "
+                            "strings"
+                        )
+                    parsed.append(tuple(row))
+                by_name[name] = parsed
+            sides[side] = by_name
+        delta = Delta.of(inserts=sides["insert"], deletes=sides["delete"])
+        if delta.is_empty:
+            raise ServiceProtocolError(
+                "update carries no operations; provide 'insert' and/or "
+                "'delete' row mappings"
+            )
+        # Inserts may create relations; deletes must name existing ones.
+        known = set(self.db.relation_names)
+        unknown = sorted(
+            {name for name, _ in delta.deletes} - known
+        )
+        if unknown:
+            raise ServiceProtocolError(
+                f"unknown relation(s): {', '.join(unknown)}"
+            )
+        return delta
+
     def _build_work(self, request: Request) -> Callable[[], Any]:
         """Validate the request and close over its blocking evaluation."""
         params = dict(request.params)
@@ -501,8 +574,9 @@ class QueryService:
             def do_explain(tracer: Tracer) -> dict:
                 from repro.ir.explain import explain_query
 
+                db = self.db
                 text = explain_query(
-                    session, query, self.db, length=options["length"]
+                    session, query, db, length=options["length"]
                 )
                 return {"text": text}
 
@@ -525,11 +599,15 @@ class QueryService:
                 members.append(self._parse_query(member))
 
             def do_batch(tracer: Tracer) -> dict:
+                # One snapshot for the whole batch: every member is
+                # priced and evaluated against the same version even
+                # if an update lands between members.
+                db = self.db
                 total = 0.0
                 priced = True
                 for query, options in members:
                     estimate = self.admission.estimate(
-                        session, query, self.db, length=options["length"]
+                        session, query, db, length=options["length"]
                     )
                     if estimate is None:
                         priced = False
@@ -541,7 +619,7 @@ class QueryService:
                 for query, options in members:
                     answers = session.evaluate(
                         query,
-                        self.db,
+                        db,
                         length=options["length"],
                         engine=options["engine"],
                         workers=options["workers"],
@@ -552,19 +630,49 @@ class QueryService:
                 return {"results": results, "est_cost": total}
 
             return self._make_runner(request, do_batch)
+        if request.op == "update":
+            delta = self._parse_delta(params)
+            return self._make_runner(
+                request,
+                lambda tracer: self._run_update(session, delta, tracer),
+            )
+        if request.op == "batch_update":
+            raw = params.get("updates")
+            if not isinstance(raw, (list, tuple)) or not raw:
+                raise ServiceProtocolError(
+                    "'updates' must be a non-empty list of update objects"
+                )
+            log = DeltaLog()
+            for entry in raw:
+                if not isinstance(entry, dict):
+                    raise ServiceProtocolError(
+                        "every batch_update member must be an object"
+                    )
+                log.extend(self._parse_delta(entry))
+            delta = log.build()
+            return self._make_runner(
+                request,
+                lambda tracer: self._run_update(
+                    session, delta, tracer, batched=len(raw)
+                ),
+            )
         raise ServiceProtocolError(f"unhandled op {request.op!r}")
 
     def _run_query(
         self, session, query: Query, options: dict, tracer: Tracer
     ) -> dict:
+        # Snapshot once: a concurrent update swaps ``self.db`` only
+        # while holding every pool slot, but reading it twice here
+        # would still race admission against evaluation.
+        db = self.db
         decision = self.admission.assess(
-            session, query, self.db, length=options["length"]
+            session, query, db, length=options["length"]
         )
         decision.raise_if_rejected()
         started = perf_counter()
         answers = session.evaluate(
             query,
-            self.db,
+            db,
             length=options["length"],
             engine=options["engine"],
             workers=options["workers"],
@@ -576,7 +684,45 @@ class QueryService:
             "engine": options["engine"],
             "est_cost": decision.est_cost,
             "elapsed": elapsed,
+            "lineage": db.lineage,
         }
+
+    def _run_update(
+        self,
+        session,
+        delta: Delta,
+        tracer: Tracer,
+        batched: int | None = None,
+    ) -> dict:
+        """Apply one (possibly coalesced) delta and swap the served db.
+
+        Runs under the pool's exclusive lease (every slot held), so no
+        evaluation is in flight while ``self.db`` changes; queries
+        admitted afterwards observe the new version, and the shared
+        session's caches and materialized answers have already been
+        repaired by :meth:`~repro.engine.QueryEngine.apply_delta`.
+        """
+        self.admission.assess_cost(float(delta.size)).raise_if_rejected()
+        db = self.db
+        started = perf_counter()
+        updated = session.apply_delta(db, delta)
+        self.db = updated
+        elapsed = perf_counter() - started
+        result: dict[str, Any] = {
+            "applied": delta.size,
+            "inserted": len(delta.inserts),
+            "deleted": len(delta.deletes),
+            "lineage": updated.lineage,
+            "versions": {
+                name: updated.relation_version(name)
+                for name in delta.relations()
+            },
+            "elapsed": elapsed,
+        }
+        if batched is not None:
+            result["updates"] = batched
+            tracer.add("service.batch_updates", batched)
+        return result
 
     def _make_runner(
         self, request: Request, body: Callable[[Tracer], Any]

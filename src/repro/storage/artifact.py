@@ -185,6 +185,45 @@ def pack(
     return header + payload
 
 
+def read_content_sha(path: "str | os.PathLike[str]") -> bytes:
+    """Read the content fingerprint from an artifact's header, fresh.
+
+    Unlike :class:`ArtifactReader` this re-reads the file on every
+    call — it is the staleness probe :class:`~repro.storage.ngram
+    .NGramIndexStorage` uses after a mutation to detect that the
+    on-disk artifact no longer matches the content its postings were
+    derived from.
+
+    Args:
+        path: The artifact file path.
+
+    Returns:
+        The 20-byte ``content_sha1`` from the header.
+
+    Raises:
+        ArtifactError: If the file is missing, too small, or not an
+            artifact of the current version.
+    """
+    try:
+        with open(path, "rb") as handle:
+            header = handle.read(_HEADER.size)
+    except OSError as error:
+        raise ArtifactError(f"cannot open artifact: {error}") from None
+    if len(header) < _HEADER.size:
+        raise ArtifactError(
+            f"{path} is too small to be an artifact ({len(header)} bytes)"
+        )
+    magic, version, *_rest, content_sha = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ArtifactError(f"{path} is not an n-gram artifact (bad magic)")
+    if version != VERSION:
+        raise ArtifactError(
+            f"{path} has artifact version {version}, "
+            f"this build reads version {VERSION}"
+        )
+    return content_sha
+
+
 def write_artifact(path: "str | os.PathLike[str]", data: bytes) -> None:
     """Write artifact bytes atomically (write-temp-then-rename).
 

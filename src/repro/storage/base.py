@@ -108,6 +108,13 @@ class RelationStorage(Protocol):
     offer :meth:`candidates`-style prefilter probes — those are optional
     and engines must degrade gracefully when they are absent (see
     :func:`repro.storage.probe_candidates`).
+
+    Mutation is a *derivation*, not an update: backends may offer an
+    optional ``apply_delta(inserts, deletes)`` returning a **new**
+    storage holding ``(tuples - deletes) | inserts``, leaving the
+    receiver untouched.  :meth:`repro.core.database.Database.apply`
+    uses the hook when present and falls back to rebuilding an
+    :class:`InMemoryStorage` otherwise.
     """
 
     @property
@@ -224,6 +231,28 @@ class InMemoryStorage:
         if self._stats is None:
             self._stats = compute_stats(self._tuples, self._arity)
         return self._stats
+
+    def apply_delta(
+        self,
+        inserts: frozenset[tuple[str, ...]],
+        deletes: frozenset[tuple[str, ...]],
+    ) -> "InMemoryStorage":
+        """Derive a new storage with ``deletes`` removed, ``inserts`` added.
+
+        Runs in O(|Δ|) set operations; the receiver is untouched.
+
+        Args:
+            inserts: Rows to add (applied after the deletes).
+            deletes: Rows to remove.
+
+        Returns:
+            The derived storage, or ``self`` when the delta is a no-op
+            on this relation's contents.
+        """
+        updated = (self._tuples - deletes) | inserts
+        if updated == self._tuples:
+            return self
+        return InMemoryStorage(updated, arity=self._arity or None)
 
     def __reduce__(self):
         return (InMemoryStorage, (self._tuples, self._arity))

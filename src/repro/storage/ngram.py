@@ -61,6 +61,14 @@ class NGramIndexStorage:
         reader: "artifact_format.ArtifactReader | None" = None,
         stats: RelationStats | None = None,
         postings: list[dict[str, tuple[tuple[int, int], ...]]] | None = None,
+        *,
+        extra_rows: tuple[tuple[str, ...], ...] = (),
+        extra_postings: (
+            list[dict[str, tuple[tuple[int, int], ...]]] | None
+        ) = None,
+        dead: frozenset[int] = frozenset(),
+        base_sha: bytes | None = None,
+        row_ids: dict[tuple[str, ...], int] | None = None,
     ) -> None:
         self._rows = rows
         self._n = n
@@ -68,6 +76,16 @@ class NGramIndexStorage:
         self._reader = reader
         self._stats = stats
         self._postings = postings
+        # -- delta-derivation state (empty on freshly built storages):
+        # appended rows get ids after the base block, deleted ids are
+        # tombstoned, and appended grams live in a posting layer merged
+        # at probe time (see apply_delta).
+        self._extra_rows = extra_rows
+        self._extra_postings = extra_postings
+        self._dead = dead
+        self._base_sha = base_sha
+        self._row_ids = row_ids
+        self._verified = False
         self._row_cache: list[tuple[str, ...] | None] | None = None
         self._tuples: frozenset[tuple[str, ...]] | None = None
         self._columns: dict[int, tuple[str, ...]] = {}
@@ -190,7 +208,8 @@ class NGramIndexStorage:
         Args:
             path: The destination; written atomically.
         """
-        data = artifact_format.pack(self._all_rows(), self._n, self.stats())
+        rows = self._canonical_live()
+        data = artifact_format.pack(rows, self._n, self.stats())
         artifact_format.write_artifact(path, data)
 
     # -- the storage protocol -------------------------------------------
@@ -214,12 +233,12 @@ class NGramIndexStorage:
     def tuples(self) -> frozenset[tuple[str, ...]]:
         """The relation as a frozenset (decoded once, then cached)."""
         if self._tuples is None:
-            self._tuples = frozenset(self._all_rows())
+            self._tuples = frozenset(self._live_rows())
         return self._tuples
 
     def scan(self) -> Iterator[tuple[str, ...]]:
-        """Iterate tuples in row-id (canonical sorted) order."""
-        return iter(self._all_rows())
+        """Iterate tuples in row-id (canonical sorted, then append) order."""
+        return self._live_rows()
 
     def contains(self, row: tuple[str, ...]) -> bool:
         """Membership via the cached frozenset."""
@@ -229,12 +248,16 @@ class NGramIndexStorage:
         """Sorted distinct values of column ``index``, cached."""
         if index not in self._columns:
             self._columns[index] = tuple(
-                sorted({row[index] for row in self._all_rows()})
+                sorted({row[index] for row in self._live_rows()})
             )
         return self._columns[index]
 
     def size(self) -> int:
         """The tuple count (from the header for artifact-backed stores)."""
+        if self._mutated:
+            return (
+                self._base_count() + len(self._extra_rows) - len(self._dead)
+            )
         if self._reader is not None:
             return self._reader.row_count
         return len(self._rows)
@@ -242,7 +265,7 @@ class NGramIndexStorage:
     def stats(self) -> RelationStats:
         """Statistics — precomputed at build time, stored in the artifact."""
         if self._stats is None:
-            self._stats = compute_stats(self._all_rows(), self._arity)
+            self._stats = compute_stats(self._live_rows(), self._arity)
         return self._stats
 
     # -- index probes ---------------------------------------------------
@@ -293,6 +316,8 @@ class NGramIndexStorage:
                     }
                 )
             }
+        if self._dead:
+            return frozenset(survivors) - self._dead
         return frozenset(survivors)
 
     def rows_for(self, row_ids: Iterable[int]) -> Iterator[tuple[str, ...]]:
@@ -309,9 +334,82 @@ class NGramIndexStorage:
 
     # -- internals ------------------------------------------------------
 
+    @property
+    def _mutated(self) -> bool:
+        return bool(self._extra_rows) or bool(self._dead)
+
+    def _base_count(self) -> int:
+        if self._rows or self._reader is None:
+            return len(self._rows)
+        return self._reader.row_count
+
+    def _live_rows(self) -> Iterator[tuple[str, ...]]:
+        """Iterate live tuples: base (minus tombstones), then appends."""
+        if not self._mutated:
+            yield from self._all_rows()
+            return
+        base = self._base_count()
+        dead = self._dead
+        for row_id, row in enumerate(self._all_rows()):
+            if row_id not in dead:
+                yield row
+        for offset, row in enumerate(self._extra_rows):
+            if base + offset not in dead:
+                yield row
+
+    def _canonical_live(self) -> tuple[tuple[str, ...], ...]:
+        if not self._mutated:
+            return self._all_rows()
+        return tuple(sorted(self._live_rows()))
+
+    def _verify_artifact(self) -> None:
+        """Refuse to serve reader postings for a mutated, stale artifact.
+
+        A mutated storage derived its base postings from the artifact
+        content fingerprinted at derivation time; if the file has since
+        been replaced (or removed), fall back to postings rebuilt from
+        the decoded in-memory base rows so a probe can never reflect
+        rows this version does not hold.
+        """
+        if self._verified or self._reader is None:
+            return
+        self._verified = True
+        try:
+            on_disk = artifact_format.read_content_sha(self._reader.path)
+            stale = on_disk != self._base_sha
+        except ArtifactError:
+            stale = True
+        if not stale:
+            return
+        from repro.observability import current_tracer
+
+        current_tracer().add("index.stale_fallback")
+        self._gram_cache.clear()
+        self._postings = [
+            {
+                gram: tuple(entries)
+                for gram, entries in artifact_format._column_postings(
+                    self._rows, column, self._n
+                ).items()
+            }
+            for column in range(self._arity)
+        ]
+
     def _gram_postings(
         self, column: int, gram: str
     ) -> tuple[tuple[int, int], ...]:
+        base = self._base_gram_postings(column, gram)
+        if self._extra_postings is not None:
+            extra = self._extra_postings[column].get(gram, ())
+            if extra:
+                return base + extra
+        return base
+
+    def _base_gram_postings(
+        self, column: int, gram: str
+    ) -> tuple[tuple[int, int], ...]:
+        if self._mutated and self._postings is None:
+            self._verify_artifact()
         if self._postings is not None:
             return self._postings[column].get(gram, ())
         key = (column, gram)
@@ -320,7 +418,10 @@ class NGramIndexStorage:
         return self._gram_cache[key]
 
     def _row(self, row_id: int) -> tuple[str, ...]:
-        if self._reader is None:
+        base = self._base_count()
+        if row_id >= base:
+            return self._extra_rows[row_id - base]
+        if self._reader is None or self._rows:
             return self._rows[row_id]
         if self._row_cache is None:
             self._row_cache = [None] * self._reader.row_count
@@ -338,7 +439,153 @@ class NGramIndexStorage:
             )
         return self._rows
 
+    def _shared_row_ids(self) -> dict[tuple[str, ...], int]:
+        """The lineage-shared ``row -> id`` map, built on first mutation.
+
+        The dict is shared with derived storages (children extend it),
+        so a hit must always be validated against *this* instance's
+        actual rows before being trusted — sibling derivations may have
+        claimed the same appended ids for different rows.
+        """
+        if self._row_ids is None:
+            mapping = {
+                row: row_id for row_id, row in enumerate(self._all_rows())
+            }
+            base = self._base_count()
+            for offset, row in enumerate(self._extra_rows):
+                mapping[row] = base + offset
+            self._row_ids = mapping
+        return self._row_ids
+
+    def _resolve_id(
+        self,
+        row_ids: dict[tuple[str, ...], int],
+        row: tuple[str, ...],
+        base: int,
+        extra_rows: list[tuple[str, ...]],
+    ) -> int | None:
+        mapped = row_ids.get(row)
+        if mapped is not None:
+            if mapped < base:
+                if self._rows[mapped] == row:
+                    return mapped
+            elif (
+                mapped - base < len(extra_rows)
+                and extra_rows[mapped - base] == row
+            ):
+                return mapped
+        for offset, extra in enumerate(extra_rows):
+            if extra == row:
+                return base + offset
+        return None
+
+    def apply_delta(
+        self,
+        inserts: frozenset[tuple[str, ...]],
+        deletes: frozenset[tuple[str, ...]],
+    ) -> "NGramIndexStorage":
+        """Derive a new storage with the delta applied, indexes maintained.
+
+        Postings are maintained incrementally in memory: deletes
+        tombstone row ids (filtered out of probe results), inserts
+        append rows after the base id block and layer their grams into
+        an extra posting table merged at probe time — O(|Δ|·L) work,
+        never a rebuild.  On-disk artifacts are **not** rewritten; the
+        derived storage remembers the content fingerprint its base
+        postings came from and falls back to live in-memory postings
+        if the file no longer matches (see :meth:`_verify_artifact`).
+
+        Args:
+            inserts: Rows to add (applied after the deletes).
+            deletes: Rows to remove.
+
+        Returns:
+            The derived storage, or ``self`` for a no-op delta.
+
+        Raises:
+            ArityError: If an inserted row does not match the arity.
+        """
+        from repro.observability import current_tracer
+
+        inserts = frozenset(tuple(row) for row in inserts)
+        deletes = frozenset(tuple(row) for row in deletes) - inserts
+        if not inserts and not deletes:
+            return self
+        if self._arity == 0 and self.size() == 0:
+            if not inserts:
+                return self
+            return NGramIndexStorage.build(inserts, n=self._n)
+        mismatched = {len(row) for row in inserts} - {self._arity}
+        if mismatched:
+            raise ArityError(
+                f"delta inserts of arity {sorted(mismatched)} do not match "
+                f"storage arity {self._arity}"
+            )
+        tracer = current_tracer()
+        with tracer.span(
+            "index.delta",
+            stage="index",
+            inserts=len(inserts),
+            deletes=len(deletes),
+        ):
+            base_rows = self._all_rows()
+            base = len(base_rows)
+            row_ids = self._shared_row_ids()
+            dead = set(self._dead)
+            extra_rows = list(self._extra_rows)
+            if self._extra_postings is not None:
+                extra_postings = [
+                    dict(column) for column in self._extra_postings
+                ]
+            else:
+                extra_postings = [{} for _ in range(self._arity)]
+            changed = False
+            for row in sorted(deletes):
+                row_id = self._resolve_id(row_ids, row, base, extra_rows)
+                if row_id is not None and row_id not in dead:
+                    dead.add(row_id)
+                    changed = True
+            for row in sorted(inserts):
+                row_id = self._resolve_id(row_ids, row, base, extra_rows)
+                if row_id is not None:
+                    if row_id in dead:
+                        dead.discard(row_id)
+                        changed = True
+                    continue
+                row_id = base + len(extra_rows)
+                extra_rows.append(row)
+                row_ids[row] = row_id
+                for column, value in enumerate(row):
+                    for position in range(len(value) - self._n + 1):
+                        gram = value[position : position + self._n]
+                        bucket = extra_postings[column].get(gram, ())
+                        extra_postings[column][gram] = bucket + (
+                            (row_id, position),
+                        )
+                changed = True
+            if not changed:
+                return self
+        tracer.add("index.delta")
+        base_sha = self._base_sha
+        if base_sha is None and self._reader is not None:
+            base_sha = self._reader.content_sha
+        return NGramIndexStorage(
+            base_rows,
+            self._n,
+            self._arity,
+            reader=self._reader,
+            stats=None,
+            postings=self._postings,
+            extra_rows=tuple(extra_rows),
+            extra_postings=extra_postings,
+            dead=frozenset(dead),
+            base_sha=base_sha,
+            row_ids=row_ids,
+        )
+
     def __reduce__(self):
+        if self._mutated:
+            return (_rebuild, (self._canonical_live(), self._n, self._arity))
         if self._reader is not None:
             return (NGramIndexStorage.open, (str(self._reader.path),))
         return (_rebuild, (self._rows, self._n, self._arity))
@@ -347,6 +594,11 @@ class NGramIndexStorage:
         backing = (
             f"artifact={self._reader.path}" if self._reader else "in-memory"
         )
+        if self._mutated:
+            backing += (
+                f", +{len(self._extra_rows)} appended, "
+                f"{len(self._dead)} tombstoned"
+            )
         return (
             f"NGramIndexStorage({self.size()} rows, arity {self._arity}, "
             f"n={self._n}, {backing})"

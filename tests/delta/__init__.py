@@ -1,0 +1,1 @@
+"""Delta-path tests: types, storage, invalidation, materialization."""

@@ -1,0 +1,124 @@
+"""Delta/DeltaLog semantics and Database versioning under updates."""
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.delta import Delta, DeltaLog
+from repro.errors import AlphabetError, ArityError
+
+
+@pytest.fixture()
+def db():
+    return Database(AB, {"R1": [("a", "b")], "R2": [("a",), ("bb",)]})
+
+
+class TestDeltaCanonicalization:
+    def test_insert_wins_over_delete_of_the_same_row(self):
+        delta = Delta(
+            inserts=(("R", ("a",)),), deletes=(("R", ("a",)), ("R", ("b",)))
+        )
+        assert delta.inserts == (("R", ("a",)),)
+        assert delta.deletes == (("R", ("b",)),)
+
+    def test_sides_are_sorted_and_deduplicated(self):
+        delta = Delta(
+            inserts=(("S", ("b",)), ("R", ("a",)), ("R", ("a",)))
+        )
+        assert delta.inserts == (("R", ("a",)), ("S", ("b",)))
+
+    def test_of_relations_size_and_emptiness(self):
+        delta = Delta.of(
+            inserts={"R": [("a",)]}, deletes={"S": [("b",), ("c",)]}
+        )
+        assert delta.relations() == ("R", "S")
+        assert delta.size == 3
+        assert delta.inserts_for("R") == {("a",)}
+        assert delta.deletes_for("S") == {("b",), ("c",)}
+        assert bool(delta)
+        assert not Delta()
+        assert Delta().is_empty
+
+    def test_deltas_are_hashable_values(self):
+        one = Delta.of(inserts={"R": [("a",)]})
+        two = Delta(inserts=(("R", ("a",)),))
+        assert one == two
+        assert hash(one) == hash(two)
+
+
+class TestDeltaLog:
+    def test_last_operation_wins_per_row(self):
+        log = DeltaLog()
+        delta = (
+            log.insert("R", ("a",))
+            .delete("R", ("a",))
+            .insert("R", ("b",))
+            .build()
+        )
+        assert delta.deletes == (("R", ("a",)),)
+        assert delta.inserts == (("R", ("b",)),)
+
+    def test_extend_replays_a_delta(self):
+        log = DeltaLog().insert("R", ("a",))
+        log.extend(Delta.of(deletes={"R": [("a",)]}))
+        assert log.build().deletes_for("R") == {("a",)}
+
+    def test_clear_and_len(self):
+        log = DeltaLog().insert("R", ("a",)).delete("S", ("b",))
+        assert len(log) == 2
+        log.clear()
+        assert len(log) == 0
+        assert log.build().is_empty
+
+
+class TestDatabaseVersioning:
+    def test_insert_returns_a_new_version(self, db):
+        db2 = db.insert("R2", ("ab",))
+        assert ("ab",) in db2.relation("R2")
+        assert ("ab",) not in db.relation("R2")
+        assert db2.lineage == db.lineage
+        assert db2.relation_version("R2") > db.relation_version("R2")
+        assert db2.relation_version("R1") == db.relation_version("R1")
+
+    def test_delete_and_noop_delete(self, db):
+        db2 = db.delete("R2", ("a",))
+        assert ("a",) not in db2.relation("R2")
+        assert db.delete("R2", ("zz-not-there",)) is db
+
+    def test_apply_is_atomic_across_relations(self, db):
+        delta = Delta.of(
+            inserts={"R1": [("b", "b")]}, deletes={"R2": [("a",)]}
+        )
+        db2 = db.apply(delta)
+        assert ("b", "b") in db2.relation("R1")
+        assert ("a",) not in db2.relation("R2")
+        assert db2.relation_version("R1") != db.relation_version("R1")
+        assert db2.relation_version("R2") != db.relation_version("R2")
+
+    def test_empty_and_net_noop_deltas_return_self(self, db):
+        assert db.apply(Delta()) is db
+        assert db.apply(Delta.of(inserts={"R2": [("a",)]})) is db
+
+    def test_version_counters_are_monotone(self, db):
+        versions = [db.relation_version("R2")]
+        current = db
+        for row in (("ba",), ("ab",)):
+            current = current.insert("R2", row)
+            versions.append(current.relation_version("R2"))
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+    def test_distinct_databases_have_distinct_lineages(self, db):
+        other = Database(AB, {"R2": [("a",)]})
+        assert other.lineage != db.lineage
+
+    def test_insert_validates_arity_and_alphabet(self, db):
+        with pytest.raises(ArityError):
+            db.insert("R2", ("a", "b"))
+        with pytest.raises(AlphabetError):
+            db.insert("R2", ("xyz",))
+
+    def test_insert_into_unknown_relation_creates_it(self, db):
+        db2 = db.insert("R9", ("ab",))
+        assert set(db2.relation("R9")) == {("ab",)}
+        assert db2.relation_version("R9") > 0

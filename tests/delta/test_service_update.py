@@ -1,0 +1,169 @@
+"""Service update ops: wire semantics, exclusivity, admission, draining."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.alphabet import AB
+from repro.core.database import Database
+from repro.errors import AdmissionError, ServiceProtocolError
+from repro.service import QueryService, ServiceClient, serve_in_thread
+from repro.service.protocol import ERR_DRAINING
+
+
+@pytest.fixture()
+def db():
+    return Database(
+        AB,
+        {
+            "R1": [("a", "ab"), ("b", "ba")],
+            "R2": [("a",), ("ab",), ("b",)],
+        },
+    )
+
+
+@pytest.fixture()
+def server(db):
+    handle = serve_in_thread(db)
+    client = ServiceClient(*handle.address)
+    yield handle, client
+    client.close()
+    handle.stop()
+
+
+class TestUpdateOp:
+    def test_update_applies_and_reports_versions(self, server):
+        handle, client = server
+        before = client.health()
+        result = client.update(
+            insert={"R2": [("bb",)]}, delete={"R2": [("a",)]}
+        )
+        assert result["applied"] == 2
+        assert result["inserted"] == 1
+        assert result["deleted"] == 1
+        assert result["lineage"] == before["lineage"]
+        assert result["versions"]["R2"] > before["versions"]["R2"]
+        assert result["elapsed"] >= 0
+        # Subsequent queries see exactly the post-update state.
+        assert client.query("R2(x)", ["x"], length=3) == [
+            ("ab",), ("b",), ("bb",)
+        ]
+
+    def test_update_into_new_relation(self, server):
+        _, client = server
+        result = client.update(insert={"R3": [("ab", "b", "a")]})
+        assert result["versions"]["R3"] > 0
+        assert client.query("R3(x, y, z)", ["x", "y", "z"], length=2) == [
+            ("ab", "b", "a")
+        ]
+        assert "R3" in client.health()["relations"]
+
+    def test_health_tracks_versions(self, server):
+        _, client = server
+        client.update(insert={"R1": [("bb", "b")]})
+        doc = client.health()
+        assert doc["versions"]["R1"] > 0
+        assert set(doc["versions"]) == set(doc["relations"])
+
+    def test_update_counters_reach_stats(self, server):
+        _, client = server
+        client.update(insert={"R2": [("bb",)]})
+        counters = client.stats()["service"]
+        assert counters.get("service.op.update") == 1
+        assert counters.get("delta.applied") == 1
+
+
+class TestBatchUpdateOp:
+    def test_members_coalesce_last_op_wins(self, server):
+        _, client = server
+        result = client.batch_update(
+            [
+                {"insert": {"R2": [("bb",)]}},
+                {"delete": {"R2": [("bb",)]}},
+                {"insert": {"R1": [("bb", "b")]}},
+            ]
+        )
+        assert result["updates"] == 3
+        # insert-then-delete of the same absent row nets out; only the
+        # R1 insert survives coalescing.
+        assert result["applied"] == 2
+        assert list(result["versions"]) == ["R1", "R2"]
+        assert client.query("R2(x)", ["x"], length=3) == [
+            ("a",), ("ab",), ("b",)
+        ]
+        assert ("bb", "b") in set(
+            client.query("R1(x, y)", ["x", "y"], length=3)
+        )
+
+    def test_empty_updates_list_is_malformed(self, server):
+        _, client = server
+        with pytest.raises(ServiceProtocolError):
+            client.batch_update([])
+
+
+class TestUpdateRejections:
+    def test_unknown_relation_in_delete_is_malformed(self, server):
+        _, client = server
+        with pytest.raises(ServiceProtocolError) as info:
+            client.update(delete={"Nope": [("a",)]})
+        assert "Nope" in str(info.value)
+
+    def test_empty_delta_is_malformed(self, server):
+        _, client = server
+        with pytest.raises(ServiceProtocolError):
+            client.call("update", {})
+
+    def test_bad_row_shape_is_malformed(self, server):
+        _, client = server
+        with pytest.raises(ServiceProtocolError):
+            client.call("update", {"insert": {"R2": "not-rows"}})
+        with pytest.raises(ServiceProtocolError):
+            client.call("update", {"insert": {"R2": [[1, 2]]}})
+
+    def test_rejected_update_leaves_the_database_alone(self, server):
+        _, client = server
+        before = client.health()["versions"]
+        with pytest.raises(ServiceProtocolError):
+            client.update(delete={"Nope": [("a",)]})
+        assert client.health()["versions"] == before
+
+
+class TestUpdateAdmission:
+    def test_oversized_delta_is_rejected_by_cost(self, db):
+        handle = serve_in_thread(db, max_cost=1.5)
+        try:
+            with ServiceClient(*handle.address) as client:
+                with pytest.raises(AdmissionError) as info:
+                    client.update(
+                        insert={"R2": [("aa",), ("bb",), ("ba",)]}
+                    )
+                assert info.value.reason == "cost-exceeded"
+                assert info.value.est_cost == 3.0
+                # A small-enough delta still lands.
+                assert client.update(insert={"R2": [("aa",)]})[
+                    "applied"
+                ] == 1
+        finally:
+            handle.stop()
+
+
+class TestUpdateDraining:
+    def test_draining_rejects_updates(self, db):
+        async def scenario():
+            service = QueryService(db)
+            await service.start()
+            service._draining = True
+            line = json.dumps(
+                {
+                    "id": 1,
+                    "op": "update",
+                    "params": {"insert": {"R2": [["bb"]]}},
+                }
+            ).encode("utf-8")
+            response = await service._handle_line(line)
+            await service.drain()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["error"]["code"] == ERR_DRAINING

@@ -1,0 +1,127 @@
+"""Storage-level ``apply_delta``: in-memory, n-gram, staleness guard."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ArityError
+from repro.observability import Tracer, activate
+from repro.storage import InMemoryStorage, NGramIndexStorage
+
+ROWS = [("gcgc",), ("acgt",), ("ttag",)]
+
+
+def _candidate_rows(store, column, factor):
+    ids = store.candidates(column, factor)
+    assert ids is not None
+    return set(store.rows_for(ids))
+
+
+class TestInMemoryApplyDelta:
+    def test_applies_deletes_then_inserts(self):
+        store = InMemoryStorage([("a",), ("b",)])
+        updated = store.apply_delta(frozenset({("c",)}), frozenset({("a",)}))
+        assert updated.tuples == {("b",), ("c",)}
+        assert store.tuples == {("a",), ("b",)}
+
+    def test_net_noop_returns_self(self):
+        store = InMemoryStorage([("a",)])
+        assert store.apply_delta(frozenset({("a",)}), frozenset()) is store
+        assert store.apply_delta(frozenset(), frozenset({("zz",)})) is store
+
+
+class TestNGramApplyDelta:
+    def test_insert_updates_rows_and_candidates(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        updated = store.apply_delta(frozenset({("gcaa",)}), frozenset())
+        assert updated.tuples == frozenset(ROWS) | {("gcaa",)}
+        assert updated.size() == 4
+        assert updated.contains(("gcaa",))
+        assert _candidate_rows(updated, 0, "gc") >= {("gcgc",), ("gcaa",)}
+        # The parent is untouched.
+        assert store.size() == 3
+        assert not store.contains(("gcaa",))
+
+    def test_delete_tombstones_candidates(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        updated = store.apply_delta(frozenset(), frozenset({("gcgc",)}))
+        assert updated.tuples == frozenset(ROWS) - {("gcgc",)}
+        assert ("gcgc",) not in _candidate_rows(updated, 0, "cg")
+        assert _candidate_rows(updated, 0, "cg") == {("acgt",)}
+
+    def test_delete_then_reinsert_resurrects_the_row(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        gone = store.apply_delta(frozenset(), frozenset({("acgt",)}))
+        back = gone.apply_delta(frozenset({("acgt",)}), frozenset())
+        assert back.tuples == frozenset(ROWS)
+        assert ("acgt",) in _candidate_rows(back, 0, "cg")
+
+    def test_chained_deltas_compose(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        current = store
+        current = current.apply_delta(frozenset({("aacc",)}), frozenset())
+        current = current.apply_delta(frozenset(), frozenset({("ttag",)}))
+        current = current.apply_delta(frozenset({("ttgg",)}), frozenset())
+        expect = (frozenset(ROWS) | {("aacc",), ("ttgg",)}) - {("ttag",)}
+        assert current.tuples == expect
+        assert sorted(current.scan()) == sorted(expect)
+        assert current.size() == len(expect)
+
+    def test_net_noop_returns_self(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        assert store.apply_delta(
+            frozenset({("gcgc",)}), frozenset()
+        ) is store
+        assert store.apply_delta(
+            frozenset(), frozenset({("zzzz-not-there",)})
+        ) is store
+
+    def test_arity_mismatch_raises(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        with pytest.raises(ArityError):
+            store.apply_delta(frozenset({("a", "b")}), frozenset())
+
+    def test_mutated_instance_pickles_canonically(self):
+        store = NGramIndexStorage.build(ROWS, n=2)
+        mutated = store.apply_delta(
+            frozenset({("ccgg",)}), frozenset({("ttag",)})
+        )
+        clone = pickle.loads(pickle.dumps(mutated))
+        assert clone.tuples == mutated.tuples
+        assert _candidate_rows(clone, 0, "cc") == {("ccgg",)}
+
+
+class TestStalenessGuard:
+    """A mutated artifact-backed index never serves pre-mutation data."""
+
+    def test_overwritten_artifact_falls_back_to_live_postings(self, tmp_path):
+        path = tmp_path / "R.ngx"
+        NGramIndexStorage.build(ROWS, n=2).write(path)
+        opened = NGramIndexStorage.open(path)
+        mutated = opened.apply_delta(
+            frozenset({("gcaa",)}), frozenset({("gcgc",)})
+        )
+        # The on-disk artifact changes under the mutated instance.
+        NGramIndexStorage.build([("tttt",), ("aaaa",)], n=2).write(path)
+        tracer = Tracer()
+        with activate(tracer):
+            found = _candidate_rows(mutated, 0, "gc")
+        assert found == {("gcaa",)}
+        assert ("gcgc",) not in found
+        assert tracer.counters.get("index.stale_fallback", 0) >= 1
+        # Full row access also reflects the delta, not the new artifact.
+        assert mutated.tuples == (frozenset(ROWS) | {("gcaa",)}) - {
+            ("gcgc",)
+        }
+
+    def test_intact_artifact_probes_without_fallback(self, tmp_path):
+        path = tmp_path / "R.ngx"
+        NGramIndexStorage.build(ROWS, n=2).write(path)
+        mutated = NGramIndexStorage.open(path).apply_delta(
+            frozenset({("gcaa",)}), frozenset()
+        )
+        tracer = Tracer()
+        with activate(tracer):
+            found = _candidate_rows(mutated, 0, "gc")
+        assert found >= {("gcgc",), ("gcaa",)}
+        assert tracer.counters.get("index.stale_fallback", 0) == 0

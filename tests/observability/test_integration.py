@@ -1,7 +1,7 @@
 """End-to-end tracing through the engine and the process pool.
 
 Covers the acceptance-critical properties: a traced session fills all
-nine canonical pipeline stages, worker-side spans and counters fold
+ten canonical pipeline stages, worker-side spans and counters fold
 back into the parent tracer across pool workers, and tracing never
 changes query answers.
 """
@@ -14,6 +14,7 @@ from repro.core import shorthands as sh
 from repro.core.alphabet import AB
 from repro.core.query import Query
 from repro.core.syntax import And, exists, lift, rel
+from repro.delta import Delta
 from repro.engine import ParallelEngine, QueryEngine
 from repro.observability import STAGES, Tracer
 from repro.workloads.generators import example_database
@@ -51,10 +52,11 @@ def _pooled_engine(workers=2):
 
 
 class TestStageCoverage:
-    def test_one_session_fills_all_nine_stages(self, db):
+    def test_one_session_fills_all_ten_stages(self, db):
         session = QueryEngine(tracer=Tracer())
         session.evaluate(_concat_query(), db, engine=_pooled_engine())
         session.evaluate(_prefix_query(), db, engine="algebra", length=3)
+        session.apply_delta(db, Delta.of(inserts={"R1": [("a", "b")]}))
         report = session.trace_report()
         empty = [
             stage
@@ -64,10 +66,11 @@ class TestStageCoverage:
         assert not empty, f"stages without spans: {empty}"
         assert report.enabled
 
-    def test_metrics_document_covers_all_nine_stages(self, db, tmp_path):
+    def test_metrics_document_covers_all_ten_stages(self, db, tmp_path):
         session = QueryEngine(tracer=Tracer())
         session.evaluate(_concat_query(), db, engine=_pooled_engine())
         session.evaluate(_prefix_query(), db, engine="algebra", length=3)
+        session.apply_delta(db, Delta.of(inserts={"R1": [("a", "b")]}))
         path = tmp_path / "metrics.json"
         session.trace_report().write(str(path))
         import json

@@ -26,7 +26,7 @@ TOP_LEVEL_KEYS = {
 
 
 class TestSchemaStability:
-    def test_disabled_tracer_still_keys_all_nine_stages(self):
+    def test_disabled_tracer_still_keys_all_ten_stages(self):
         report = TraceReport.build(NULL_TRACER)
         data = report.to_dict()
         assert set(data) == TOP_LEVEL_KEYS

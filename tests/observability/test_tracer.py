@@ -26,6 +26,7 @@ class TestStages:
             "shard",
             "execute",
             "fold",
+            "delta",
         )
 
 

@@ -96,7 +96,7 @@ class TestHappyPath:
         assert stats["service"]["service.requests"] >= 2
         assert stats["service"]["service.completed"] >= 1
         assert stats["pool"]["served"] >= 1
-        assert stats["session"]["schema"] == "repro.trace-report/2"
+        assert stats["session"]["schema"] == "repro.trace-report/3"
 
     def test_correlation_ids_echo_verbatim(self, server):
         handle, client = server
@@ -447,7 +447,7 @@ class TestReports:
         ]
         assert [entry["op"] for entry in lines] == ["query", "explain"]
         assert all(
-            entry["report"]["schema"] == "repro.trace-report/2"
+            entry["report"]["schema"] == "repro.trace-report/3"
             for entry in lines
         )
         # Correlation ids (the client counts from 1) ride along.

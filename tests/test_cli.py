@@ -275,7 +275,7 @@ class TestObservabilityFlags:
         assert captured.out.strip() == "ab"
         assert "metrics written to" in captured.err
         data = json.loads(path.read_text(encoding="utf-8"))
-        assert data["schema"] == "repro.trace-report/2"
+        assert data["schema"] == "repro.trace-report/3"
         assert data["enabled"] is True
         assert set(data["stages"]) == {
             "compile",
@@ -287,6 +287,7 @@ class TestObservabilityFlags:
             "shard",
             "execute",
             "fold",
+            "delta",
         }
         for bucket in data["stages"].values():
             assert set(bucket) == {"spans", "seconds"}
