@@ -1,7 +1,12 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and reporting helpers for the benchmark harness.
 
 Every benchmark regenerates one experiment of EXPERIMENTS.md; the
 fixtures provide deterministic workloads so runs are comparable.
+:func:`byte_accounting` is the shared size report for compressed
+workloads — benchmarks that store relations behind a compressing
+backend record *both* expanded and stored bytes, so a "processed N
+bytes" claim in a ``BENCH_*.json`` is always explicit about which N
+it means.
 """
 
 import pytest
@@ -9,6 +14,49 @@ import pytest
 from repro.core.alphabet import AB, DNA
 from repro.core.database import Database
 from repro.workloads import generators
+
+
+def byte_accounting(storages) -> dict:
+    """Expanded vs. stored bytes over named relation storages.
+
+    Args:
+        storages: ``(name, storage)`` pairs (any object with the
+            :class:`~repro.storage.RelationStorage` ``stats()`` hook).
+
+    Returns:
+        A JSON-ready dict: per-relation and total ``expanded_chars``
+        (the logical string bytes a scan-based evaluator would touch),
+        ``stored_chars`` (what the backend actually holds — grammar
+        rules for SLP columns, identical to expanded for plain
+        backends) and the resulting ``compression_ratio``.
+    """
+    relations = []
+    total_expanded = 0
+    total_stored = 0
+    for name, storage in storages:
+        stats = storage.stats()
+        expanded = sum(column.total_chars for column in stats.columns)
+        stored = sum(
+            column.effective_stored_chars for column in stats.columns
+        )
+        total_expanded += expanded
+        total_stored += stored
+        relations.append(
+            {
+                "relation": name,
+                "rows": stats.rows,
+                "expanded_chars": expanded,
+                "stored_chars": stored,
+            }
+        )
+    return {
+        "relations": relations,
+        "expanded_chars": total_expanded,
+        "stored_chars": total_stored,
+        "compression_ratio": (
+            round(total_expanded / total_stored, 2) if total_stored else 1.0
+        ),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -42,11 +42,14 @@ normalized :mod:`repro.ir` plan — cost estimates, fired rewrite rules
 and the optimized algebra expression — instead of evaluating.
 ``--storage ngram`` (optionally with ``--index-dir``) loads relations
 into the positional n-gram index backend (:mod:`repro.storage`) the
-planner probes for pushed-down selection factors.  ``--kernel
-{v1,v2,auto}`` selects the acceptance kernel tier
+planner probes for pushed-down selection factors; ``--storage slp``
+holds every cell as a straight-line program (:mod:`repro.slp`).
+``--kernel {v1,v2,v3,auto}`` selects the acceptance kernel tier
 (:mod:`repro.fsa.determinize`; the default ``auto`` serves
 in-fragment machines from the determinized v2 scan tables and falls
-back to the v1 worklist kernel otherwise).  All human-readable
+back to the v1 worklist kernel otherwise; ``v3`` additionally
+evaluates compressed inputs on their grammars,
+:mod:`repro.slp.kernel`).  All human-readable
 instrumentation goes to stderr so stdout stays a clean tuple stream.
 
 Formulas use the concrete syntax of :mod:`repro.core.parser`.
@@ -345,13 +348,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--kernel",
-        choices=("v1", "v2", "auto"),
+        choices=("v1", "v2", "v3", "auto"),
         default="auto",
         help="acceptance-kernel mode (default: auto — the determinized "
         "scan kernel for machines in the unidirectional / "
         "right-restricted fragment, the compiled worklist kernel "
         "otherwise; v1 forces the worklist kernel everywhere; v2 "
-        "requests the scan kernel with transparent v1 fallback). "
+        "requests the scan kernel with transparent v1 fallback; v3 "
+        "adds grammar-path acceptance for SLP-compressed inputs). "
         "Answers are identical for every mode.",
     )
     query.add_argument(
@@ -360,8 +364,10 @@ def build_parser() -> argparse.ArgumentParser:
         default="memory",
         help="relation storage backend (default: memory — plain "
         "frozensets; ngram builds positional n-gram indexes the "
-        "planner probes for pushed-down selection factors). Answers "
-        "are identical for every backend.",
+        "planner probes for pushed-down selection factors; slp "
+        "compresses cells into straight-line programs with "
+        "grammar-extracted prefilters). Answers are identical for "
+        "every backend.",
     )
     query.add_argument(
         "--index-dir",
@@ -485,7 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default shard count for sharded evaluation",
     )
     serve.add_argument(
-        "--kernel", choices=("v1", "v2", "auto"), default="auto"
+        "--kernel", choices=("v1", "v2", "v3", "auto"), default="auto"
     )
     serve.add_argument(
         "--storage", choices=STORAGE_KINDS, default="memory"

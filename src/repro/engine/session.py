@@ -78,8 +78,8 @@ class QueryEngine:
                 f"unknown kernel mode {kernel_mode!r}; "
                 f"expected one of {KERNEL_MODES}"
             )
-        #: The session-wide acceptance-kernel mode (``"v1"``, ``"v2"``
-        #: or ``"auto"``); see :func:`repro.fsa.kernel.kernel_for`.
+        #: The session-wide acceptance-kernel mode (``"v1"``, ``"v2"``,
+        #: ``"v3"`` or ``"auto"``); see :func:`repro.fsa.kernel.kernel_for`.
         self.kernel_mode = kernel_mode
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = EngineStats()
@@ -212,14 +212,18 @@ class QueryEngine:
         Two independently built but equal machines share one kernel
         per session *and per kernel tier*: cache keys are
         ``(tier, machine)`` where the tier is ``"v1"`` for the
-        worklist :class:`~repro.fsa.kernel.CompiledKernel` and
-        ``"v2"`` for the determinized
-        :class:`~repro.fsa.determinize.DeterministicKernel`, so a
-        forced-v1 lookup can never collide with a v2 one.  The kernel
-        is additionally stashed on the machine instance by
+        worklist :class:`~repro.fsa.kernel.CompiledKernel`, ``"v2"``
+        for the determinized
+        :class:`~repro.fsa.determinize.DeterministicKernel` and
+        ``"v3"`` for the grammar-compositional
+        :class:`~repro.slp.kernel.SLPKernel`, so a forced-v1 lookup
+        can never collide with a v2 or v3 one.  The kernel is
+        additionally stashed on the machine instance by
         :func:`~repro.fsa.kernel.kernel_for`, so the acceptance hot
         paths (the algebra's non-generative selection, the planner's
-        row filters) never recompile.
+        row filters) never recompile — and since a v3 kernel carries
+        its per-rule summary memo, compressed-input summaries are
+        shared across every query and batch of the session.
 
         Args:
             fsa: The machine to compile.
@@ -230,11 +234,13 @@ class QueryEngine:
             The session-cached kernel for the resolved mode.
         """
         from repro.fsa.determinize import classify_fragment
-        from repro.fsa.kernel import KERNEL_V1, KERNEL_V2, kernel_for
+        from repro.fsa.kernel import KERNEL_V1, KERNEL_V2, KERNEL_V3, kernel_for
 
         resolved = self.kernel_mode if mode is None else mode
         if resolved == KERNEL_V1 or classify_fragment(fsa) is None:
             tier = KERNEL_V1
+        elif resolved == KERNEL_V3:
+            tier = KERNEL_V3
         else:
             tier = KERNEL_V2
         return self._kernel.get_or_compute(

@@ -61,6 +61,11 @@ class ArtifactError(StorageError):
     """An on-disk index artifact is missing, corrupt or incompatible."""
 
 
+class SLPError(ReproError):
+    """A straight-line program is malformed or an operation on one
+    exceeded its budget (e.g. expanding past the decompression cap)."""
+
+
 class EvaluationError(ReproError):
     """A query or algebra expression could not be evaluated."""
 

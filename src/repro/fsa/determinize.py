@@ -43,7 +43,8 @@ compile to one machine and one pass.
 
 Tracer counters: ``kernel.determinize`` (one per subset construction),
 ``kernel.dfa_states`` (DFA states built), ``kernel.v2_hits``
-(instance-cache hits), ``simulate.runs`` and ``simulate.scan_symbols``
+(instance-cache hits), ``kernel.classify.hits`` (memoized fragment
+verdicts served), ``simulate.runs`` and ``simulate.scan_symbols``
 (columns consumed by v2 scans).
 """
 
@@ -61,6 +62,7 @@ from repro.fsa.machine import (
     STAY,
     Transition,
     make_fsa,
+    register_kernel_stash,
 )
 from repro.observability import current_tracer
 
@@ -81,6 +83,15 @@ DEAD, ACCEPT, START = 0, 1, 2
 
 #: Stash attribute for the per-instance determinization verdict.
 _STASH = "_kernel_v2"
+register_kernel_stash(_STASH)
+
+#: Stash attribute for the per-instance fragment label (memoizing
+#: :func:`classify_fragment`, which every kernel dispatch consults).
+_FRAGMENT_STASH = "_fragment"
+register_kernel_stash(_FRAGMENT_STASH)
+
+#: Distinguishes "not classified yet" from the valid ``None`` verdict.
+_UNCLASSIFIED = object()
 
 #: Stash marker for "determinization declined" (out of fragment or
 #: over the cell budget), so the verdict is computed once per machine.
@@ -93,7 +104,11 @@ def classify_fragment(fsa: FSA) -> str | None:
     The verdict is *sound*: a non-``None`` label guarantees
     :func:`determinize`'s scan semantics are exact for the machine
     (every reachable configuration keeps all heads at one shared,
-    never-decreasing position).
+    never-decreasing position).  It is memoized on the instance —
+    every kernel dispatch (:func:`repro.fsa.kernel.kernel_for`, the
+    session kernel cache) consults it, and out-of-fragment machines
+    would otherwise rescan their transition set on every lookup.
+    Repeat lookups bump the ``kernel.classify.hits`` counter.
 
     Args:
         fsa: The machine to classify.
@@ -104,6 +119,17 @@ def classify_fragment(fsa: FSA) -> str | None:
         ``None`` for everything else (including arity-0 machines,
         whose acceptance has no scan to speak of).
     """
+    cached = fsa.__dict__.get(_FRAGMENT_STASH, _UNCLASSIFIED)
+    if cached is not _UNCLASSIFIED:
+        current_tracer().add("kernel.classify.hits")
+        return cached
+    verdict = _classify(fsa)
+    object.__setattr__(fsa, _FRAGMENT_STASH, verdict)
+    return verdict
+
+
+def _classify(fsa: FSA) -> str | None:
+    """The uncached fragment analysis behind :func:`classify_fragment`."""
     if fsa.arity == 0:
         return None
     lockstep = True

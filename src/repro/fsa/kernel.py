@@ -39,10 +39,14 @@ Since kernel v2 (:mod:`repro.fsa.determinize`), this module is also
 the **mode dispatcher**: :func:`kernel_for` takes a kernel mode —
 :data:`KERNEL_V1` (always the worklist kernel), :data:`KERNEL_V2`
 (determinized scan, or v1 fallback when the machine is out of the
-Theorem 5.2 fragment) or :data:`KERNEL_AUTO` (the default: v2 when
-the fragment detector says yes, v1 otherwise) — and returns whichever
-kernel object will answer ``accepts``/``accepts_batch`` fastest while
-staying exactly equivalent to the reference search.
+Theorem 5.2 fragment), :data:`KERNEL_V3` (the grammar-compositional
+kernel of :mod:`repro.slp.kernel`, which additionally accepts
+SLP-compressed inputs in time proportional to the *grammar*, with the
+same fragment condition and v1 fallback) or :data:`KERNEL_AUTO` (the
+default: v2 when the fragment detector says yes, v1 otherwise) — and
+returns whichever kernel object will answer
+``accepts``/``accepts_batch`` fastest while staying exactly
+equivalent to the reference search.
 
 Tracer counters: ``kernel.compile`` (one per compilation),
 ``kernel.hits`` (instance-cache hits), ``kernel.fallback`` (v2-eligible
@@ -57,7 +61,7 @@ from collections.abc import Sequence
 
 from repro.errors import AlphabetError, ArityError
 from repro.fsa.determinize import DeterministicKernel, determinized_for
-from repro.fsa.machine import FSA
+from repro.fsa.machine import FSA, register_kernel_stash
 from repro.observability import current_tracer
 
 #: Bound on cached per-input-shape dispatch bindings per kernel;
@@ -72,12 +76,23 @@ KERNEL_V1 = "v1"
 #: (transparently, counter ``kernel.fallback``) out of fragment.
 KERNEL_V2 = "v2"
 
+#: Kernel mode: the grammar-compositional v3 kernel
+#: (:mod:`repro.slp.kernel`) — the v2 scan table plus per-rule
+#: summaries, so SLP-compressed inputs are accepted in
+#: ``O(rules · states)``; plain strings scan exactly like v2.  Falls
+#: back to v1 (counter ``kernel.fallback``) out of fragment.
+KERNEL_V3 = "v3"
+
 #: Kernel mode: v2 when the fragment detector allows it, else v1.
 #: The default everywhere.
 KERNEL_AUTO = "auto"
 
 #: All recognized kernel modes, in precedence order.
-KERNEL_MODES = (KERNEL_V1, KERNEL_V2, KERNEL_AUTO)
+KERNEL_MODES = (KERNEL_V1, KERNEL_V2, KERNEL_V3, KERNEL_AUTO)
+
+#: Stash attribute for the per-instance v1 compiled kernel.
+_STASH = "_kernel"
+register_kernel_stash(_STASH)
 
 #: One bound shape: ``(radii, weights, state_weight, delta_table)``.
 _Binding = tuple[tuple[int, ...], tuple[int, ...], int, dict]
@@ -412,9 +427,13 @@ def kernel_for(
     return the determinized
     :class:`~repro.fsa.determinize.DeterministicKernel` when the
     machine is inside the Theorem 5.2 fragment and within the DFA
-    budget, and otherwise fall back to v1 **transparently** — the
-    verdicts are identical either way — bumping the
-    ``kernel.fallback`` counter so the fallback is observable.
+    budget; :data:`KERNEL_V3` returns the grammar-compositional
+    :class:`~repro.slp.kernel.SLPKernel` (sharing the same DFA table,
+    plus per-rule summaries for SLP-compressed inputs) under the same
+    fragment condition.  Out of fragment, every tier falls back to v1
+    **transparently** — the verdicts are identical either way —
+    bumping the ``kernel.fallback`` counter so the fallback is
+    observable.
 
     Args:
         fsa: The machine whose kernel is wanted.
@@ -427,17 +446,26 @@ def kernel_for(
         raise ValueError(
             f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
         )
-    if mode != KERNEL_V1:
+    if mode == KERNEL_V3:
+        # Imported lazily: repro.slp.kernel builds on this module's
+        # sibling (determinize), so a top-level import would cycle.
+        from repro.slp.kernel import slp_kernel_for
+
+        grammar_kernel = slp_kernel_for(fsa)
+        if grammar_kernel is not None:
+            return grammar_kernel
+        current_tracer().add("kernel.fallback")
+    elif mode != KERNEL_V1:
         determinized = determinized_for(fsa)
         if determinized is not None:
             return determinized
         current_tracer().add("kernel.fallback")
-    kernel = fsa.__dict__.get("_kernel")
+    kernel = fsa.__dict__.get(_STASH)
     if kernel is not None:
         current_tracer().add("kernel.hits")
         return kernel
     kernel = compile_kernel(fsa)
-    object.__setattr__(fsa, "_kernel", kernel)
+    object.__setattr__(fsa, _STASH, kernel)
     return kernel
 
 
@@ -448,6 +476,7 @@ __all__ = [
     "KERNEL_MODES",
     "KERNEL_V1",
     "KERNEL_V2",
+    "KERNEL_V3",
     "compile_kernel",
     "kernel_for",
     "MAX_BINDINGS",

@@ -25,6 +25,29 @@ State = Hashable
 LEFT_MOVE, STAY, RIGHT_MOVE = -1, 0, +1
 _MOVES = (LEFT_MOVE, STAY, RIGHT_MOVE)
 
+#: Per-instance stash attributes the kernel layers cache on machines
+#: (compiled kernels, determinization verdicts, fragment labels).
+#: Everything registered here is dropped from pickles by
+#: :meth:`FSA.__getstate__` — each kernel tier registers its own slot
+#: at import time, so adding a tier can never silently leak compiled
+#: tables into worker payloads.
+_KERNEL_STASHES: list[str] = []
+
+
+def register_kernel_stash(name: str) -> None:
+    """Register a per-instance stash attribute for pickle exclusion.
+
+    Called once at import time by each module that caches derived
+    state on :class:`FSA` instances via ``object.__setattr__``
+    (:mod:`repro.fsa.kernel`, :mod:`repro.fsa.determinize`,
+    :mod:`repro.slp.kernel`).
+
+    Args:
+        name: The attribute name the caller stashes under.
+    """
+    if name not in _KERNEL_STASHES:
+        _KERNEL_STASHES.append(name)
+
 
 @dataclass(frozen=True)
 class Transition:
@@ -121,16 +144,18 @@ class FSA:
     def __getstate__(self) -> dict:
         """Pickle the fields and adjacency index, not the kernel stashes.
 
-        :func:`repro.fsa.kernel.kernel_for` caches the compiled
-        simulation kernel on the instance and
-        :func:`repro.fsa.determinize.determinized_for` the determinized
-        v2 kernel (or its "unsupported" verdict); workers rebuild both
-        locally (one compile per machine per process), so shipping
-        them would only inflate shard payloads.
+        Every kernel tier caches derived state on the instance via
+        ``object.__setattr__`` — the v1 compiled kernel, the v2
+        determinization verdict, the v3 grammar kernel, the fragment
+        label — and registers its stash attribute in
+        :data:`_KERNEL_STASHES` (:func:`register_kernel_stash`).
+        Workers rebuild everything locally (one compile per machine
+        per process), so shipping the stashes would only inflate shard
+        payloads.
         """
         state = self.__dict__.copy()
-        state.pop("_kernel", None)
-        state.pop("_kernel_v2", None)
+        for name in _KERNEL_STASHES:
+            state.pop(name, None)
         return state
 
     # -- observation ----------------------------------------------------

@@ -32,6 +32,10 @@ GENERATOR_SELECTIVITY = 0.25
 #: applied when a step carries pushed-down required substrings.
 PREFILTER_SELECTIVITY = 0.25
 
+#: Floor on the compressed-scan discount: even a grammar that packs a
+#: column a million-fold still costs something per row to walk.
+MIN_SCAN_DISCOUNT = 1.0 / 256.0
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -104,6 +108,34 @@ class CostModel:
             return 1
         return max(stats.columns[column].distinct, 1)
 
+    def scan_discount(self, name: str) -> float:
+        """The compressed-scan cost multiplier for relation ``name``.
+
+        The ratio of *stored* to *expanded* characters over all
+        columns (``effective_stored_chars / total_chars``): 1.0 for
+        uncompressed backends — whose ``stored_chars`` defaults to the
+        expanded size, so every existing plan golden is untouched —
+        and proportionally below 1.0 for SLP-compressed relations,
+        where a scan walks grammar rules instead of characters.
+        Floored at :data:`MIN_SCAN_DISCOUNT`.
+
+        Args:
+            name: The relation symbol.
+
+        Returns:
+            A multiplier in ``[MIN_SCAN_DISCOUNT, 1.0]``.
+        """
+        stats = self.stats_for(name)
+        if stats is None:
+            return 1.0
+        total = sum(column.total_chars for column in stats.columns)
+        if total <= 0:
+            return 1.0
+        stored = sum(
+            column.effective_stored_chars for column in stats.columns
+        )
+        return min(1.0, max(stored / total, MIN_SCAN_DISCOUNT))
+
     def join_estimate(
         self,
         rows: float,
@@ -116,7 +148,10 @@ class CostModel:
         A join scans ``rows × size`` pairs; each already-bound argument
         position acts as an equality predicate whose selectivity is
         ``1 / distinct(column)`` from the stored column statistics —
-        the classic ``|R| / Π V(R, c)`` estimate.
+        the classic ``|R| / Π V(R, c)`` estimate.  The scan cost is
+        additionally multiplied by :meth:`scan_discount`, so compressed
+        relations price their scans by grammar size rather than
+        expanded characters (1.0 — a no-op — for plain backends).
 
         Args:
             rows: The current estimated binding count.
@@ -128,7 +163,7 @@ class CostModel:
             The ``(cost, rows_after)`` estimates.
         """
         base = max(self.relation_rows(name), 1)
-        cost = rows * base
+        cost = rows * base * self.scan_discount(name)
         matches = float(base)
         for column in bound_columns:
             matches /= self.column_distinct(name, column)

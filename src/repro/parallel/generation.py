@@ -142,9 +142,9 @@ def filter_accepted(
         executor: Optional :class:`~repro.parallel.ParallelExecutor`;
             when given the acceptance checks are sharded as
             :class:`~repro.parallel.tasks.SimulateShardTask` batches.
-        kernel_mode: Acceptance-kernel mode (``"v1"``, ``"v2"`` or
-            ``"auto"``), forwarded to the kernel dispatcher both
-            in-process and inside shard workers.
+        kernel_mode: Acceptance-kernel mode (``"v1"``, ``"v2"``,
+            ``"v3"`` or ``"auto"``), forwarded to the kernel
+            dispatcher both in-process and inside shard workers.
 
     Returns:
         The subset of ``rows`` the machine accepts.

@@ -1,0 +1,330 @@
+"""Kernel v3: automaton acceptance evaluated on the grammar.
+
+The v2 scan (:mod:`repro.fsa.determinize`) already collapsed
+in-fragment acceptance to one pass over the endmarked input — but a
+pass over the *expanded* input, O(|string|) per candidate.  Following
+the compositional MSO-over-SLP evaluation of Muñoz et al. (PAPERS.md:
+"Dynamic direct access of MSO query evaluation over SLP-compressed
+strings"), this module evaluates the same DFA **bottom-up over the
+grammar** instead: every rule ``X`` of a straight-line program gets a
+*summary* — the function ``state → state`` the DFA computes across
+``X``'s expansion, stored as a flat ``array('l')`` indexed by state id
+(stride-1 premultiplication: each entry is directly the index into the
+next summary, the grammar analogue of the scan table's
+``next_state · ncols`` entries).  A terminal rule's summary is one
+column of the v2 table; a pair rule's summary is the composition
+``h[s] = right[left[s]]`` of its children's — pure array indexing, no
+re-scan.  Acceptance of a compressed string is then
+
+    ``⊢-column → root summary → ⊣-column``
+
+— three table applications once the root's summary exists, and
+``O(rules · states)`` to build it, **independent of the expanded
+length**.  Because rules are interned process-wide
+(:mod:`repro.slp.grammar`), summaries are memoized per ``(DFA, rule)``
+and shared across every string, query and batch that contains the
+rule; the kernel itself rides the session kernel cache and the
+machine-instance stash, so the memo is shared across queries exactly
+like the v2 table.
+
+:class:`SLPKernel` subclasses
+:class:`~repro.fsa.determinize.DeterministicKernel` and shares its
+table — plain-string inputs scan exactly like v2 (same verdicts, same
+counters), so ``--kernel v3`` is a strict superset of v2 behaviour.
+
+Tracer counters: ``kernel.v3_hits`` (instance-cache hits),
+``kernel.slp_summaries`` (per-rule summaries built),
+``kernel.slp_expanded`` (SLP cells a non-grammar path had to expand),
+``simulate.runs`` / ``simulate.grammar_rules`` (grammar-path
+acceptance runs and the rules they touched).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+
+from repro.errors import AlphabetError, ArityError
+from repro.fsa.determinize import (
+    ACCEPT,
+    START,
+    DeterministicKernel,
+    determinized_for,
+)
+from repro.fsa.machine import FSA, register_kernel_stash
+from repro.observability import current_tracer
+from repro.slp.grammar import SLP, _Node, _postorder
+
+#: Bound on memoized per-rule summaries per kernel; reaching it evicts
+#: oldest-first between acceptance calls (never mid-composition), like
+#: :data:`repro.fsa.kernel.MAX_BINDINGS`.
+MAX_SUMMARIES = 1 << 16
+
+#: Stash attribute for the per-instance v3 kernel.
+_STASH = "_kernel_v3"
+register_kernel_stash(_STASH)
+
+#: Stash marker for "v3 declined" (out of fragment / over budget).
+_UNSUPPORTED = "unsupported"
+
+
+class SLPKernel(DeterministicKernel):
+    """A determinized kernel that also accepts SLP-compressed inputs.
+
+    Built by :func:`slp_kernel_for`; shares the base kernel's flat
+    scan table (no recompilation) and adds the per-rule summary memo.
+    Inputs may mix plain strings and :class:`~repro.slp.grammar.SLP`
+    values freely:
+
+    * a single-tape SLP input takes the grammar path —
+      ``O(rules · states)``, expanded length never materialized;
+    * plain strings take the inherited v2 scan, verdict-identical to
+      :class:`~repro.fsa.determinize.DeterministicKernel`;
+    * SLP cells on multitape machines are expanded (within the
+      grammar's decompression cap) and scanned — correct, counted by
+      ``kernel.slp_expanded``, and the reason multitape compressed
+      workloads should keep cells small.
+
+    >>> from repro.core.alphabet import AB, LEFT_END, RIGHT_END
+    >>> from repro.fsa.machine import make_fsa
+    >>> from repro.slp import compress, repeat
+    >>> ends_ab = make_fsa(1, AB, "s", ["f"], [
+    ...     ("s", (LEFT_END,), "scan", (+1,)),
+    ...     ("scan", ("a",), "scan", (+1,)),
+    ...     ("scan", ("b",), "scan", (+1,)),
+    ...     ("scan", ("a",), "saw_a", (+1,)),
+    ...     ("saw_a", ("b",), "win", (+1,)),
+    ...     ("win", (RIGHT_END,), "f", (0,)),
+    ... ])
+    >>> kernel = slp_kernel_for(ends_ab)
+    >>> huge = repeat(compress("ba"), 10**12)  # 2·10¹² chars, ~60 rules
+    >>> kernel.accepts((huge,))
+    False
+    >>> kernel.accepts((compress("bbab"),)), kernel.accepts(("bbab",))
+    (True, True)
+    """
+
+    __slots__ = ("_summaries",)
+
+    def __init__(self, base: DeterministicKernel) -> None:
+        super().__init__(
+            base.fsa,
+            base.fragment,
+            base._table,
+            base._ncols,
+            base._symbol_count,
+            base._char_ids,
+            base.dfa_states,
+        )
+        self._summaries: dict[_Node, array] = {}
+
+    def __reduce__(self):
+        """Pickle as the machine; rebuild (and re-stash) on load.
+
+        The summary memo is scratch state — workers rebuild summaries
+        on demand from the rules they actually see.
+        """
+        return (_rebuild, (self.fsa,))
+
+    # -- per-rule summaries ----------------------------------------------
+
+    def _summary(self, root: _Node) -> array:
+        """The state→state summary of ``root``, memoized per rule.
+
+        Builds bottom-up over the rule DAG: terminal summaries read one
+        column of the scan table (the single ``// ncols`` per entry
+        converts the table's premultiplied targets into state ids),
+        pair summaries compose their children by indexing.  Sticky
+        sinks need no special casing — their table rows are constant,
+        so every summary maps ``DEAD → DEAD`` and ``ACCEPT → ACCEPT``.
+        """
+        summaries = self._summaries
+        cached = summaries.get(root)
+        if cached is not None:
+            return cached
+        if len(summaries) >= MAX_SUMMARIES:
+            # Evict between calls only, so in-flight compositions
+            # below never lose a child they still need.
+            for stale in list(summaries)[: MAX_SUMMARIES // 2]:
+                del summaries[stale]
+        table = self._table
+        ncols = self._ncols
+        states = range(self.dfa_states)
+        char_ids = self._char_ids
+        built = 0
+        for node in _postorder(root):
+            if node in summaries:
+                continue
+            if node.char is not None:
+                column = char_ids.get(node.char)
+                if column is None:
+                    raise AlphabetError(
+                        f"character {node.char!r} of a compressed input "
+                        f"is not in alphabet {self.fsa.alphabet}"
+                    )
+                summary = array(
+                    "l",
+                    [table[state * ncols + column] // ncols for state in states],
+                )
+            else:
+                left = summaries[node.left]
+                right = summaries[node.right]
+                summary = array("l", [right[state] for state in left])
+            summaries[node] = summary
+            built += 1
+        if built:
+            current_tracer().add("kernel.slp_summaries", built)
+        return summaries[root]
+
+    def _accepts_grammar(self, slp: SLP) -> bool:
+        """Grammar-path acceptance of one single-tape SLP input."""
+        table = self._table
+        ncols = self._ncols
+        left_column = self._symbol_count - 2
+        right_column = self._symbol_count - 1
+        state = table[START * ncols + left_column] // ncols
+        rules = 0
+        root = slp.root
+        if root is not None:
+            state = self._summary(root)[state]
+            rules = slp.stored_size()
+        state = table[state * ncols + right_column] // ncols
+        tracer = current_tracer()
+        tracer.add("simulate.runs")
+        tracer.add("simulate.grammar_rules", rules)
+        return state == ACCEPT
+
+    # -- input normalization ---------------------------------------------
+
+    def _expand_cells(self, row: tuple) -> tuple[str, ...]:
+        """Expand any SLP cells of a row bound for the v2 scan path."""
+        expanded = []
+        swapped = 0
+        for cell in row:
+            if isinstance(cell, SLP):
+                expanded.append(cell.expand())
+                swapped += 1
+            else:
+                expanded.append(cell)
+        if swapped:
+            current_tracer().add("kernel.slp_expanded", swapped)
+        return tuple(expanded)
+
+    # -- acceptance entry points -----------------------------------------
+
+    def accepts(self, inputs: Sequence[object]) -> bool:
+        """Acceptance of one row, compressed cells welcome.
+
+        Exactly equivalent to the v2 scan of the expanded row (and
+        hence to the reference search), including arity and alphabet
+        validation — but a single-tape SLP input never expands.
+
+        Args:
+            inputs: One string or :class:`~repro.slp.grammar.SLP` per
+                tape.
+
+        Returns:
+            The acceptance verdict.
+        """
+        inputs = tuple(inputs)
+        if len(inputs) != self.arity:
+            raise ArityError(
+                f"{self.arity}-FSA fed {len(inputs)} input strings"
+            )
+        if self.arity == 1 and isinstance(inputs[0], SLP):
+            return self._accepts_grammar(inputs[0])
+        if any(isinstance(cell, SLP) for cell in inputs):
+            inputs = self._expand_cells(inputs)
+        return super().accepts(inputs)
+
+    def accepts_batch(
+        self, rows: Sequence[Sequence[object]]
+    ) -> tuple[bool, ...]:
+        """:meth:`accepts` over a batch; grammar rows skip the scan.
+
+        Single-tape SLP rows are answered on the grammar path; all
+        remaining rows (plain strings, multitape rows with expanded
+        cells) are driven through the inherited column-wise v2 sweep
+        in one sub-batch, preserving its batching advantages and
+        counters.
+
+        Args:
+            rows: The input tuples.
+
+        Returns:
+            Per-row verdicts, positionally aligned with ``rows``.
+        """
+        arity = self.arity
+        verdicts: list[bool | None] = [None] * len(rows)
+        scan_rows: list[tuple] = []
+        scan_slots: list[int] = []
+        for slot, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != arity:
+                raise ArityError(
+                    f"{arity}-FSA fed {len(row)} input strings"
+                )
+            if arity == 1 and isinstance(row[0], SLP):
+                verdicts[slot] = self._accepts_grammar(row[0])
+            else:
+                if any(isinstance(cell, SLP) for cell in row):
+                    row = self._expand_cells(row)
+                scan_rows.append(row)
+                scan_slots.append(slot)
+        if scan_rows:
+            for slot, verdict in zip(
+                scan_slots, super().accepts_batch(scan_rows)
+            ):
+                verdicts[slot] = verdict
+        return tuple(verdicts)
+
+
+def _rebuild(fsa: FSA) -> SLPKernel:
+    """Unpickle hook: re-enter the worker's instance stash."""
+    kernel = slp_kernel_for(fsa)
+    if kernel is None:  # pragma: no cover - the machine was supported
+        raise ArityError(
+            f"machine {fsa} no longer supports kernel v3 after unpickling"
+        )
+    return kernel
+
+
+def slp_kernel_for(fsa: FSA) -> SLPKernel | None:
+    """The v3 kernel of ``fsa``, cached on the instance.
+
+    Reuses :func:`~repro.fsa.determinize.determinized_for` — the v3
+    kernel *is* the v2 DFA table plus the summary memo, so fragment
+    classification, the cell budget and the subset construction are
+    all shared with (and counted once across) the v2 tier.  Repeat
+    lookups bump ``kernel.v3_hits``; the stash is dropped from pickles
+    like every kernel stash
+    (:data:`repro.fsa.machine._KERNEL_STASHES`).
+
+    Args:
+        fsa: The machine whose v3 kernel is wanted.
+
+    Returns:
+        The cached (or freshly wrapped) kernel, or ``None`` when the
+        machine is out of fragment / over budget — callers
+        (:func:`repro.fsa.kernel.kernel_for`) then fall back to v1.
+    """
+    cached = fsa.__dict__.get(_STASH)
+    if cached is not None:
+        if cached == _UNSUPPORTED:
+            return None
+        current_tracer().add("kernel.v3_hits")
+        return cached
+    base = determinized_for(fsa)
+    if base is None:
+        object.__setattr__(fsa, _STASH, _UNSUPPORTED)
+        return None
+    kernel = SLPKernel(base)
+    object.__setattr__(fsa, _STASH, kernel)
+    return kernel
+
+
+__all__ = [
+    "MAX_SUMMARIES",
+    "SLPKernel",
+    "slp_kernel_for",
+]

@@ -10,9 +10,13 @@ tuples — paper, Section 2) from *how* the tuples are held:
   inverted indexes per column, optionally serialized to an immutable
   memory-mapped artifact (:mod:`repro.storage.artifact`) that builds
   once and is shared read-only across sessions and worker processes.
+* :class:`~repro.storage.slp.SLPStorage` — cells held as straight-line
+  programs (:mod:`repro.slp`): membership and deltas are structural,
+  statistics and n-gram prefilter probes read off the grammars, and
+  only rows an engine actually enumerates are ever decompressed.
 
 :func:`storage_factory` turns a storage *kind* name (``"memory"``,
-``"ngram"``) into the callable :class:`repro.core.database.Database`
+``"ngram"``, ``"slp"``) into the callable :class:`repro.core.database.Database`
 accepts via its ``storage=`` parameter; :func:`probe_candidates` is the
 uniform prefilter entry point engines call without caring whether the
 backend is indexed at all.
@@ -36,9 +40,10 @@ from repro.storage.base import (
     is_storage,
 )
 from repro.storage.ngram import DEFAULT_N, NGramIndexStorage
+from repro.storage.slp import SLPStorage
 
 #: The storage kinds :func:`storage_factory` understands.
-STORAGE_KINDS = ("memory", "ngram")
+STORAGE_KINDS = ("memory", "ngram", "slp")
 
 #: The signature of a storage factory: ``(name, tuples, alphabet) → storage``.
 StorageFactory = Callable[
@@ -59,9 +64,11 @@ def storage_factory(
             in an :class:`InMemoryStorage`; ``"ngram"`` builds an
             :class:`NGramIndexStorage` — in memory when ``index_dir``
             is ``None``, else backed by a ``<name>.ngx`` artifact under
-            ``index_dir`` (reused across runs via content fingerprint).
+            ``index_dir`` (reused across runs via content fingerprint);
+            ``"slp"`` compresses every cell into an
+            :class:`~repro.storage.slp.SLPStorage`.
         index_dir: Where ``"ngram"`` artifacts live.
-        n: The gram size for ``"ngram"``.
+        n: The gram size for ``"ngram"`` and ``"slp"``.
 
     Returns:
         A callable suitable for ``Database(..., storage=...)``.
@@ -85,6 +92,12 @@ def storage_factory(
             )
 
         return make_ngram
+    if kind == "slp":
+
+        def make_slp(name, tuples, alphabet):
+            return SLPStorage.build(tuples, n=n)
+
+        return make_slp
     raise StorageError(
         f"unknown storage kind {kind!r}; expected one of {STORAGE_KINDS}"
     )
@@ -155,6 +168,7 @@ __all__ = [
     "Relation",
     "RelationStats",
     "RelationStorage",
+    "SLPStorage",
     "STORAGE_KINDS",
     "StorageFactory",
     "VERSION",

@@ -41,12 +41,22 @@ class ColumnStats:
     max_length: int
     #: Sorted ``(length, count)`` pairs over the column's values.
     length_histogram: tuple[tuple[int, int], ...]
+    #: Stored size of the column in backend units (grammar rules for
+    #: SLP-compressed columns); ``-1`` means "same as ``total_chars``"
+    #: — the uncompressed default, so plain backends and old artifacts
+    #: keep their statistics (and plan-cache signatures) unchanged.
+    stored_chars: int = -1
 
     @property
     def mean_length(self) -> float:
         """The average value length (0.0 for an empty column)."""
         total = sum(count for _, count in self.length_histogram)
         return self.total_chars / total if total else 0.0
+
+    @property
+    def effective_stored_chars(self) -> int:
+        """``stored_chars`` with the ``-1`` default resolved."""
+        return self.stored_chars if self.stored_chars >= 0 else self.total_chars
 
 
 @dataclass(frozen=True)

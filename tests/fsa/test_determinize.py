@@ -272,7 +272,7 @@ class TestCountersAndCache:
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
-            kernel_for(_compiled(sh.equals), "v3")
+            kernel_for(_compiled(sh.equals), "v9")
 
 
 # -- pickling (the satellite-3 regression) ------------------------------

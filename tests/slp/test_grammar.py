@@ -1,0 +1,202 @@
+"""Property tests for the SLP grammar layer (ISSUE satellite).
+
+The core contract — ``expand(compress(s)) == s`` and
+``expanded_length`` agreement — is checked over every workload
+generator's alphabet, plus the two adversarial regimes: highly
+repetitive strings (where RePair shines and overlap handling of
+squares like ``"aaaa"`` is easy to get wrong) and incompressible
+random strings (where compress must degrade to a balanced fold without
+corrupting anything).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alphabet import AB, BINARY, DNA, Alphabet
+from repro.errors import SLPError
+from repro.slp import (
+    DEFAULT_EXPAND_LIMIT,
+    SLP,
+    compress,
+    concat,
+    literal,
+    repeat,
+)
+from repro.workloads.generators import (
+    copy_language_strings,
+    manifold_strings,
+    near_duplicates,
+    uniform_strings,
+    with_planted_motif,
+)
+
+#: Every alphabet the workload generators draw from.
+ALPHABETS = {"ab": AB, "dna": DNA, "binary": BINARY}
+
+ALPHABET_PARAMS = [
+    pytest.param(alphabet, id=name) for name, alphabet in ALPHABETS.items()
+]
+
+
+def _symbol_text(alphabet):
+    return st.text(alphabet=st.sampled_from(alphabet.symbols), max_size=64)
+
+
+@pytest.mark.parametrize("alphabet", ALPHABET_PARAMS)
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_compress_round_trips_on_generator_alphabets(alphabet, data):
+    text = data.draw(_symbol_text(alphabet))
+    slp = compress(text)
+    assert slp.expand() == text
+    assert slp.expanded_length() == len(text)
+    assert len(slp) == len(text)
+    slp.validate()  # raises on any structural defect
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base=st.text(alphabet="ab", min_size=1, max_size=4),
+    reps=st.integers(min_value=1, max_value=200),
+)
+def test_compress_round_trips_on_highly_repetitive_strings(base, reps):
+    text = base * reps
+    slp = compress(text)
+    assert slp.expand() == text
+    assert slp.expanded_length() == len(text)
+    # Long repetitions must actually compress: sublinear rule count.
+    if reps >= 64:
+        assert slp.stored_size() < len(text) // 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_compress_round_trips_on_incompressible_strings(seed):
+    import random
+
+    rng = random.Random(seed)
+    text = "".join(
+        rng.choice("abcdefghijklmnopqrstuvwxyz0123456789") for _ in range(128)
+    )
+    slp = compress(text)
+    assert slp.expand() == text
+    assert slp.expanded_length() == len(text)
+
+
+@pytest.mark.parametrize(
+    "strings",
+    [
+        pytest.param(uniform_strings(AB, 8, 12, seed=5), id="uniform"),
+        pytest.param(
+            with_planted_motif(DNA, "gattaca", count=8, max_length=12, seed=5),
+            id="motif",
+        ),
+        pytest.param(
+            near_duplicates(DNA, "acgtacgt", count=8, max_edits=3, seed=5),
+            id="near-dup",
+        ),
+        pytest.param(
+            copy_language_strings(count=8, max_half_length=6, seed=5),
+            id="copy-lang",
+        ),
+        pytest.param(
+            [
+                repeated
+                for repeated, _base in manifold_strings(
+                    BINARY, count=8, max_base_length=3, max_repeats=5, seed=5
+                )
+            ],
+            id="manifold",
+        ),
+    ],
+)
+def test_compress_round_trips_on_workload_generator_output(strings):
+    for text in strings:
+        assert compress(text).expand() == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=st.text(alphabet="acgt", max_size=32),
+    right=st.text(alphabet="acgt", max_size=32),
+)
+def test_concat_matches_string_concatenation(left, right):
+    slp = concat(compress(left), compress(right))
+    assert slp.expand() == left + right
+    assert slp.expanded_length() == len(left) + len(right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base=st.text(alphabet="ab", max_size=6),
+    count=st.integers(min_value=0, max_value=50),
+)
+def test_repeat_matches_string_multiplication(base, count):
+    slp = repeat(compress(base), count)
+    assert slp.expand() == base * count
+    assert slp.expanded_length() == len(base) * count
+
+
+def test_repeat_scales_logarithmically():
+    huge = repeat(literal("ab"), 10**15)
+    assert huge.expanded_length() == 2 * 10**15
+    assert huge.stored_size() < 120  # O(log n) rules, never expanded
+
+
+def test_expand_respects_the_decompression_cap():
+    huge = repeat(literal("a"), DEFAULT_EXPAND_LIMIT + 1)
+    with pytest.raises(SLPError):
+        huge.expand()
+    assert huge.expand(max_chars=huge.expanded_length())  # explicit cap
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    text=st.text(alphabet="acgt", max_size=40),
+    n=st.integers(min_value=1, max_value=5),
+)
+def test_grams_match_brute_force(text, n):
+    expected = frozenset(
+        text[i : i + n] for i in range(len(text) - n + 1)
+    )
+    assert compress(text).grams(n) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(text=st.text(alphabet="ab", max_size=48))
+def test_structural_identity_is_string_equality(text):
+    first = compress(text)
+    second = compress(str(text))  # force a distinct str object
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first._root is second._root or text == ""
+
+
+@settings(max_examples=25, deadline=None)
+@given(text=st.text(alphabet="acgt", max_size=48))
+def test_pickle_round_trip_re_interns(text):
+    slp = compress(text)
+    clone = pickle.loads(pickle.dumps(slp))
+    assert clone == slp
+    assert clone.expand() == text
+
+
+def test_rules_round_trip():
+    slp = compress("abracadabra" * 8)
+    assert SLP.from_rules(slp.rules()) == slp
+
+
+def test_from_rules_rejects_dangling_references():
+    with pytest.raises(SLPError):
+        SLP.from_rules(((0, 1),))
+
+
+def test_non_latin_alphabets_round_trip():
+    # The grammar is symbol-agnostic: any Alphabet's symbols work.
+    alphabet = Alphabet("αβ")
+    text = "αββα" * 16
+    slp = compress(text)
+    assert slp.expand() == text
+    alphabet.validate_string(slp.expand())

@@ -1,0 +1,224 @@
+"""Protocol, prefilter and delta tests for the SLP storage backend."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alphabet import DNA, Alphabet
+from repro.core.database import Database
+from repro.errors import ArityError, StorageError
+from repro.observability import Tracer, activate
+from repro.slp import compress, literal, repeat
+from repro.storage import (
+    STORAGE_KINDS,
+    InMemoryStorage,
+    SLPStorage,
+    probe_candidates,
+    storage_factory,
+)
+
+ROWS = [("gcgcgcgc", "acgt"), ("aaaaaaaa", "tttt"), ("gattacca", "acgt")]
+
+
+def test_slp_is_a_registered_storage_kind():
+    assert "slp" in STORAGE_KINDS
+    factory = storage_factory("slp")
+    store = factory("R", ROWS, DNA)
+    assert isinstance(store, SLPStorage)
+
+
+class TestProtocol:
+    def test_matches_in_memory_observations(self):
+        reference = InMemoryStorage(ROWS)
+        store = SLPStorage.build(ROWS)
+        assert store.arity == reference.arity
+        assert store.size() == reference.size()
+        assert store.tuples == reference.tuples
+        assert set(store.scan()) == set(reference.scan())
+        for column in range(store.arity):
+            assert store.column(column) == reference.column(column)
+        for row in ROWS:
+            assert store.contains(tuple(row))
+        assert not store.contains(("gcgcgcgc", "zzzz"))
+
+    def test_stats_match_uncompressed_stats_plus_stored_chars(self):
+        reference = InMemoryStorage(ROWS).stats()
+        stats = SLPStorage.build(ROWS).stats()
+        assert stats.rows == reference.rows
+        assert stats.arity == reference.arity
+        for mine, theirs in zip(stats.columns, reference.columns):
+            assert mine.distinct == theirs.distinct
+            assert mine.total_chars == theirs.total_chars
+            assert mine.min_length == theirs.min_length
+            assert mine.max_length == theirs.max_length
+            assert mine.length_histogram == theirs.length_histogram
+            # The one intentional difference: a real stored size.
+            assert mine.stored_chars >= 0
+            assert mine.effective_stored_chars == mine.stored_chars
+            assert theirs.stored_chars == -1
+            assert theirs.effective_stored_chars == theirs.total_chars
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ArityError):
+            SLPStorage.build([("a",), ("a", "b")])
+
+    def test_pickle_round_trip(self):
+        store = SLPStorage.build(ROWS)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.tuples == store.tuples
+        assert clone.stats() == store.stats()
+
+    def test_build_counter(self):
+        tracer = Tracer()
+        with activate(tracer):
+            SLPStorage.build(ROWS)
+        # 5 distinct strings across both columns, compressed once each.
+        assert tracer.counters["slp.build"] == 5
+
+
+class TestPrefilter:
+    def test_candidates_are_supersets_of_matches(self):
+        store = SLPStorage.build(ROWS)
+        found = store.candidates(0, "gcg")
+        matching = {
+            row_id
+            for row_id, row in enumerate(sorted(set(ROWS)))
+            if "gcg" in row[0]
+        }
+        assert found is not None and matching <= found
+
+    def test_short_factors_decline(self):
+        store = SLPStorage.build(ROWS)
+        assert store.candidates(0, "gc") is None
+
+    def test_absent_factor_prunes_everything(self):
+        store = SLPStorage.build(ROWS)
+        assert store.candidates(1, "ggg") == frozenset()
+
+    def test_rows_for_expands_only_requested_rows(self):
+        store = SLPStorage.build(ROWS)
+        store._decoded = [None] * store.size()  # drop the build-time seed
+        found = store.candidates(0, "gatt")
+        rows = list(store.rows_for(found))
+        assert rows == [("gattacca", "acgt")]
+        decoded = sum(1 for cell in store._decoded if cell is not None)
+        assert decoded == len(found)
+
+    def test_probe_candidates_integration(self):
+        store = SLPStorage.build(ROWS)
+        found = probe_candidates(store, 0, ("gcgc", "cgcg"))
+        assert found is not None and len(found) == 1
+
+    def test_probe_counters(self):
+        store = SLPStorage.build(ROWS)
+        tracer = Tracer()
+        with activate(tracer):
+            store.candidates(0, "gcgc")
+            store.candidates(0, "acgt")
+        assert tracer.counters["slp.probe"] == 2
+        assert tracer.counters["slp.index.build"] == 1
+
+    def test_grams_probe_never_expands_scale_cells(self):
+        # A 2-billion-character cell: candidates answer from grammars.
+        cell = repeat(compress("gatc"), 500_000_000)
+        store = SLPStorage.from_cells([(cell,), (compress("aaaa"),)])
+        found = store.candidates(0, "tcga")
+        assert found is not None and len(found) == 1
+        assert store.stats().columns[0].total_chars == 2_000_000_004
+        assert store.stats().columns[0].stored_chars < 200
+
+
+class TestDelta:
+    def test_apply_delta_matches_reference(self):
+        store = SLPStorage.build(ROWS)
+        inserts = frozenset({("tttttttt", "gg")})
+        deletes = frozenset({("aaaaaaaa", "tttt")})
+        derived = store.apply_delta(inserts, deletes)
+        reference = InMemoryStorage(ROWS).apply_delta(inserts, deletes)
+        assert derived.tuples == reference.tuples
+        assert store.tuples == frozenset(ROWS)  # receiver untouched
+
+    def test_noop_delta_returns_self(self):
+        store = SLPStorage.build(ROWS)
+        assert store.apply_delta(frozenset(), frozenset()) is store
+        miss = frozenset({("zzzzzzzz", "zz")})
+        assert store.apply_delta(frozenset(), miss) is store
+
+    def test_delta_arity_mismatch_rejected(self):
+        store = SLPStorage.build(ROWS)
+        with pytest.raises(ArityError):
+            store.apply_delta(frozenset({("only-one",)}), frozenset())
+
+    def test_delta_never_expands_stored_cells(self):
+        cell = repeat(compress("ga"), 10**9)
+        store = SLPStorage.from_cells([(cell,)])
+        derived = store.apply_delta(
+            frozenset({("acgt",)}), frozenset({("tttt",)})
+        )
+        assert derived.size() == 2
+        assert derived.stats().columns[0].total_chars == 2 * 10**9 + 4
+
+
+class TestDatabaseIntegration:
+    def test_with_storage_slp(self):
+        db = Database(DNA, {"R": ROWS})
+        compressed = db.with_storage("slp")
+        assert compressed.relation("R").tuples == db.relation("R").tuples
+        assert isinstance(compressed.relation("R").storage, SLPStorage)
+
+    def test_apply_preserves_the_backend(self):
+        from repro.delta import Delta
+
+        db = Database(DNA, {"R": ROWS}, storage="slp")
+        updated = db.apply(Delta(inserts=(("R", ("gggg", "cc")),)))
+        assert isinstance(updated.relation("R").storage, SLPStorage)
+        assert ("gggg", "cc") in updated.relation("R")
+
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(StorageError):
+            storage_factory("zip")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.text(alphabet="acgt", max_size=12),
+            st.text(alphabet="acgt", max_size=12),
+        ),
+        max_size=8,
+    ),
+    factor=st.text(alphabet="acgt", min_size=3, max_size=6),
+)
+def test_candidates_superset_sound_on_random_relations(rows, factor):
+    store = SLPStorage.build(rows)
+    found = store.candidates(0, factor)
+    assert found is not None
+    ordered = sorted(set(tuple(row) for row in rows))
+    matching = {
+        row_id for row_id, row in enumerate(ordered) if factor in row[0]
+    }
+    assert matching <= found
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.text(alphabet="ab", max_size=10)), max_size=8
+    ),
+    inserts=st.lists(
+        st.tuples(st.text(alphabet="ab", max_size=10)), max_size=4
+    ),
+    deletes=st.lists(
+        st.tuples(st.text(alphabet="ab", max_size=10)), max_size=4
+    ),
+)
+def test_delta_differential_against_in_memory(rows, inserts, deletes):
+    if not rows and not inserts:
+        return
+    store = SLPStorage.build(rows, arity=1)
+    reference = InMemoryStorage(rows, arity=1)
+    derived = store.apply_delta(frozenset(inserts), frozenset(deletes))
+    expected = reference.apply_delta(frozenset(inserts), frozenset(deletes))
+    assert derived.tuples == expected.tuples

@@ -1,7 +1,7 @@
 """Docstring conventions for the public API, enforced without ruff.
 
 CI runs ``ruff check --select D`` (pydocstyle rules) over
-``src/repro/{engine,parallel,observability,ir,storage,service}``,
+``src/repro/{engine,parallel,observability,ir,storage,service,slp}``,
 ``src/repro/fsa/kernel.py`` and ``src/repro/fsa/determinize.py``;
 this test enforces the load-bearing
 subset locally — in environments without ruff — so the convention
@@ -31,6 +31,7 @@ SCOPED_PACKAGES = (
     "ir",
     "storage",
     "service",
+    "slp",
 )
 
 #: Individual modules covered in addition to the scoped packages.
